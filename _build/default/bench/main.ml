@@ -1,0 +1,182 @@
+(* Benchmark harness.
+
+   Two things happen here, in order:
+
+   1. The full evaluation of the paper is regenerated: every table and
+      figure, printed in paper-vs-measured form (the same output as
+      `experiments run all`).
+
+   2. Bechamel micro-benchmarks time the computational kernel behind each
+      table/figure — one Test.make per experiment — plus the substrate
+      hot paths (prefix-trie lookup vs list scan, decision process, route
+      propagation, relationship inference, table parsing). *)
+
+open Bechamel
+
+module Asn = Rpi_bgp.Asn
+module Prefix = Rpi_net.Prefix
+module Scenario = Rpi_dataset.Scenario
+module Context = Rpi_experiments.Context
+module Exp = Rpi_experiments.Exp
+
+(* --- Part 1: regenerate the evaluation --- *)
+
+let regenerate () =
+  print_endline "==============================================================";
+  print_endline " Reproduction of every table and figure (paper vs measured)";
+  print_endline "==============================================================";
+  let ctx = Context.create () in
+  print_endline (Exp.run_all ctx);
+  ctx
+
+(* --- Part 2: micro-benchmarks --- *)
+
+(* A small context keeps each benchmarked kernel in the millisecond range
+   so Bechamel can sample it repeatedly. *)
+let small_ctx () =
+  Context.create ~config:{ Scenario.small_config with Scenario.seed = 1 } ()
+
+let experiment_tests ctx =
+  (* One Test.make per table/figure: times the analysis kernel on a
+     prepared small context (dataset construction is excluded — that cost
+     is the simulator's, timed separately below).  Experiments that cache
+     intermediate results in the context run warm after the first
+     sample. *)
+  let quick =
+    List.filter
+      (fun (id, _, _) ->
+        (* The persistence experiment re-simulates dozens of epochs, and
+           the stability sweep rebuilds whole worlds; both are far too
+           heavy for a sampling loop. *)
+        id <> "fig6+7" && id <> "stability")
+      Exp.all
+  in
+  List.map
+    (fun (id, _, f) ->
+      Test.make ~name:("exp/" ^ id) (Staged.stage (fun () -> ignore (f ctx))))
+    quick
+
+let substrate_tests small =
+  let rng = Rpi_prng.Prng.create ~seed:3 in
+  (* Prefix trie vs association list: longest-match over 4096 prefixes. *)
+  let prefixes =
+    List.init 4096 (fun i ->
+        Prefix.make (Rpi_net.Ipv4.of_int32_exn (i * 65536)) (16 + (i mod 9)))
+  in
+  let trie =
+    List.fold_left (fun t p -> Rpi_net.Prefix_trie.add p () t) Rpi_net.Prefix_trie.empty
+      prefixes
+  in
+  let addr = Rpi_net.Ipv4.of_string_exn "0.42.7.1" in
+  let assoc = List.map (fun p -> (p, ())) prefixes in
+  let assoc_longest_match a =
+    List.fold_left
+      (fun acc (p, ()) ->
+        if Prefix.contains p a then begin
+          match acc with
+          | Some (q, ()) when Prefix.length q >= Prefix.length p -> acc
+          | Some _ | None -> Some (p, ())
+        end
+        else acc)
+      None assoc
+  in
+  (* Decision process over a 50-route candidate set. *)
+  let mk_route i =
+    Rpi_bgp.Route.make
+      ~prefix:(Prefix.of_string_exn "10.0.0.0/24")
+      ~next_hop:(Rpi_net.Ipv4.of_octets 10 0 (i mod 250) 1)
+      ~as_path:(Rpi_bgp.As_path.of_list (List.init (1 + (i mod 5)) (fun k -> Asn.of_int (100 + k))))
+      ~local_pref:(90 + (i mod 3 * 10))
+      ~router_id:(Rpi_net.Ipv4.of_octets 1 1 1 (i mod 250))
+      ~peer_as:(Asn.of_int (100 + (i mod 7)))
+      ()
+  in
+  let candidates = List.init 50 mk_route in
+  (* Route propagation: one atom over a mid-size topology. *)
+  let topo =
+    Rpi_topo.Gen.generate
+      ~config:
+        {
+          Rpi_topo.Gen.default_config with
+          Rpi_topo.Gen.n_tier1 = 6;
+          n_tier2 = 24;
+          n_tier3 = 80;
+          n_stub = 200;
+        }
+      rng
+  in
+  let network =
+    Rpi_sim.Engine.prepare ~graph:topo.Rpi_topo.Gen.graph
+      ~import:(fun _ -> Rpi_sim.Policy.default_import)
+      ()
+  in
+  let origin = List.nth topo.Rpi_topo.Gen.stubs 0 in
+  let atom = Rpi_sim.Atom.vanilla ~id:0 ~origin [ Prefix.of_string_exn "10.0.0.0/24" ] in
+  let retain = Asn.Set.of_list topo.Rpi_topo.Gen.tier1 in
+  (* Relationship inference over the small topology's observed paths. *)
+  let paths = Scenario.observed_paths small.Context.scenario in
+  (* Parsing: a 2000-line table dump. *)
+  let some_lg_rib =
+    match small.Context.scenario.Scenario.lg_tables with
+    | (_, rib) :: _ -> rib
+    | [] -> Rpi_bgp.Rib.empty
+  in
+  let dump =
+    Rpi_mrt.Table_dump.rib_to_string ~vantage_as:(Asn.of_int 1) some_lg_rib
+  in
+  let irr_text = Rpi_irr.Db.render small.Context.irr in
+  [
+    Test.make ~name:"substrate/trie-longest-match"
+      (Staged.stage (fun () -> ignore (Rpi_net.Prefix_trie.longest_match addr trie)));
+    Test.make ~name:"substrate/assoc-longest-match"
+      (Staged.stage (fun () -> ignore (assoc_longest_match addr)));
+    Test.make ~name:"substrate/decision-50-candidates"
+      (Staged.stage (fun () -> ignore (Rpi_bgp.Decision.select_best candidates)));
+    Test.make ~name:"substrate/engine-propagate-atom"
+      (Staged.stage (fun () -> ignore (Rpi_sim.Engine.propagate network ~retain atom)));
+    Test.make ~name:"substrate/gao-infer"
+      (Staged.stage (fun () -> ignore (Rpi_relinfer.Gao.infer paths)));
+    Test.make ~name:"substrate/table-dump-parse"
+      (Staged.stage (fun () -> ignore (Rpi_mrt.Table_dump.parse_to_rib dump)));
+    Test.make ~name:"substrate/rpsl-parse"
+      (Staged.stage (fun () -> ignore (Rpi_irr.Rpsl.parse irr_text)));
+  ]
+
+let run_benchmarks tests =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"rpi" ~fmt:"%s %s" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  print_endline "==============================================================";
+  print_endline " Micro-benchmarks (monotonic clock, OLS estimate per run)";
+  print_endline "==============================================================";
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> e
+        | Some [] | None -> Float.nan
+      in
+      let human =
+        if Float.is_nan estimate then "n/a"
+        else if estimate > 1e9 then Printf.sprintf "%8.2f s " (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%8.2f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%8.2f us" (estimate /. 1e3)
+        else Printf.sprintf "%8.0f ns" estimate
+      in
+      Printf.printf "%-40s %s\n" name human)
+    rows
+
+let () =
+  Logs.set_level (Some Logs.Warning);
+  ignore (regenerate ());
+  let small = small_ctx () in
+  let tests = experiment_tests small @ substrate_tests small in
+  run_benchmarks tests

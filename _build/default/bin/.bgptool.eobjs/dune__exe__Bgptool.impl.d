@@ -1,0 +1,1 @@
+bin/bgptool.ml: Arg Cmd Cmdliner Fun In_channel List Option Printf Result Rpi_bgp Rpi_core Rpi_mrt Rpi_net Rpi_relinfer Rpi_topo Term

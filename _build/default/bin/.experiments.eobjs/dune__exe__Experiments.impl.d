@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner List Logs Logs_cli Logs_fmt Printf Rpi_dataset Rpi_experiments String Term

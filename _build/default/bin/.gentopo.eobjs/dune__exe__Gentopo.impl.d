@@ -1,0 +1,1 @@
+bin/gentopo.ml: Arg Cmd Cmdliner List Printf Rpi_bgp Rpi_prng Rpi_topo Term

@@ -1,0 +1,1 @@
+bin/makedata.ml: Arg Cmd Cmdliner Filename Fun List Printf Rpi_bgp Rpi_dataset Rpi_irr Rpi_mrt Rpi_prng Rpi_topo Sys Term

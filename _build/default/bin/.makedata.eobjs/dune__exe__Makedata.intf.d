@@ -1,0 +1,1 @@
+bin/makedata.mli:

@@ -1,0 +1,174 @@
+(* Inspect BGP table dumps: parse either supported format, show summary
+   statistics, query prefixes, or infer AS relationships from the paths.
+
+     bgptool stats   table.dump
+     bgptool show    table.dump 10.1.0.0/24
+     bgptool relinfer table.dump
+*)
+
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module Asn = Rpi_bgp.Asn
+module Prefix = Rpi_net.Prefix
+
+let read_table path =
+  let ic = open_in path in
+  let text = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic) in
+  Rpi_mrt.Loader.parse_any text
+
+let stats_cmd path =
+  match read_table path with
+  | Error e -> `Error (false, e)
+  | Ok rib ->
+      Printf.printf "prefixes: %d\nroutes:   %d\n" (Rib.prefix_count rib)
+        (Rib.route_count rib);
+      let origins = Rpi_core.Export_infer.origins_of_rib rib in
+      Printf.printf "origin ASs: %d\n" (List.length origins);
+      let peers =
+        Rib.fold
+          (fun _ routes acc ->
+            List.fold_left
+              (fun acc (r : Route.t) ->
+                match r.Route.peer_as with
+                | Some p -> Asn.Set.add p acc
+                | None -> acc)
+              acc routes)
+          rib Asn.Set.empty
+      in
+      Printf.printf "feeding sessions: %d\n" (Asn.Set.cardinal peers);
+      `Ok ()
+
+let show_cmd path prefix_str =
+  match (read_table path, Prefix.of_string prefix_str) with
+  | Error e, _ -> `Error (false, e)
+  | _, Error e -> `Error (false, e)
+  | Ok rib, Ok prefix ->
+      print_string (Rpi_mrt.Show_ip_bgp.render_prefix_detail rib prefix);
+      `Ok ()
+
+let relinfer_cmd path =
+  match read_table path with
+  | Error e -> `Error (false, e)
+  | Ok rib ->
+      let paths =
+        Rib.fold
+          (fun _ routes acc ->
+            List.fold_left
+              (fun acc (r : Route.t) ->
+                match Rpi_bgp.As_path.to_list r.Route.as_path with
+                | [] -> acc
+                | hops -> hops :: acc)
+              acc routes)
+          rib []
+      in
+      let g = Rpi_relinfer.Gao.infer paths in
+      List.iter
+        (fun (a, b, rel) ->
+          Printf.printf "%s %s %s\n" (Asn.to_label a) (Asn.to_label b)
+            (Rpi_topo.Relationship.to_string rel))
+        (Rpi_topo.As_graph.to_edges g);
+      Printf.eprintf "# %d ASs, %d classified adjacencies\n"
+        (Rpi_topo.As_graph.as_count g)
+        (Rpi_topo.As_graph.edge_count g);
+      `Ok ()
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+
+let sa_cmd table_path edges_path provider_str =
+  let ( let* ) = Result.bind in
+  let result =
+    let* rib = read_table table_path in
+    let* graph = Rpi_topo.As_graph.parse_edges (read_file edges_path) in
+    let* provider = Asn.of_string provider_str in
+    let origins = Rpi_core.Export_infer.origins_of_rib rib in
+    (* If the table is a multi-feed collector dump, narrow to the
+       provider's own feed; a single-vantage table passes through. *)
+    let viewpoint =
+      let own = Rpi_core.Export_infer.viewpoint_of_feed ~feed:provider rib in
+      if Rib.prefix_count own > 0 then own else rib
+    in
+    let report = Rpi_core.Export_infer.analyze graph ~provider ~origins viewpoint in
+    Printf.printf "provider:          %s\n" (Asn.to_label provider);
+    Printf.printf "customers seen:    %d\n" report.Rpi_core.Export_infer.customers_seen;
+    Printf.printf "customer prefixes: %d\n" report.Rpi_core.Export_infer.customer_prefixes;
+    Printf.printf "SA prefixes:       %d (%.1f%%)\n"
+      (List.length report.Rpi_core.Export_infer.sa)
+      report.Rpi_core.Export_infer.pct_sa;
+    List.iter
+      (fun (r : Rpi_core.Export_infer.sa_record) ->
+        Printf.printf "SA %s origin %s via %s %s\n"
+          (Prefix.to_string r.Rpi_core.Export_infer.prefix)
+          (Asn.to_label r.Rpi_core.Export_infer.origin)
+          (Rpi_topo.Relationship.to_string r.Rpi_core.Export_infer.via)
+          (Asn.to_label r.Rpi_core.Export_infer.next_hop))
+      report.Rpi_core.Export_infer.sa;
+    Ok ()
+  in
+  match result with
+  | Ok () -> `Ok ()
+  | Error e -> `Error (false, e)
+
+let diff_cmd old_path new_path =
+  match (read_table old_path, read_table new_path) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok old_rib, Ok new_rib ->
+      let d = Rib.diff ~old_rib new_rib in
+      Printf.printf "added:      %d prefixes\n" (List.length d.Rib.added);
+      Printf.printf "removed:    %d prefixes\n" (List.length d.Rib.removed);
+      Printf.printf "re-routed:  %d prefixes\n" (List.length d.Rib.best_changed);
+      Printf.printf "unchanged:  %d prefixes\n" d.Rib.unchanged;
+      List.iter
+        (fun (prefix, old_best, new_best) ->
+          let hop r =
+            match Option.bind r Route.next_hop_as with
+            | Some a -> Asn.to_label a
+            | None -> "-"
+          in
+          Printf.printf "  %s: %s -> %s\n" (Prefix.to_string prefix) (hop old_best)
+            (hop new_best))
+        d.Rib.best_changed;
+      `Ok ()
+
+open Cmdliner
+
+let table_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TABLE" ~doc:"Table dump file.")
+
+let prefix_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX" ~doc:"CIDR prefix.")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "stats" ~doc:"Summary statistics of a table dump")
+      Term.(ret (const stats_cmd $ table_arg));
+    Cmd.v
+      (Cmd.info "show" ~doc:"Per-prefix detail (show ip bgp <prefix>)")
+      Term.(ret (const show_cmd $ table_arg $ prefix_arg));
+    Cmd.v
+      (Cmd.info "relinfer" ~doc:"Infer AS relationships from the table's paths")
+      Term.(ret (const relinfer_cmd $ table_arg));
+    (let edges_arg =
+       Arg.(
+         required
+         & pos 1 (some file) None
+         & info [] ~docv:"EDGES" ~doc:"AS-relationship edge list (bgptool relinfer/gentopo output).")
+     in
+     let provider_arg =
+       Arg.(required & pos 2 (some string) None & info [] ~docv:"AS" ~doc:"Provider AS.")
+     in
+     Cmd.v
+       (Cmd.info "sa" ~doc:"Infer selectively-announced prefixes from a provider's viewpoint")
+       Term.(ret (const sa_cmd $ table_arg $ edges_arg $ provider_arg)));
+    (let new_arg =
+       Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"Newer table dump.")
+     in
+     Cmd.v
+       (Cmd.info "diff" ~doc:"Day-over-day delta between two table dumps")
+       Term.(ret (const diff_cmd $ table_arg $ new_arg)));
+  ]
+
+let () =
+  let doc = "Inspect and analyze BGP table dumps" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "bgptool" ~doc) cmds))

@@ -1,0 +1,87 @@
+(* Experiment runner: regenerate any table or figure of the paper on a
+   synthetic dataset.
+
+     experiments list
+     experiments run all
+     experiments run table5 table7 --seed 7
+*)
+
+let setup_logging level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let list_cmd () =
+  List.iter
+    (fun (id, doc, _) -> Printf.printf "%-18s %s\n" id doc)
+    Rpi_experiments.Exp.all;
+  `Ok ()
+
+let run_cmd log_level seed small ids =
+  setup_logging log_level;
+  let base =
+    if small then Rpi_dataset.Scenario.small_config
+    else Rpi_dataset.Scenario.default_config
+  in
+  let config = { base with Rpi_dataset.Scenario.seed } in
+  let runners =
+    if ids = [] || List.mem "all" ids then
+      List.map (fun (_, _, f) -> Ok f) Rpi_experiments.Exp.all
+    else
+      List.map
+        (fun id ->
+          match
+            List.find_opt (fun (id', _, _) -> String.equal id id') Rpi_experiments.Exp.all
+          with
+          | Some (_, _, f) -> Ok f
+          | None -> Error id)
+        ids
+  in
+  let unknown =
+    List.filter_map (function Error id -> Some id | Ok _ -> None) runners
+  in
+  if unknown <> [] then
+    `Error (false, "unknown experiments: " ^ String.concat ", " unknown)
+  else begin
+    Printf.printf "Scenario seed: %d\n\n" seed;
+    let ctx = Rpi_experiments.Context.create ~config () in
+    List.iter
+      (function
+        | Ok f -> print_endline (f ctx)
+        | Error _ -> ())
+      runners;
+    `Ok ()
+  end
+
+open Cmdliner
+
+let log_level_arg =
+  let env = Cmd.Env.info "RPI_VERBOSITY" in
+  Logs_cli.level ~env ()
+
+let seed_arg =
+  let doc = "Seed for the synthetic scenario (all randomness derives from it)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ids_arg =
+  let doc = "Experiment identifiers to run ('all' or see $(b,list))." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let small_arg =
+  let doc = "Use the reduced (~300 AS) scenario for a fast run." in
+  Arg.(value & flag & info [ "small" ] ~doc)
+
+let list_term = Term.(ret (const list_cmd $ const ()))
+
+let run_term = Term.(ret (const run_cmd $ log_level_arg $ seed_arg $ small_arg $ ids_arg))
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "list" ~doc:"List available experiments") list_term;
+    Cmd.v (Cmd.info "run" ~doc:"Run experiments and print paper-style tables") run_term;
+  ]
+
+let main =
+  let doc = "Reproduce the evaluation of 'On Inferring and Characterizing Internet Routing Policies' (IMC 2003)" in
+  Cmd.group (Cmd.info "experiments" ~version:"1.0.0" ~doc) ~default:run_term cmds
+
+let () = exit (Cmd.eval main)

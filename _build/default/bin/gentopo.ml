@@ -1,0 +1,52 @@
+(* Generate a synthetic annotated AS topology and print it as an edge list
+   (one "AS1 AS2 relationship" line per edge, relationship as seen by the
+   first AS), plus a summary. *)
+
+module Gen = Rpi_topo.Gen
+module As_graph = Rpi_topo.As_graph
+module Tier = Rpi_topo.Tier
+module Asn = Rpi_bgp.Asn
+
+let run seed n_tier1 n_tier2 n_tier3 n_stub summary_only =
+  let config =
+    {
+      Gen.default_config with
+      Gen.n_tier1;
+      n_tier2;
+      n_tier3;
+      n_stub;
+    }
+  in
+  let rng = Rpi_prng.Prng.create ~seed in
+  let t = Gen.generate ~config rng in
+  let g = t.Gen.graph in
+  if not summary_only then print_string (As_graph.render_edges g);
+  let tiers = Tier.classify g in
+  Printf.eprintf "# ASs: %d, edges: %d\n" (As_graph.as_count g) (As_graph.edge_count g);
+  List.iter
+    (fun (tier, count) -> Printf.eprintf "# tier %d: %d ASs\n" tier count)
+    (Tier.histogram tiers);
+  let degrees = List.map (fun a -> As_graph.degree g a) (As_graph.ases g) in
+  let dmax = List.fold_left max 0 degrees in
+  Printf.eprintf "# max degree: %d\n" dmax;
+  `Ok ()
+
+open Cmdliner
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+let t1 = Arg.(value & opt int 10 & info [ "tier1" ] ~doc:"Number of Tier-1 ASs.")
+let t2 = Arg.(value & opt int 80 & info [ "tier2" ] ~doc:"Number of Tier-2 ASs.")
+let t3 = Arg.(value & opt int 350 & info [ "tier3" ] ~doc:"Number of Tier-3 ASs.")
+let st = Arg.(value & opt int 1400 & info [ "stubs" ] ~doc:"Number of stub ASs.")
+
+let summary =
+  Arg.(value & flag & info [ "summary" ] ~doc:"Only print the summary (to stderr).")
+
+let term = Term.(ret (const run $ seed $ t1 $ t2 $ t3 $ st $ summary))
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "gentopo" ~doc:"Generate a synthetic annotated AS topology")
+          term))

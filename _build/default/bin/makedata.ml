@@ -1,0 +1,68 @@
+(* Generate a releasable synthetic dataset: a directory of per-vantage
+   table dumps (collector + Looking-Glass tables), the ground-truth
+   AS-relationship edge list, and the synthetic IRR registry — everything
+   bgptool and third-party code need to replay the paper's measurements
+   offline.
+
+     makedata --out DIR [--seed N] [--small]
+*)
+
+module Asn = Rpi_bgp.Asn
+module Scenario = Rpi_dataset.Scenario
+
+let run out seed small =
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  let base = if small then Scenario.small_config else Scenario.default_config in
+  let config = { base with Scenario.seed } in
+  Printf.eprintf "building scenario (seed %d)...\n%!" seed;
+  let s = Scenario.build ~config () in
+  let timestamp = 1037577600 (* Nov 18 2002, the paper's snapshot date *) in
+  (* Collector + LG tables. *)
+  let tables_dir = Filename.concat out "tables" in
+  Rpi_mrt.Loader.save_snapshot ~dir:tables_dir ~timestamp
+    ((Asn.of_int 6447, s.Scenario.collector) :: s.Scenario.lg_tables);
+  (* Ground-truth relationships. *)
+  let write_file path text =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+  in
+  write_file (Filename.concat out "relationships.txt")
+    (Rpi_topo.As_graph.render_edges s.Scenario.graph);
+  (* Synthetic IRR. *)
+  let irr_rng = Rpi_prng.Prng.create ~seed:(seed + 7919) in
+  let irr =
+    Rpi_irr.Gen.registry irr_rng ~graph:s.Scenario.graph ~policies:(Scenario.policy_of s)
+  in
+  Rpi_irr.Db.save_file (Filename.concat out "registry.rpsl") irr;
+  (* Manifest. *)
+  write_file (Filename.concat out "MANIFEST")
+    (Printf.sprintf
+       "synthetic BGP policy dataset (seed %d)\n\
+        tables/AS6447.dump     RouteViews-style collector (%d feeds, %d prefixes)\n\
+        tables/AS<n>.dump      %d Looking-Glass tables (with local-pref + communities)\n\
+        relationships.txt      ground-truth annotated AS graph (%d ASs, %d edges)\n\
+        registry.rpsl          synthetic IRR (%d aut-num objects)\n"
+       seed
+       (List.length s.Scenario.collector_peers)
+       (Rpi_bgp.Rib.prefix_count s.Scenario.collector)
+       (List.length s.Scenario.lg_tables)
+       (Rpi_topo.As_graph.as_count s.Scenario.graph)
+       (Rpi_topo.As_graph.edge_count s.Scenario.graph)
+       (Rpi_irr.Db.cardinal irr));
+  Printf.eprintf "wrote %s\n%!" out;
+  `Ok ()
+
+open Cmdliner
+
+let out_arg =
+  Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.")
+let small_arg = Arg.(value & flag & info [ "small" ] ~doc:"Use the reduced (~300 AS) scenario.")
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "makedata" ~doc:"Write a synthetic BGP-policy dataset to disk")
+          Term.(ret (const run $ out_arg $ seed_arg $ small_arg))))

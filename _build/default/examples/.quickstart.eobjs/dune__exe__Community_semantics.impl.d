@@ -1,0 +1,1 @@
+examples/community_semantics.ml: List Logs Printf Rpi_bgp Rpi_core Rpi_dataset Rpi_experiments Rpi_sim Rpi_stats Rpi_topo String

@@ -1,0 +1,1 @@
+examples/community_semantics.mli:

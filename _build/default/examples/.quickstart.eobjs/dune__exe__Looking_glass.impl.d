@@ -1,0 +1,1 @@
+examples/looking_glass.ml: Filename List Logs Printf Rpi_bgp Rpi_dataset Rpi_mrt Rpi_net String

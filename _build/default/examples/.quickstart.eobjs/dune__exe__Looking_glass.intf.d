@@ -1,0 +1,1 @@
+examples/looking_glass.mli:

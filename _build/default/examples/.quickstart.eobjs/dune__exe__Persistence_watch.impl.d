@@ -1,0 +1,1 @@
+examples/persistence_watch.ml: List Logs Printf Rpi_bgp Rpi_core Rpi_dataset Rpi_net Rpi_prng Rpi_sim

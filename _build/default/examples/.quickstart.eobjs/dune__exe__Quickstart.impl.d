@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Rpi_bgp Rpi_core Rpi_mrt Rpi_net Rpi_sim Rpi_topo

@@ -1,0 +1,1 @@
+examples/sa_analysis.ml: List Logs Printf Rpi_bgp Rpi_core Rpi_dataset Rpi_experiments Rpi_net Rpi_topo

@@ -1,0 +1,1 @@
+examples/sa_analysis.mli:

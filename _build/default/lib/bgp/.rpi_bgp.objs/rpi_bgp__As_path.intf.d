@@ -1,0 +1,1 @@
+lib/bgp/as_path.mli: Asn Format

@@ -1,0 +1,1 @@
+lib/bgp/asn.ml: Format Hashtbl Int Map Printf Set String

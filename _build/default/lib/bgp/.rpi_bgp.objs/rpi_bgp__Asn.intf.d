@@ -1,0 +1,1 @@
+lib/bgp/asn.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/bgp/community.ml: Asn Format Int List Printf Set String

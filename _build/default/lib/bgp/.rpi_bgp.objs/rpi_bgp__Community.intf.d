@@ -1,0 +1,1 @@
+lib/bgp/community.mli: Asn Format Set

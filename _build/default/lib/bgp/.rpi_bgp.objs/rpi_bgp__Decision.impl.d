@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: As_path Asn Int List Route Rpi_net

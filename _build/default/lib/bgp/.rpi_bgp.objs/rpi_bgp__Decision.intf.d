@@ -1,0 +1,1 @@
+lib/bgp/decision.mli: Route

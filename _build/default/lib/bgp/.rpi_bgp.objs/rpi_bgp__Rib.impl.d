@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Asn Decision List Option Route Rpi_net

@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Asn Decision Route Rpi_net

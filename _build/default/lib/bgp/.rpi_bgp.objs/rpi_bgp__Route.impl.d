@@ -1,0 +1,1 @@
+lib/bgp/route.ml: As_path Asn Community Format Int Option Printf Rpi_net Stdlib

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: As_path Asn Community Format Rpi_net

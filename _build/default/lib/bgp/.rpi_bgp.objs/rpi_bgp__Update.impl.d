@@ -1,0 +1,1 @@
+lib/bgp/update.ml: As_path Asn Format Rib Route Rpi_net

@@ -1,0 +1,1 @@
+lib/bgp/update.mli: Asn Format Rib Route Rpi_net

@@ -1,0 +1,144 @@
+type segment = Seq of Asn.t list | Set of Asn.Set.t
+
+type t = segment list
+
+(* Invariant: no empty Seq/Set segments; adjacent Seq segments merged. *)
+
+let normalise segments =
+  let keep = function
+    | Seq [] -> false
+    | Seq (_ :: _) -> true
+    | Set s -> not (Asn.Set.is_empty s)
+  in
+  let rec merge = function
+    | Seq a :: Seq b :: rest -> merge (Seq (a @ b) :: rest)
+    | seg :: rest -> seg :: merge rest
+    | [] -> []
+  in
+  merge (List.filter keep segments)
+
+let empty = []
+let of_list hops = normalise [ Seq hops ]
+let of_segments segs = normalise segs
+let segments t = t
+
+let to_list t =
+  List.concat_map
+    (function
+      | Seq hops -> hops
+      | Set s -> Asn.Set.elements s)
+    t
+
+let is_empty t = t = []
+
+let length t =
+  List.fold_left
+    (fun acc seg ->
+      match seg with
+      | Seq hops -> acc + List.length hops
+      | Set _ -> acc + 1)
+    0 t
+
+let first_hop t =
+  match t with
+  | [] -> None
+  | Seq (a :: _) :: _ -> Some a
+  | Seq [] :: _ -> None (* excluded by invariant *)
+  | Set s :: _ -> Asn.Set.min_elt_opt s
+
+let origin_as t =
+  match List.rev t with
+  | [] -> None
+  | Set _ :: _ -> None
+  | Seq hops :: _ -> begin
+      match List.rev hops with
+      | last :: _ -> Some last
+      | [] -> None
+    end
+
+let mem asn t =
+  List.exists
+    (function
+      | Seq hops -> List.exists (Asn.equal asn) hops
+      | Set s -> Asn.Set.mem asn s)
+    t
+
+let prepend asn t = normalise (Seq [ asn ] :: t)
+
+let prepend_n asn n t =
+  if n < 1 then invalid_arg "As_path.prepend_n: count must be >= 1";
+  normalise (Seq (List.init n (fun _ -> asn)) :: t)
+
+let pairs t =
+  let seq_pairs hops =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (a, b) :: go rest
+      | [ _ ] | [] -> []
+    in
+    go hops
+  in
+  List.concat_map
+    (function
+      | Seq hops -> seq_pairs hops
+      | Set _ -> [])
+    t
+
+let to_string t =
+  let segment_to_string = function
+    | Seq hops -> List.map Asn.to_string hops |> String.concat " "
+    | Set s ->
+        "{" ^ (Asn.Set.elements s |> List.map Asn.to_string |> String.concat ",") ^ "}"
+  in
+  List.map segment_to_string t |> String.concat " "
+
+let of_string s =
+  let tokens =
+    String.split_on_char ' ' s |> List.filter (fun tok -> tok <> "")
+  in
+  let parse_set tok =
+    let inner = String.sub tok 1 (String.length tok - 2) in
+    let members = String.split_on_char ',' inner |> List.filter (fun m -> m <> "") in
+    List.fold_left
+      (fun acc m ->
+        match acc with
+        | Error _ as e -> e
+        | Ok set -> begin
+            match Asn.of_string m with
+            | Ok a -> Ok (Asn.Set.add a set)
+            | Error e -> Error e
+          end)
+      (Ok Asn.Set.empty) members
+  in
+  let rec go acc = function
+    | [] -> Ok (normalise (List.rev acc))
+    | tok :: rest ->
+        if String.length tok >= 2 && tok.[0] = '{' && tok.[String.length tok - 1] = '}' then begin
+          match parse_set tok with
+          | Ok set -> go (Set set :: acc) rest
+          | Error e -> Error e
+        end
+        else begin
+          match Asn.of_string tok with
+          | Ok a -> begin
+              match acc with
+              | Seq hops :: acc' -> go (Seq (hops @ [ a ]) :: acc') rest
+              | (Set _ :: _ | []) as acc' -> go (Seq [ a ] :: acc') rest
+            end
+          | Error e -> Error e
+        end
+  in
+  go [] tokens
+
+let of_string_exn s =
+  match of_string s with Ok p -> p | Error msg -> invalid_arg msg
+
+let compare_segment a b =
+  match (a, b) with
+  | Seq x, Seq y -> List.compare Asn.compare x y
+  | Set x, Set y -> Asn.Set.compare x y
+  | Seq _, Set _ -> -1
+  | Set _, Seq _ -> 1
+
+let compare = List.compare compare_segment
+let equal a b = compare a b = 0
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,44 @@
+type t = int
+
+let of_int n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Asn.of_int: out of range";
+  n
+
+let to_int n = n
+
+let of_string s =
+  let body =
+    if String.length s >= 2 && (String.sub s 0 2 = "AS" || String.sub s 0 2 = "as") then
+      String.sub s 2 (String.length s - 2)
+    else s
+  in
+  match int_of_string_opt body with
+  | Some n when n >= 0 && n <= 0xFFFFFFFF -> Ok n
+  | Some _ | None -> Error (Printf.sprintf "invalid AS number %S" s)
+
+let of_string_exn s =
+  match of_string s with Ok n -> n | Error msg -> invalid_arg msg
+
+let to_string = string_of_int
+let to_label n = "AS" ^ string_of_int n
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp fmt n = Format.pp_print_string fmt (to_label n)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,30 @@
+(** Autonomous System numbers. *)
+
+type t
+(** An AS number (16-bit range is enough for the 2002-era Internet this
+    library models, but any non-negative 32-bit value is accepted). *)
+
+val of_int : int -> t
+(** @raise Invalid_argument when negative or above 2^32-1. *)
+
+val to_int : t -> int
+
+val of_string : string -> (t, string) result
+(** Accepts ["7018"] and ["AS7018"]. *)
+
+val of_string_exn : string -> t
+
+val to_string : t -> string
+(** Bare decimal, e.g. ["7018"] — the form used inside AS paths. *)
+
+val to_label : t -> string
+(** Human label, e.g. ["AS7018"]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,73 @@
+type t = int
+(* 32-bit encoding: (asn lsl 16) lor value.  Well-known communities live in
+   the 0xFFFF0000 "reserved" block, which [make] cannot produce because it
+   limits asn to 16 bits and rejects 0xFFFF by RFC convention only for the
+   two values we materialise below; encoding stays uniform either way. *)
+
+let encode asn value = (asn lsl 16) lor value
+
+let make asn value =
+  let a = Asn.to_int asn in
+  if a > 0xFFFF then invalid_arg "Community.make: AS number exceeds 16 bits";
+  if value < 0 || value > 0xFFFF then invalid_arg "Community.make: value out of range";
+  encode a value
+
+let asn c = Asn.of_int (c lsr 16)
+let value c = c land 0xFFFF
+
+let no_export = 0xFFFFFF01
+let no_advertise = 0xFFFFFF02
+
+let is_no_export c = c = no_export
+let is_no_advertise c = c = no_advertise
+
+let to_string c =
+  if c = no_export then "no-export"
+  else if c = no_advertise then "no-advertise"
+  else Printf.sprintf "%d:%d" (c lsr 16) (c land 0xFFFF)
+
+let of_string s =
+  match s with
+  | "no-export" -> Ok no_export
+  | "no-advertise" -> Ok no_advertise
+  | _ -> begin
+      match String.index_opt s ':' with
+      | None -> Error (Printf.sprintf "invalid community %S" s)
+      | Some i -> begin
+          let hi = String.sub s 0 i in
+          let lo = String.sub s (i + 1) (String.length s - i - 1) in
+          match (int_of_string_opt hi, int_of_string_opt lo) with
+          | Some a, Some v when a >= 0 && a <= 0xFFFF && v >= 0 && v <= 0xFFFF ->
+              Ok (encode a v)
+          | _, _ -> Error (Printf.sprintf "invalid community %S" s)
+        end
+    end
+
+let of_string_exn s =
+  match of_string s with Ok c -> c | Error msg -> invalid_arg msg
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+module Set = struct
+  include Set.Make (Int)
+
+  let to_string set =
+    elements set |> List.map to_string |> String.concat " "
+
+  let of_string s =
+    let parts =
+      String.split_on_char ' ' s |> List.filter (fun part -> part <> "")
+    in
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ as e -> e
+        | Ok set -> begin
+            match of_string part with
+            | Ok c -> Ok (add c set)
+            | Error e -> Error e
+          end)
+      (Ok empty) parts
+end

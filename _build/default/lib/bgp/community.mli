@@ -1,0 +1,46 @@
+(** BGP community attribute (RFC 1997).
+
+    A community is a 32-bit opaque value conventionally written [asn:value].
+    The library distinguishes the well-known values that affect propagation
+    (NO_EXPORT, NO_ADVERTISE) from ordinary operator-defined values, which
+    routing-policy code treats as data (e.g. relationship tags, "do not
+    announce to AS x" requests). *)
+
+type t
+(** One community value. *)
+
+val make : Asn.t -> int -> t
+(** [make asn value] builds [asn:value].
+    @raise Invalid_argument if [value] is outside [0, 65535] or [asn]
+    exceeds 16 bits (classic communities are 16:16). *)
+
+val asn : t -> Asn.t
+val value : t -> int
+
+val no_export : t
+(** Well-known NO_EXPORT (0xFFFFFF01): do not advertise outside the AS. *)
+
+val no_advertise : t
+(** Well-known NO_ADVERTISE (0xFFFFFF02): do not advertise to any peer. *)
+
+val is_no_export : t -> bool
+val is_no_advertise : t -> bool
+
+val of_string : string -> (t, string) result
+(** Parses ["asn:value"], ["no-export"], ["no-advertise"]. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val to_string : t -> string
+  (** Space-separated, the way [show ip bgp] prints them. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse a space-separated list. *)
+end

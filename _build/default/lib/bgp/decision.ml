@@ -1,0 +1,146 @@
+type config = { use_local_pref : bool; med_across_as : bool }
+
+let default_config = { use_local_pref = true; med_across_as = false }
+
+type step =
+  | Local_pref
+  | Path_length
+  | Origin
+  | Med
+  | Ebgp_over_ibgp
+  | Igp_metric
+  | Router_id
+  | Arbitrary
+
+let step_to_string = function
+  | Local_pref -> "local-pref"
+  | Path_length -> "as-path-length"
+  | Origin -> "origin"
+  | Med -> "med"
+  | Ebgp_over_ibgp -> "ebgp-over-ibgp"
+  | Igp_metric -> "igp-metric"
+  | Router_id -> "router-id"
+  | Arbitrary -> "arbitrary"
+
+let origin_rank = function
+  | Route.Igp -> 0
+  | Route.Egp -> 1
+  | Route.Incomplete -> 2
+
+let source_rank = function
+  | Route.Local -> 0 (* local routes win the eBGP/iBGP step *)
+  | Route.Ebgp -> 1
+  | Route.Ibgp -> 2
+
+(* Each step returns the comparison at that rule; negative prefers [a]. *)
+let steps config a b =
+  let lp () =
+    if config.use_local_pref then
+      Int.compare (Route.effective_local_pref b) (Route.effective_local_pref a)
+    else 0
+  in
+  let plen () = Int.compare (As_path.length a.Route.as_path) (As_path.length b.Route.as_path) in
+  let orig () = Int.compare (origin_rank a.Route.origin) (origin_rank b.Route.origin) in
+  let med () =
+    let comparable =
+      config.med_across_as
+      ||
+      match (Route.next_hop_as a, Route.next_hop_as b) with
+      | Some x, Some y -> Asn.equal x y
+      | Some _, None | None, Some _ | None, None -> false
+    in
+    if comparable then Int.compare (Route.effective_med a) (Route.effective_med b) else 0
+  in
+  let src () = Int.compare (source_rank a.Route.source) (source_rank b.Route.source) in
+  let igp () = Int.compare a.Route.igp_metric b.Route.igp_metric in
+  let rid () = Rpi_net.Ipv4.compare a.Route.router_id b.Route.router_id in
+  [
+    (Local_pref, lp);
+    (Path_length, plen);
+    (Origin, orig);
+    (Med, med);
+    (Ebgp_over_ibgp, src);
+    (Igp_metric, igp);
+    (Router_id, rid);
+  ]
+
+let compare_routes ?(config = default_config) a b =
+  (* Unconditional MED for totality of the order. *)
+  let config = { config with med_across_as = true } in
+  let rec go = function
+    | [] -> Route.compare a b (* last-resort total tie-break *)
+    | (_, f) :: rest -> begin
+        match f () with
+        | 0 -> go rest
+        | c -> c
+      end
+  in
+  go (steps config a b)
+
+let deciding_step ?(config = default_config) a b =
+  let rec go = function
+    | [] -> Arbitrary
+    | (step, f) :: rest -> if f () <> 0 then step else go rest
+  in
+  go (steps config a b)
+
+(* The real procedure: filter down step by step so that MED only compares
+   within same-next-hop-AS groups of the surviving candidate set. *)
+let select_best ?(config = default_config) candidates =
+  match candidates with
+  | [] -> None
+  | [ r ] -> Some r
+  | _ :: _ :: _ ->
+      let keep_minimal key routes =
+        let best = List.fold_left (fun acc r -> min acc (key r)) max_int routes in
+        List.filter (fun r -> key r = best) routes
+      in
+      let survivors = candidates in
+      let survivors =
+        if config.use_local_pref then
+          keep_minimal (fun r -> -Route.effective_local_pref r) survivors
+        else survivors
+      in
+      let survivors = keep_minimal (fun r -> As_path.length r.Route.as_path) survivors in
+      let survivors = keep_minimal (fun r -> origin_rank r.Route.origin) survivors in
+      (* MED: eliminate any route beaten by a same-next-hop-AS rival. *)
+      let survivors =
+        if config.med_across_as then keep_minimal Route.effective_med survivors
+        else
+          List.filter
+            (fun r ->
+              not
+                (List.exists
+                   (fun other ->
+                     (match (Route.next_hop_as r, Route.next_hop_as other) with
+                     | Some x, Some y -> Asn.equal x y
+                     | Some _, None | None, Some _ | None, None -> false)
+                     && Route.effective_med other < Route.effective_med r)
+                   survivors))
+            survivors
+      in
+      let survivors = keep_minimal (fun r -> source_rank r.Route.source) survivors in
+      let survivors = keep_minimal (fun r -> r.Route.igp_metric) survivors in
+      let survivors =
+        keep_minimal (fun r -> Rpi_net.Ipv4.to_int r.Route.router_id) survivors
+      in
+      begin
+        match survivors with
+        | r :: _ -> Some r
+        | [] -> None
+      end
+
+let explain ?(config = default_config) candidates =
+  match select_best ~config candidates with
+  | None -> []
+  | Some best ->
+      (best, None)
+      :: (List.filter (fun r -> not (Route.equal r best)) candidates
+         |> List.map (fun r -> (r, Some (deciding_step ~config best r))))
+
+let rank ?(config = default_config) candidates =
+  let sorted = List.sort (compare_routes ~config) candidates in
+  match select_best ~config candidates with
+  | None -> sorted
+  | Some best ->
+      best :: List.filter (fun r -> not (Route.equal r best)) sorted

@@ -1,0 +1,102 @@
+module Prefix = Rpi_net.Prefix
+module Trie = Rpi_net.Prefix_trie
+
+type t = Route.t list Trie.t
+
+let empty = Trie.empty
+
+let same_session (a : Route.t) (b : Route.t) =
+  Option.equal Asn.equal a.peer_as b.peer_as
+  && Rpi_net.Ipv4.equal a.router_id b.router_id
+
+let add_route route t =
+  Trie.update route.Route.prefix
+    (fun existing ->
+      let others =
+        match existing with
+        | None -> []
+        | Some routes -> List.filter (fun r -> not (same_session r route)) routes
+      in
+      Some (route :: others))
+    t
+
+let remove_routes prefix t = Trie.remove prefix t
+
+let withdraw ~peer_as prefix t =
+  Trie.update prefix
+    (fun existing ->
+      match existing with
+      | None -> None
+      | Some routes -> begin
+          let kept =
+            List.filter
+              (fun (r : Route.t) -> not (Option.equal Asn.equal r.peer_as (Some peer_as)))
+              routes
+          in
+          match kept with
+          | [] -> None
+          | _ :: _ -> Some kept
+        end)
+    t
+
+let of_routes routes = List.fold_left (fun t r -> add_route r t) empty routes
+
+let candidates t prefix =
+  match Trie.find prefix t with
+  | Some routes -> routes
+  | None -> []
+
+let best ?config t prefix = Decision.select_best ?config (candidates t prefix)
+
+let prefixes t = Trie.keys t
+let prefix_count t = Trie.cardinal t
+
+let route_count t = Trie.fold (fun _ routes n -> n + List.length routes) t 0
+
+let fold f t init = Trie.fold f t init
+let iter f t = Trie.iter f t
+
+let best_routes ?config t =
+  Trie.to_list t
+  |> List.filter_map (fun (_, routes) -> Decision.select_best ?config routes)
+
+let all_routes t = Trie.to_list t |> List.concat_map snd
+
+let longest_match t addr = Trie.longest_match addr t
+
+let filter_prefixes pred t = Trie.filter (fun p _ -> pred p) t
+
+let merge a b = Trie.fold (fun _ routes acc -> List.fold_left (fun t r -> add_route r t) acc routes) b a
+
+type diff = {
+  added : Prefix.t list;
+  removed : Prefix.t list;
+  best_changed : (Prefix.t * Route.t option * Route.t option) list;
+  unchanged : int;
+}
+
+let diff ?config ~old_rib new_rib =
+  let added = ref [] and removed = ref [] and changed = ref [] and same = ref 0 in
+  iter
+    (fun prefix _ ->
+      match candidates old_rib prefix with
+      | [] -> added := prefix :: !added
+      | _ :: _ ->
+          let old_best = best ?config old_rib prefix in
+          let new_best = best ?config new_rib prefix in
+          let hop r = Option.bind r Route.next_hop_as in
+          if Option.equal Asn.equal (hop old_best) (hop new_best) then incr same
+          else changed := (prefix, old_best, new_best) :: !changed)
+    new_rib;
+  iter
+    (fun prefix _ ->
+      match candidates new_rib prefix with
+      | [] -> removed := prefix :: !removed
+      | _ :: _ -> ())
+    old_rib;
+  {
+    added = List.rev !added;
+    removed = List.rev !removed;
+    best_changed = List.rev !changed;
+    unchanged = !same;
+  }

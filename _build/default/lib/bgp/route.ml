@@ -1,0 +1,97 @@
+type origin = Igp | Egp | Incomplete
+
+type source = Ebgp | Ibgp | Local
+
+type t = {
+  prefix : Rpi_net.Prefix.t;
+  next_hop : Rpi_net.Ipv4.t;
+  as_path : As_path.t;
+  origin : origin;
+  local_pref : int option;
+  med : int option;
+  communities : Community.Set.t;
+  source : source;
+  igp_metric : int;
+  router_id : Rpi_net.Ipv4.t;
+  peer_as : Asn.t option;
+}
+
+let default_local_pref = 100
+
+let make ~prefix ~next_hop ~as_path ?(origin = Igp) ?local_pref ?med
+    ?(communities = Community.Set.empty) ?(source = Ebgp) ?(igp_metric = 0)
+    ?(router_id = Rpi_net.Ipv4.of_int32_exn 0) ?peer_as () =
+  {
+    prefix;
+    next_hop;
+    as_path;
+    origin;
+    local_pref;
+    med;
+    communities;
+    source;
+    igp_metric;
+    router_id;
+    peer_as;
+  }
+
+let effective_local_pref r =
+  match r.local_pref with Some v -> v | None -> default_local_pref
+
+let effective_med r =
+  match r.med with Some v -> v | None -> 0
+
+let next_hop_as r =
+  match As_path.first_hop r.as_path with
+  | Some _ as hop -> hop
+  | None -> r.peer_as
+
+let origin_as r = As_path.origin_as r.as_path
+
+let has_community c r = Community.Set.mem c r.communities
+let add_community c r = { r with communities = Community.Set.add c r.communities }
+let with_local_pref v r = { r with local_pref = Some v }
+
+let origin_to_string = function
+  | Igp -> "i"
+  | Egp -> "e"
+  | Incomplete -> "?"
+
+let origin_of_string = function
+  | "i" | "IGP" -> Ok Igp
+  | "e" | "EGP" -> Ok Egp
+  | "?" | "incomplete" -> Ok Incomplete
+  | s -> Error (Printf.sprintf "invalid origin %S" s)
+
+let pp fmt r =
+  Format.fprintf fmt "%a via %a path [%a] lp=%d origin=%s"
+    Rpi_net.Prefix.pp r.prefix Rpi_net.Ipv4.pp r.next_hop As_path.pp r.as_path
+    (effective_local_pref r) (origin_to_string r.origin)
+
+let compare a b =
+  let cmp =
+    [
+      (fun () -> Rpi_net.Prefix.compare a.prefix b.prefix);
+      (fun () -> As_path.compare a.as_path b.as_path);
+      (fun () -> Rpi_net.Ipv4.compare a.next_hop b.next_hop);
+      (fun () -> Stdlib.compare a.origin b.origin);
+      (fun () -> Option.compare Int.compare a.local_pref b.local_pref);
+      (fun () -> Option.compare Int.compare a.med b.med);
+      (fun () -> Community.Set.compare a.communities b.communities);
+      (fun () -> Stdlib.compare a.source b.source);
+      (fun () -> Int.compare a.igp_metric b.igp_metric);
+      (fun () -> Rpi_net.Ipv4.compare a.router_id b.router_id);
+      (fun () -> Option.compare Asn.compare a.peer_as b.peer_as);
+    ]
+  in
+  let rec first = function
+    | [] -> 0
+    | f :: rest -> begin
+        match f () with
+        | 0 -> first rest
+        | c -> c
+      end
+  in
+  first cmp
+
+let equal a b = compare a b = 0

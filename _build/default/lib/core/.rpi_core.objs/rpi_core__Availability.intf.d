@@ -1,0 +1,1 @@
+lib/core/availability.mli: Rpi_bgp Rpi_net Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/community_verify.ml: Array Float Hashtbl Int List Option Rpi_bgp Rpi_sim Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/community_verify.mli: Rpi_bgp Rpi_topo

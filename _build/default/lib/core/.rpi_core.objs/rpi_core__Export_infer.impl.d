@@ -1,0 +1,1 @@
+lib/core/export_infer.ml: List Option Rpi_bgp Rpi_net Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/homing.ml: Export_infer List Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/homing.mli: Export_infer Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/import_infer.mli: Rpi_bgp Rpi_net Rpi_topo

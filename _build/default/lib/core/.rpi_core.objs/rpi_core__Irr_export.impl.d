@@ -1,0 +1,1 @@
+lib/core/irr_export.ml: List Rpi_bgp Rpi_irr Rpi_topo String

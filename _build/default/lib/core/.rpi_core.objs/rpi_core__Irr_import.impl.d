@@ -1,0 +1,1 @@
+lib/core/irr_import.ml: List Rpi_bgp Rpi_irr Rpi_topo

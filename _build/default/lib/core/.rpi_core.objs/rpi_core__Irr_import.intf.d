@@ -1,0 +1,1 @@
+lib/core/irr_import.mli: Rpi_bgp Rpi_irr Rpi_topo

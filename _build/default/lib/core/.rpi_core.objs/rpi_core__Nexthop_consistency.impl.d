@@ -1,0 +1,1 @@
+lib/core/nexthop_consistency.ml: Hashtbl List Option Rpi_bgp

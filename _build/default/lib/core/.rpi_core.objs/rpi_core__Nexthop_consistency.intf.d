@@ -1,0 +1,1 @@
+lib/core/nexthop_consistency.mli: Rpi_bgp

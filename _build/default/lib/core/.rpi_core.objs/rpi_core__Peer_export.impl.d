@@ -1,0 +1,1 @@
+lib/core/peer_export.ml: List Option Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/peer_export.mli: Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/persistence.ml: Hashtbl Int List Option Rpi_net

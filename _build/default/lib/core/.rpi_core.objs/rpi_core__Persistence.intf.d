@@ -1,0 +1,1 @@
+lib/core/persistence.mli: Rpi_net

@@ -1,0 +1,1 @@
+lib/core/policy_atoms.ml: Hashtbl Int List Option Rpi_bgp Rpi_net String

@@ -1,0 +1,1 @@
+lib/core/policy_atoms.mli: Rpi_bgp Rpi_net

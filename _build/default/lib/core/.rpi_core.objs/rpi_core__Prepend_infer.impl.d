@@ -1,0 +1,1 @@
+lib/core/prepend_infer.ml: Hashtbl Int List Option Rpi_bgp Rpi_net

@@ -1,0 +1,1 @@
+lib/core/prepend_infer.mli: Rpi_bgp Rpi_net

@@ -1,0 +1,1 @@
+lib/core/sa_causes.ml: Export_infer List Option Rpi_bgp Rpi_net Rpi_topo

@@ -1,0 +1,1 @@
+lib/core/sa_verify.ml: Export_infer List Rpi_bgp Rpi_net Rpi_topo Set

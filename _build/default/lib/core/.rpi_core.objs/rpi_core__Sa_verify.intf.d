@@ -1,0 +1,1 @@
+lib/core/sa_verify.mli: Export_infer Rpi_bgp Rpi_net Rpi_topo

@@ -1,0 +1,88 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Paths = Rpi_topo.Paths
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module Prefix = Rpi_net.Prefix
+
+let potential_next_hops graph ~observer ~origin =
+  As_graph.neighbors graph observer
+  |> List.filter_map (fun (nb, rel) ->
+         match rel with
+         | Relationship.Customer | Relationship.Peer | Relationship.Sibling ->
+             (* They may only hand over customer routes: the origin must
+                sit in their customer cone (or be them). *)
+             if Asn.equal nb origin || Paths.is_customer graph ~provider:nb origin then
+               Some nb
+             else None
+         | Relationship.Provider ->
+             (* A provider can pass any route; reachability in a connected
+                default-free core is a given, but require at least some
+                valley-free connection for honesty. *)
+             if
+               Asn.equal nb origin
+               || Paths.is_customer graph ~provider:nb origin
+               || As_graph.providers graph origin <> []
+               || As_graph.peers graph origin <> []
+             then Some nb
+             else None)
+
+type sample = { prefix : Prefix.t; origin : Asn.t; potential : int; actual : int }
+
+type report = {
+  observer : Asn.t;
+  samples : sample list;
+  mean_potential : float;
+  mean_actual : float;
+  availability_ratio : float;
+  starved : int;
+}
+
+let analyze graph ~observer ~origins ?(max_samples = 500) rib =
+  (* Cache potential counts per origin (identical for all its prefixes). *)
+  let potential_cache = Asn.Table.create 64 in
+  let potential_of origin =
+    match Asn.Table.find_opt potential_cache origin with
+    | Some n -> n
+    | None ->
+        let n = List.length (potential_next_hops graph ~observer ~origin) in
+        Asn.Table.add potential_cache origin n;
+        n
+  in
+  let samples = ref [] in
+  let count = ref 0 in
+  (try
+     List.iter
+       (fun (origin, prefixes) ->
+         if not (Asn.equal origin observer) then
+           List.iter
+             (fun prefix ->
+               if !count >= max_samples then raise Exit;
+               incr count;
+               let actual =
+                 Rib.candidates rib prefix
+                 |> List.filter_map Route.next_hop_as
+                 |> List.sort_uniq Asn.compare |> List.length
+               in
+               samples := { prefix; origin; potential = potential_of origin; actual } :: !samples)
+             prefixes)
+       origins
+   with Exit -> ());
+  let samples = List.rev !samples in
+  let mean f =
+    if samples = [] then 0.0
+    else
+      float_of_int (List.fold_left (fun acc s -> acc + f s) 0 samples)
+      /. float_of_int (List.length samples)
+  in
+  let mean_potential = mean (fun s -> s.potential) in
+  let mean_actual = mean (fun s -> s.actual) in
+  {
+    observer;
+    samples;
+    mean_potential;
+    mean_actual;
+    availability_ratio = (if mean_potential = 0.0 then 0.0 else mean_actual /. mean_potential);
+    starved = List.length (List.filter (fun s -> s.potential >= 2 && s.actual <= 1) samples);
+  }

@@ -1,0 +1,48 @@
+(** Path availability: connectivity vs reachability (Sections 1 and 5.1.2).
+
+    The paper's warning is that selective announcement leaves "much less
+    available paths in the Internet than shown in the AS connectivity
+    graph".  This module quantifies it: for an observer and a prefix, the
+    {e potential} next hops are the neighbours through which the export
+    rules would allow a route to arrive if everyone announced everywhere;
+    the {e actual} next hops are the candidates really present in the
+    observer's table. *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Rib = Rpi_bgp.Rib
+module Prefix = Rpi_net.Prefix
+
+val potential_next_hops : As_graph.t -> observer:Asn.t -> origin:Asn.t -> Asn.t list
+(** Neighbours of the observer that could deliver a route to a prefix
+    originated by [origin] under the standard export rules: any customer,
+    peer or sibling whose customer cone contains the origin (they may only
+    pass customer routes upward/sideways), and any provider from which the
+    origin is reachable at all. *)
+
+type sample = {
+  prefix : Prefix.t;
+  origin : Asn.t;
+  potential : int;
+  actual : int;
+}
+
+type report = {
+  observer : Asn.t;
+  samples : sample list;
+  mean_potential : float;
+  mean_actual : float;
+  availability_ratio : float;  (** mean actual / mean potential. *)
+  starved : int;  (** Samples with potential >= 2 but actual <= 1. *)
+}
+
+val analyze :
+  As_graph.t ->
+  observer:Asn.t ->
+  origins:(Asn.t * Prefix.t list) list ->
+  ?max_samples:int ->
+  Rib.t ->
+  report
+(** Sample prefixes (default up to 500, deterministically: first by
+    prefix order) and compare potential vs actual next-hop diversity in
+    the observer's table. *)

@@ -1,0 +1,52 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Paths = Rpi_topo.Paths
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+
+type report = {
+  provider : Asn.t;
+  multihomed : int;
+  single_homed : int;
+  pct_multihomed : float;
+}
+
+let analyze graph ~provider records =
+  let origins =
+    List.map (fun (r : Export_infer.sa_record) -> r.Export_infer.origin) records
+    |> List.sort_uniq Asn.compare
+  in
+  let multihomed, single_homed =
+    List.fold_left
+      (fun (m, s) origin ->
+        if As_graph.is_multihomed graph origin then (m + 1, s) else (m, s + 1))
+      (0, 0) origins
+  in
+  let total = multihomed + single_homed in
+  {
+    provider;
+    multihomed;
+    single_homed;
+    pct_multihomed =
+      (if total = 0 then 0.0 else 100.0 *. float_of_int multihomed /. float_of_int total);
+  }
+
+let disjoint_paths graph ~provider rib (record : Export_infer.sa_record) =
+  match Rib.best rib record.Export_infer.prefix with
+  | None -> None
+  | Some best -> begin
+      match Paths.customer_path graph ~provider record.Export_infer.origin with
+      | None -> None
+      | Some chain ->
+          let best_hops = Rpi_bgp.As_path.to_list best.Route.as_path in
+          (* Intermediates exclude the provider itself and the origin. *)
+          let interior hops =
+            List.filter
+              (fun a ->
+                (not (Asn.equal a provider))
+                && not (Asn.equal a record.Export_infer.origin))
+              hops
+          in
+          let bi = interior best_hops and ci = interior chain in
+          Some (not (List.exists (fun a -> List.exists (Asn.equal a) ci) bi))
+    end

@@ -1,0 +1,68 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Rpsl = Rpi_irr.Rpsl
+module Db = Rpi_irr.Db
+
+type violation = {
+  asn : Asn.t;
+  to_as : Asn.t;
+  rel : Relationship.t;
+  announce : string;
+}
+
+type report = {
+  objects_checked : int;
+  rules_checked : int;
+  violations : violation list;
+  pct_clean_objects : float;
+}
+
+let leaky_filter filter =
+  match String.uppercase_ascii (String.trim filter) with
+  | "ANY" | "AS-ANY" -> true
+  | _ -> false
+
+let analyze graph db =
+  let objects = Db.objects db in
+  let rules_checked = ref 0 in
+  let violations = ref [] in
+  let dirty = ref Asn.Set.empty in
+  List.iter
+    (fun (obj : Rpsl.aut_num) ->
+      List.iter
+        (fun (rule : Rpsl.export_rule) ->
+          match As_graph.relationship graph obj.Rpsl.asn rule.Rpsl.to_as with
+          | None -> ()
+          | Some rel ->
+              incr rules_checked;
+              let leak =
+                match rel with
+                | Relationship.Provider | Relationship.Peer -> leaky_filter rule.Rpsl.announce
+                | Relationship.Customer | Relationship.Sibling -> false
+              in
+              if leak then begin
+                dirty := Asn.Set.add obj.Rpsl.asn !dirty;
+                violations :=
+                  {
+                    asn = obj.Rpsl.asn;
+                    to_as = rule.Rpsl.to_as;
+                    rel;
+                    announce = rule.Rpsl.announce;
+                  }
+                  :: !violations
+              end)
+        obj.Rpsl.exports)
+    objects;
+  let total = List.length objects in
+  {
+    objects_checked = total;
+    rules_checked = !rules_checked;
+    violations = List.rev !violations;
+    pct_clean_objects =
+      (if total = 0 then 100.0
+       else
+         100.0
+         *. float_of_int (total - Asn.Set.cardinal !dirty)
+         /. float_of_int total);
+  }

@@ -1,0 +1,32 @@
+(** Export-policy audit over the IRR.
+
+    The paper mines the registry for import preferences only (Table 3);
+    the same objects also carry [export] rules, which can be audited
+    against the inferred relationships and the well-known export rules of
+    Section 2.2.2: announcing ANY towards a provider or a peer describes a
+    route leak (cf. the BGP-misconfiguration literature the paper cites). *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+
+type violation = {
+  asn : Asn.t;
+  to_as : Asn.t;
+  rel : Relationship.t;  (** How [asn] classifies [to_as]. *)
+  announce : string;  (** The offending filter, e.g. "ANY". *)
+}
+
+type report = {
+  objects_checked : int;
+  rules_checked : int;  (** Export rules whose target's class is known. *)
+  violations : violation list;
+  pct_clean_objects : float;  (** Objects with no leak-shaped rule. *)
+}
+
+val leaky_filter : string -> bool
+(** Is the filter expression one that would re-announce routes learned
+    from third parties ("ANY", "AS-ANY", anything not scoped to the AS or
+    its customer set)? *)
+
+val analyze : As_graph.t -> Rpi_irr.Db.t -> report

@@ -1,0 +1,33 @@
+(** Import-policy inference from the IRR (Section 4.1, Table 3).
+
+    RPSL [pref] actions are inverse to local preference (smaller wins).
+    For an aut-num object and the annotated AS graph, every ordered pair of
+    import rules whose neighbours belong to different classes is checked
+    against the typical order: customer pref < peer pref < provider
+    pref. *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+
+type report = {
+  asn : Asn.t;
+  rules_classified : int;  (** Import rules whose neighbour's class is known. *)
+  pairs_compared : int;
+  pairs_typical : int;
+  pct_typical : float;  (** Table 3's per-AS percentage (100 when nothing compares). *)
+}
+
+val analyze : As_graph.t -> Rpi_irr.Rpsl.aut_num -> report
+
+val analyze_db :
+  ?fresh_since:int ->
+  ?min_rules:int ->
+  ?min_pairs:int ->
+  As_graph.t ->
+  Rpi_irr.Db.t ->
+  report list
+(** The paper's Table 3 pipeline: discard stale objects (default: not
+    updated since 20020101), keep ASs with at least [min_rules] classified
+    import rules (default 50 — "more than 50 neighbours") and at least
+    [min_pairs] comparable preference pairs (default 1), analyze each. *)

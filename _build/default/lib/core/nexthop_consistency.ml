@@ -1,0 +1,77 @@
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+
+type neighbor_profile = {
+  neighbor : Asn.t;
+  prefixes : int;
+  dominant_lp : int;
+  conforming : int;
+  distinct_values : int;
+}
+
+type report = {
+  neighbors : neighbor_profile list;
+  prefixes_total : int;
+  prefixes_conforming : int;
+  pct_nexthop_based : float;
+  pct_single_valued_neighbors : float;
+}
+
+let analyze rib =
+  (* neighbour -> lp -> count over prefixes *)
+  let per_neighbor : (int, int) Hashtbl.t Asn.Table.t = Asn.Table.create 64 in
+  Rib.iter
+    (fun _ routes ->
+      List.iter
+        (fun (r : Route.t) ->
+          match (Route.next_hop_as r, r.Route.local_pref) with
+          | Some nb, Some lp ->
+              let counts =
+                match Asn.Table.find_opt per_neighbor nb with
+                | Some c -> c
+                | None ->
+                    let c = Hashtbl.create 4 in
+                    Asn.Table.add per_neighbor nb c;
+                    c
+              in
+              Hashtbl.replace counts lp (1 + Option.value ~default:0 (Hashtbl.find_opt counts lp))
+          | (Some _ | None), _ -> ())
+        routes)
+    rib;
+  let neighbors =
+    Asn.Table.fold
+      (fun neighbor counts acc ->
+        let prefixes = Hashtbl.fold (fun _ n acc -> acc + n) counts 0 in
+        let dominant_lp, conforming =
+          Hashtbl.fold
+            (fun lp n (best_lp, best_n) -> if n > best_n then (lp, n) else (best_lp, best_n))
+            counts (0, 0)
+        in
+        {
+          neighbor;
+          prefixes;
+          dominant_lp;
+          conforming;
+          distinct_values = Hashtbl.length counts;
+        }
+        :: acc)
+      per_neighbor []
+    |> List.sort (fun a b -> Asn.compare a.neighbor b.neighbor)
+  in
+  let prefixes_total = List.fold_left (fun acc p -> acc + p.prefixes) 0 neighbors in
+  let prefixes_conforming = List.fold_left (fun acc p -> acc + p.conforming) 0 neighbors in
+  let single = List.length (List.filter (fun p -> p.distinct_values = 1) neighbors) in
+  {
+    neighbors;
+    prefixes_total;
+    prefixes_conforming;
+    pct_nexthop_based =
+      (if prefixes_total = 0 then 100.0
+       else 100.0 *. float_of_int prefixes_conforming /. float_of_int prefixes_total);
+    pct_single_valued_neighbors =
+      (if neighbors = [] then 100.0
+       else 100.0 *. float_of_int single /. float_of_int (List.length neighbors));
+  }
+
+let analyze_routers ribs = List.map analyze ribs

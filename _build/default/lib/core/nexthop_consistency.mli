@@ -1,0 +1,34 @@
+(** Consistency of local preference with next-hop ASs (Section 4.2,
+    Fig. 2): is local preference assigned per neighbour AS (one value for
+    all of a neighbour's prefixes) or per prefix?
+
+    For each neighbour, the dominant local-pref value across its prefixes
+    is taken as the neighbour's "AS-based" assignment; a prefix whose
+    local-pref equals that dominant value is counted as next-hop-based. *)
+
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+
+type neighbor_profile = {
+  neighbor : Asn.t;
+  prefixes : int;  (** Prefixes carrying routes from this neighbour. *)
+  dominant_lp : int;
+  conforming : int;  (** Prefixes whose lp equals the dominant value. *)
+  distinct_values : int;  (** Distinct local-pref values used. *)
+}
+
+type report = {
+  neighbors : neighbor_profile list;
+  prefixes_total : int;  (** (neighbour, prefix) observations. *)
+  prefixes_conforming : int;
+  pct_nexthop_based : float;
+  pct_single_valued_neighbors : float;
+      (** Neighbours using exactly one local-pref value. *)
+}
+
+val analyze : Rib.t -> report
+(** Fig. 2(a) for one table.  Routes without local preference are
+    ignored. *)
+
+val analyze_routers : Rib.t list -> report list
+(** Fig. 2(b): the same measurement per router view. *)

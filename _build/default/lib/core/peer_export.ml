@@ -1,0 +1,66 @@
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module As_graph = Rpi_topo.As_graph
+
+type peer_profile = {
+  peer : Asn.t;
+  own_prefixes : int;
+  direct : int;
+  announces_all : bool;
+}
+
+type report = {
+  vantage : Asn.t;
+  peers : peer_profile list;
+  peers_total : int;
+  peers_announcing : int;
+  pct_announcing : float;
+}
+
+let analyze graph ~vantage ?reference rib =
+  let reference = Option.value ~default:rib reference in
+  let peers = As_graph.peers graph vantage in
+  let profiles =
+    List.filter_map
+      (fun peer ->
+        (* The peer's originated prefixes, from the reference universe. *)
+        let own_prefixes =
+          Rib.fold
+            (fun prefix routes acc ->
+              if
+                List.exists
+                  (fun (r : Route.t) ->
+                    Option.equal Asn.equal (Route.origin_as r) (Some peer))
+                  routes
+              then prefix :: acc
+              else acc)
+            reference []
+        in
+        let own = List.length own_prefixes in
+        let direct =
+          List.length
+            (List.filter
+               (fun prefix ->
+                 List.exists
+                   (fun (r : Route.t) ->
+                     Option.equal Asn.equal (Route.origin_as r) (Some peer)
+                     && Option.equal Asn.equal (Route.next_hop_as r) (Some peer))
+                   (Rib.candidates rib prefix))
+               own_prefixes)
+        in
+        if own = 0 then None
+        else Some { peer; own_prefixes = own; direct; announces_all = direct = own })
+      peers
+  in
+  let peers_total = List.length profiles in
+  let peers_announcing = List.length (List.filter (fun p -> p.announces_all) profiles) in
+  {
+    vantage;
+    peers = profiles;
+    peers_total;
+    peers_announcing;
+    pct_announcing =
+      (if peers_total = 0 then 100.0
+       else 100.0 *. float_of_int peers_announcing /. float_of_int peers_total);
+  }

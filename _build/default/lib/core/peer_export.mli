@@ -1,0 +1,30 @@
+(** Export policies towards peers (Section 5.2, Table 10): do peers of a
+    given AS announce all of their own prefixes directly over the peering
+    session? *)
+
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module As_graph = Rpi_topo.As_graph
+
+type peer_profile = {
+  peer : Asn.t;
+  own_prefixes : int;
+      (** Prefixes originated by the peer, observed anywhere in the table. *)
+  direct : int;  (** Of those, received with the peer as next hop. *)
+  announces_all : bool;  (** [direct = own_prefixes] (and > 0). *)
+}
+
+type report = {
+  vantage : Asn.t;
+  peers : peer_profile list;
+  peers_total : int;
+  peers_announcing : int;
+  pct_announcing : float;
+}
+
+val analyze : As_graph.t -> vantage:Asn.t -> ?reference:Rib.t -> Rib.t -> report
+(** The peer's originated-prefix universe is taken from [reference]
+    (default: the vantage table itself).  Passing a collector table as the
+    reference exposes prefixes the peer withheld from this vantage
+    entirely — the paper's measurement uses Oregon's table this way.
+    Peers with no originated prefix visible anywhere are skipped. *)

@@ -1,0 +1,82 @@
+module Prefix = Rpi_net.Prefix
+module Prefix_set = Rpi_net.Prefix_set
+module Trie = Rpi_net.Prefix_trie
+
+type epoch_observation = { all_prefixes : Prefix_set.t; sa_prefixes : Prefix_set.t }
+
+type series = { epochs : int; all_counts : int list; sa_counts : int list }
+
+let series_of observations =
+  {
+    epochs = List.length observations;
+    all_counts = List.map (fun o -> Prefix_set.cardinal o.all_prefixes) observations;
+    sa_counts = List.map (fun o -> Prefix_set.cardinal o.sa_prefixes) observations;
+  }
+
+type uptime_report = {
+  max_uptime : int;
+  remaining_sa : (int * int) list;
+  shifting : (int * int) list;
+  total_sa_touched : int;
+  pct_shifting : float;
+}
+
+let uptimes observations =
+  (* prefix -> (uptime, sa_uptime) *)
+  let tally =
+    List.fold_left
+      (fun acc o ->
+        let acc =
+          Prefix_set.fold
+            (fun prefix acc ->
+              Trie.update prefix
+                (fun existing ->
+                  let up, sa =
+                    match existing with
+                    | Some c -> c
+                    | None -> (0, 0)
+                  in
+                  Some (up + 1, sa))
+                acc)
+            o.all_prefixes acc
+        in
+        Prefix_set.fold
+          (fun prefix acc ->
+            Trie.update prefix
+              (fun existing ->
+                let up, sa =
+                  match existing with
+                  | Some c -> c
+                  | None -> (1, 0) (* defensive: SA implies present *)
+                in
+                Some (up, sa + 1))
+              acc)
+          o.sa_prefixes acc)
+      Trie.empty observations
+  in
+  let remaining = Hashtbl.create 32 and shifting = Hashtbl.create 32 in
+  let touched = ref 0 and shifted = ref 0 in
+  Trie.iter
+    (fun _ (uptime, sa_uptime) ->
+      if sa_uptime > 0 then begin
+        incr touched;
+        let table = if sa_uptime >= uptime then remaining else shifting in
+        if sa_uptime < uptime then incr shifted;
+        Hashtbl.replace table uptime
+          (1 + Option.value ~default:0 (Hashtbl.find_opt table uptime))
+      end)
+    tally;
+  let to_bins table =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let max_uptime = List.length observations in
+  {
+    max_uptime;
+    remaining_sa = to_bins remaining;
+    shifting = to_bins shifting;
+    total_sa_touched = !touched;
+    pct_shifting =
+      (if !touched = 0 then 0.0
+       else 100.0 *. float_of_int !shifted /. float_of_int !touched);
+  }

@@ -1,0 +1,95 @@
+module Asn = Rpi_bgp.Asn
+module Prefix = Rpi_net.Prefix
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+
+type atom = {
+  prefixes : Prefix.t list;
+  origin : Asn.t option;
+  signature_size : int;
+}
+
+type report = {
+  prefixes_total : int;
+  atoms : atom list;
+  atom_count : int;
+  mean_size : float;
+  max_size : int;
+  singleton_count : int;
+}
+
+let signature routes =
+  (* One (feed, path) pair per candidate, sorted: the prefix's routing
+     fingerprint across vantages. *)
+  routes
+  |> List.filter_map (fun (r : Route.t) ->
+         match r.Route.peer_as with
+         | Some feed ->
+             Some (Asn.to_string feed ^ ">" ^ Rpi_bgp.As_path.to_string r.Route.as_path)
+         | None -> None)
+  |> List.sort String.compare
+  |> String.concat "|"
+
+let infer rib =
+  let groups : (string, Prefix.t list) Hashtbl.t = Hashtbl.create 256 in
+  let total = ref 0 in
+  Rib.iter
+    (fun prefix routes ->
+      incr total;
+      let key = signature routes in
+      Hashtbl.replace groups key
+        (prefix :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    rib;
+  let atoms =
+    Hashtbl.fold
+      (fun _ prefixes acc ->
+        let prefixes = List.sort Prefix.compare prefixes in
+        let origins =
+          List.filter_map
+            (fun p ->
+              match Rib.best rib p with
+              | Some best -> Route.origin_as best
+              | None -> None)
+            prefixes
+          |> List.sort_uniq Asn.compare
+        in
+        let origin =
+          match origins with
+          | [ o ] -> Some o
+          | [] | _ :: _ :: _ -> None
+        in
+        let signature_size =
+          match prefixes with
+          | p :: _ -> List.length (Rib.candidates rib p)
+          | [] -> 0
+        in
+        { prefixes; origin; signature_size } :: acc)
+      groups []
+    |> List.sort (fun a b -> Int.compare (List.length b.prefixes) (List.length a.prefixes))
+  in
+  let sizes = List.map (fun a -> List.length a.prefixes) atoms in
+  {
+    prefixes_total = !total;
+    atoms;
+    atom_count = List.length atoms;
+    mean_size =
+      (if atoms = [] then 0.0
+       else float_of_int !total /. float_of_int (List.length atoms));
+    max_size = List.fold_left max 0 sizes;
+    singleton_count = List.length (List.filter (fun s -> s = 1) sizes);
+  }
+
+let purity report ~ground_truth =
+  let pure, scored =
+    List.fold_left
+      (fun (pure, scored) atom ->
+        let ids = List.filter_map ground_truth atom.prefixes in
+        if List.length ids <> List.length atom.prefixes then (pure, scored)
+        else begin
+          match List.sort_uniq Int.compare ids with
+          | [ _ ] -> (pure + 1, scored + 1)
+          | [] | _ :: _ :: _ -> (pure, scored + 1)
+        end)
+      (0, 0) report.atoms
+  in
+  if scored = 0 then 1.0 else float_of_int pure /. float_of_int scored

@@ -1,0 +1,37 @@
+(** Policy atoms (Afek, Ben-Shalom & Bremler-Barr, IMW 2002): maximal
+    groups of prefixes that share the same AS path at every vantage point.
+
+    Section 5.1.5 of the paper argues that the routing policies it infers
+    — above all selective announcement by origin ASs — are what *creates*
+    policy atoms.  With the simulator's ground truth (announcement atoms)
+    available, that claim is checkable: every inferred atom should sit
+    inside one ground-truth announcement atom. *)
+
+module Asn = Rpi_bgp.Asn
+module Prefix = Rpi_net.Prefix
+module Rib = Rpi_bgp.Rib
+
+type atom = {
+  prefixes : Prefix.t list;  (** Ascending. *)
+  origin : Asn.t option;  (** Common origin (None if mixed/absent). *)
+  signature_size : int;  (** Vantages contributing to the signature. *)
+}
+
+type report = {
+  prefixes_total : int;
+  atoms : atom list;  (** Largest first. *)
+  atom_count : int;
+  mean_size : float;
+  max_size : int;
+  singleton_count : int;
+}
+
+val infer : Rib.t -> report
+(** Group the collector's prefixes by the vector of (feed, AS path) pairs
+    — the atom definition applied to a multi-feed table. *)
+
+val purity :
+  report -> ground_truth:(Prefix.t -> int option) -> float
+(** Fraction of inferred atoms whose prefixes all belong to a single
+    ground-truth announcement atom ([ground_truth] maps a prefix to its
+    atom id).  The paper's claim predicts values near 1. *)

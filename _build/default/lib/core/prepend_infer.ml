@@ -1,0 +1,86 @@
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+
+type record = {
+  prefix : Rpi_net.Prefix.t;
+  prepender : Asn.t;
+  copies : int;
+  at_origin : bool;
+}
+
+let detect_path hops =
+  (* Run-length encode the path, then keep runs of length >= 2. *)
+  let rec encode acc current count = function
+    | [] -> List.rev ((current, count) :: acc)
+    | a :: rest ->
+        if Asn.equal a current then encode acc current (count + 1) rest
+        else encode ((current, count) :: acc) a 1 rest
+  in
+  match hops with
+  | [] -> []
+  | first :: rest ->
+      let groups = encode [] first 1 rest in
+      let n = List.length groups in
+      List.mapi (fun i (a, count) -> (i, a, count)) groups
+      |> List.filter_map (fun (i, a, count) ->
+             if count >= 2 then Some (a, count, i = n - 1) else None)
+
+type report = {
+  routes_total : int;
+  routes_prepended : int;
+  pct_prepended : float;
+  records : record list;
+  by_prepender : (Asn.t * int) list;
+  copies_histogram : (int * int) list;
+}
+
+let analyze rib =
+  let routes_total = ref 0 in
+  let routes_prepended = ref 0 in
+  let records = ref [] in
+  Rib.iter
+    (fun prefix routes ->
+      List.iter
+        (fun (r : Route.t) ->
+          incr routes_total;
+          let hops = Rpi_bgp.As_path.to_list r.Route.as_path in
+          let found = detect_path hops in
+          if found <> [] then incr routes_prepended;
+          List.iter
+            (fun (prepender, copies, at_origin) ->
+              records := { prefix; prepender; copies; at_origin } :: !records)
+            found)
+        routes)
+    rib;
+  let records = List.rev !records in
+  let by_prepender =
+    let tbl = Asn.Table.create 16 in
+    List.iter
+      (fun rcd ->
+        Asn.Table.replace tbl rcd.prepender
+          (1 + Option.value ~default:0 (Asn.Table.find_opt tbl rcd.prepender)))
+      records;
+    Asn.Table.fold (fun a n acc -> (a, n) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  let copies_histogram =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun rcd ->
+        Hashtbl.replace tbl rcd.copies
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl rcd.copies)))
+      records;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  {
+    routes_total = !routes_total;
+    routes_prepended = !routes_prepended;
+    pct_prepended =
+      (if !routes_total = 0 then 0.0
+       else 100.0 *. float_of_int !routes_prepended /. float_of_int !routes_total);
+    records;
+    by_prepender;
+    copies_histogram;
+  }

@@ -1,0 +1,32 @@
+(** Detection of AS-path prepending in BGP tables.
+
+    Prepending — announcing with extra copies of one's own AS number — is
+    the soft inbound traffic-engineering tool the paper's Section 2.2.2
+    lists next to selective announcement.  It is directly observable: a
+    path carries consecutive repetitions of an AS. *)
+
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+
+type record = {
+  prefix : Rpi_net.Prefix.t;
+  prepender : Asn.t;  (** The AS repeated in the path. *)
+  copies : int;  (** Total occurrences (>= 2). *)
+  at_origin : bool;  (** The repetition sits at the origin end of the path. *)
+}
+
+val detect_path : Asn.t list -> (Asn.t * int * bool) list
+(** Consecutive repetitions in one path: [(asn, occurrences, at_origin)]
+    per repeated AS (occurrences >= 2). *)
+
+type report = {
+  routes_total : int;
+  routes_prepended : int;
+  pct_prepended : float;
+  records : record list;
+  by_prepender : (Asn.t * int) list;  (** Routes prepended per AS, descending. *)
+  copies_histogram : (int * int) list;  (** (copies, routes), ascending. *)
+}
+
+val analyze : Rib.t -> report
+(** Scan every candidate route of the table. *)

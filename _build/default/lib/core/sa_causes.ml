@@ -1,0 +1,157 @@
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Prefix = Rpi_net.Prefix
+module Trie = Rpi_net.Prefix_trie
+
+type split_record = { specific : Prefix.t; covering : Prefix.t; origin : Asn.t }
+
+(* Index the table's best routes by prefix: origin AS + next-hop class side. *)
+let best_origin_index rib =
+  Rib.fold
+    (fun prefix routes acc ->
+      match Rpi_bgp.Decision.select_best routes with
+      | None -> acc
+      | Some best -> Trie.add prefix (Route.origin_as best) acc)
+    rib Trie.empty
+
+let splitting rib sa_records =
+  let index = best_origin_index rib in
+  List.filter_map
+    (fun (r : Export_infer.sa_record) ->
+      (* An SA prefix travels a peer/provider route.  Look for a related
+         prefix (covering or covered) of the same origin whose best route
+         is NOT an SA route here — route classes differ. *)
+      let prefix = r.Export_infer.prefix in
+      let related =
+        Trie.supernets_of prefix index @ Trie.strict_more_specifics prefix index
+      in
+      let candidate =
+        List.find_opt
+          (fun (q, origin) ->
+            (not (Prefix.equal q prefix))
+            && Option.equal Asn.equal origin (Some r.Export_infer.origin))
+          related
+      in
+      match candidate with
+      | Some (covering, _) when Prefix.strictly_subsumes covering prefix ->
+          Some { specific = prefix; covering; origin = r.Export_infer.origin }
+      | Some (specific, _) when Prefix.strictly_subsumes prefix specific ->
+          Some { specific; covering = prefix; origin = r.Export_infer.origin }
+      | Some _ | None -> None)
+    sa_records
+
+let aggregable rib sa_records =
+  let index = best_origin_index rib in
+  List.filter_map
+    (fun (r : Export_infer.sa_record) ->
+      let supers = Trie.supernets_of r.Export_infer.prefix index in
+      let strict =
+        List.filter (fun (q, _) -> Prefix.strictly_subsumes q r.Export_infer.prefix) supers
+      in
+      match strict with
+      | _ :: _ -> Some r.Export_infer.prefix
+      | [] -> None)
+    sa_records
+
+type case3_verdict = Announces | Withholds | Undetermined
+
+let case3_for_record graph ~viewpoint ~paths_of ~feeds ~provider
+    (record : Export_infer.sa_record) =
+  let origin = record.Export_infer.origin in
+  match Rpi_topo.Paths.customer_path graph ~provider origin with
+  | None -> None
+  | Some chain -> begin
+      (* Last common AS of the observer's best (curving) path and the
+         customer path, excluding the endpoints: the AS to blame in the
+         single-homed pattern of Fig. 8(b); the origin itself when the two
+         paths are interior-disjoint (Fig. 8(a)). *)
+      let best_hops =
+        match Rib.best viewpoint record.Export_infer.prefix with
+        | Some best -> Rpi_bgp.As_path.to_list best.Route.as_path
+        | None -> []
+      in
+      let interior =
+        List.filter
+          (fun a -> (not (Asn.equal a provider)) && not (Asn.equal a origin))
+          chain
+      in
+      let c =
+        (* Walk the customer path from the origin upward while it stays on
+           the best path; the highest shared hop is the last AS the route
+           provably reached on this chain — the one to interrogate. *)
+        let rec climb_shared current = function
+          | [] -> current
+          | x :: above ->
+              if List.exists (Asn.equal x) best_hops then climb_shared x above
+              else current
+        in
+        climb_shared origin (List.rev interior)
+      in
+      (* d: the hop directly above c on the customer path. *)
+      let rec hop_above = function
+        | d :: x :: _ when Asn.equal x c -> Some d
+        | _ :: rest -> hop_above rest
+        | [] -> None
+      in
+      match hop_above chain with
+      | None -> None
+      | Some d ->
+          let paths = paths_of record.Export_infer.prefix in
+          let adjacent_above path =
+            let rec go = function
+              | a :: (b :: _ as rest) -> (Asn.equal a d && Asn.equal b c) || go rest
+              | [ _ ] | [] -> false
+            in
+            go path
+          in
+          let verdict =
+            if List.exists adjacent_above paths then Announces
+            else if
+              (* d visible for this prefix only via someone else, or d is a
+                 feed whose table provably lacks the adjacency: withheld. *)
+              List.exists (fun path -> List.exists (Asn.equal d) path) paths
+              || List.exists (Asn.equal d) feeds
+            then Withholds
+            else Undetermined
+          in
+          Some (d, c, verdict)
+    end
+
+type report = {
+  provider : Asn.t;
+  sa_total : int;
+  split_count : int;
+  aggregable_count : int;
+  case3_announce : int;
+  case3_withhold : int;
+  case3_undetermined : int;
+  pct_announce : float;
+}
+
+let analyze graph ~viewpoint ~paths_of ~feeds ~provider sa_records =
+  let split_count = List.length (splitting viewpoint sa_records) in
+  let aggregable_count = List.length (aggregable viewpoint sa_records) in
+  let announce = ref 0 and withhold = ref 0 and undet = ref 0 in
+  List.iter
+    (fun record ->
+      match case3_for_record graph ~viewpoint ~paths_of ~feeds ~provider record with
+      | Some (_, _, Announces) -> incr announce
+      | Some (_, _, Withholds) -> incr withhold
+      | Some (_, _, Undetermined) | None -> incr undet)
+    sa_records;
+  let determined = !announce + !withhold in
+  {
+    provider;
+    sa_total = List.length sa_records;
+    split_count;
+    aggregable_count;
+    case3_announce = !announce;
+    case3_withhold = !withhold;
+    case3_undetermined = !undet;
+    pct_announce =
+      (if determined = 0 then 0.0
+       else 100.0 *. float_of_int !announce /. float_of_int determined);
+  }

@@ -1,0 +1,85 @@
+(** Causes of SA prefixes (Section 5.1.5, Table 9 and Case 3).
+
+    Three candidate explanations are quantified for each provider's SA
+    prefix set:
+    - {b prefix splitting} (Case 1): the same origin announces a covering
+      prefix on a customer route and a more-specific on a peer route (or
+      vice versa);
+    - {b prefix aggregating} (Case 2): the SA prefix can be aggregated by
+      (is subsumed by) another prefix present in the table — an upper bound,
+      as the paper notes;
+    - {b selective announcing} (Case 3): deliberate export to a subset of
+      providers, measured by searching observed paths for how each origin
+      connects to its direct providers. *)
+
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module As_graph = Rpi_topo.As_graph
+module Prefix = Rpi_net.Prefix
+
+type split_record = {
+  specific : Prefix.t;
+  covering : Prefix.t;
+  origin : Asn.t;
+}
+
+val splitting : Rib.t -> Export_infer.sa_record list -> split_record list
+(** SA prefixes paired with a same-origin covering/covered prefix whose
+    best route class differs (one customer, one peer/provider side). *)
+
+val aggregable : Rib.t -> Export_infer.sa_record list -> Prefix.t list
+(** SA prefixes subsumed by some other prefix in the table (upper bound on
+    Case 2). *)
+
+type case3_verdict =
+  | Announces
+      (** Some path carrying this prefix shows the provider directly above
+          the customer: the customer does export to it. *)
+  | Withholds
+      (** The provider appears in the prefix's paths only further
+          upstream: the route reached it through someone else. *)
+  | Undetermined  (** The provider never shows up in the prefix's paths. *)
+
+val case3_for_record :
+  As_graph.t ->
+  viewpoint:Rib.t ->
+  paths_of:(Prefix.t -> Asn.t list list) ->
+  feeds:Asn.t list ->
+  provider:Asn.t ->
+  Export_infer.sa_record ->
+  (Asn.t * Asn.t * case3_verdict) option
+(** Section 5.1.5's per-prefix method.  The blamed customer [c] is the
+    {e last common AS} of the observer's best (peer) path and the graph's
+    customer path down to the origin — the origin itself when the two are
+    disjoint (the multihomed pattern of Fig. 8(a)), an intermediate AS in
+    the single-homed pattern of Fig. 8(b).  [d] is the hop directly above
+    [c] on the customer path: the provider that failed to deliver.  If
+    some observed path for the prefix shows [d] directly above [c], [c]
+    did announce to [d] (a "do not export further" community stopped the
+    route upstream); if [d] is a collector feed but the adjacency is
+    absent, [c] withheld; otherwise the method cannot tell (the paper
+    identifies ~90% of AS1's SA prefixes).  Returns [(d, c, verdict)];
+    [None] when no customer path exists. *)
+
+type report = {
+  provider : Asn.t;
+  sa_total : int;
+  split_count : int;
+  aggregable_count : int;
+  case3_announce : int;  (** SA prefixes announced to the failing direct provider. *)
+  case3_withhold : int;
+  case3_undetermined : int;
+  pct_announce : float;  (** Of determined prefixes (the paper's ~21%). *)
+}
+
+val analyze :
+  As_graph.t ->
+  viewpoint:Rib.t ->
+  paths_of:(Prefix.t -> Asn.t list list) ->
+  feeds:Asn.t list ->
+  provider:Asn.t ->
+  Export_infer.sa_record list ->
+  report
+(** [viewpoint] is the provider's own table (for splitting/aggregation
+    detection); [paths_of] returns every observed AS path for a prefix
+    across all available tables (for Case 3). *)

@@ -1,0 +1,89 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Paths = Rpi_topo.Paths
+module Prefix = Rpi_net.Prefix
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+
+module Pair_set = Set.Make (struct
+  type t = Asn.t * Asn.t
+
+  let compare (a1, b1) (a2, b2) =
+    match Asn.compare a1 a2 with
+    | 0 -> Asn.compare b1 b2
+    | c -> c
+end)
+
+type path_index = { ordered_pairs : Pair_set.t }
+
+let index_paths paths =
+  let pairs =
+    List.fold_left
+      (fun acc path ->
+        let rec walk acc = function
+          | a :: (b :: _ as rest) -> walk (Pair_set.add (a, b) acc) rest
+          | [ _ ] | [] -> acc
+        in
+        walk acc path)
+      Pair_set.empty paths
+  in
+  { ordered_pairs = pairs }
+
+let observed_paths_of_rib ~vantage rib =
+  Rib.fold
+    (fun _ routes acc ->
+      List.fold_left
+        (fun acc (r : Route.t) ->
+          let hops = Rpi_bgp.As_path.to_list r.Route.as_path in
+          match hops with
+          | [] -> acc
+          | _ :: _ -> (vantage :: hops) :: acc)
+        acc routes)
+    rib []
+
+let pair_observed idx a b = Pair_set.mem (a, b) idx.ordered_pairs
+
+let chain_active idx chain =
+  let rec go = function
+    | a :: (b :: _ as rest) -> pair_observed idx a b && go rest
+    | [ _ ] | [] -> true
+  in
+  go chain
+
+type verdict = Verified_direct | Verified_active_path | Unverified
+
+let verify_record graph idx ~provider (record : Export_infer.sa_record) =
+  if Paths.is_direct_customer graph ~provider record.Export_infer.origin then
+    Verified_direct
+  else begin
+    match Paths.customer_path graph ~provider record.Export_infer.origin with
+    | Some chain when chain_active idx chain -> Verified_active_path
+    | Some _ | None -> Unverified
+  end
+
+type report = {
+  provider : Asn.t;
+  total : int;
+  verified : int;
+  pct_verified : float;
+  by_verdict : (verdict * int) list;
+}
+
+let verify graph idx ~provider records =
+  let counts = [ (Verified_direct, ref 0); (Verified_active_path, ref 0); (Unverified, ref 0) ] in
+  List.iter
+    (fun record ->
+      let verdict = verify_record graph idx ~provider record in
+      incr (List.assoc verdict counts))
+    records;
+  let count v = !(List.assoc v counts) in
+  let total = List.length records in
+  let verified = count Verified_direct + count Verified_active_path in
+  {
+    provider;
+    total;
+    verified;
+    pct_verified =
+      (if total = 0 then 100.0 else 100.0 *. float_of_int verified /. float_of_int total);
+    by_verdict = List.map (fun (v, r) -> (v, !r)) counts;
+  }

@@ -1,0 +1,1 @@
+lib/dataset/ground_truth.ml: List Option Rpi_bgp Rpi_net Rpi_sim Rpi_topo Scenario

@@ -1,0 +1,1 @@
+lib/dataset/scenario.ml: Array Hashtbl Int List Logs Option Rpi_bgp Rpi_core Rpi_net Rpi_prng Rpi_sim Rpi_topo

@@ -1,0 +1,1 @@
+lib/dataset/scenario.mli: Hashtbl Int Rpi_bgp Rpi_net Rpi_sim Rpi_topo

@@ -1,0 +1,105 @@
+(** End-to-end synthetic dataset: the stand-in for "Oregon RouteView on
+    Nov. 18, 2002, plus 15 Looking Glass servers".
+
+    From one seed, builds: a synthetic Internet topology; per-AS import
+    policies (typical preference with a configurable atypical minority and
+    a prefix-granular override minority); per-AS prefix allocations grouped
+    into announcement atoms with an export-policy mix (selective
+    announcement, no-export-up communities, prefix splitting, provider
+    aggregation, per-peer withholding); runs the propagation engine; and
+    extracts a RouteViews-style collector table plus Looking-Glass tables
+    for a set of vantage ASs. *)
+
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module As_graph = Rpi_topo.As_graph
+module Prefix = Rpi_net.Prefix
+module Atom = Rpi_sim.Atom
+module Policy = Rpi_sim.Policy
+module Engine = Rpi_sim.Engine
+
+type config = {
+  seed : int;
+  topology : Rpi_topo.Gen.config;
+  prefixes_per_tier : int * int * int * int;
+      (** Max prefixes originated per AS for tiers 1/2/3/stub (each AS
+          draws 1..max). *)
+  p_selective : float;
+      (** Multihomed AS originates its atoms to a proper provider subset. *)
+  p_no_export_up : float;
+      (** Given selective, use the community mechanism instead of simply
+          not announcing (the paper's §5.1.5 ~21/79 split). *)
+  p_split : float;  (** Multihomed AS performs prefix splitting (Case 1). *)
+  p_aggregate : float;  (** Customer prefix aggregated by a provider (Case 2). *)
+  p_peer_withhold : float;  (** An AS withholds its atoms from one peer. *)
+  p_prepend : float;
+      (** A multihomed, non-selective atom pads its AS path towards a
+          provider subset instead (the milder inbound-TE tool). *)
+  p_transit_selective : float;
+      (** A multihomed transit AS re-exports customer routes to only a
+          proper subset of its providers — the paper's intermediate-AS
+          source of SA prefixes (it is what makes single-homed origins
+          appear in Table 8). *)
+  p_atypical_neighbor : float;
+      (** Non-vantage AS carries one neighbour-wide preference override
+          violating the typical order (kept rare; it perturbs routing the
+          way the paper's unverifiable minority does). *)
+  p_atypical_prefix : float;
+      (** Per (vantage, atom): a prefix-granular override that violates the
+          typical order — the source of Table 2's small atypical
+          percentages. *)
+  p_prefix_override : float;
+      (** Per (vantage, atom): a prefix-granular local-pref override (not
+          necessarily atypical) — the source of Fig. 2's ~2% non-next-hop
+          assignments. *)
+  n_collector_peers : int;  (** Feeds of the RouteViews-style collector. *)
+  n_lg : int;  (** Looking-Glass vantage count. *)
+  atoms_per_as : int;  (** Max atoms an AS splits its prefixes into. *)
+}
+
+val default_config : config
+(** Seed 42, the default topology (~1540 ASs), and a policy mix tuned to
+    land in the paper's reported ranges. *)
+
+val small_config : config
+(** A ~300-AS variant for tests and the persistence timeline. *)
+
+type t = {
+  config : config;
+  topo : Rpi_topo.Gen.t;
+  graph : As_graph.t;
+  policies : Policy.t Asn.Map.t;
+  atoms : Atom.t list;
+  lp_overrides : (Asn.t * Asn.t * int) list Hashtbl.Make(Int).t;
+      (** Atom id -> prefix-granular import overrides. *)
+  transit_scopes : Asn.Set.t Asn.Map.t;
+      (** Intermediate ASs restricting customer-route re-export, with the
+          provider subset they announce to. *)
+  network : Engine.network;
+  retain : Asn.Set.t;
+  results : Engine.result list;
+  collector_peers : Asn.t list;
+  collector : Rib.t;  (** The RouteViews-style table. *)
+  lg_ases : Asn.t list;
+  lg_tables : (Asn.t * Rib.t) list;
+}
+
+val build : ?config:config -> unit -> t
+(** Deterministic in [config.seed]. *)
+
+val policy_of : t -> Asn.t -> Policy.t
+val lg_table : t -> Asn.t -> Rib.t option
+val origins_ground_truth : t -> (Asn.t * Prefix.t list) list
+(** (origin, prefixes) per AS, from the atoms — the oracle counterpart of
+    {!Rpi_core.Export_infer.origins_of_rib}. *)
+
+val overrides_fn : t -> int -> (Asn.t * Asn.t * int) list
+(** Accessor usable as [Engine.propagate_all ~lp_overrides]. *)
+
+val rerun_with_atoms : t -> Atom.t list -> Engine.result list
+(** Re-propagate a modified atom list on the same network and retain set
+    (used by the persistence timeline). *)
+
+val observed_paths : t -> Asn.t list list
+(** All AS paths visible across collector and Looking-Glass tables, for
+    relationship inference and path-activity checks. *)

@@ -1,0 +1,1 @@
+lib/experiments/context.ml: List Printf Rpi_bgp Rpi_core Rpi_dataset Rpi_irr Rpi_net Rpi_prng Rpi_relinfer Rpi_topo

@@ -1,0 +1,1 @@
+lib/experiments/context.mli: Rpi_bgp Rpi_core Rpi_dataset Rpi_irr Rpi_net Rpi_relinfer Rpi_topo

@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Context Hashtbl Int List Option Printf Rpi_bgp Rpi_core Rpi_dataset Rpi_net Rpi_prng Rpi_relinfer Rpi_sim Rpi_stats Rpi_topo String

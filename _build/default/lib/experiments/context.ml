@@ -1,0 +1,87 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Scenario = Rpi_dataset.Scenario
+
+type t = {
+  scenario : Scenario.t;
+  inferred : As_graph.t;
+  corrected : As_graph.t;
+  path_index : Rpi_core.Sa_verify.path_index;
+  irr : Rpi_irr.Db.t;
+  collector_origins : (Asn.t * Rpi_net.Prefix.t list) list;
+  focus_tier1 : Asn.t list;
+}
+
+(* Section 4.3: re-label a vantage's own adjacencies from the community
+   tags its table carries. *)
+let correct_with_communities inferred lg_tables =
+  List.fold_left
+    (fun graph (vantage, rib) ->
+      let has_providers = As_graph.providers graph vantage <> [] in
+      let semantics =
+        Rpi_core.Community_verify.infer_semantics ~vantage ~has_providers rib
+      in
+      let tags = Rpi_core.Community_verify.neighbor_tags ~vantage rib in
+      List.fold_left
+        (fun graph (nb, code) ->
+          match Rpi_core.Community_verify.classify_neighbor semantics ~code with
+          | Some rel -> As_graph.add_edge graph vantage nb rel
+          | None -> graph)
+        graph tags)
+    inferred lg_tables
+
+let default_gao_config =
+  { Rpi_relinfer.Gao.default_config with Rpi_relinfer.Gao.peer_degree_ratio = 6.0 }
+
+let create ?config ?(gao_config = default_gao_config) () =
+  let scenario = Scenario.build ?config () in
+  let paths = Scenario.observed_paths scenario in
+  let inferred = Rpi_relinfer.Gao.infer ~config:gao_config paths in
+  let corrected = correct_with_communities inferred scenario.Scenario.lg_tables in
+  let path_index = Rpi_core.Sa_verify.index_paths paths in
+  let irr_rng = Rpi_prng.Prng.create ~seed:(scenario.Scenario.config.Scenario.seed + 7919) in
+  let irr =
+    Rpi_irr.Gen.registry irr_rng ~graph:scenario.Scenario.graph
+      ~policies:(Scenario.policy_of scenario)
+  in
+  let collector_origins =
+    Rpi_core.Export_infer.origins_of_rib scenario.Scenario.collector
+  in
+  let focus_tier1 =
+    List.filter
+      (fun a -> As_graph.mem_as scenario.Scenario.graph a)
+      (List.map Asn.of_int [ 1; 3549; 7018 ])
+  in
+  { scenario; inferred; corrected; path_index; irr; collector_origins; focus_tier1 }
+
+let use_ground_truth_graph t =
+  { t with inferred = t.scenario.Scenario.graph; corrected = t.scenario.Scenario.graph }
+
+let lg_rib_exn t a =
+  match Scenario.lg_table t.scenario a with
+  | Some rib -> rib
+  | None -> invalid_arg (Printf.sprintf "%s is not a Looking-Glass vantage" (Asn.to_label a))
+
+let paths_for_prefix t prefix =
+  let of_routes ?prepend routes =
+    List.filter_map
+      (fun (r : Rpi_bgp.Route.t) ->
+        match Rpi_bgp.As_path.to_list r.Rpi_bgp.Route.as_path with
+        | [] -> None
+        | hops -> begin
+            match prepend with
+            | Some vantage -> Some (vantage :: hops)
+            | None -> Some hops
+          end)
+      routes
+  in
+  let collector_paths =
+    of_routes (Rpi_bgp.Rib.candidates t.scenario.Scenario.collector prefix)
+  in
+  let lg_paths =
+    List.concat_map
+      (fun (vantage, rib) ->
+        of_routes ~prepend:vantage (Rpi_bgp.Rib.candidates rib prefix))
+      t.scenario.Scenario.lg_tables
+  in
+  collector_paths @ lg_paths

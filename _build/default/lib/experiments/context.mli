@@ -1,0 +1,43 @@
+(** Shared evaluation context: one scenario plus everything derived from it
+    that several experiments reuse (inferred relationships, observed-path
+    index, synthetic IRR, collector origins). *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+
+type t = {
+  scenario : Rpi_dataset.Scenario.t;
+  inferred : As_graph.t;
+      (** Raw Gao relationship inference over all observed paths. *)
+  corrected : As_graph.t;
+      (** [inferred] with every Looking-Glass vantage's own adjacencies
+          re-labelled from its community tags — the paper's Section 4.3
+          verification step, which it applies before the import-policy and
+          export-policy analyses. *)
+  path_index : Rpi_core.Sa_verify.path_index;
+  irr : Rpi_irr.Db.t;
+  collector_origins : (Asn.t * Rpi_net.Prefix.t list) list;
+  focus_tier1 : Asn.t list;  (** AS1, AS3549, AS7018 when present. *)
+}
+
+val create :
+  ?config:Rpi_dataset.Scenario.config ->
+  ?gao_config:Rpi_relinfer.Gao.config ->
+  unit ->
+  t
+(** [gao_config] defaults to Gao's parameters with the peering degree
+    ratio lowered to 6 — the synthetic topology compresses absolute
+    degrees (hundreds, not thousands), so the discriminating ratio between
+    a Tier-1 and its customers is smaller than the measured Internet's. *)
+
+val use_ground_truth_graph : t -> t
+(** Swap the inferred graph for the oracle annotated graph (ablation:
+    how much do inference errors matter downstream?). *)
+
+val lg_rib_exn : t -> Asn.t -> Rpi_bgp.Rib.t
+(** @raise Invalid_argument when the AS is not a Looking-Glass vantage. *)
+
+val paths_for_prefix : t -> Rpi_net.Prefix.t -> Asn.t list list
+(** Every AS path observed for the prefix, across the collector and all
+    Looking-Glass tables (Looking-Glass paths prepended with their
+    vantage). *)

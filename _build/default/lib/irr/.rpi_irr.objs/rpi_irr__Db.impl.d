@@ -1,0 +1,1 @@
+lib/irr/db.ml: Fun In_channel List Result Rpi_bgp Rpsl

@@ -1,0 +1,1 @@
+lib/irr/db.mli: Rpi_bgp Rpsl

@@ -1,0 +1,1 @@
+lib/irr/gen.ml: Db List Printf Rpi_bgp Rpi_prng Rpi_sim Rpi_topo Rpsl

@@ -1,0 +1,1 @@
+lib/irr/gen.mli: Db Rpi_bgp Rpi_prng Rpi_sim Rpi_topo

@@ -1,0 +1,1 @@
+lib/irr/rpsl.ml: Buffer List Printf Rpi_bgp String

@@ -1,0 +1,1 @@
+lib/irr/rpsl.mli: Rpi_bgp

@@ -1,0 +1,80 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Policy = Rpi_sim.Policy
+module Prng = Rpi_prng.Prng
+
+type config = {
+  p_stale : float;
+  p_missing_rule : float;
+  p_noisy_pref : float;
+  p_leaky_export : float;
+  fresh_date : int;
+  stale_date : int;
+}
+
+let default_config =
+  {
+    p_stale = 0.25;
+    p_missing_rule = 0.08;
+    p_noisy_pref = 0.02;
+    p_leaky_export = 0.02;
+    fresh_date = 20021104;
+    stale_date = 20010312;
+  }
+
+let pref_of_lp lp = max 1 (200 - lp)
+
+let registry ?(config = default_config) rng ~graph ~policies =
+  let objects =
+    List.map
+      (fun asn ->
+        let policy = policies asn in
+        let neighbors = As_graph.neighbors graph asn in
+        let imports =
+          List.filter_map
+            (fun (nb, rel) ->
+              if Prng.chance rng config.p_missing_rule then None
+              else begin
+                let lp =
+                  Policy.lp_for policy.Policy.import ~neighbor:nb ~rel ~atom:(-1)
+                in
+                let pref =
+                  if Prng.chance rng config.p_noisy_pref then Prng.int_in rng 50 150
+                  else pref_of_lp lp
+                in
+                let accept =
+                  match rel with
+                  | Relationship.Customer | Relationship.Sibling -> Asn.to_label nb
+                  | Relationship.Peer -> Asn.to_label nb
+                  | Relationship.Provider -> "ANY"
+                in
+                Some { Rpsl.from_as = nb; pref = Some pref; accept }
+              end)
+            neighbors
+        in
+        let exports =
+          List.map
+            (fun (nb, rel) ->
+              let announce =
+                match rel with
+                | Relationship.Customer | Relationship.Sibling -> "ANY"
+                | Relationship.Peer | Relationship.Provider ->
+                    (* A small share of registered policies is leak-shaped
+                       (full-table export towards a peer or provider), as
+                       the misconfiguration literature documents. *)
+                    if Prng.chance rng config.p_leaky_export then "ANY"
+                    else Printf.sprintf "%s:customers" (Asn.to_label asn)
+              in
+              { Rpsl.to_as = nb; announce })
+            neighbors
+        in
+        let changed =
+          if Prng.chance rng config.p_stale then config.stale_date else config.fresh_date
+        in
+        Rpsl.make ~asn
+          ~as_name:(Printf.sprintf "NET-%s" (Asn.to_string asn))
+          ~imports ~exports ~changed ())
+      (As_graph.ases graph)
+  in
+  Db.of_objects objects

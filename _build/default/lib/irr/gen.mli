@@ -1,0 +1,38 @@
+(** Synthetic IRR registry generation.
+
+    Derives aut-num objects from the ground-truth simulator policies, then
+    degrades them the way the real IRR is degraded: a fraction of objects
+    is stale (old [changed] dates), rules are dropped (incompleteness), and
+    a small fraction of preference values is perturbed (out-of-date or
+    erroneous entries).  RPSL [pref] is emitted as [200 - local_pref] so
+    that smaller-is-better RPSL matches higher-is-better BGP. *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+
+type config = {
+  p_stale : float;  (** Object last touched before the cutoff. *)
+  p_missing_rule : float;  (** Each import rule independently absent. *)
+  p_noisy_pref : float;  (** Each pref replaced by an uninformative value. *)
+  p_leaky_export : float;
+      (** A peer/provider export rule registered as full-table ("ANY") — a
+          route-leak-shaped misconfiguration. *)
+  fresh_date : int;  (** YYYYMMDD stamped on fresh objects. *)
+  stale_date : int;  (** YYYYMMDD stamped on stale objects. *)
+}
+
+val default_config : config
+
+val pref_of_lp : int -> int
+(** [200 - lp], clamped to 1. *)
+
+val registry :
+  ?config:config ->
+  Rpi_prng.Prng.t ->
+  graph:As_graph.t ->
+  policies:(Asn.t -> Rpi_sim.Policy.t) ->
+  Db.t
+(** One aut-num object per AS of the graph, with an import rule per
+    neighbour carrying the pref implied by the AS's import policy, and an
+    export rule per neighbour (ANY towards customers, own/customer routes
+    towards providers and peers). *)

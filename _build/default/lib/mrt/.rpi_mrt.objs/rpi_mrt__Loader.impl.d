@@ -1,0 +1,1 @@
+lib/mrt/loader.ml: Array Filename List Printf Result Rpi_bgp Show_ip_bgp String Sys Table_dump

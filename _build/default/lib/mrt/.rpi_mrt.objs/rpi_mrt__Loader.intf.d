@@ -1,0 +1,1 @@
+lib/mrt/loader.mli: Rpi_bgp

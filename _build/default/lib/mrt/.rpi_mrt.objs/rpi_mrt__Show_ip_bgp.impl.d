@@ -1,0 +1,1 @@
+lib/mrt/show_ip_bgp.ml: Buffer List Printf Result Rpi_bgp Rpi_net String

@@ -1,0 +1,1 @@
+lib/mrt/show_ip_bgp.mli: Rpi_bgp Rpi_net

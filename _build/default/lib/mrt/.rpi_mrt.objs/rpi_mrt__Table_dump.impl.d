@@ -1,0 +1,1 @@
+lib/mrt/table_dump.ml: Buffer Fun In_channel List Option Printf Result Rpi_bgp Rpi_net String

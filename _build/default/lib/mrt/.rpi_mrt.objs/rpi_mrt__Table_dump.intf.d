@@ -1,0 +1,1 @@
+lib/mrt/table_dump.mli: Buffer Rpi_bgp

@@ -1,0 +1,20 @@
+(** Snapshot IO: a directory of per-vantage table dumps, one
+    [AS<number>.dump] per vantage AS — the shape of a RouteViews archive
+    day plus Looking-Glass pulls. *)
+
+val save_snapshot :
+  dir:string ->
+  ?timestamp:int ->
+  (Rpi_bgp.Asn.t * Rpi_bgp.Rib.t) list ->
+  unit
+(** Creates [dir] if needed and writes one machine-readable dump per
+    vantage. *)
+
+val load_snapshot : dir:string -> ((Rpi_bgp.Asn.t * Rpi_bgp.Rib.t) list, string) result
+(** Reads every [AS*.dump] file of the directory, ascending AS number. *)
+
+val detect_format : string -> [ `Table_dump | `Show_ip_bgp | `Unknown ]
+(** Guess a table format from its first non-blank line. *)
+
+val parse_any : string -> (Rpi_bgp.Rib.t, string) result
+(** Parse either supported format, dispatching on {!detect_format}. *)

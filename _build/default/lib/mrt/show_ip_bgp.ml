@@ -1,0 +1,281 @@
+module Asn = Rpi_bgp.Asn
+module Route = Rpi_bgp.Route
+module As_path = Rpi_bgp.As_path
+module Community = Rpi_bgp.Community
+module Rib = Rpi_bgp.Rib
+module Decision = Rpi_bgp.Decision
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+
+let header router_id =
+  String.concat "\n"
+    [
+      Printf.sprintf "BGP table version is 1, local router ID is %s"
+        (Ipv4.to_string router_id);
+      "Status codes: s suppressed, d damped, h history, * valid, > best, i - internal";
+      "Origin codes: i - IGP, e - EGP, ? - incomplete";
+      "";
+      "   Network            Next Hop            Metric LocPrf Weight Path";
+    ]
+
+let route_line ~best ~show_network route =
+  let status = if best then "*>" else "* " in
+  let network = if show_network then Prefix.to_string route.Route.prefix else "" in
+  let path_str =
+    let p = As_path.to_string route.Route.as_path in
+    let origin = Route.origin_to_string route.Route.origin in
+    if p = "" then origin else p ^ " " ^ origin
+  in
+  Printf.sprintf "%s %-18s %-19s %6s %6s %6d %s" status network
+    (Ipv4.to_string route.Route.next_hop)
+    (match route.Route.med with
+    | Some m -> string_of_int m
+    | None -> "0")
+    (* "-" rather than Cisco's blank column: a blank is ambiguous once the
+       line is whitespace-split (path members are numbers too). *)
+    (match route.Route.local_pref with
+    | Some lp -> string_of_int lp
+    | None -> "-")
+    0 path_str
+
+let render ?(router_id = Ipv4.of_octets 172 16 1 1) rib =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header router_id);
+  Buffer.add_char buf '\n';
+  Rib.iter
+    (fun prefix routes ->
+      let best = Decision.select_best routes in
+      let is_best r =
+        match best with
+        | Some b -> Route.equal b r
+        | None -> false
+      in
+      let ordered =
+        match best with
+        | Some b -> b :: List.filter (fun r -> not (Route.equal r b)) routes
+        | None -> routes
+      in
+      List.iteri
+        (fun i r ->
+          Buffer.add_string buf (route_line ~best:(is_best r) ~show_network:(i = 0) r);
+          Buffer.add_char buf '\n')
+        ordered;
+      ignore prefix)
+    rib;
+  Buffer.contents buf
+
+(* --- summary parser --- *)
+
+let is_header_line line =
+  let starts prefix = String.length line >= String.length prefix
+                      && String.sub line 0 (String.length prefix) = prefix in
+  starts "BGP table" || starts "Status codes" || starts "Origin codes"
+  || starts "   Network"
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n current_prefix rib = function
+    | [] -> Ok rib
+    | line :: rest ->
+        if String.trim line = "" || is_header_line line then
+          go (n + 1) current_prefix rib rest
+        else if String.length line < 2 || line.[0] <> '*' then
+          Error (Printf.sprintf "line %d: unrecognised row" n)
+        else begin
+          let body = String.sub line 2 (String.length line - 2) in
+          let tokens = split_ws body in
+          (* Continuation rows have no network token (no '/'). *)
+          let network, tokens =
+            match tokens with
+            | tok :: rest_tokens when String.contains tok '/' ->
+                (Prefix.of_string tok |> Result.to_option, rest_tokens)
+            | _ -> (current_prefix, tokens)
+          in
+          match network with
+          | None -> Error (Printf.sprintf "line %d: no network in scope" n)
+          | Some prefix -> begin
+              match tokens with
+              | next_hop :: med :: locprf :: weight_and_path -> begin
+                  (* Fields after the next hop: metric, locprf ("-" when
+                     unset), weight, then the path and origin code. *)
+                  let ( let* ) = Result.bind in
+                  let* next_hop =
+                    Ipv4.of_string next_hop
+                    |> Result.map_error (fun e -> Printf.sprintf "line %d: %s" n e)
+                  in
+                  let* med =
+                    match int_of_string_opt med with
+                    | Some m -> Ok m
+                    | None -> Error (Printf.sprintf "line %d: bad metric %S" n med)
+                  in
+                  let* locprf =
+                    if locprf = "-" then Ok None
+                    else begin
+                      match int_of_string_opt locprf with
+                      | Some lp -> Ok (Some lp)
+                      | None -> Error (Printf.sprintf "line %d: bad locprf %S" n locprf)
+                    end
+                  in
+                  let* path_tokens =
+                    match weight_and_path with
+                    | _weight :: path_tokens -> Ok path_tokens
+                    | [] -> Error (Printf.sprintf "line %d: missing path" n)
+                  in
+                  let* origin, path_tokens =
+                    match List.rev path_tokens with
+                    | o :: rev_path -> begin
+                        match Route.origin_of_string o with
+                        | Ok origin -> Ok (origin, List.rev rev_path)
+                        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+                      end
+                    | [] -> Error (Printf.sprintf "line %d: missing origin" n)
+                  in
+                  let* as_path =
+                    As_path.of_string (String.concat " " path_tokens)
+                    |> Result.map_error (fun e -> Printf.sprintf "line %d: %s" n e)
+                  in
+                  let peer_as = As_path.first_hop as_path in
+                  let route =
+                    Route.make ~prefix ~next_hop ~as_path ~origin ?local_pref:locprf
+                      ~med ~router_id:next_hop ?peer_as ()
+                  in
+                  go (n + 1) (Some prefix) (Rib.add_route route rib) rest
+                end
+              | _ -> Error (Printf.sprintf "line %d: truncated row" n)
+            end
+        end
+  in
+  go 1 None Rib.empty lines
+
+(* --- per-prefix detail --- *)
+
+let render_prefix_detail rib prefix =
+  let routes = Rib.candidates rib prefix in
+  let best = Decision.select_best routes in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "BGP routing table entry for %s\n" (Prefix.to_string prefix));
+  Buffer.add_string buf
+    (Printf.sprintf "Paths: (%d available, best #1)\n" (List.length routes));
+  let ordered =
+    match best with
+    | Some b -> b :: List.filter (fun r -> not (Route.equal r b)) routes
+    | None -> routes
+  in
+  List.iter
+    (fun (r : Route.t) ->
+      let path_str =
+        let p = As_path.to_string r.Route.as_path in
+        if p = "" then "Local" else p
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s\n" path_str);
+      Buffer.add_string buf
+        (Printf.sprintf "    %s from %s\n"
+           (Ipv4.to_string r.Route.next_hop)
+           (Ipv4.to_string r.Route.router_id));
+      let is_best =
+        match best with
+        | Some b -> Route.equal b r
+        | None -> false
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "      Origin %s, metric %d, localpref %d%s\n"
+           (match r.Route.origin with
+           | Route.Igp -> "IGP"
+           | Route.Egp -> "EGP"
+           | Route.Incomplete -> "incomplete")
+           (Route.effective_med r)
+           (Route.effective_local_pref r)
+           (if is_best then ", best" else ""));
+      if not (Community.Set.is_empty r.Route.communities) then
+        Buffer.add_string buf
+          (Printf.sprintf "      Community: %s\n" (Community.Set.to_string r.Route.communities)))
+    ordered;
+  Buffer.contents buf
+
+type detail = {
+  prefix : Prefix.t;
+  paths : (As_path.t * int option * Community.Set.t * bool) list;
+}
+
+let parse_prefix_detail text =
+  let lines = String.split_on_char '\n' text |> List.map String.trim in
+  let ( let* ) = Result.bind in
+  let* prefix =
+    match lines with
+    | first :: _ when String.length first > 27
+                      && String.sub first 0 27 = "BGP routing table entry for" ->
+        Prefix.of_string (String.trim (String.sub first 27 (String.length first - 27)))
+    | _ -> Error "missing table entry header"
+  in
+  (* Walk the block: a path line is a bare AS path (or "Local"); attribute
+     lines start with Origin/Community/from. *)
+  let is_attr line =
+    let starts p = String.length line >= String.length p && String.sub line 0 (String.length p) = p in
+    starts "Origin" || starts "Community:" || String.contains line ','
+    || starts "Paths:" || starts "BGP "
+  in
+  let looks_like_path line =
+    line <> ""
+    && (line = "Local"
+       || String.for_all (fun c -> (c >= '0' && c <= '9') || c = ' ' || c = '{' || c = '}' || c = ',') line)
+    && not (String.contains line '.')
+  in
+  let rec walk acc current = function
+    | [] -> Ok (List.rev (match current with Some c -> c :: acc | None -> acc))
+    | line :: rest ->
+        if looks_like_path line && not (is_attr line) then begin
+          let parsed =
+            if line = "Local" then Ok As_path.empty else As_path.of_string line
+          in
+          match parsed with
+          | Ok path ->
+              let acc = match current with Some c -> c :: acc | None -> acc in
+              walk acc (Some (path, None, Community.Set.empty, false)) rest
+          | Error e -> Error e
+        end
+        else begin
+          match current with
+          | None -> walk acc current rest
+          | Some (path, lp, comms, best) ->
+              let current =
+                if String.length line >= 7 && String.sub line 0 7 = "Origin " then begin
+                  let best = best ||
+                    (let suffix = ", best" in
+                     let ll = String.length line and sl = String.length suffix in
+                     ll >= sl &&
+                     (let rec find i = i + sl <= ll && (String.sub line i sl = suffix || find (i + 1)) in
+                      find 0))
+                  in
+                  let lp =
+                    split_ws line
+                    |> List.map (fun t ->
+                           if String.length t > 0 && t.[String.length t - 1] = ',' then
+                             String.sub t 0 (String.length t - 1)
+                           else t)
+                    |> (fun tokens ->
+                         let rec after = function
+                           | "localpref" :: v :: _ -> int_of_string_opt v
+                           | _ :: rest -> after rest
+                           | [] -> None
+                         in
+                         after tokens)
+                  in
+                  Some (path, lp, comms, best)
+                end
+                else if String.length line >= 10 && String.sub line 0 10 = "Community:" then begin
+                  let body = String.sub line 10 (String.length line - 10) in
+                  match Community.Set.of_string (String.trim body) with
+                  | Ok set -> Some (path, lp, Community.Set.union comms set, best)
+                  | Error _ -> Some (path, lp, comms, best)
+                end
+                else Some (path, lp, comms, best)
+              in
+              walk acc current rest
+        end
+  in
+  let* paths = walk [] None (List.tl lines) in
+  Ok { prefix; paths }

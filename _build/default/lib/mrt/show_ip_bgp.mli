@@ -1,0 +1,32 @@
+(** Cisco-style [show ip bgp] rendering and parsing — the format Looking
+    Glass servers expose and the paper scraped for its fine-grained tables.
+
+    Two views are supported:
+    - the summary table ([show ip bgp]): one line per candidate route with
+      status codes ([*] valid, [>] best), network, next hop, MED, local
+      preference, weight and AS path + origin code;
+    - the per-prefix detail ([show ip bgp <prefix>]): the block with paths,
+      local preference and the community list, as in the paper's Appendix
+      example. *)
+
+val render : ?router_id:Rpi_net.Ipv4.t -> Rpi_bgp.Rib.t -> string
+(** The summary table, best route first within each prefix. *)
+
+val parse : string -> (Rpi_bgp.Rib.t, string) result
+(** Parse a summary table back into a RIB.  Header lines are skipped;
+    continuation lines (empty network column) inherit the previous
+    network.  Local preference and MED columns parse back into the route;
+    the best marker is validated against nothing (the RIB recomputes
+    best). *)
+
+val render_prefix_detail : Rpi_bgp.Rib.t -> Rpi_net.Prefix.t -> string
+(** The [show ip bgp <prefix>] block: paths with next hop, origin, local
+    preference, best marker and communities. *)
+
+type detail = {
+  prefix : Rpi_net.Prefix.t;
+  paths : (Rpi_bgp.As_path.t * int option * Rpi_bgp.Community.Set.t * bool) list;
+      (** [(as_path, local_pref, communities, best)] per available path. *)
+}
+
+val parse_prefix_detail : string -> (detail, string) result

@@ -1,0 +1,123 @@
+module Asn = Rpi_bgp.Asn
+module Route = Rpi_bgp.Route
+module As_path = Rpi_bgp.As_path
+module Community = Rpi_bgp.Community
+module Rib = Rpi_bgp.Rib
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+
+type entry = { timestamp : int; vantage_as : Asn.t; route : Route.t }
+
+let opt_int = function
+  | Some v -> string_of_int v
+  | None -> "-"
+
+let entry_to_line { timestamp; vantage_as; route } =
+  let communities =
+    if Community.Set.is_empty route.Route.communities then "-"
+    else Community.Set.to_string route.Route.communities
+  in
+  String.concat "|"
+    [
+      "RIB";
+      string_of_int timestamp;
+      Asn.to_string vantage_as;
+      (match route.Route.peer_as with
+      | Some peer -> Asn.to_string peer
+      | None -> "-");
+      Prefix.to_string route.Route.prefix;
+      As_path.to_string route.Route.as_path;
+      Route.origin_to_string route.Route.origin;
+      Ipv4.to_string route.Route.next_hop;
+      opt_int route.Route.local_pref;
+      opt_int route.Route.med;
+      communities;
+    ]
+
+let parse_opt_int field s =
+  if s = "-" then Ok None
+  else begin
+    match int_of_string_opt s with
+    | Some v -> Ok (Some v)
+    | None -> Error (Printf.sprintf "invalid %s %S" field s)
+  end
+
+let entry_of_line line =
+  match String.split_on_char '|' line with
+  | [ "RIB"; ts; vantage; peer; prefix; path; origin; next_hop; lp; med; communities ] ->
+      let ( let* ) = Result.bind in
+      let* timestamp =
+        match int_of_string_opt ts with
+        | Some t -> Ok t
+        | None -> Error (Printf.sprintf "invalid timestamp %S" ts)
+      in
+      let* vantage_as = Asn.of_string vantage in
+      let* peer_as =
+        if peer = "-" then Ok None else Result.map Option.some (Asn.of_string peer)
+      in
+      let* prefix = Prefix.of_string prefix in
+      let* as_path = As_path.of_string path in
+      let* origin = Route.origin_of_string origin in
+      let* next_hop = Ipv4.of_string next_hop in
+      let* local_pref = parse_opt_int "local-pref" lp in
+      let* med = parse_opt_int "med" med in
+      let* communities =
+        if communities = "-" then Ok Community.Set.empty
+        else Community.Set.of_string communities
+      in
+      let route =
+        Route.make ~prefix ~next_hop ~as_path ~origin ?local_pref ?med ~communities
+          ~router_id:next_hop
+          ?peer_as ()
+      in
+      Ok { timestamp; vantage_as; route }
+  | "RIB" :: _ -> Error "wrong field count"
+  | _ -> Error "not a RIB line"
+
+let write_rib ?(timestamp = 0) ~vantage_as rib buf =
+  Rib.iter
+    (fun _ routes ->
+      List.iter
+        (fun route ->
+          Buffer.add_string buf (entry_to_line { timestamp; vantage_as; route });
+          Buffer.add_char buf '\n')
+        (List.rev routes))
+    rib
+
+let rib_to_string ?timestamp ~vantage_as rib =
+  let buf = Buffer.create 4096 in
+  write_rib ?timestamp ~vantage_as rib buf;
+  Buffer.contents buf
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (n + 1) acc rest
+        else begin
+          match entry_of_line trimmed with
+          | Ok entry -> go (n + 1) (entry :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        end
+  in
+  go 1 [] lines
+
+let parse_to_rib text =
+  match parse text with
+  | Error _ as e -> e
+  | Ok entries ->
+      Ok (List.fold_left (fun rib e -> Rib.add_route e.route rib) Rib.empty entries)
+
+let save_file path ?timestamp ~vantage_as rib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (rib_to_string ?timestamp ~vantage_as rib))
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))

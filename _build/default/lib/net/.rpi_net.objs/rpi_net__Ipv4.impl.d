@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Format Int Printf String

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Format Int Ipv4 List Printf Rpi_prng String

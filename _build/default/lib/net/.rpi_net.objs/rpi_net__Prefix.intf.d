@@ -1,0 +1,1 @@
+lib/net/prefix.mli: Format Ipv4 Rpi_prng

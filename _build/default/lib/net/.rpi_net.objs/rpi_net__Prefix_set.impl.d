@@ -1,0 +1,1 @@
+lib/net/prefix_set.ml: Format List Prefix Prefix_trie

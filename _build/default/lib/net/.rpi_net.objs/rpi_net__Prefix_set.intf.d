@@ -1,0 +1,1 @@
+lib/net/prefix_set.mli: Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/net/prefix_trie.ml: Ipv4 List Option Prefix

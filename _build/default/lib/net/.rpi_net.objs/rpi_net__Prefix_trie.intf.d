@@ -1,0 +1,1 @@
+lib/net/prefix_trie.mli: Ipv4 Prefix

@@ -1,0 +1,47 @@
+type t = int
+
+let max_value = 0xFFFFFFFF
+
+let of_int32_exn n =
+  if n < 0 || n > max_value then invalid_arg "Ipv4.of_int32_exn: out of range";
+  n
+
+let to_int a = a
+
+let of_octets a b c d =
+  let check o = if o < 0 || o > 255 then invalid_arg "Ipv4.of_octets: octet out of range" in
+  check a; check b; check c; check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "invalid IPv4 address %S" s) in
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> begin
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 && String.length x <= 3 && x <> "" -> Some v
+        | Some _ | None -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Ok (of_octets a b c d)
+      | _, _, _, _ -> fail ()
+    end
+  | _ -> fail ()
+
+let of_string_exn s =
+  match of_string s with Ok a -> a | Error msg -> invalid_arg msg
+
+let to_string a =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((a lsr 24) land 0xFF) ((a lsr 16) land 0xFF) ((a lsr 8) land 0xFF) (a land 0xFF)
+
+let compare = Int.compare
+let equal = Int.equal
+
+let succ a = (a + 1) land max_value
+
+let bit a i =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.bit: index out of range";
+  (a lsr (31 - i)) land 1 = 1
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

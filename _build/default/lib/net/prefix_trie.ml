@@ -1,0 +1,155 @@
+(* Plain binary trie: each node sits at a depth equal to a prefix length;
+   a node at depth d reached by bits b0..b(d-1) represents that prefix.
+   No path compression -- depth is capped at 32, and clarity wins. *)
+
+type 'a t = Leaf | Node of 'a node
+
+and 'a node = { value : 'a option; zero : 'a t; one : 'a t }
+
+let empty = Leaf
+
+let is_empty = function
+  | Leaf -> true
+  | Node _ -> false
+
+let node value zero one =
+  match (value, zero, one) with
+  | None, Leaf, Leaf -> Leaf
+  | _, _, _ -> Node { value; zero; one }
+
+let rec update_at depth p f t =
+  let { value; zero; one } =
+    match t with
+    | Leaf -> { value = None; zero = Leaf; one = Leaf }
+    | Node n -> n
+  in
+  if depth = Prefix.length p then node (f value) zero one
+  else if Prefix.bit p depth then node value zero (update_at (depth + 1) p f one)
+  else node value (update_at (depth + 1) p f zero) one
+
+let update p f t = update_at 0 p f t
+let add p v t = update p (fun _ -> Some v) t
+let remove p t = update p (fun _ -> None) t
+
+let find p t =
+  let rec go depth = function
+    | Leaf -> None
+    | Node { value; zero; one } ->
+        if depth = Prefix.length p then value
+        else if Prefix.bit p depth then go (depth + 1) one
+        else go (depth + 1) zero
+  in
+  go 0 t
+
+let mem p t =
+  match find p t with Some _ -> true | None -> false
+
+let longest_match addr t =
+  let rec go depth best = function
+    | Leaf -> best
+    | Node { value; zero; one } ->
+        let best =
+          match value with
+          | Some v -> Some (Prefix.make addr depth, v)
+          | None -> best
+        in
+        if depth = 32 then best
+        else if Ipv4.bit addr depth then go (depth + 1) best one
+        else go (depth + 1) best zero
+  in
+  go 0 None t
+
+(* Collect every binding in [t] whose prefix extends the bits seen so far.
+   [prefix_of depth] reconstructs the key from the traversal path. *)
+let collect_all base t =
+  (* [base] is the prefix of the subtree root; rebuild keys by extending. *)
+  let rec go addr depth t acc =
+    match t with
+    | Leaf -> acc
+    | Node { value; zero; one } ->
+        let acc =
+          match value with
+          | Some v -> (Prefix.make (Ipv4.of_int32_exn addr) depth, v) :: acc
+          | None -> acc
+        in
+        let acc =
+          if depth = 32 then acc
+          else begin
+            let acc = go addr (depth + 1) zero acc in
+            go (addr lor (1 lsl (31 - depth))) (depth + 1) one acc
+          end
+        in
+        acc
+  in
+  go (Ipv4.to_int (Prefix.network base)) (Prefix.length base) t []
+
+let subtree_at p t =
+  let rec go depth = function
+    | Leaf -> Leaf
+    | Node n as t ->
+        if depth = Prefix.length p then t
+        else if Prefix.bit p depth then go (depth + 1) n.one
+        else go (depth + 1) n.zero
+  in
+  go 0 t
+
+let subsumed_by p t =
+  collect_all p (subtree_at p t) |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+
+let strict_more_specifics p t =
+  List.filter (fun (q, _) -> not (Prefix.equal p q)) (subsumed_by p t)
+
+let supernets_of p t =
+  let rec go depth acc = function
+    | Leaf -> List.rev acc
+    | Node { value; zero; one } ->
+        let acc =
+          match value with
+          | Some v -> (Prefix.make (Prefix.network p) depth, v) :: acc
+          | None -> acc
+        in
+        if depth = Prefix.length p then List.rev acc
+        else if Prefix.bit p depth then go (depth + 1) acc one
+        else go (depth + 1) acc zero
+  in
+  go 0 [] t
+
+let has_strict_supernet p t =
+  List.exists (fun (q, _) -> Prefix.strictly_subsumes q p) (supernets_of p t)
+
+let fold f t init =
+  let rec go addr depth t acc =
+    match t with
+    | Leaf -> acc
+    | Node { value; zero; one } ->
+        let acc =
+          match value with
+          | Some v -> f (Prefix.make (Ipv4.of_int32_exn addr) depth) v acc
+          | None -> acc
+        in
+        if depth = 32 then acc
+        else begin
+          let acc = go addr (depth + 1) zero acc in
+          go (addr lor (1 lsl (31 - depth))) (depth + 1) one acc
+        end
+  in
+  go 0 0 t init
+
+let iter f t = fold (fun p v () -> f p v) t ()
+
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+
+let to_list t =
+  fold (fun p v acc -> (p, v) :: acc) t [] |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+
+let of_list bindings = List.fold_left (fun t (p, v) -> add p v t) empty bindings
+
+let keys t = List.map fst (to_list t)
+
+let rec map f = function
+  | Leaf -> Leaf
+  | Node { value; zero; one } ->
+      Node { value = Option.map f value; zero = map f zero; one = map f one }
+
+let filter pred t =
+  fold (fun p v acc -> if pred p v then add p v acc else acc) t empty

@@ -1,0 +1,54 @@
+(** Binary trie keyed by IPv4 prefixes.
+
+    An immutable map from {!Prefix.t} to values supporting the queries BGP
+    code needs constantly: exact match, longest-prefix match for an address,
+    enumeration of all entries covered by a prefix (more-specifics) and of
+    all entries covering a prefix (less-specifics).  Depth is bounded by 32,
+    so operations are O(32) plus output size. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** [add p v t] binds [p] to [v], replacing any previous binding. *)
+
+val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
+(** [update p f t] applies [f] to the current binding of [p] ([None] if
+    absent); binding is removed when [f] returns [None]. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+
+val find : Prefix.t -> 'a t -> 'a option
+(** Exact-match lookup. *)
+
+val mem : Prefix.t -> 'a t -> bool
+
+val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** Most-specific entry containing the address. *)
+
+val subsumed_by : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** All entries [q] with [Prefix.subsumes p q], i.e. [p] and its
+    more-specifics, in increasing prefix order. *)
+
+val strict_more_specifics : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** Entries strictly inside [p] (excludes [p] itself). *)
+
+val supernets_of : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** All entries [q] with [Prefix.subsumes q p], shortest first.  Includes
+    [p] itself when bound. *)
+
+val has_strict_supernet : Prefix.t -> 'a t -> bool
+(** True when some bound entry strictly subsumes [p]. *)
+
+val cardinal : 'a t -> int
+val fold : (Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> (Prefix.t * 'a) list
+(** Bindings in increasing {!Prefix.compare} order. *)
+
+val of_list : (Prefix.t * 'a) list -> 'a t
+val keys : 'a t -> Prefix.t list
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : (Prefix.t -> 'a -> bool) -> 'a t -> 'a t

@@ -1,0 +1,1 @@
+lib/prng/prng.ml: Array Float Int64 List

@@ -1,0 +1,131 @@
+(* SplitMix64.  Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+let copy t = { state = t.state }
+
+(* Non-negative 62-bit int from the top bits, safe for OCaml's int. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound = n in
+  let max_int62 = (1 lsl 62) - 1 in
+  let limit = max_int62 - (max_int62 mod bound) in
+  let rec draw () =
+    let r = bits t in
+    if r >= limit then draw () else r mod bound
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 random bits -> [0,1), scaled. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int r /. 9007199254740992.0 *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Prng.choice: empty array";
+  a.(int t (Array.length a))
+
+let choice_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choice_list: empty list"
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let weighted_choice t items =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  if total <= 0.0 then invalid_arg "Prng.weighted_choice: non-positive total weight";
+  let target = float t total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Prng.weighted_choice: empty list"
+    | [ (x, _) ] -> x
+    | (x, w) :: rest -> if acc +. w > target then x else pick (acc +. w) rest
+  in
+  pick 0.0 items
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let a = Array.of_list l in
+  shuffle t a;
+  Array.to_list a
+
+let sample t k xs =
+  let a = Array.of_list xs in
+  shuffle t a;
+  let n = min k (Array.length a) in
+  Array.to_list (Array.sub a 0 n)
+
+(* Zipf via the rejection method of Devroye (1986), valid for s > 0. *)
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if n = 1 then 1
+  else begin
+    let nf = float_of_int n in
+    if abs_float (s -. 1.0) < 1e-9 then begin
+      (* s = 1: inverse CDF of the continuous approximation. *)
+      let u = float t 1.0 in
+      let x = exp (u *. log (nf +. 1.0)) in
+      let k = int_of_float x in
+      max 1 (min n k)
+    end
+    else begin
+      let one_minus_s = 1.0 -. s in
+      let h x = (x ** one_minus_s) /. one_minus_s in
+      let h_inv x = (one_minus_s *. x) ** (1.0 /. one_minus_s) in
+      let hx0 = h 0.5 -. 1.0 in
+      let hn = h (nf +. 0.5) in
+      let rec draw () =
+        let u = hx0 +. float t 1.0 *. (hn -. hx0) in
+        let x = h_inv u in
+        let k = Float.round x in
+        let k = max 1.0 (min nf k) in
+        if u >= h (k +. 0.5) -. (k ** (-.s)) then int_of_float k else draw ()
+      in
+      draw ()
+    end
+  end
+
+let pareto t ~xm ~alpha =
+  if xm <= 0.0 || alpha <= 0.0 then invalid_arg "Prng.pareto: parameters must be positive";
+  let u = 1.0 -. float t 1.0 in
+  xm /. (u ** (1.0 /. alpha))
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u

@@ -1,0 +1,73 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the library draws its randomness from a
+    [Prng.t] so that a given seed reproduces a dataset bit-for-bit.  The
+    generator is SplitMix64 (Steele, Lea & Flood 2014): a tiny, fast,
+    well-distributed 64-bit generator whose state is a single integer, which
+    makes independent sub-streams ([split]) trivial to derive. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each subsystem its own stream so that adding draws in one
+    subsystem does not perturb another. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n-1].  [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi].
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [0, x). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choice_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val weighted_choice : t -> ('a * float) list -> 'a
+(** [weighted_choice t items] draws an element with probability proportional
+    to its weight.  Weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Returns a shuffled copy of the list. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements of [xs],
+    in random order. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws a rank in [1, n] under a Zipf law with exponent [s]
+    (by inverse-CDF over precomputed weights is avoided; rejection sampling
+    keeps it allocation-free).  Heavier ranks are more likely. *)
+
+val pareto : t -> xm:float -> alpha:float -> float
+(** Pareto-distributed float with scale [xm] and shape [alpha]; used for
+    power-law-ish degree targets. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed float with the given mean. *)

@@ -1,0 +1,1 @@
+lib/relinfer/gao.ml: Array List Map Rpi_bgp Rpi_topo Set

@@ -1,0 +1,1 @@
+lib/relinfer/gao.mli: Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/relinfer/validate.ml: List Rpi_bgp Rpi_topo

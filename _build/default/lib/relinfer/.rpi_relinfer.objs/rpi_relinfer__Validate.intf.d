@@ -1,0 +1,1 @@
+lib/relinfer/validate.mli: Rpi_bgp Rpi_topo

@@ -1,0 +1,153 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+
+type config = { sibling_threshold : int; peer_degree_ratio : float }
+
+let default_config = { sibling_threshold = 1; peer_degree_ratio = 60.0 }
+
+(* Collapse consecutive duplicates (AS-path prepending). *)
+let dedup path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if Asn.equal a b then go rest else a :: go rest
+    | ([ _ ] | []) as tail -> tail
+  in
+  go path
+
+module Pair = struct
+  type t = Asn.t * Asn.t
+
+  (* Unordered key. *)
+  let key a b = if Asn.compare a b <= 0 then (a, b) else (b, a)
+
+  let compare (a1, b1) (a2, b2) =
+    match Asn.compare a1 a2 with
+    | 0 -> Asn.compare b1 b2
+    | c -> c
+end
+
+module Pair_map = Map.Make (Pair)
+module Pair_set = Set.Make (Pair)
+
+let degrees paths =
+  let adjacency =
+    List.fold_left
+      (fun acc path ->
+        let path = dedup path in
+        let rec walk acc = function
+          | a :: (b :: _ as rest) ->
+              let add x y acc =
+                let set =
+                  match Asn.Map.find_opt x acc with
+                  | Some s -> s
+                  | None -> Asn.Set.empty
+                in
+                Asn.Map.add x (Asn.Set.add y set) acc
+              in
+              walk (add a b (add b a acc)) rest
+          | [ _ ] | [] -> acc
+        in
+        walk acc path)
+      Asn.Map.empty paths
+  in
+  Asn.Map.map Asn.Set.cardinal adjacency
+
+let top_provider_index degree path =
+  let deg a =
+    match Asn.Map.find_opt a degree with
+    | Some d -> d
+    | None -> 0
+  in
+  let _, top, _ =
+    List.fold_left
+      (fun (i, best_i, best_d) a ->
+        let d = deg a in
+        if d > best_d then (i + 1, i, d) else (i + 1, best_i, best_d))
+      (0, 0, min_int) path
+  in
+  top
+
+let infer ?(config = default_config) paths =
+  let paths = List.map dedup paths in
+  let degree = degrees paths in
+  let deg a =
+    match Asn.Map.find_opt a degree with
+    | Some d -> d
+    | None -> 0
+  in
+  (* transit votes: key (u, v) ordered, value (votes "v provides for u",
+     votes "u provides for v"). *)
+  let votes = ref Pair_map.empty in
+  let vote ~customer ~provider =
+    let key = Pair.key customer provider in
+    let lo, _ = key in
+    let fwd = Asn.equal lo customer in
+    (* fwd: first component is the customer. *)
+    votes :=
+      Pair_map.update key
+        (fun existing ->
+          let a, b =
+            match existing with
+            | Some (a, b) -> (a, b)
+            | None -> (0, 0)
+          in
+          Some (if fwd then (a + 1, b) else (a, b + 1)))
+        !votes
+  in
+  let non_peering = ref Pair_set.empty in
+  let candidates = ref Pair_set.empty in
+  let process path =
+    match path with
+    | [] | [ _ ] -> ()
+    | _ :: _ :: _ ->
+        let arr = Array.of_list path in
+        let n = Array.length arr in
+        let j = top_provider_index degree path in
+        for i = 0 to n - 2 do
+          let a = arr.(i) and b = arr.(i + 1) in
+          if i < j then vote ~customer:a ~provider:b
+          else vote ~customer:b ~provider:a;
+          (* Pairs strictly inside the uphill or downhill sections cannot be
+             peering. *)
+          if i + 1 < j || i > j then non_peering := Pair_set.add (Pair.key a b) !non_peering
+        done;
+        (* The top provider can peer with at most one path neighbour: the
+           higher-degree side. *)
+        let left = if j > 0 then Some arr.(j - 1) else None in
+        let right = if j < n - 1 then Some arr.(j + 1) else None in
+        let candidate =
+          match (left, right) with
+          | Some l, Some r -> Some (if deg l >= deg r then l else r)
+          | Some l, None -> Some l
+          | None, Some r -> Some r
+          | None, None -> None
+        in
+        begin
+          match candidate with
+          | Some c -> candidates := Pair_set.add (Pair.key arr.(j) c) !candidates
+          | None -> ()
+        end
+  in
+  List.iter process paths;
+  (* Assign transit labels. *)
+  let graph =
+    Pair_map.fold
+      (fun (u, v) (v_provides_u, u_provides_v) g ->
+        let l = config.sibling_threshold in
+        if v_provides_u > 0 && u_provides_v > 0 && v_provides_u <= l && u_provides_v <= l
+        then As_graph.add_s2s g u v
+        else if v_provides_u > u_provides_v then As_graph.add_p2c g ~provider:v ~customer:u
+        else if u_provides_v > v_provides_u then As_graph.add_p2c g ~provider:u ~customer:v
+        else As_graph.add_s2s g u v)
+      !votes As_graph.empty
+  in
+  (* Peering phase: relabel qualifying candidates. *)
+  Pair_set.fold
+    (fun (u, v) g ->
+      if Pair_set.mem (u, v) !non_peering then g
+      else begin
+        let du = float_of_int (max 1 (deg u)) and dv = float_of_int (max 1 (deg v)) in
+        let ratio = if du > dv then du /. dv else dv /. du in
+        if ratio < config.peer_degree_ratio then As_graph.add_p2p g u v else g
+      end)
+    !candidates graph

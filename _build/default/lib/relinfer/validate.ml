@@ -1,0 +1,58 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+
+type report = {
+  edges_compared : int;
+  edges_correct : int;
+  confusion : ((Relationship.t * Relationship.t) * int) list;
+  missing : int;
+  extra : int;
+}
+
+let accuracy r =
+  if r.edges_compared = 0 then 1.0
+  else float_of_int r.edges_correct /. float_of_int r.edges_compared
+
+let compare_graphs ~truth ~inferred =
+  let bump key alist =
+    let n =
+      match List.assoc_opt key alist with
+      | Some n -> n
+      | None -> 0
+    in
+    (key, n + 1) :: List.remove_assoc key alist
+  in
+  let compared, correct, confusion, missing =
+    As_graph.fold_edges
+      (fun a b rel (compared, correct, confusion, missing) ->
+        match As_graph.relationship inferred a b with
+        | None -> (compared, correct, confusion, missing + 1)
+        | Some rel' ->
+            if Relationship.equal rel rel' then (compared + 1, correct + 1, confusion, missing)
+            else (compared + 1, correct, bump (rel, rel') confusion, missing))
+      truth (0, 0, [], 0)
+  in
+  let extra =
+    As_graph.fold_edges
+      (fun a b _ n ->
+        match As_graph.relationship truth a b with
+        | None -> n + 1
+        | Some _ -> n)
+      inferred 0
+  in
+  { edges_compared = compared; edges_correct = correct; confusion; missing; extra }
+
+let neighbor_accuracy ~truth ~inferred a =
+  let compared, correct =
+    List.fold_left
+      (fun (compared, correct) (b, rel) ->
+        match As_graph.relationship inferred a b with
+        | None -> (compared, correct)
+        | Some rel' ->
+            if Relationship.equal rel rel' then (compared + 1, correct + 1)
+            else (compared + 1, correct))
+      (0, 0) (As_graph.neighbors truth a)
+  in
+  let fraction = if compared = 0 then 1.0 else float_of_int correct /. float_of_int compared in
+  (fraction, compared)

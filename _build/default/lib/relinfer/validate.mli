@@ -1,0 +1,25 @@
+(** Scoring an inferred AS graph against ground truth — the measurement
+    behind the paper's Table 4 ("percentage of AS relationships between an
+    AS and its neighbours verified"). *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+
+type report = {
+  edges_compared : int;  (** Adjacencies present in both graphs. *)
+  edges_correct : int;  (** Same relationship label. *)
+  confusion : ((Relationship.t * Relationship.t) * int) list;
+      (** [(truth, inferred), count] for mislabelled edges. *)
+  missing : int;  (** Ground-truth edges absent from the inferred graph. *)
+  extra : int;  (** Inferred edges absent from the ground truth. *)
+}
+
+val accuracy : report -> float
+(** [edges_correct / edges_compared]; 1.0 when nothing was compared. *)
+
+val compare_graphs : truth:As_graph.t -> inferred:As_graph.t -> report
+
+val neighbor_accuracy : truth:As_graph.t -> inferred:As_graph.t -> Asn.t -> float * int
+(** Per-AS view used by Table 4: over the AS's neighbours present in both
+    graphs, the fraction labelled identically, and how many were compared. *)

@@ -1,0 +1,1 @@
+lib/sim/atom.ml: Format List Printf Rpi_bgp Rpi_net String

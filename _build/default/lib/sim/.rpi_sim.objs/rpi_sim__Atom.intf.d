@@ -1,0 +1,1 @@
+lib/sim/atom.mli: Format Rpi_bgp Rpi_net

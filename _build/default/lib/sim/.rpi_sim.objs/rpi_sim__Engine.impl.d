@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Atom Hashtbl Int List Logs Option Policy Queue Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Atom Policy Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Int List Rpi_bgp Rpi_topo

@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Atom List Rpi_bgp Rpi_prng Rpi_topo

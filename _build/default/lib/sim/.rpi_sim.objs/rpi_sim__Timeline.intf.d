@@ -1,0 +1,1 @@
+lib/sim/timeline.mli: Atom Rpi_bgp Rpi_prng Rpi_topo

@@ -1,0 +1,1 @@
+lib/sim/vantage.ml: Atom Engine List Policy Rpi_bgp Rpi_net Rpi_topo

@@ -1,0 +1,1 @@
+lib/sim/vantage.mli: Engine Policy Rpi_bgp Rpi_net

@@ -1,0 +1,344 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+
+let log_src = Logs.Src.create "rpi.sim.engine" ~doc:"BGP propagation engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type route = {
+  path : Asn.t list;
+  learned_from : Asn.t option;
+  rel : Relationship.t option;
+  export_class : Relationship.t option;
+  lp : int;
+  no_up : bool;
+}
+
+type table = { candidates : route list; best : route option }
+
+type result = {
+  atom : Atom.t;
+  tables : table Asn.Map.t;
+  converged : bool;
+  steps : int;
+}
+
+type network = {
+  graph : As_graph.t;
+  ases : Asn.t array;
+  index : int Asn.Table.t;
+  neighbors : (int * Asn.t * Relationship.t) array array;
+  import_policies : Policy.import_policy array;
+  transit_scopes : Asn.Set.t option array;
+}
+
+let prepare ~graph ~import ?(transit_scope = fun _ -> None) () =
+  let ases = Array.of_list (As_graph.ases graph) in
+  let n = Array.length ases in
+  let index = Asn.Table.create (max 16 n) in
+  Array.iteri (fun i a -> Asn.Table.add index a i) ases;
+  let neighbors =
+    Array.map
+      (fun a ->
+        As_graph.neighbors graph a
+        |> List.map (fun (b, rel) -> (Asn.Table.find index b, b, rel))
+        |> Array.of_list)
+      ases
+  in
+  {
+    graph;
+    ases;
+    index;
+    neighbors;
+    import_policies = Array.map import ases;
+    transit_scopes = Array.map transit_scope ases;
+  }
+
+let graph_of net = net.graph
+
+(* Candidate preference: higher lp, then shorter path, then smaller
+   announcing neighbour, then lexicographic path — a deterministic total
+   order standing in for the tie-break tail of the decision process. *)
+let compare_candidates a b =
+  match Int.compare b.lp a.lp with
+  | 0 -> begin
+      match Int.compare (List.length a.path) (List.length b.path) with
+      | 0 -> begin
+          match Option.compare Asn.compare a.learned_from b.learned_from with
+          | 0 -> List.compare Asn.compare a.path b.path
+          | c -> c
+        end
+      | c -> c
+    end
+  | c -> c
+
+let route_equal a b =
+  a.lp = b.lp && a.no_up = b.no_up
+  && Option.equal Asn.equal a.learned_from b.learned_from
+  && Option.equal Relationship.equal a.export_class b.export_class
+  && List.equal Asn.equal a.path b.path
+
+(* Would AS [holder] (holding route [r] for [atom]) export it to neighbour
+   [nb] classified as [nb_rel]?  [Some tag] = yes, carrying no_up = tag. *)
+let export_decision atom ~holder ~(r : route) ~nb ~nb_rel =
+  let is_origin =
+    match r.learned_from with
+    | None -> true
+    | Some _ -> false
+  in
+  if (not is_origin) && Asn.Set.mem holder atom.Atom.suppressed_at then None
+  else begin
+    let class_ok =
+      if is_origin then true
+      else begin
+        (* The export class survives sibling hops: a peer route relayed by
+           a sibling is still a peer route and must not climb again
+           (valley-free discipline over sibling-transparent paths). *)
+        match r.export_class with
+        | Some (Relationship.Customer | Relationship.Sibling) | None -> true
+        | Some (Relationship.Peer | Relationship.Provider) -> begin
+            (* Peer/provider routes go to customers and siblings only. *)
+            match nb_rel with
+            | Relationship.Customer | Relationship.Sibling -> true
+            | Relationship.Peer | Relationship.Provider -> false
+          end
+      end
+    in
+    let no_up_ok =
+      (not r.no_up)
+      ||
+      match nb_rel with
+      | Relationship.Customer | Relationship.Sibling -> true
+      | Relationship.Peer | Relationship.Provider -> false
+    in
+    let origin_scope_ok =
+      if not is_origin then true
+      else begin
+        match nb_rel with
+        | Relationship.Customer | Relationship.Sibling -> true
+        | Relationship.Peer -> not (Asn.Set.mem nb atom.Atom.withhold_peers)
+        | Relationship.Provider -> begin
+            match atom.Atom.provider_scope with
+            | Atom.All_providers -> true
+            | Atom.Only_providers set -> Asn.Set.mem nb set
+          end
+      end
+    in
+    if class_ok && no_up_ok && origin_scope_ok then
+      Some (r.no_up || (is_origin && Asn.Set.mem nb atom.Atom.no_export_up))
+    else None
+  end
+
+let propagate net ~retain ?(lp_overrides = []) atom =
+  let { ases; index; neighbors; import_policies; transit_scopes; graph = _ } = net in
+  let n = Array.length ases in
+  let origin = atom.Atom.origin in
+  let origin_i =
+    match Asn.Table.find_opt index origin with
+    | Some i -> i
+    | None -> invalid_arg "Engine.propagate: origin not in graph"
+  in
+  (* Per-atom lp override lookup, keyed by holder*n + neighbor. *)
+  let override_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (holder, nb, lp) ->
+      match (Asn.Table.find_opt index holder, Asn.Table.find_opt index nb) with
+      | Some h, Some m -> Hashtbl.replace override_tbl ((h * n) + m) lp
+      | (Some _ | None), _ -> ())
+    lp_overrides;
+  let lp_at holder_i ~neighbor ~neighbor_i ~rel =
+    match Hashtbl.find_opt override_tbl ((holder_i * n) + neighbor_i) with
+    | Some lp -> lp
+    | None ->
+        Policy.lp_for import_policies.(holder_i) ~neighbor ~rel ~atom:atom.Atom.id
+  in
+  (* State: candidates.(i) maps neighbour index -> route received. *)
+  let candidates : (int * route) list array = Array.make n [] in
+  let best : route option array = Array.make n None in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue i =
+    if not queued.(i) then begin
+      queued.(i) <- true;
+      Queue.push i queue
+    end
+  in
+  let origin_route =
+    {
+      path = [];
+      learned_from = None;
+      rel = None;
+      export_class = None;
+      lp = 0;
+      no_up = false;
+    }
+  in
+  enqueue origin_i;
+  let steps = ref 0 in
+  let cap = 200 * (n + 1) in
+  let select i =
+    if i = origin_i then Some origin_route
+    else begin
+      match candidates.(i) with
+      | [] -> None
+      | (_, first) :: rest ->
+          Some
+            (List.fold_left
+               (fun acc (_, r) -> if compare_candidates r acc < 0 then r else acc)
+               first rest)
+    end
+  in
+  while (not (Queue.is_empty queue)) && !steps <= cap do
+    incr steps;
+    let i = Queue.pop queue in
+    queued.(i) <- false;
+    let holder = ases.(i) in
+    let new_best = select i in
+    let changed =
+      match (best.(i), new_best) with
+      | None, None -> false
+      | Some a, Some b -> not (route_equal a b)
+      | None, Some _ | Some _, None -> true
+    in
+    (* The origin's best never changes after initialisation, but its first
+       visit must run the export step. *)
+    if changed || (i = origin_i && !steps = 1) then begin
+      best.(i) <- new_best;
+      Array.iter
+        (fun (j, nb, nb_rel) ->
+          let exported =
+            match new_best with
+            | None -> None
+            | Some r -> begin
+                let transit_ok =
+                  (* Intermediate selective announcement: a relayed
+                     customer-class route only climbs to providers in the
+                     holder's transit scope. *)
+                  match (r.learned_from, nb_rel) with
+                  | Some _, Relationship.Provider -> begin
+                      match transit_scopes.(i) with
+                      | Some scope -> Asn.Set.mem nb scope
+                      | None -> true
+                    end
+                  | (Some _ | None), _ -> true
+                in
+                if not transit_ok then None
+                else begin
+                match export_decision atom ~holder ~r ~nb ~nb_rel with
+                | None -> None
+                | Some tag ->
+                    (* The origin may pad its own announcement towards
+                       selected neighbours (AS-path prepending). *)
+                    let copies =
+                      match r.learned_from with
+                      | None -> 1 + Atom.prepend_count atom ~neighbor:nb
+                      | Some _ -> 1
+                    in
+                    let path' = List.init copies (fun _ -> holder) @ r.path in
+                    if List.exists (Asn.equal nb) path' then None
+                    else begin
+                      let back_rel = Relationship.invert nb_rel in
+                      (* how nb classifies holder *)
+                      let lp =
+                        match back_rel with
+                        | Relationship.Sibling -> begin
+                            (* Siblings behave like one AS: the preference
+                               assigned by the sending sibling carries over
+                               (re-assigning a flat sibling value above peer
+                               and provider creates DISAGREE-style
+                               oscillation between mutually-preferring
+                               siblings).  The origin's own route gets the
+                               receiver's sibling class value. *)
+                            match r.learned_from with
+                            | None ->
+                                lp_at j ~neighbor:holder ~neighbor_i:i ~rel:back_rel
+                            | Some _ -> r.lp
+                          end
+                        | Relationship.Customer | Relationship.Peer
+                        | Relationship.Provider ->
+                            lp_at j ~neighbor:holder ~neighbor_i:i ~rel:back_rel
+                      in
+                      let export_class =
+                        match back_rel with
+                        | Relationship.Sibling -> begin
+                            match r.export_class with
+                            | None -> Some Relationship.Customer
+                            | Some c -> Some c
+                          end
+                        | Relationship.Customer | Relationship.Peer
+                        | Relationship.Provider ->
+                            Some back_rel
+                      in
+                      Some
+                        {
+                          path = path';
+                          learned_from = Some holder;
+                          rel = Some back_rel;
+                          export_class;
+                          lp;
+                          no_up = tag;
+                        }
+                    end
+                end
+              end
+          in
+          let old = List.assoc_opt i candidates.(j) in
+          let cand_changed =
+            match (old, exported) with
+            | None, None -> false
+            | Some a, Some b -> not (route_equal a b)
+            | None, Some _ | Some _, None -> true
+          in
+          if cand_changed then begin
+            let rest = List.remove_assoc i candidates.(j) in
+            candidates.(j) <-
+              (match exported with
+              | Some r -> (i, r) :: rest
+              | None -> rest);
+            enqueue j
+          end)
+        neighbors.(i)
+    end
+  done;
+  let converged = Queue.is_empty queue in
+  if not converged then
+    Log.warn (fun m ->
+        m "propagation of atom %d did not converge within %d steps" atom.Atom.id cap);
+  let tables =
+    Asn.Set.fold
+      (fun a acc ->
+        match Asn.Table.find_opt index a with
+        | None -> acc
+        | Some i ->
+            let cands = List.map snd candidates.(i) in
+            let cands = if i = origin_i then origin_route :: cands else cands in
+            let sorted = List.sort compare_candidates cands in
+            Asn.Map.add a { candidates = sorted; best = best.(i) } acc)
+      retain Asn.Map.empty
+  in
+  { atom; tables; converged; steps = !steps }
+
+let propagate_all net ~retain ?lp_overrides atoms =
+  let overrides_for =
+    match lp_overrides with
+    | Some f -> f
+    | None -> fun _ -> []
+  in
+  List.map
+    (fun atom ->
+      propagate net ~retain ~lp_overrides:(overrides_for atom.Atom.id) atom)
+    atoms
+
+let best_at result a =
+  match Asn.Map.find_opt a result.tables with
+  | Some t -> t.best
+  | None -> None
+
+let reachable_count result =
+  Asn.Map.fold
+    (fun _ t n ->
+      match t.best with
+      | Some _ -> n + 1
+      | None -> n)
+    result.tables 0

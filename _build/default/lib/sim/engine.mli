@@ -1,0 +1,94 @@
+(** Policy-aware BGP route propagation.
+
+    For one announcement atom, computes the stable routing state of the
+    whole AS graph under the configured import and export policies, and
+    returns the tables (candidate routes + best route) of a chosen set of
+    vantage ASs.
+
+    The solver is an asynchronous-fixpoint worklist: an AS whose best route
+    changes re-exports to its neighbours according to the standard
+    relationship rules (customer routes to everyone; peer and provider
+    routes only to customers and siblings) refined by the atom's export
+    spec (selective provider scope, "no-export-up" community, per-peer
+    withholding, aggregation suppression).  With preference policies that
+    respect the Gao–Rexford conditions — which the generated scenarios do,
+    up to the paper's small "atypical" minority — a unique stable state
+    exists and the worklist converges quickly; a step cap guards against
+    pathological dispute wheels. *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+
+type route = {
+  path : Asn.t list;
+      (** AS path as it would appear in this AS's table: announcing
+          neighbour first, origin last; empty for the origin itself. *)
+  learned_from : Asn.t option;  (** [None] for the origin's own route. *)
+  rel : Relationship.t option;
+      (** How this AS classifies [learned_from]. *)
+  export_class : Relationship.t option;
+      (** Effective class driving the export rules; preserved across
+          sibling hops so that a peer route relayed by a sibling cannot
+          climb the hierarchy again ([None] for the origin's own route). *)
+  lp : int;  (** Local preference assigned on import (0 for the origin). *)
+  no_up : bool;  (** Route carries the "do not announce further up" tag. *)
+}
+
+type table = {
+  candidates : route list;  (** All routes received, best first. *)
+  best : route option;
+}
+
+type result = {
+  atom : Atom.t;
+  tables : table Asn.Map.t;  (** Only the ASs requested in [retain]. *)
+  converged : bool;
+  steps : int;  (** Worklist pops consumed. *)
+}
+
+type network
+(** The AS graph with import policies resolved into index-based arrays —
+    built once, shared by every per-atom propagation. *)
+
+val prepare :
+  graph:As_graph.t ->
+  import:(Asn.t -> Policy.import_policy) ->
+  ?transit_scope:(Asn.t -> Asn.Set.t option) ->
+  unit ->
+  network
+(** [transit_scope a]: when [Some set], AS [a] re-exports customer-learned
+    routes only to the providers in [set] — selective announcement by an
+    intermediate AS (the paper's second source of SA prefixes).  [None]
+    (the default) re-exports to all providers. *)
+
+val graph_of : network -> As_graph.t
+
+val propagate :
+  network ->
+  retain:Asn.Set.t ->
+  ?lp_overrides:(Asn.t * Asn.t * int) list ->
+  Atom.t ->
+  result
+(** [lp_overrides]: [(holder, neighbor, lp)] triples overriding the
+    holder's import policy for this atom only (prefix-granularity local
+    preference).
+    @raise Invalid_argument when the atom's origin is not in the graph. *)
+
+val propagate_all :
+  network ->
+  retain:Asn.Set.t ->
+  ?lp_overrides:(int -> (Asn.t * Asn.t * int) list) ->
+  Atom.t list ->
+  result list
+(** One propagation per atom; [lp_overrides] is queried by atom id. *)
+
+val best_at : result -> Asn.t -> route option
+(** Best route of a retained AS ([None] when unreachable or not retained). *)
+
+val reachable_count : result -> int
+(** Retained ASs holding at least one route. *)
+
+val compare_candidates : route -> route -> int
+(** The preference order used to select the best candidate: higher local
+    preference, then shorter path, then deterministic tie-breaks. *)

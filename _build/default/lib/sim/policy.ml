@@ -1,0 +1,107 @@
+module Asn = Rpi_bgp.Asn
+module Relationship = Rpi_topo.Relationship
+module Community = Rpi_bgp.Community
+
+type import_policy = {
+  lp_customer : int;
+  lp_sibling : int;
+  lp_peer : int;
+  lp_provider : int;
+  lp_neighbor : int Asn.Map.t;
+  lp_atom : (Asn.t * int * int) list;
+}
+
+let default_import =
+  {
+    lp_customer = 110;
+    lp_sibling = 105;
+    lp_peer = 100;
+    lp_provider = 90;
+    lp_neighbor = Asn.Map.empty;
+    lp_atom = [];
+  }
+
+let class_pref p = function
+  | Relationship.Customer -> p.lp_customer
+  | Relationship.Sibling -> p.lp_sibling
+  | Relationship.Peer -> p.lp_peer
+  | Relationship.Provider -> p.lp_provider
+
+let lp_for p ~neighbor ~rel ~atom =
+  let atom_override =
+    List.find_map
+      (fun (n, a, lp) -> if Asn.equal n neighbor && a = atom then Some lp else None)
+      p.lp_atom
+  in
+  match atom_override with
+  | Some lp -> lp
+  | None -> begin
+      match Asn.Map.find_opt neighbor p.lp_neighbor with
+      | Some lp -> lp
+      | None -> class_pref p rel
+    end
+
+let is_typical_classes p = p.lp_customer > p.lp_peer && p.lp_peer > p.lp_provider
+
+type community_scheme = {
+  customer_codes : int list;
+  peer_codes : int list;
+  provider_codes : int list;
+}
+
+let default_scheme =
+  { customer_codes = [ 4000 ]; peer_codes = [ 1000 ]; provider_codes = [ 2000 ] }
+
+let multi_scheme =
+  {
+    customer_codes = [ 4000; 4010 ];
+    peer_codes = [ 1000; 1010; 1020 ];
+    provider_codes = [ 2000; 2010; 2020 ];
+  }
+
+let pick codes neighbor =
+  match codes with
+  | [] -> None
+  | _ :: _ -> Some (List.nth codes (Asn.to_int neighbor mod List.length codes))
+
+let tag scheme ~self ~neighbor rel =
+  let codes =
+    match rel with
+    | Relationship.Customer -> Some scheme.customer_codes
+    | Relationship.Peer -> Some scheme.peer_codes
+    | Relationship.Provider -> Some scheme.provider_codes
+    | Relationship.Sibling -> None
+  in
+  match codes with
+  | None -> None
+  | Some codes -> begin
+      match pick codes neighbor with
+      | Some code -> Some (Community.make self code)
+      | None -> None
+    end
+
+let code_class scheme code =
+  (* Band interpretation: a code belongs to the class whose smallest code
+     is the largest one not exceeding it — "12859:1010 and 12859:1020 are
+     the same because they fall in the peer band". *)
+  let base codes = List.fold_left min max_int codes in
+  let bands =
+    [
+      (Relationship.Customer, base scheme.customer_codes);
+      (Relationship.Peer, base scheme.peer_codes);
+      (Relationship.Provider, base scheme.provider_codes);
+    ]
+    |> List.filter (fun (_, b) -> b <> max_int)
+    |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
+  in
+  let rec locate current = function
+    | [] -> current
+    | (rel, b) :: rest -> if code >= b then locate (Some rel) rest else current
+  in
+  locate None bands
+
+let no_reexport_code = 65000
+
+type t = { asn : Asn.t; import : import_policy; scheme : community_scheme option }
+
+let default asn = { asn; import = default_import; scheme = None }

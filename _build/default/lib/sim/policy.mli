@@ -1,0 +1,73 @@
+(** Per-AS routing-policy configuration consumed by the simulator.
+
+    Import policy fixes the local preference an AS assigns to a route by
+    the class of the announcing neighbour, with optional per-neighbour and
+    per-(neighbour, atom) overrides — the three granularities the paper
+    observes (class-wide, next-hop-AS-based, prefix-based).
+
+    A community scheme describes how an AS tags routes with the
+    relationship of the announcing neighbour (the convention the paper's
+    Appendix exploits for verification, cf. Table 11). *)
+
+module Asn = Rpi_bgp.Asn
+module Relationship = Rpi_topo.Relationship
+module Community = Rpi_bgp.Community
+
+type import_policy = {
+  lp_customer : int;
+  lp_sibling : int;
+  lp_peer : int;
+  lp_provider : int;
+  lp_neighbor : int Asn.Map.t;  (** Per-neighbour override of the class value. *)
+  lp_atom : (Asn.t * int * int) list;
+      (** Per-(neighbour, atom id) override — the "prefix-based" minority.
+          Triples [(neighbor, atom_id, lp)]. *)
+}
+
+val default_import : import_policy
+(** Typical preference: customer 110, sibling 105, peer 100, provider 90. *)
+
+val class_pref : import_policy -> Relationship.t -> int
+
+val lp_for : import_policy -> neighbor:Asn.t -> rel:Relationship.t -> atom:int -> int
+(** Resolution order: (neighbour, atom) override, then neighbour override,
+    then class value. *)
+
+val is_typical_classes : import_policy -> bool
+(** Class values respect customer > peer > provider (the paper's "typical
+    local preference"), ignoring overrides. *)
+
+type community_scheme = {
+  customer_codes : int list;  (** 16-bit code values tagging customer routes. *)
+  peer_codes : int list;
+  provider_codes : int list;
+}
+
+val default_scheme : community_scheme
+(** Single-value scheme in the style of Table 11: customers 4000, peers
+    1000, providers 2000. *)
+
+val multi_scheme : community_scheme
+(** Several values per class (like AS12859's 1000/1010/1020 for peers). *)
+
+val tag : community_scheme -> self:Asn.t -> neighbor:Asn.t -> Relationship.t -> Community.t option
+(** The community the AS attaches to routes from this neighbour; the code
+    within a class is chosen deterministically by the neighbour's number.
+    Sibling routes are not tagged. *)
+
+val code_class : community_scheme -> int -> Relationship.t option
+(** Reverse lookup: which relationship class does a code belong to?  Ranges
+    are interpreted as half-open bands between the smallest codes of each
+    class, mirroring how the paper groups "same" community values. *)
+
+val no_reexport_code : int
+(** The 16-bit code (65000) conventionally meaning "do not announce this
+    route further up"; attached with the origin's AS number. *)
+
+type t = {
+  asn : Asn.t;
+  import : import_policy;
+  scheme : community_scheme option;
+}
+
+val default : Asn.t -> t

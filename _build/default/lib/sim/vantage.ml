@@ -1,0 +1,133 @@
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module As_path = Rpi_bgp.As_path
+module Community = Rpi_bgp.Community
+module Ipv4 = Rpi_net.Ipv4
+module Relationship = Rpi_topo.Relationship
+
+let next_hop_of asn =
+  let n = Asn.to_int asn land 0xFFFF in
+  Ipv4.of_octets 10 (n lsr 8) (n land 0xFF) 1
+
+let router_id_of asn ~router =
+  let n = Asn.to_int asn land 0xFFFF in
+  Ipv4.of_octets 172 (16 + (router land 0x0F)) (n lsr 8) (n land 0xFF)
+
+let no_reexport_community ~origin = Community.make origin Policy.no_reexport_code
+
+let communities_of policy ~origin (r : Engine.route) =
+  let base =
+    if r.Engine.no_up then Community.Set.singleton (no_reexport_community ~origin)
+    else Community.Set.empty
+  in
+  match (policy.Policy.scheme, r.Engine.learned_from, r.Engine.rel) with
+  | Some scheme, Some neighbor, Some rel -> begin
+      match Policy.tag scheme ~self:policy.Policy.asn ~neighbor rel with
+      | Some c -> Community.Set.add c base
+      | None -> base
+    end
+  | (Some _ | None), _, _ -> base
+
+let route_of_engine ~policy ~prefix ~origin ?(igp_metric = 0) (r : Engine.route) =
+  match r.Engine.learned_from with
+  | None ->
+      Route.make ~prefix ~next_hop:(Ipv4.of_int32_exn 0) ~as_path:As_path.empty
+        ~source:Route.Local ~origin:Route.Igp
+        ~router_id:(router_id_of policy.Policy.asn ~router:0)
+        ()
+  | Some neighbor ->
+      Route.make ~prefix ~next_hop:(next_hop_of neighbor)
+        ~as_path:(As_path.of_list r.Engine.path) ~local_pref:r.Engine.lp
+        ~communities:(communities_of policy ~origin r) ~source:Route.Ebgp
+        ~igp_metric ~router_id:(next_hop_of neighbor) ~peer_as:neighbor ()
+
+let rib_at ~policy ~vantage results =
+  List.fold_left
+    (fun rib (result : Engine.result) ->
+      match Asn.Map.find_opt vantage result.Engine.tables with
+      | None -> rib
+      | Some table ->
+          let origin = result.Engine.atom.Atom.origin in
+          List.fold_left
+            (fun rib prefix ->
+              List.fold_left
+                (fun rib r -> Rib.add_route (route_of_engine ~policy ~prefix ~origin r) rib)
+                rib table.Engine.candidates)
+            rib result.Engine.atom.Atom.prefixes)
+    Rib.empty results
+
+let collector_rib ~peers results =
+  List.fold_left
+    (fun rib (result : Engine.result) ->
+      let origin = result.Engine.atom.Atom.origin in
+      List.fold_left
+        (fun rib peer ->
+          match Engine.best_at result peer with
+          | None -> rib
+          | Some r ->
+              let as_path = As_path.of_list (peer :: r.Engine.path) in
+              let communities =
+                if r.Engine.no_up then
+                  Community.Set.singleton (no_reexport_community ~origin)
+                else Community.Set.empty
+              in
+              List.fold_left
+                (fun rib prefix ->
+                  let route =
+                    Route.make ~prefix ~next_hop:(next_hop_of peer) ~as_path ~communities
+                      ~source:Route.Ebgp ~router_id:(next_hop_of peer) ~peer_as:peer ()
+                  in
+                  Rib.add_route route rib)
+                rib result.Engine.atom.Atom.prefixes)
+        rib peers)
+    Rib.empty results
+
+let router_views ~policy ~vantage ~routers results =
+  if routers < 1 then invalid_arg "Vantage.router_views: need at least one router";
+  (* A backbone router terminates the eBGP sessions of a subset of the
+     AS's neighbours (deterministic by (neighbour, router)); routes from
+     other sessions reach it over iBGP carrying the session router's
+     assignment.  Per-router IGP metrics make routers pick different
+     equally-preferred exits. *)
+  let session_here ~router nb =
+    let h = (Asn.to_int nb * 2654435761) lxor (router * 40503) in
+    h land 0xFF < 160 (* ~62% of sessions visible per router *)
+  in
+  List.init routers (fun router ->
+      List.fold_left
+        (fun rib (result : Engine.result) ->
+          match Asn.Map.find_opt vantage result.Engine.tables with
+          | None -> rib
+          | Some table ->
+              let origin = result.Engine.atom.Atom.origin in
+              let visible =
+                List.filter
+                  (fun (r : Engine.route) ->
+                    match r.Engine.learned_from with
+                    | None -> true
+                    | Some nb -> session_here ~router nb)
+                  table.Engine.candidates
+              in
+              (* Always keep the AS-level best (it reaches every router
+                 over iBGP). *)
+              let visible =
+                match (table.Engine.best, visible) with
+                | Some best, _ when not (List.memq best visible) -> best :: visible
+                | _, _ -> visible
+              in
+              List.fold_left
+                (fun rib prefix ->
+                  List.fold_left
+                    (fun rib (r : Engine.route) ->
+                      let igp_metric =
+                        match r.Engine.learned_from with
+                        | None -> 0
+                        | Some nb -> 1 + ((Asn.to_int nb * 31) + (router * 17)) mod 50
+                      in
+                      Rib.add_route
+                        (route_of_engine ~policy ~prefix ~origin ~igp_metric r)
+                        rib)
+                    rib visible)
+                rib result.Engine.atom.Atom.prefixes)
+        Rib.empty results)

@@ -1,0 +1,39 @@
+(** Extraction of observable BGP tables from propagation results.
+
+    Produces the two kinds of dataset the paper uses: Looking-Glass style
+    tables (the full RIB of one AS, with local preference and the AS's
+    community tags) and a RouteViews-style collector table (the best routes
+    of every feeding peer, without local preference). *)
+
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module Ipv4 = Rpi_net.Ipv4
+
+val next_hop_of : Asn.t -> Ipv4.t
+(** Deterministic synthetic next-hop address for a neighbour
+    (10.x.y.1 encoding the AS number). *)
+
+val router_id_of : Asn.t -> router:int -> Ipv4.t
+(** Synthetic router identity [router] within an AS. *)
+
+val rib_at : policy:Policy.t -> vantage:Asn.t -> Engine.result list -> Rib.t
+(** The Looking-Glass view of [vantage]: every candidate route it received,
+    for every prefix of every atom, with local preference as assigned by
+    its import policy and communities tagged per its community scheme.
+    Routes the AS originates itself appear as [Local] routes. *)
+
+val collector_rib : peers:Asn.t list -> Engine.result list -> Rib.t
+(** RouteViews-style table: for each feeding peer, its best route per
+    prefix (AS path prepended with the peer itself), no local preference.
+    Origin-tagged "no-export-up" communities stay visible, as transitive
+    communities do in practice. *)
+
+val no_reexport_community : origin:Asn.t -> Rpi_bgp.Community.t
+(** The community marking "origin asked its provider not to re-export". *)
+
+val router_views :
+  policy:Policy.t -> vantage:Asn.t -> routers:int -> Engine.result list -> Rib.t list
+(** Per-router views of one AS (the paper's 30 AT&T backbone routers):
+    identical AS-level candidates and local preferences, but per-router IGP
+    metrics, so routers may pick different equally-preferred exits. *)

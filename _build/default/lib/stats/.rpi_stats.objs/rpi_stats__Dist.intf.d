@@ -1,0 +1,1 @@
+lib/stats/dist.mli:

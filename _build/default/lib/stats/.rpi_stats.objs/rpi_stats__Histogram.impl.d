@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Int List Map Option

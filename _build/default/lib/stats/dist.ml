@@ -1,0 +1,43 @@
+let sum xs = List.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ :: _ -> sum xs /. float_of_int (List.length xs)
+
+let min_value = function
+  | [] -> None
+  | x :: rest -> Some (List.fold_left min x rest)
+
+let max_value = function
+  | [] -> None
+  | x :: rest -> Some (List.fold_left max x rest)
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Dist.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Dist.percentile: p out of range";
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let pos = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let median xs = percentile 50.0 xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ :: _ :: _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let fraction (num, den) = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let pct counts = 100.0 *. fraction counts

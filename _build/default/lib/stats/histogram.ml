@@ -1,0 +1,33 @@
+module Int_map = Map.Make (Int)
+
+type t = int Int_map.t
+
+let empty = Int_map.empty
+
+let add ?(count = 1) key t =
+  Int_map.update key
+    (fun existing ->
+      match existing with
+      | Some n -> Some (n + count)
+      | None -> Some count)
+    t
+
+let of_list keys = List.fold_left (fun t k -> add k t) empty keys
+
+let count key t =
+  match Int_map.find_opt key t with
+  | Some n -> n
+  | None -> 0
+
+let total t = Int_map.fold (fun _ n acc -> acc + n) t 0
+
+let bins t = Int_map.bindings t
+
+let bins_filled ~lo ~hi t =
+  List.init (hi - lo + 1) (fun i ->
+      let key = lo + i in
+      (key, count key t))
+
+let max_key t = Int_map.max_binding_opt t |> Option.map fst
+
+let merge a b = Int_map.union (fun _ x y -> Some (x + y)) a b

@@ -1,0 +1,18 @@
+(** Integer-keyed frequency counts (used for the paper's uptime histograms,
+    Fig. 7). *)
+
+type t
+
+val empty : t
+val add : ?count:int -> int -> t -> t
+val of_list : int list -> t
+val count : int -> t -> int
+val total : t -> int
+val bins : t -> (int * int) list
+(** [(key, count)] pairs, ascending key; zero-count keys omitted. *)
+
+val bins_filled : lo:int -> hi:int -> t -> (int * int) list
+(** Like {!bins}, but every key in [lo, hi] present (zeros included). *)
+
+val max_key : t -> int option
+val merge : t -> t -> t

@@ -1,0 +1,92 @@
+let rank_by_count items =
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> Int.compare b a) items in
+  List.mapi (fun i (item, count) -> (i + 1, item, count)) sorted
+
+let log_spaced_marks bound =
+  let rec go acc decade =
+    let marks = [ decade; 2 * decade; 5 * decade ] in
+    let keep = List.filter (fun m -> m <= bound) marks in
+    if keep = [] then List.rev acc else go (List.rev_append keep acc) (decade * 10)
+  in
+  go [] 1
+
+let render_grid grid =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf (String.init (Array.length row) (Array.get row));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf
+
+let ascii_loglog ?(width = 60) ?(height = 16) points =
+  let points = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) points in
+  match points with
+  | [] -> "(no data)\n"
+  | _ :: _ ->
+      let lx = List.map (fun (x, _) -> log10 x) points in
+      let ly = List.map (fun (_, y) -> log10 y) points in
+      let fmin l = List.fold_left min infinity l and fmax l = List.fold_left max neg_infinity l in
+      let x0 = fmin lx and x1 = fmax lx and y0 = fmin ly and y1 = fmax ly in
+      let xspan = if x1 -. x0 < 1e-9 then 1.0 else x1 -. x0 in
+      let yspan = if y1 -. y0 < 1e-9 then 1.0 else y1 -. y0 in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun (x, y) ->
+          let gx =
+            int_of_float ((log10 x -. x0) /. xspan *. float_of_int (width - 1))
+          in
+          let gy =
+            height - 1
+            - int_of_float ((log10 y -. y0) /. yspan *. float_of_int (height - 1))
+          in
+          if gx >= 0 && gx < width && gy >= 0 && gy < height then grid.(gy).(gx) <- '*')
+        points;
+      Printf.sprintf "y: %.3g .. %.3g (log)  x: %.3g .. %.3g (log)\n%s"
+        (10.0 ** y0) (10.0 ** y1) (10.0 ** x0) (10.0 ** x1) (render_grid grid)
+
+let ascii_timeseries ?(width = 60) ?(height = 12) ~labels series =
+  let all = List.concat series |> List.filter (fun v -> v > 0.0) in
+  match all with
+  | [] -> "(no data)\n"
+  | _ :: _ ->
+      let y0 = log10 (List.fold_left min infinity all) in
+      let y1 = log10 (List.fold_left max neg_infinity all) in
+      let yspan = if y1 -. y0 < 1e-9 then 1.0 else y1 -. y0 in
+      let n = List.fold_left (fun acc s -> max acc (List.length s)) 0 series in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si s ->
+          let mark =
+            match List.nth_opt labels si with
+            | Some l when String.length l > 0 -> l.[0]
+            | Some _ | None -> Char.chr (Char.code 'a' + (si mod 26))
+          in
+          List.iteri
+            (fun i v ->
+              if v > 0.0 then begin
+                let gx =
+                  if n <= 1 then 0 else i * (width - 1) / (n - 1)
+                in
+                let gy =
+                  height - 1
+                  - int_of_float ((log10 v -. y0) /. yspan *. float_of_int (height - 1))
+                in
+                if gx >= 0 && gx < width && gy >= 0 && gy < height then
+                  grid.(gy).(gx) <- mark
+              end)
+            s)
+        series;
+      let legend =
+        List.mapi
+          (fun si l ->
+            let mark =
+              if String.length l > 0 then String.make 1 l.[0]
+              else String.make 1 (Char.chr (Char.code 'a' + (si mod 26)))
+            in
+            Printf.sprintf "%s=%s" mark l)
+          labels
+        |> String.concat "  "
+      in
+      Printf.sprintf "y: %.3g .. %.3g (log)   %s\n%s" (10.0 ** y0) (10.0 ** y1) legend
+        (render_grid grid)

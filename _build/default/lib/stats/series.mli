@@ -1,0 +1,18 @@
+(** Rank-size and time series helpers for the paper's figures. *)
+
+val rank_by_count : ('a * int) list -> (int * 'a * int) list
+(** [(rank, item, count)] with rank 1 = largest count; ties broken by input
+    order (stable). *)
+
+val log_spaced_marks : int -> int list
+(** [1; 2; 5; 10; 20; 50; ...] up to the bound — tick positions for
+    log-scale textual plots. *)
+
+val ascii_loglog : ?width:int -> ?height:int -> (float * float) list -> string
+(** A small log-log scatter rendering for terminal output (Fig. 9-style
+    rank plots).  Points with non-positive coordinates are dropped. *)
+
+val ascii_timeseries :
+  ?width:int -> ?height:int -> labels:string list -> float list list -> string
+(** Multiple series over a shared x axis (Fig. 6-style), log-scale y.
+    Each series gets the first character of its label as its mark. *)

@@ -1,0 +1,1 @@
+lib/topo/as_graph.ml: Buffer List Printf Relationship Rpi_bgp String

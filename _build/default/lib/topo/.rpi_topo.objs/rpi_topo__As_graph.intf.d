@@ -1,0 +1,1 @@
+lib/topo/as_graph.mli: Relationship Rpi_bgp

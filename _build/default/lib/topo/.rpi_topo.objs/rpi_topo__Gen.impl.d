@@ -1,0 +1,1 @@
+lib/topo/gen.ml: Array As_graph Int List Rpi_bgp Rpi_prng

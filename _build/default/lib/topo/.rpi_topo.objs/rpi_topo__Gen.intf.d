@@ -1,0 +1,1 @@
+lib/topo/gen.mli: As_graph Rpi_bgp Rpi_prng

@@ -1,0 +1,1 @@
+lib/topo/paths.ml: As_graph List Relationship Rpi_bgp

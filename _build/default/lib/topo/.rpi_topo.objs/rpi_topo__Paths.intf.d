@@ -1,0 +1,1 @@
+lib/topo/paths.mli: As_graph Relationship Rpi_bgp

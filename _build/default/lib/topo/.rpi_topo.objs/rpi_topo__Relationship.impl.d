@@ -1,0 +1,1 @@
+lib/topo/relationship.ml: Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/topo/relationship.mli: Format

@@ -1,0 +1,1 @@
+lib/topo/tier.ml: As_graph Int List Rpi_bgp

@@ -1,0 +1,1 @@
+lib/topo/tier.mli: As_graph Rpi_bgp

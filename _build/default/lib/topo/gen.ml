@@ -1,0 +1,233 @@
+module Asn = Rpi_bgp.Asn
+module Prng = Rpi_prng.Prng
+
+type config = {
+  n_tier1 : int;
+  n_tier2 : int;
+  n_tier3 : int;
+  n_stub : int;
+  multihoming_prob : float;
+  max_providers : int;
+  tier2_peering_degree : float;
+  tier3_peering_degree : float;
+  sibling_pairs : int;
+  tier3_upstream_mix : float * float;
+      (* (tier2, tier1) probability a tier-3 provider pick comes from each
+         class; must sum to 1. *)
+  stub_upstream_mix : float * float * float;
+      (* (tier3, tier2, tier1) class mix for stub provider picks. *)
+  tier12_peering_fraction : float;
+      (* Fraction of the largest Tier-2s that obtain settlement-free
+         peering with a few Tier-1s. *)
+}
+
+let default_config =
+  {
+    n_tier1 = 10;
+    n_tier2 = 80;
+    n_tier3 = 350;
+    n_stub = 1400;
+    multihoming_prob = 0.6;
+    max_providers = 4;
+    tier2_peering_degree = 4.0;
+    tier3_peering_degree = 1.5;
+    sibling_pairs = 10;
+    tier3_upstream_mix = (0.85, 0.15);
+    stub_upstream_mix = (0.60, 0.25, 0.15);
+    tier12_peering_fraction = 0.25;
+  }
+
+type t = {
+  graph : As_graph.t;
+  tier1 : Asn.t list;
+  tier2 : Asn.t list;
+  tier3 : Asn.t list;
+  stubs : Asn.t list;
+}
+
+let famous_tier1 =
+  List.map Asn.of_int [ 1; 7018; 3549; 1239; 701; 209; 2914; 3561; 6453; 6461 ]
+
+let famous_tier2 =
+  List.map Asn.of_int
+    [ 5511; 7474; 577; 6539; 6538; 6762; 3216; 6667; 2578; 513; 12359; 8262; 559; 12859; 3320; 1299 ]
+
+let first_dynamic_asn = 20000
+
+(* Allocate [n] AS numbers, preferring the famous pool then counting up. *)
+let allocate pool next n =
+  let rec go pool next k acc =
+    if k = 0 then (List.rev acc, pool, next)
+    else begin
+      match pool with
+      | a :: rest -> go rest next (k - 1) (a :: acc)
+      | [] -> go [] (next + 1) (k - 1) (Asn.of_int next :: acc)
+    end
+  in
+  go pool next n []
+
+(* Pick up to [k] distinct providers from [candidates], weighting each by
+   its current degree + 1 (preferential attachment). *)
+let pick_providers rng graph candidates k =
+  let rec go chosen remaining k =
+    if k = 0 || remaining = [] then chosen
+    else begin
+      let weighted =
+        List.map (fun a -> (a, float_of_int (As_graph.degree graph a + 1))) remaining
+      in
+      let pick = Prng.weighted_choice rng weighted in
+      let remaining = List.filter (fun a -> not (Asn.equal a pick)) remaining in
+      go (pick :: chosen) remaining (k - 1)
+    end
+  in
+  List.rev (go [] candidates k)
+
+(* Pick [k] distinct providers, drawing each pick's class first (the mix)
+   and the member by preferential attachment within the class.  This skews
+   degrees towards the top of the hierarchy, as in the measured Internet
+   (the paper's Table 1 spans degree 14 to 1330). *)
+let pick_providers_mixed rng graph classes k =
+  let rec go chosen k attempts =
+    if k = 0 || attempts > 20 * k then chosen
+    else begin
+      let pool = Prng.weighted_choice rng classes in
+      let available = List.filter (fun a -> not (List.exists (Asn.equal a) chosen)) pool in
+      match available with
+      | [] -> go chosen k (attempts + 1)
+      | _ :: _ -> begin
+          match pick_providers rng graph available 1 with
+          | [ pick ] -> go (pick :: chosen) (k - 1) (attempts + 1)
+          | _ -> go chosen k (attempts + 1)
+        end
+    end
+  in
+  List.rev (go [] k 0)
+
+let provider_count rng config =
+  if Prng.chance rng config.multihoming_prob then
+    Prng.int_in rng 2 (max 2 config.max_providers)
+  else 1
+
+(* Add [target_mean * |members| / 2] random peering edges inside [members],
+   skipping pairs already adjacent and pairs of incomparable size —
+   settlement-free peering only happens between networks of similar scale,
+   which is also what keeps peer edges separable from provider-customer
+   edges by degree ratio. *)
+let comparable graph a b ~max_ratio =
+  let da = float_of_int (max 1 (As_graph.degree graph a)) in
+  let db = float_of_int (max 1 (As_graph.degree graph b)) in
+  (if da > db then da /. db else db /. da) <= max_ratio
+
+let add_peering ?(max_ratio = 3.0) rng graph members target_mean =
+  let arr = Array.of_list members in
+  let n = Array.length arr in
+  if n < 2 then graph
+  else begin
+    let edges = int_of_float (target_mean *. float_of_int n /. 2.0) in
+    let rec go graph k attempts =
+      if k = 0 || attempts > edges * 30 then graph
+      else begin
+        let a = Prng.choice rng arr in
+        let b = Prng.choice rng arr in
+        if
+          Asn.equal a b || As_graph.mem_edge graph a b
+          || not (comparable graph a b ~max_ratio)
+        then go graph k (attempts + 1)
+        else go (As_graph.add_p2p graph a b) (k - 1) (attempts + 1)
+      end
+    in
+    go graph edges 0
+  end
+
+let generate ?(config = default_config) rng =
+  if config.n_tier1 < 2 then invalid_arg "Gen.generate: need at least 2 Tier-1 ASs";
+  let tier1, _, next = allocate famous_tier1 first_dynamic_asn config.n_tier1 in
+  let tier2, _, next = allocate famous_tier2 next config.n_tier2 in
+  let tier3, _, next = allocate [] next config.n_tier3 in
+  let stubs, _, _ = allocate [] next config.n_stub in
+  let graph = List.fold_left As_graph.add_as As_graph.empty tier1 in
+  (* Tier-1: full peering mesh. *)
+  let graph =
+    List.fold_left
+      (fun g a ->
+        List.fold_left
+          (fun g b -> if Asn.compare a b < 0 then As_graph.add_p2p g a b else g)
+          g tier1)
+      graph tier1
+  in
+  (* Tier-2: providers drawn from Tier-1. *)
+  let graph =
+    List.fold_left
+      (fun g a ->
+        let k = provider_count rng config in
+        let providers = pick_providers rng g tier1 k in
+        List.fold_left (fun g p -> As_graph.add_p2c g ~provider:p ~customer:a) g providers)
+      graph tier2
+  in
+  (* Tier-3: providers drawn mostly from Tier-2, with a Tier-1 bypass
+     share. *)
+  let t3_t2, t3_t1 = config.tier3_upstream_mix in
+  let graph =
+    List.fold_left
+      (fun g a ->
+        let k = provider_count rng config in
+        let providers = pick_providers_mixed rng g [ (tier2, t3_t2); (tier1, t3_t1) ] k in
+        List.fold_left (fun g p -> As_graph.add_p2c g ~provider:p ~customer:a) g providers)
+      graph tier3
+  in
+  (* Stubs: mostly Tier-3 attached, with direct Tier-2/Tier-1 shares. *)
+  let st_t3, st_t2, st_t1 = config.stub_upstream_mix in
+  let graph =
+    List.fold_left
+      (fun g a ->
+        let k = provider_count rng config in
+        let providers =
+          pick_providers_mixed rng g [ (tier3, st_t3); (tier2, st_t2); (tier1, st_t1) ] k
+        in
+        List.fold_left (fun g p -> As_graph.add_p2c g ~provider:p ~customer:a) g providers)
+      graph stubs
+  in
+  (* Peering is added once all transit attachment is in place, so that the
+     comparable-size requirement works on final degrees. *)
+  let graph = add_peering rng graph tier2 config.tier2_peering_degree in
+  let graph = add_peering rng graph tier3 config.tier3_peering_degree in
+  (* A few sibling pairs among Tier-3 ASs. *)
+  let tier3_arr = Array.of_list tier3 in
+  let rec add_siblings g k attempts =
+    if k = 0 || attempts > config.sibling_pairs * 20 || Array.length tier3_arr < 2 then g
+    else begin
+      let a = Prng.choice rng tier3_arr in
+      let b = Prng.choice rng tier3_arr in
+      if Asn.equal a b || As_graph.mem_edge g a b then add_siblings g k (attempts + 1)
+      else add_siblings (As_graph.add_s2s g a b) (k - 1) (attempts + 1)
+    end
+  in
+  let graph = add_siblings graph config.sibling_pairs 0 in
+  (* The largest Tier-2s obtain peering with a few Tier-1s (this is what
+     gives real Tier-1s their dozens of peers rather than just the
+     clique). *)
+  let tier2_by_degree =
+    List.sort (fun a b -> Int.compare (As_graph.degree graph b) (As_graph.degree graph a)) tier2
+  in
+  let n_peerers =
+    int_of_float (config.tier12_peering_fraction *. float_of_int (List.length tier2))
+  in
+  let graph =
+    List.fold_left
+      (fun g t2 ->
+        let count = Prng.int_in rng 1 (min 3 (max 1 (List.length tier1))) in
+        let chosen = Prng.sample rng count tier1 in
+        List.fold_left
+          (fun g t1 -> if As_graph.mem_edge g t1 t2 then g else As_graph.add_p2p g t1 t2)
+          g chosen)
+      graph
+      (List.filteri (fun i _ -> i < n_peerers) tier2_by_degree)
+  in
+  { graph; tier1; tier2; tier3; stubs }
+
+let tiers_ground_truth t =
+  let tag tier acc ases = List.fold_left (fun m a -> Asn.Map.add a tier m) acc ases in
+  let m = tag 1 Asn.Map.empty t.tier1 in
+  let m = tag 2 m t.tier2 in
+  let m = tag 3 m t.tier3 in
+  tag 4 m t.stubs

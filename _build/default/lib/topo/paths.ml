@@ -1,0 +1,151 @@
+module Asn = Rpi_bgp.Asn
+
+let downward_neighbors g a =
+  (* Customer edges descend; sibling edges are transparent. *)
+  As_graph.neighbors g a
+  |> List.filter_map (fun (b, rel) ->
+         match rel with
+         | Relationship.Customer | Relationship.Sibling -> Some b
+         | Relationship.Provider | Relationship.Peer -> None)
+
+let is_direct_customer g ~provider target =
+  match As_graph.relationship g provider target with
+  | Some Relationship.Customer -> true
+  | Some (Relationship.Provider | Relationship.Peer | Relationship.Sibling) | None -> false
+
+let customer_path g ~provider target =
+  if Asn.equal provider target then Some [ provider ]
+  else begin
+    let visited = ref Asn.Set.empty in
+    let rec dfs a =
+      if Asn.Set.mem a !visited then None
+      else begin
+        visited := Asn.Set.add a !visited;
+        if Asn.equal a target then Some [ a ]
+        else begin
+          let rec try_children = function
+            | [] -> None
+            | child :: rest -> begin
+                match dfs child with
+                | Some path -> Some (a :: path)
+                | None -> try_children rest
+              end
+          in
+          try_children (downward_neighbors g a)
+        end
+      end
+    in
+    dfs provider
+  end
+
+let is_customer g ~provider target =
+  (not (Asn.equal provider target))
+  &&
+  match customer_path g ~provider target with
+  | Some _ -> true
+  | None -> false
+
+let customer_cone g a =
+  let rec visit visited frontier =
+    match frontier with
+    | [] -> visited
+    | x :: rest ->
+        let fresh =
+          downward_neighbors g x |> List.filter (fun b -> not (Asn.Set.mem b visited))
+        in
+        let visited = List.fold_left (fun s b -> Asn.Set.add b s) visited fresh in
+        visit visited (fresh @ rest)
+  in
+  Asn.Set.remove a (visit (Asn.Set.singleton a) [ a ])
+
+let customer_cone_size g a = Asn.Set.cardinal (customer_cone g a)
+
+(* An AS path from a BGP table reads receiver-side first, origin last.  The
+   origin announces uphill to providers, crosses at most one peering edge at
+   the top, then the route descends to the receiver; read from the receiver
+   end the hop relationships therefore follow
+     Provider* (Peer)? Customer*
+   where each hop (a, b) is labelled with how [a] classifies [b].  Sibling
+   hops are transparent in any section. *)
+let is_valley_free g path =
+  (* Collapse AS-path prepending: consecutive repeats of one AS are a
+     single hop. *)
+  let rec dedup = function
+    | a :: (b :: _ as rest) -> if Asn.equal a b then dedup rest else a :: dedup rest
+    | ([ _ ] | []) as tail -> tail
+  in
+  let path = dedup path in
+  let rec hops = function
+    | a :: (b :: _ as rest) -> begin
+        match As_graph.relationship g a b with
+        | None -> None
+        | Some rel -> begin
+            match hops rest with
+            | None -> None
+            | Some tl -> Some (rel :: tl)
+          end
+      end
+    | [ _ ] | [] -> Some []
+  in
+  match hops path with
+  | None -> false
+  | Some rels ->
+      (* States: 0 = ascending section, 1 = just crossed the peering edge,
+         2 = descending section. *)
+      let step state rel =
+        match (state, rel) with
+        | Some 0, Relationship.Provider -> Some 0
+        | Some 0, Relationship.Sibling -> Some 0
+        | Some 0, Relationship.Peer -> Some 1
+        | Some 0, Relationship.Customer -> Some 2
+        | Some 1, Relationship.Customer -> Some 2
+        | Some 1, Relationship.Sibling -> Some 1
+        | Some 1, (Relationship.Provider | Relationship.Peer) -> None
+        | Some 2, Relationship.Customer -> Some 2
+        | Some 2, Relationship.Sibling -> Some 2
+        | Some 2, (Relationship.Provider | Relationship.Peer) -> None
+        | Some _, _ -> None
+        | None, _ -> None
+      in
+      begin
+        match List.fold_left step (Some 0) rels with
+        | Some _ -> true
+        | None -> false
+      end
+
+let classify_path g ~observer path =
+  match path with
+  | [] -> None
+  | first :: _ -> As_graph.relationship g observer first
+
+let is_customer_path g path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> begin
+        match As_graph.relationship g a b with
+        | Some (Relationship.Customer | Relationship.Sibling) -> go rest
+        | Some (Relationship.Provider | Relationship.Peer) | None -> false
+      end
+    | [ _ ] | [] -> true
+  in
+  go path
+
+let provider_chain_exists g ~from_as target =
+  let rec climb visited frontier =
+    match frontier with
+    | [] -> false
+    | x :: rest ->
+        if Asn.equal x target then true
+        else begin
+          let ups =
+            As_graph.neighbors g x
+            |> List.filter_map (fun (b, rel) ->
+                   match rel with
+                   | Relationship.Provider | Relationship.Sibling -> Some b
+                   | Relationship.Customer | Relationship.Peer -> None)
+            |> List.filter (fun b -> not (Asn.Set.mem b visited))
+          in
+          let visited = List.fold_left (fun s b -> Asn.Set.add b s) visited ups in
+          climb visited (ups @ rest)
+        end
+  in
+  climb (Asn.Set.singleton from_as) [ from_as ]

@@ -1,0 +1,26 @@
+type t = Customer | Provider | Peer | Sibling
+
+let invert = function
+  | Customer -> Provider
+  | Provider -> Customer
+  | Peer -> Peer
+  | Sibling -> Sibling
+
+let to_string = function
+  | Customer -> "customer"
+  | Provider -> "provider"
+  | Peer -> "peer"
+  | Sibling -> "sibling"
+
+let of_string = function
+  | "customer" -> Ok Customer
+  | "provider" -> Ok Provider
+  | "peer" -> Ok Peer
+  | "sibling" -> Ok Sibling
+  | s -> Error (Printf.sprintf "invalid relationship %S" s)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all = [ Customer; Provider; Peer; Sibling ]

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Int Lazy List Printf Rpi_bgp Rpi_core Rpi_dataset Rpi_net Rpi_sim Rpi_topo

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Printf Rpi_bgp Rpi_core Rpi_dataset Rpi_experiments Rpi_relinfer Rpi_stats Rpi_topo String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest List Option Printf QCheck2 QCheck_alcotest Rpi_bgp Rpi_core Rpi_irr Rpi_net Rpi_sim Rpi_topo

@@ -1,0 +1,1 @@
+test/test_irr.ml: Alcotest Fun List Option Printf QCheck2 QCheck_alcotest Rpi_bgp Rpi_irr Rpi_prng Rpi_sim Rpi_topo

@@ -1,0 +1,1 @@
+test/test_mrt.ml: Alcotest Filename Int List Option QCheck2 QCheck_alcotest Rpi_bgp Rpi_mrt Rpi_net String

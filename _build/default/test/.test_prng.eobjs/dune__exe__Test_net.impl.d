@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Option Printf QCheck2 QCheck_alcotest Rpi_net

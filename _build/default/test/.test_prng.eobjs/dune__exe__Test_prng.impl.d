@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Hashtbl Int List Option QCheck2 QCheck_alcotest Rpi_prng

@@ -1,0 +1,1 @@
+test/test_relinfer.ml: Alcotest List Printf QCheck2 QCheck_alcotest Rpi_bgp Rpi_prng Rpi_relinfer Rpi_topo

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun List Option Printf QCheck2 QCheck_alcotest Rpi_bgp Rpi_net Rpi_prng Rpi_sim Rpi_topo

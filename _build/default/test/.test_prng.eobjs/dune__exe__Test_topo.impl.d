@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest List Option QCheck2 QCheck_alcotest Rpi_bgp Rpi_prng Rpi_topo

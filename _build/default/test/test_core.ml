@@ -1,0 +1,718 @@
+(* Unit tests for the policy-inference algorithms, on small hand-built
+   graphs and tables where the right answers are known by construction. *)
+
+module Asn = Rpi_bgp.Asn
+module Route = Rpi_bgp.Route
+module Rib = Rpi_bgp.Rib
+module As_path = Rpi_bgp.As_path
+module Community = Rpi_bgp.Community
+module Prefix = Rpi_net.Prefix
+module Prefix_set = Rpi_net.Prefix_set
+module Ipv4 = Rpi_net.Ipv4
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Import_infer = Rpi_core.Import_infer
+module Nexthop = Rpi_core.Nexthop_consistency
+module Export_infer = Rpi_core.Export_infer
+module Sa_verify = Rpi_core.Sa_verify
+module Sa_causes = Rpi_core.Sa_causes
+module Homing = Rpi_core.Homing
+module Persistence = Rpi_core.Persistence
+module Peer_export = Rpi_core.Peer_export
+module Community_verify = Rpi_core.Community_verify
+module Irr_import = Rpi_core.Irr_import
+
+let p = Prefix.of_string_exn
+let asn = Asn.of_int
+
+let route ?(pfx = "10.0.0.0/24") ?(path = [ 2; 9 ]) ?lp ?(communities = []) () =
+  let peer = asn (List.hd path) in
+  Route.make ~prefix:(p pfx)
+    ~next_hop:(Ipv4.of_octets 10 0 (List.hd path mod 250) 1)
+    ~as_path:(As_path.of_list (List.map asn path))
+    ?local_pref:lp
+    ~communities:(Community.Set.of_list (List.map Community.of_string_exn communities))
+    ~router_id:(Ipv4.of_octets 10 0 (List.hd path mod 250) 1)
+    ~peer_as:peer ()
+
+(* Observer AS 1 with customer 2, peer 3, provider 4; 9 is a distant
+   origin. *)
+let observer_graph () =
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:(asn 1) ~customer:(asn 2) in
+  let g = As_graph.add_p2p g (asn 1) (asn 3) in
+  let g = As_graph.add_p2c g ~provider:(asn 4) ~customer:(asn 1) in
+  let g = As_graph.add_p2c g ~provider:(asn 2) ~customer:(asn 9) in
+  g
+
+(* --- Import_infer --- *)
+
+let test_judge_typical () =
+  let obs rel lp = { Import_infer.neighbor = asn 2; rel; local_pref = lp } in
+  Alcotest.(check bool) "customer above peer" true
+    (Import_infer.judge [ obs Relationship.Customer 110; obs Relationship.Peer 100 ]
+    = Import_infer.Typical);
+  Alcotest.(check bool) "tie is atypical" true
+    (Import_infer.judge [ obs Relationship.Customer 100; obs Relationship.Peer 100 ]
+    = Import_infer.Atypical);
+  Alcotest.(check bool) "provider above peer is atypical" true
+    (Import_infer.judge [ obs Relationship.Peer 90; obs Relationship.Provider 100 ]
+    = Import_infer.Atypical);
+  Alcotest.(check bool) "single class incomparable" true
+    (Import_infer.judge [ obs Relationship.Customer 110 ] = Import_infer.Incomparable);
+  Alcotest.(check bool) "empty incomparable" true
+    (Import_infer.judge [] = Import_infer.Incomparable)
+
+let test_import_analyze () =
+  let g = observer_graph () in
+  let rib =
+    Rib.of_routes
+      [
+        (* prefix A: typical (customer 110 > peer 100) *)
+        route ~pfx:"10.0.0.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.0.0/24" ~path:[ 3; 9 ] ~lp:100 ();
+        (* prefix B: atypical (provider 120 > customer 110) *)
+        route ~pfx:"10.0.1.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 4; 9 ] ~lp:120 ();
+        (* prefix C: incomparable (single neighbour) *)
+        route ~pfx:"10.0.2.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+      ]
+  in
+  let r = Import_infer.analyze g ~vantage:(asn 1) rib in
+  Alcotest.(check int) "total" 3 r.Import_infer.prefixes_total;
+  Alcotest.(check int) "compared" 2 r.Import_infer.prefixes_compared;
+  Alcotest.(check int) "typical" 1 r.Import_infer.typical;
+  Alcotest.(check int) "atypical" 1 r.Import_infer.atypical;
+  Alcotest.(check (float 0.01)) "pct" 50.0 r.Import_infer.pct_typical
+
+let test_infer_class_preferences () =
+  let g = observer_graph () in
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 3; 9 ] ~lp:100 ();
+      ]
+  in
+  let prefs = Import_infer.infer_class_preferences g ~vantage:(asn 1) rib in
+  Alcotest.(check (option int)) "customer pref" (Some 110)
+    (List.assoc_opt Relationship.Customer prefs);
+  Alcotest.(check (option int)) "peer pref" (Some 100)
+    (List.assoc_opt Relationship.Peer prefs)
+
+(* --- Nexthop_consistency --- *)
+
+let test_nexthop_consistency () =
+  let rib =
+    Rib.of_routes
+      [
+        (* neighbour 2: lp 110 on two prefixes, 90 on one. *)
+        route ~pfx:"10.0.0.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.2.0/24" ~path:[ 2; 9 ] ~lp:90 ();
+        (* neighbour 3: single value. *)
+        route ~pfx:"10.0.0.0/24" ~path:[ 3; 9 ] ~lp:100 ();
+      ]
+  in
+  let r = Nexthop.analyze rib in
+  Alcotest.(check int) "observations" 4 r.Nexthop.prefixes_total;
+  Alcotest.(check int) "conforming" 3 r.Nexthop.prefixes_conforming;
+  Alcotest.(check (float 0.01)) "pct" 75.0 r.Nexthop.pct_nexthop_based;
+  Alcotest.(check (float 0.01)) "single-valued" 50.0 r.Nexthop.pct_single_valued_neighbors;
+  let nb2 = List.find (fun pr -> Asn.equal pr.Nexthop.neighbor (asn 2)) r.Nexthop.neighbors in
+  Alcotest.(check int) "dominant lp" 110 nb2.Nexthop.dominant_lp;
+  Alcotest.(check int) "distinct values" 2 nb2.Nexthop.distinct_values
+
+let test_nexthop_empty () =
+  let r = Nexthop.analyze Rib.empty in
+  Alcotest.(check (float 0.01)) "vacuous" 100.0 r.Nexthop.pct_nexthop_based
+
+(* --- Export_infer --- *)
+
+let test_classify_prefix () =
+  let g = observer_graph () in
+  let customer_rib = Rib.of_routes [ route ~path:[ 2; 9 ] ~lp:110 () ] in
+  let peer_rib = Rib.of_routes [ route ~path:[ 3; 9 ] ~lp:100 () ] in
+  Alcotest.(check bool) "customer route" true
+    (Export_infer.classify_prefix g ~provider:(asn 1) customer_rib (p "10.0.0.0/24")
+    = Export_infer.Customer_route);
+  begin
+    match Export_infer.classify_prefix g ~provider:(asn 1) peer_rib (p "10.0.0.0/24") with
+    | Export_infer.Sa_prefix { next_hop; via } ->
+        Alcotest.(check int) "via peer 3" 3 (Asn.to_int next_hop);
+        Alcotest.(check bool) "peer" true (Relationship.equal via Relationship.Peer)
+    | Export_infer.Customer_route | Export_infer.Unreachable -> Alcotest.fail "expected SA"
+  end;
+  Alcotest.(check bool) "unreachable" true
+    (Export_infer.classify_prefix g ~provider:(asn 1) Rib.empty (p "10.0.0.0/24")
+    = Export_infer.Unreachable)
+
+let test_export_analyze () =
+  let g = observer_graph () in
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/24" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 3; 9 ] ~lp:100 ();
+      ]
+  in
+  let origins = [ (asn 9, [ p "10.0.0.0/24"; p "10.0.1.0/24" ]) ] in
+  let r = Export_infer.analyze g ~provider:(asn 1) ~origins rib in
+  Alcotest.(check int) "customers" 1 r.Export_infer.customers_seen;
+  Alcotest.(check int) "prefixes" 2 r.Export_infer.customer_prefixes;
+  Alcotest.(check int) "one SA" 1 (List.length r.Export_infer.sa);
+  Alcotest.(check int) "one customer-routed" 1 r.Export_infer.customer_routed;
+  Alcotest.(check (float 0.01)) "pct" 50.0 r.Export_infer.pct_sa
+
+let test_export_skips_non_customers () =
+  let g = observer_graph () in
+  let rib = Rib.of_routes [ route ~path:[ 3; 5 ] ~lp:100 () ] in
+  (* AS5 is not a customer of AS1 (not even in the graph below it). *)
+  let r = Export_infer.analyze g ~provider:(asn 1) ~origins:[ (asn 5, [ p "10.0.0.0/24" ]) ] rib in
+  Alcotest.(check int) "no customers" 0 r.Export_infer.customers_seen;
+  Alcotest.(check int) "no SA" 0 (List.length r.Export_infer.sa)
+
+let test_origins_of_rib () =
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/24" ~path:[ 2; 9 ] ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 3; 7 ] ();
+      ]
+  in
+  let origins = Export_infer.origins_of_rib rib in
+  Alcotest.(check (list int)) "origin ASs" [ 7; 9 ]
+    (List.map (fun (a, _) -> Asn.to_int a) origins)
+
+let test_viewpoint_of_feed () =
+  let collector =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/24" ~path:[ 1; 2; 9 ] ();
+        (* another feed's candidate for the same prefix *)
+        route ~pfx:"10.0.0.0/24" ~path:[ 4; 3; 9 ] ();
+        (* feed 1's own prefix *)
+        route ~pfx:"10.0.9.0/24" ~path:[ 1 ] ();
+      ]
+  in
+  let vp = Export_infer.viewpoint_of_feed ~feed:(asn 1) collector in
+  Alcotest.(check int) "two prefixes" 2 (Rib.prefix_count vp);
+  match Rib.best vp (p "10.0.0.0/24") with
+  | Some r ->
+      Alcotest.(check string) "feed stripped" "2 9" (As_path.to_string r.Route.as_path);
+      Alcotest.(check (option int)) "peer is next hop" (Some 2)
+        (Option.map Asn.to_int r.Route.peer_as)
+  | None -> Alcotest.fail "missing route"
+
+(* --- Sa_verify --- *)
+
+let test_path_index () =
+  let idx = Sa_verify.index_paths [ [ asn 1; asn 2; asn 9 ] ] in
+  Alcotest.(check bool) "pair 1-2" true (Sa_verify.pair_observed idx (asn 1) (asn 2));
+  Alcotest.(check bool) "ordered" false (Sa_verify.pair_observed idx (asn 2) (asn 1));
+  Alcotest.(check bool) "chain" true (Sa_verify.chain_active idx [ asn 1; asn 2; asn 9 ]);
+  Alcotest.(check bool) "broken chain" false
+    (Sa_verify.chain_active idx [ asn 1; asn 9 ]);
+  Alcotest.(check bool) "trivial chain" true (Sa_verify.chain_active idx [ asn 1 ])
+
+let test_sa_verify_verdicts () =
+  let g = observer_graph () in
+  let record via =
+    { Export_infer.prefix = p "10.0.0.0/24"; origin = via; next_hop = asn 3; via = Relationship.Peer }
+  in
+  (* Direct customer: verified without path evidence. *)
+  let idx = Sa_verify.index_paths [] in
+  Alcotest.(check bool) "direct" true
+    (Sa_verify.verify_record g idx ~provider:(asn 1) (record (asn 2))
+    = Sa_verify.Verified_direct);
+  (* Indirect customer 9 via 2: needs the chain 1-2-9 to be active. *)
+  Alcotest.(check bool) "unverified without paths" true
+    (Sa_verify.verify_record g idx ~provider:(asn 1) (record (asn 9)) = Sa_verify.Unverified);
+  let idx = Sa_verify.index_paths [ [ asn 1; asn 2; asn 9 ] ] in
+  Alcotest.(check bool) "active path verifies" true
+    (Sa_verify.verify_record g idx ~provider:(asn 1) (record (asn 9))
+    = Sa_verify.Verified_active_path);
+  let report = Sa_verify.verify g idx ~provider:(asn 1) [ record (asn 2); record (asn 9) ] in
+  Alcotest.(check int) "total" 2 report.Sa_verify.total;
+  Alcotest.(check int) "verified" 2 report.Sa_verify.verified;
+  Alcotest.(check (float 0.01)) "pct" 100.0 report.Sa_verify.pct_verified
+
+let test_observed_paths_of_rib () =
+  let rib = Rib.of_routes [ route ~path:[ 2; 9 ] () ] in
+  let paths = Sa_verify.observed_paths_of_rib ~vantage:(asn 1) rib in
+  Alcotest.(check (list (list int))) "vantage prepended" [ [ 1; 2; 9 ] ]
+    (List.map (List.map Asn.to_int) paths)
+
+(* --- Sa_causes --- *)
+
+let test_splitting_detection () =
+  let rib =
+    Rib.of_routes
+      [
+        (* covering prefix via customer, specific via peer — a split. *)
+        route ~pfx:"10.0.0.0/23" ~path:[ 2; 9 ] ~lp:110 ();
+        route ~pfx:"10.0.0.0/24" ~path:[ 3; 9 ] ~lp:100 ();
+      ]
+  in
+  let sa =
+    [
+      {
+        Export_infer.prefix = p "10.0.0.0/24";
+        origin = asn 9;
+        next_hop = asn 3;
+        via = Relationship.Peer;
+      };
+    ]
+  in
+  match Sa_causes.splitting rib sa with
+  | [ record ] ->
+      Alcotest.(check string) "specific" "10.0.0.0/24"
+        (Prefix.to_string record.Sa_causes.specific);
+      Alcotest.(check string) "covering" "10.0.0.0/23"
+        (Prefix.to_string record.Sa_causes.covering)
+  | other -> Alcotest.failf "expected 1 split, got %d" (List.length other)
+
+let test_splitting_requires_same_origin () =
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/23" ~path:[ 2; 7 ] ~lp:110 ();
+        (* different origin *)
+        route ~pfx:"10.0.0.0/24" ~path:[ 3; 9 ] ~lp:100 ();
+      ]
+  in
+  let sa =
+    [
+      {
+        Export_infer.prefix = p "10.0.0.0/24";
+        origin = asn 9;
+        next_hop = asn 3;
+        via = Relationship.Peer;
+      };
+    ]
+  in
+  Alcotest.(check int) "no split across origins" 0 (List.length (Sa_causes.splitting rib sa))
+
+let test_aggregable_detection () =
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/20" ~path:[ 2; 7 ] ~lp:110 ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 3; 9 ] ~lp:100 ();
+      ]
+  in
+  let sa =
+    [
+      {
+        Export_infer.prefix = p "10.0.1.0/24";
+        origin = asn 9;
+        next_hop = asn 3;
+        via = Relationship.Peer;
+      };
+    ]
+  in
+  Alcotest.(check int) "aggregable" 1 (List.length (Sa_causes.aggregable rib sa));
+  (* Without the covering prefix, nothing aggregates. *)
+  let rib2 = Rib.of_routes [ route ~pfx:"10.0.1.0/24" ~path:[ 3; 9 ] ~lp:100 () ] in
+  Alcotest.(check int) "not aggregable" 0 (List.length (Sa_causes.aggregable rib2 sa))
+
+(* Fig. 8(a)-style graph for case 3: observer 1 above d=2 above origin 9;
+   9 also below 5, which hangs below peer-side 3. *)
+let case3_graph () =
+  let g = observer_graph () in
+  let g = As_graph.add_p2c g ~provider:(asn 5) ~customer:(asn 9) in
+  let g = As_graph.add_p2c g ~provider:(asn 3) ~customer:(asn 5) in
+  g
+
+let test_case3_withhold () =
+  let g = case3_graph () in
+  (* Observer's table shows only the curving peer path 3 5 9; no path has
+     2 adjacent above 9 => 9 withheld from 2 (which is a feed). *)
+  let viewpoint = Rib.of_routes [ route ~path:[ 3; 5; 9 ] ~lp:100 () ] in
+  let record =
+    {
+      Export_infer.prefix = p "10.0.0.0/24";
+      origin = asn 9;
+      next_hop = asn 3;
+      via = Relationship.Peer;
+    }
+  in
+  let paths_of _ = [ [ asn 3; asn 5; asn 9 ] ] in
+  match
+    Sa_causes.case3_for_record g ~viewpoint ~paths_of ~feeds:[ asn 2 ] ~provider:(asn 1)
+      record
+  with
+  | Some (d, c, Sa_causes.Withholds) ->
+      Alcotest.(check int) "blamed provider" 2 (Asn.to_int d);
+      Alcotest.(check int) "customer is origin" 9 (Asn.to_int c)
+  | Some (_, _, other) ->
+      Alcotest.failf "expected withhold, got %s"
+        (match other with
+        | Sa_causes.Announces -> "announce"
+        | Sa_causes.Withholds -> "withhold"
+        | Sa_causes.Undetermined -> "undetermined")
+  | None -> Alcotest.fail "no verdict"
+
+let test_case3_announce () =
+  let g = case3_graph () in
+  let viewpoint = Rib.of_routes [ route ~path:[ 3; 5; 9 ] ~lp:100 () ] in
+  let record =
+    {
+      Export_infer.prefix = p "10.0.0.0/24";
+      origin = asn 9;
+      next_hop = asn 3;
+      via = Relationship.Peer;
+    }
+  in
+  (* Another observed path shows 2 directly above 9: the origin announced
+     to 2 (a "do not export further" case). *)
+  let paths_of _ = [ [ asn 3; asn 5; asn 9 ]; [ asn 2; asn 9 ] ] in
+  match
+    Sa_causes.case3_for_record g ~viewpoint ~paths_of ~feeds:[] ~provider:(asn 1) record
+  with
+  | Some (_, _, Sa_causes.Announces) -> ()
+  | Some (_, _, _) | None -> Alcotest.fail "expected announce"
+
+let test_case3_undetermined () =
+  let g = case3_graph () in
+  let viewpoint = Rib.of_routes [ route ~path:[ 3; 5; 9 ] ~lp:100 () ] in
+  let record =
+    {
+      Export_infer.prefix = p "10.0.0.0/24";
+      origin = asn 9;
+      next_hop = asn 3;
+      via = Relationship.Peer;
+    }
+  in
+  (* d=2 is not a feed and never appears for this prefix. *)
+  let paths_of _ = [ [ asn 3; asn 5; asn 9 ] ] in
+  match
+    Sa_causes.case3_for_record g ~viewpoint ~paths_of ~feeds:[] ~provider:(asn 1) record
+  with
+  | Some (_, _, Sa_causes.Undetermined) -> ()
+  | Some (_, _, _) | None -> Alcotest.fail "expected undetermined"
+
+(* --- Homing --- *)
+
+let test_homing () =
+  let g = case3_graph () in
+  (* 9 has providers 2 and 5: multihomed. *)
+  let record origin =
+    { Export_infer.prefix = p "10.0.0.0/24"; origin; next_hop = asn 3; via = Relationship.Peer }
+  in
+  let r = Homing.analyze g ~provider:(asn 1) [ record (asn 9) ] in
+  Alcotest.(check int) "multihomed" 1 r.Homing.multihomed;
+  Alcotest.(check int) "single" 0 r.Homing.single_homed;
+  (* 5 is single-homed under 3. *)
+  let r2 = Homing.analyze g ~provider:(asn 1) [ record (asn 9); record (asn 5) ] in
+  Alcotest.(check int) "one of each" 1 r2.Homing.single_homed;
+  Alcotest.(check (float 0.01)) "pct" 50.0 r2.Homing.pct_multihomed
+
+(* --- Persistence --- *)
+
+let test_persistence () =
+  let set = Prefix_set.of_list in
+  let a = p "10.0.0.0/24" and b = p "10.0.1.0/24" and c = p "10.0.2.0/24" in
+  let observations =
+    [
+      { Persistence.all_prefixes = set [ a; b; c ]; sa_prefixes = set [ a; b ] };
+      { Persistence.all_prefixes = set [ a; b; c ]; sa_prefixes = set [ a ] };
+      { Persistence.all_prefixes = set [ a; c ]; sa_prefixes = set [ a ] };
+    ]
+  in
+  let series = Persistence.series_of observations in
+  Alcotest.(check (list int)) "all counts" [ 3; 3; 2 ] series.Persistence.all_counts;
+  Alcotest.(check (list int)) "sa counts" [ 2; 1; 1 ] series.Persistence.sa_counts;
+  let up = Persistence.uptimes observations in
+  (* a: uptime 3, sa 3 -> remaining; b: uptime 2, sa 1 -> shifting;
+     c: never SA -> untouched. *)
+  Alcotest.(check int) "touched" 2 up.Persistence.total_sa_touched;
+  Alcotest.(check (list (pair int int))) "remaining" [ (3, 1) ] up.Persistence.remaining_sa;
+  Alcotest.(check (list (pair int int))) "shifting" [ (2, 1) ] up.Persistence.shifting;
+  Alcotest.(check (float 0.01)) "pct shifting" 50.0 up.Persistence.pct_shifting
+
+let test_persistence_empty () =
+  let up = Persistence.uptimes [] in
+  Alcotest.(check int) "nothing" 0 up.Persistence.total_sa_touched;
+  Alcotest.(check (float 0.01)) "no shifting" 0.0 up.Persistence.pct_shifting
+
+(* --- Peer_export --- *)
+
+let test_peer_export () =
+  let g = observer_graph () in
+  (* Peer 3 originates two prefixes; one received directly, one only via
+     the customer 2. *)
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.3.0.0/24" ~path:[ 3 ] ~lp:100 ();
+        route ~pfx:"10.3.1.0/24" ~path:[ 2; 3 ] ~lp:110 ();
+      ]
+  in
+  let r = Peer_export.analyze g ~vantage:(asn 1) rib in
+  Alcotest.(check int) "one peer profiled" 1 r.Peer_export.peers_total;
+  let profile = List.hd r.Peer_export.peers in
+  Alcotest.(check int) "own prefixes" 2 profile.Peer_export.own_prefixes;
+  Alcotest.(check int) "direct" 1 profile.Peer_export.direct;
+  Alcotest.(check bool) "not announcing all" false profile.Peer_export.announces_all;
+  Alcotest.(check (float 0.01)) "pct" 0.0 r.Peer_export.pct_announcing
+
+let test_peer_export_all_direct () =
+  let g = observer_graph () in
+  let rib = Rib.of_routes [ route ~pfx:"10.3.0.0/24" ~path:[ 3 ] ~lp:100 () ] in
+  let r = Peer_export.analyze g ~vantage:(asn 1) rib in
+  Alcotest.(check (float 0.01)) "pct" 100.0 r.Peer_export.pct_announcing
+
+(* --- Community_verify --- *)
+
+(* Vantage 1 with provider 4 (sends a route for every prefix, as real
+   transit does), peer 3 (a mid-size cone), customers 2 and 5 (one prefix
+   each), tagged per the default scheme. *)
+let community_rib () =
+  let tag code = Printf.sprintf "1:%d" code in
+  let prefixes = List.init 30 (fun i -> Printf.sprintf "20.0.%d.0/24" i) in
+  let provider_routes =
+    List.map (fun pfx -> route ~pfx ~path:[ 4; 77 ] ~lp:90 ~communities:[ tag 2000 ] ()) prefixes
+  in
+  let peer_routes =
+    List.filteri (fun i _ -> i < 8) prefixes
+    |> List.map (fun pfx -> route ~pfx ~path:[ 3; 88 ] ~lp:100 ~communities:[ tag 1000 ] ())
+  in
+  let customer_routes =
+    [
+      route ~pfx:"20.0.28.0/24" ~path:[ 2; 9 ] ~lp:110 ~communities:[ tag 4000 ] ();
+      route ~pfx:"20.0.29.0/24" ~path:[ 5 ] ~lp:110 ~communities:[ tag 4000 ] ();
+    ]
+  in
+  Rib.of_routes (provider_routes @ peer_routes @ customer_routes)
+
+let test_prefix_counts () =
+  let counts = Community_verify.prefix_counts (community_rib ()) in
+  Alcotest.(check (option int)) "provider first" (Some 4)
+    (match counts with (a, _) :: _ -> Some (Asn.to_int a) | [] -> None);
+  Alcotest.(check (option int)) "provider volume" (Some 30)
+    (List.assoc_opt (asn 4) counts)
+
+let test_neighbor_tags () =
+  let tags = Community_verify.neighbor_tags ~vantage:(asn 1) (community_rib ()) in
+  Alcotest.(check (option int)) "provider code" (Some 2000) (List.assoc_opt (asn 4) tags);
+  Alcotest.(check (option int)) "peer code" (Some 1000) (List.assoc_opt (asn 3) tags);
+  Alcotest.(check (option int)) "customer code" (Some 4000) (List.assoc_opt (asn 2) tags)
+
+let test_infer_semantics () =
+  let semantics =
+    Community_verify.infer_semantics ~vantage:(asn 1) ~has_providers:true (community_rib ())
+  in
+  Alcotest.(check (list int)) "provider codes" [ 2000 ]
+    semantics.Community_verify.provider_codes;
+  Alcotest.(check (list int)) "peer codes" [ 1000 ] semantics.Community_verify.peer_codes;
+  Alcotest.(check (list int)) "customer codes" [ 4000 ]
+    semantics.Community_verify.customer_codes;
+  Alcotest.(check bool) "classify" true
+    (Community_verify.classify_neighbor semantics ~code:1000 = Some Relationship.Peer)
+
+let test_community_verify_report () =
+  let g =
+    (* The inferred graph got customer 5 wrong (as peer). *)
+    let g = observer_graph () in
+    As_graph.add_p2p g (asn 1) (asn 5)
+  in
+  let r = Community_verify.verify ~vantage:(asn 1) ~inferred:g (community_rib ()) in
+  Alcotest.(check int) "checked" 4 r.Community_verify.neighbors_checked;
+  Alcotest.(check int) "matching" 3 r.Community_verify.matching;
+  Alcotest.(check int) "one mismatch" 1 (List.length r.Community_verify.mismatches);
+  let nb, community_rel, inferred_rel = List.hd r.Community_verify.mismatches in
+  Alcotest.(check int) "mismatched neighbour" 5 (Asn.to_int nb);
+  Alcotest.(check bool) "community says customer" true
+    (Relationship.equal community_rel Relationship.Customer);
+  Alcotest.(check bool) "paths said peer" true
+    (Relationship.equal inferred_rel Relationship.Peer)
+
+(* --- Irr_import --- *)
+
+let test_irr_import () =
+  let g = observer_graph () in
+  let obj =
+    Rpi_irr.Rpsl.make ~asn:(asn 1)
+      ~imports:
+        [
+          { Rpi_irr.Rpsl.from_as = asn 2; pref = Some 90; accept = "AS2" };
+          { Rpi_irr.Rpsl.from_as = asn 3; pref = Some 100; accept = "AS3" };
+          { Rpi_irr.Rpsl.from_as = asn 4; pref = Some 80; accept = "ANY" };
+          (* provider pref 80 beats customer 90: atypical pair *)
+        ]
+      ()
+  in
+  let r = Irr_import.analyze g obj in
+  Alcotest.(check int) "classified" 3 r.Irr_import.rules_classified;
+  (* pairs: (cust 90, peer 100) ok; (cust 90, prov 80) bad; (peer 100,
+     prov 80) bad. *)
+  Alcotest.(check int) "pairs" 3 r.Irr_import.pairs_compared;
+  Alcotest.(check int) "typical pairs" 1 r.Irr_import.pairs_typical;
+  Alcotest.(check (float 0.1)) "pct" 33.3 r.Irr_import.pct_typical
+
+let test_irr_import_no_pref () =
+  let g = observer_graph () in
+  let obj =
+    Rpi_irr.Rpsl.make ~asn:(asn 1)
+      ~imports:[ { Rpi_irr.Rpsl.from_as = asn 2; pref = None; accept = "AS2" } ]
+      ()
+  in
+  let r = Irr_import.analyze g obj in
+  Alcotest.(check int) "nothing classified" 0 r.Irr_import.rules_classified;
+  Alcotest.(check (float 0.01)) "vacuous 100%" 100.0 r.Irr_import.pct_typical
+
+(* --- properties --- *)
+
+let prop_judge_antisymmetric =
+  (* If a set of observations is Typical, flipping customer and provider
+     preferences makes it Atypical. *)
+  QCheck2.Test.make ~name:"typical flips to atypical under swap" ~count:200
+    QCheck2.Gen.(pair (int_range 10 200) (int_range 10 200))
+    (fun (lp_cust, lp_prov) ->
+      QCheck2.assume (lp_cust <> lp_prov);
+      let obs rel lp = { Import_infer.neighbor = asn 2; rel; local_pref = lp } in
+      let hi = max lp_cust lp_prov and lo = min lp_cust lp_prov in
+      let typical =
+        Import_infer.judge [ obs Relationship.Customer hi; obs Relationship.Provider lo ]
+      in
+      let flipped =
+        Import_infer.judge [ obs Relationship.Customer lo; obs Relationship.Provider hi ]
+      in
+      typical = Import_infer.Typical && flipped = Import_infer.Atypical)
+
+let prop_classify_matches_best_hop =
+  (* classify_prefix's verdict is exactly the graph relationship of the
+     best route's first hop. *)
+  QCheck2.Test.make ~name:"classification follows the best route's first hop" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 4) (pair (int_range 0 2) (int_range 80 120)))
+    (fun specs ->
+      let g = observer_graph () in
+      let neighbor_of = function
+        | 0 -> 2 (* customer *)
+        | 1 -> 3 (* peer *)
+        | _ -> 4 (* provider *)
+      in
+      let routes =
+        List.map (fun (cls, lp) -> route ~path:[ neighbor_of cls; 9 ] ~lp ()) specs
+      in
+      let rib = Rib.of_routes routes in
+      match
+        (Rib.best rib (p "10.0.0.0/24"),
+         Export_infer.classify_prefix g ~provider:(asn 1) rib (p "10.0.0.0/24"))
+      with
+      | Some best, verdict -> begin
+          match (Rpi_bgp.Route.next_hop_as best, verdict) with
+          | Some hop, Export_infer.Customer_route -> Asn.equal hop (asn 2)
+          | Some hop, Export_infer.Sa_prefix { next_hop; _ } ->
+              Asn.equal hop next_hop && not (Asn.equal hop (asn 2))
+          | _, Export_infer.Unreachable -> false
+          | None, _ -> false
+        end
+      | None, _ -> false)
+
+let prop_chain_active_subpaths =
+  QCheck2.Test.make ~name:"observed paths make their own chains active" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 8) (int_range 1 50))
+    (fun ids ->
+      let path = List.map asn (List.sort_uniq Int.compare ids) in
+      QCheck2.assume (List.length path >= 2);
+      let idx = Sa_verify.index_paths [ path ] in
+      (* Every contiguous sub-chain of an observed path is active. *)
+      let rec subchains = function
+        | [] -> []
+        | _ :: rest as l -> l :: subchains rest
+      in
+      List.for_all (fun chain -> Sa_verify.chain_active idx chain) (subchains path))
+
+let prop_uptime_bounds =
+  QCheck2.Test.make ~name:"sa uptime never exceeds epoch count" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 10) (list_size (int_range 0 5) (int_range 0 9)))
+    (fun epochs_spec ->
+      let prefix_of i = p (Printf.sprintf "10.0.%d.0/24" i) in
+      let observations =
+        List.map
+          (fun sa_ids ->
+            let sa = Prefix_set.of_list (List.map prefix_of sa_ids) in
+            let all =
+              Prefix_set.union sa
+                (Prefix_set.of_list (List.init 10 prefix_of))
+            in
+            { Persistence.all_prefixes = all; sa_prefixes = sa })
+          epochs_spec
+      in
+      let up = Persistence.uptimes observations in
+      let epochs = List.length epochs_spec in
+      List.for_all (fun (k, _) -> k >= 1 && k <= epochs)
+        (up.Persistence.remaining_sa @ up.Persistence.shifting))
+
+let () =
+  Alcotest.run "rpi_core"
+    [
+      ( "import_infer",
+        [
+          Alcotest.test_case "judge" `Quick test_judge_typical;
+          Alcotest.test_case "analyze" `Quick test_import_analyze;
+          Alcotest.test_case "class preferences" `Quick test_infer_class_preferences;
+        ] );
+      ( "nexthop",
+        [
+          Alcotest.test_case "consistency" `Quick test_nexthop_consistency;
+          Alcotest.test_case "empty" `Quick test_nexthop_empty;
+        ] );
+      ( "export_infer",
+        [
+          Alcotest.test_case "classify" `Quick test_classify_prefix;
+          Alcotest.test_case "analyze" `Quick test_export_analyze;
+          Alcotest.test_case "non-customers skipped" `Quick test_export_skips_non_customers;
+          Alcotest.test_case "origins of rib" `Quick test_origins_of_rib;
+          Alcotest.test_case "viewpoint of feed" `Quick test_viewpoint_of_feed;
+        ] );
+      ( "sa_verify",
+        [
+          Alcotest.test_case "path index" `Quick test_path_index;
+          Alcotest.test_case "verdicts" `Quick test_sa_verify_verdicts;
+          Alcotest.test_case "observed paths" `Quick test_observed_paths_of_rib;
+        ] );
+      ( "sa_causes",
+        [
+          Alcotest.test_case "splitting" `Quick test_splitting_detection;
+          Alcotest.test_case "splitting same-origin only" `Quick test_splitting_requires_same_origin;
+          Alcotest.test_case "aggregable" `Quick test_aggregable_detection;
+          Alcotest.test_case "case3 withhold" `Quick test_case3_withhold;
+          Alcotest.test_case "case3 announce" `Quick test_case3_announce;
+          Alcotest.test_case "case3 undetermined" `Quick test_case3_undetermined;
+        ] );
+      ("homing", [ Alcotest.test_case "analyze" `Quick test_homing ]);
+      ( "persistence",
+        [
+          Alcotest.test_case "series and uptimes" `Quick test_persistence;
+          Alcotest.test_case "empty" `Quick test_persistence_empty;
+        ] );
+      ( "peer_export",
+        [
+          Alcotest.test_case "partial" `Quick test_peer_export;
+          Alcotest.test_case "all direct" `Quick test_peer_export_all_direct;
+        ] );
+      ( "community_verify",
+        [
+          Alcotest.test_case "prefix counts" `Quick test_prefix_counts;
+          Alcotest.test_case "neighbor tags" `Quick test_neighbor_tags;
+          Alcotest.test_case "semantics" `Quick test_infer_semantics;
+          Alcotest.test_case "verify report" `Quick test_community_verify_report;
+        ] );
+      ( "irr_import",
+        [
+          Alcotest.test_case "pairs" `Quick test_irr_import;
+          Alcotest.test_case "no pref" `Quick test_irr_import_no_pref;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_judge_antisymmetric;
+            prop_classify_matches_best_hop;
+            prop_chain_active_subpaths;
+            prop_uptime_bounds;
+          ] );
+    ]

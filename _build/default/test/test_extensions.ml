@@ -1,0 +1,296 @@
+(* Tests for the extension analyses: prepending, policy atoms, path
+   availability, and the IRR export audit. *)
+
+module Asn = Rpi_bgp.Asn
+module Route = Rpi_bgp.Route
+module Rib = Rpi_bgp.Rib
+module As_path = Rpi_bgp.As_path
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Atom = Rpi_sim.Atom
+module Engine = Rpi_sim.Engine
+module Policy = Rpi_sim.Policy
+module Prepend_infer = Rpi_core.Prepend_infer
+module Policy_atoms = Rpi_core.Policy_atoms
+module Availability = Rpi_core.Availability
+module Irr_export = Rpi_core.Irr_export
+
+let p = Prefix.of_string_exn
+let asn = Asn.of_int
+
+let route ?(pfx = "10.0.0.0/24") ~path () =
+  let peer = asn (List.hd path) in
+  Route.make ~prefix:(p pfx)
+    ~next_hop:(Ipv4.of_octets 10 9 (List.hd path mod 250) 1)
+    ~as_path:(As_path.of_list (List.map asn path))
+    ~router_id:(Ipv4.of_octets 10 9 (List.hd path mod 250) 1)
+    ~peer_as:peer ()
+
+(* --- Prepend_infer --- *)
+
+let test_detect_path () =
+  let detect l = Prepend_infer.detect_path (List.map asn l) in
+  Alcotest.(check int) "clean path" 0 (List.length (detect [ 1; 2; 3 ]));
+  begin
+    match detect [ 1; 2; 2; 2 ] with
+    | [ (a, copies, at_origin) ] ->
+        Alcotest.(check int) "prepender" 2 (Asn.to_int a);
+        Alcotest.(check int) "copies" 3 copies;
+        Alcotest.(check bool) "at origin" true at_origin
+    | other -> Alcotest.failf "expected one run, got %d" (List.length other)
+  end;
+  begin
+    match detect [ 5; 5; 9 ] with
+    | [ (a, copies, at_origin) ] ->
+        Alcotest.(check int) "mid prepender" 5 (Asn.to_int a);
+        Alcotest.(check int) "two copies" 2 copies;
+        Alcotest.(check bool) "not at origin" false at_origin
+    | other -> Alcotest.failf "expected one run, got %d" (List.length other)
+  end;
+  Alcotest.(check int) "two runs" 2 (List.length (detect [ 1; 1; 2; 3; 3 ]));
+  Alcotest.(check int) "empty path" 0 (List.length (detect []))
+
+let test_prepend_analyze () =
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/24" ~path:[ 1; 9; 9; 9 ] ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 1; 8 ] ();
+      ]
+  in
+  let r = Prepend_infer.analyze rib in
+  Alcotest.(check int) "routes" 2 r.Prepend_infer.routes_total;
+  Alcotest.(check int) "prepended" 1 r.Prepend_infer.routes_prepended;
+  Alcotest.(check (float 0.01)) "pct" 50.0 r.Prepend_infer.pct_prepended;
+  Alcotest.(check (list (pair int int))) "histogram" [ (3, 1) ]
+    (List.map (fun (c, n) -> (c, n)) r.Prepend_infer.copies_histogram);
+  Alcotest.(check (option int)) "top prepender" (Some 9)
+    (match r.Prepend_infer.by_prepender with
+    | (a, _) :: _ -> Some (Asn.to_int a)
+    | [] -> None)
+
+let test_engine_prepending () =
+  (* Origin 30 prepends towards provider 10 but not 20; a 2-hop observer
+     above both prefers the unpadded side. *)
+  let top = asn 1 and p1 = asn 10 and p2 = asn 20 and origin = asn 30 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:top ~customer:p1 in
+  let g = As_graph.add_p2c g ~provider:top ~customer:p2 in
+  let g = As_graph.add_p2c g ~provider:p1 ~customer:origin in
+  let g = As_graph.add_p2c g ~provider:p2 ~customer:origin in
+  let net = Engine.prepare ~graph:g ~import:(fun _ -> Policy.default_import) () in
+  let atom =
+    Atom.make ~id:0 ~origin ~prepend_to:[ (p1, 2) ] [ p "10.0.0.0/24" ]
+  in
+  let result = Engine.propagate net ~retain:(Asn.Set.of_list [ top; p1 ]) atom in
+  begin
+    match Engine.best_at result top with
+    | Some r ->
+        Alcotest.(check (list int)) "unpadded side wins"
+          [ 20; 30 ]
+          (List.map Asn.to_int r.Engine.path)
+    | None -> Alcotest.fail "no route at top"
+  end;
+  (* The padded announcement is visible at p1 itself. *)
+  match Engine.best_at result p1 with
+  | Some r ->
+      Alcotest.(check (list int)) "padding present" [ 30; 30; 30 ]
+        (List.map Asn.to_int r.Engine.path)
+  | None -> Alcotest.fail "no route at p1"
+
+(* --- Policy_atoms --- *)
+
+let test_policy_atoms () =
+  (* Prefixes A and B share their signature (same paths from both feeds);
+     C differs. *)
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/24" ~path:[ 1; 9 ] ();
+        route ~pfx:"10.0.0.0/24" ~path:[ 2; 9 ] ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 1; 9 ] ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 2; 9 ] ();
+        route ~pfx:"10.0.2.0/24" ~path:[ 1; 9 ] ();
+      ]
+  in
+  let r = Policy_atoms.infer rib in
+  Alcotest.(check int) "prefixes" 3 r.Policy_atoms.prefixes_total;
+  Alcotest.(check int) "atoms" 2 r.Policy_atoms.atom_count;
+  Alcotest.(check int) "max size" 2 r.Policy_atoms.max_size;
+  Alcotest.(check int) "singletons" 1 r.Policy_atoms.singleton_count;
+  let big = List.hd r.Policy_atoms.atoms in
+  Alcotest.(check (option int)) "common origin" (Some 9)
+    (Option.map Asn.to_int big.Policy_atoms.origin)
+
+let test_policy_atoms_purity () =
+  let rib =
+    Rib.of_routes
+      [
+        route ~pfx:"10.0.0.0/24" ~path:[ 1; 9 ] ();
+        route ~pfx:"10.0.1.0/24" ~path:[ 1; 9 ] ();
+        route ~pfx:"10.0.2.0/24" ~path:[ 2; 9 ] ();
+      ]
+  in
+  let r = Policy_atoms.infer rib in
+  (* Ground truth: first two prefixes in atom 1, third in atom 2: pure. *)
+  let gt_pure prefix =
+    if Prefix.equal prefix (p "10.0.2.0/24") then Some 2 else Some 1
+  in
+  Alcotest.(check (float 0.001)) "pure" 1.0 (Policy_atoms.purity r ~ground_truth:gt_pure);
+  (* Ground truth splitting the big atom: impure. *)
+  let gt_mixed prefix = if Prefix.equal prefix (p "10.0.0.0/24") then Some 1 else Some 2 in
+  Alcotest.(check (float 0.001)) "half pure" 0.5
+    (Policy_atoms.purity r ~ground_truth:gt_mixed)
+
+(* --- Availability --- *)
+
+let availability_graph () =
+  (* Observer 1: customers 2 and 3, peer 4, provider 5.  Origin 9 below 2
+     and 3 (multihomed); origin 8 below 4 only. *)
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:(asn 1) ~customer:(asn 2) in
+  let g = As_graph.add_p2c g ~provider:(asn 1) ~customer:(asn 3) in
+  let g = As_graph.add_p2p g (asn 1) (asn 4) in
+  let g = As_graph.add_p2c g ~provider:(asn 5) ~customer:(asn 1) in
+  let g = As_graph.add_p2c g ~provider:(asn 2) ~customer:(asn 9) in
+  let g = As_graph.add_p2c g ~provider:(asn 3) ~customer:(asn 9) in
+  let g = As_graph.add_p2c g ~provider:(asn 4) ~customer:(asn 8) in
+  g
+
+let test_potential_next_hops () =
+  let g = availability_graph () in
+  let hops origin =
+    Availability.potential_next_hops g ~observer:(asn 1) ~origin:(asn origin)
+    |> List.map Asn.to_int
+  in
+  (* Origin 9: through customers 2 and 3 (in their cones) and provider 5. *)
+  Alcotest.(check (list int)) "multihomed origin" [ 2; 3; 5 ] (hops 9);
+  (* Origin 8: only the peer 4 carries it as a customer route, plus the
+     provider 5. *)
+  Alcotest.(check (list int)) "peer-side origin" [ 4; 5 ] (hops 8)
+
+let test_availability_analyze () =
+  let g = availability_graph () in
+  (* Table only carries one route for 9's prefix: selective announcement
+     starved it. *)
+  let rib = Rib.of_routes [ route ~pfx:"10.9.0.0/24" ~path:[ 2; 9 ] () ] in
+  let r =
+    Availability.analyze g ~observer:(asn 1)
+      ~origins:[ (asn 9, [ p "10.9.0.0/24" ]) ]
+      rib
+  in
+  Alcotest.(check int) "one sample" 1 (List.length r.Availability.samples);
+  Alcotest.(check (float 0.01)) "potential" 3.0 r.Availability.mean_potential;
+  Alcotest.(check (float 0.01)) "actual" 1.0 r.Availability.mean_actual;
+  Alcotest.(check int) "starved" 1 r.Availability.starved
+
+let test_availability_sampling_cap () =
+  let g = availability_graph () in
+  let prefixes = List.init 20 (fun i -> p (Printf.sprintf "10.9.%d.0/24" i)) in
+  let rib =
+    Rib.of_routes
+      (List.map (fun q -> route ~pfx:(Prefix.to_string q) ~path:[ 2; 9 ] ()) prefixes)
+  in
+  let r =
+    Availability.analyze g ~observer:(asn 1) ~origins:[ (asn 9, prefixes) ] ~max_samples:5 rib
+  in
+  Alcotest.(check int) "capped" 5 (List.length r.Availability.samples)
+
+(* --- Irr_export --- *)
+
+let test_leaky_filter () =
+  Alcotest.(check bool) "ANY" true (Irr_export.leaky_filter "ANY");
+  Alcotest.(check bool) "any lowercase" true (Irr_export.leaky_filter "any");
+  Alcotest.(check bool) "AS-ANY" true (Irr_export.leaky_filter "AS-ANY");
+  Alcotest.(check bool) "scoped" false (Irr_export.leaky_filter "AS1:customers");
+  Alcotest.(check bool) "self" false (Irr_export.leaky_filter "AS1")
+
+let test_irr_export_analyze () =
+  let g = availability_graph () in
+  let clean =
+    Rpi_irr.Rpsl.make ~asn:(asn 1)
+      ~exports:
+        [
+          { Rpi_irr.Rpsl.to_as = asn 2; announce = "ANY" };
+          (* towards a customer: fine *)
+          { Rpi_irr.Rpsl.to_as = asn 4; announce = "AS1:customers" };
+        ]
+      ()
+  in
+  let leaky =
+    Rpi_irr.Rpsl.make ~asn:(asn 2)
+      ~exports:[ { Rpi_irr.Rpsl.to_as = asn 1; announce = "ANY" } ]
+      (* full table towards the provider: leak-shaped *)
+      ()
+  in
+  let db = Rpi_irr.Db.of_objects [ clean; leaky ] in
+  let r = Irr_export.analyze g db in
+  Alcotest.(check int) "objects" 2 r.Irr_export.objects_checked;
+  Alcotest.(check int) "violations" 1 (List.length r.Irr_export.violations);
+  Alcotest.(check (float 0.01)) "half clean" 50.0 r.Irr_export.pct_clean_objects;
+  let v = List.hd r.Irr_export.violations in
+  Alcotest.(check int) "who" 2 (Asn.to_int v.Irr_export.asn);
+  Alcotest.(check bool) "towards provider" true
+    (Relationship.equal v.Irr_export.rel Relationship.Provider)
+
+(* --- properties --- *)
+
+let prop_detect_path_total_copies =
+  QCheck2.Test.make ~name:"detected copies never exceed path length" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 12) (int_range 1 5))
+    (fun ids ->
+      let path = List.map asn ids in
+      let detected = Prepend_infer.detect_path path in
+      List.for_all (fun (_, copies, _) -> copies >= 2 && copies <= List.length ids) detected)
+
+let prop_atoms_partition =
+  QCheck2.Test.make ~name:"policy atoms partition the prefix set" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_range 0 9) (int_range 1 3)))
+    (fun specs ->
+      let routes =
+        List.concat_map
+          (fun (i, feeds) ->
+            List.init feeds (fun f ->
+                route
+                  ~pfx:(Printf.sprintf "10.0.%d.0/24" i)
+                  ~path:[ 100 + f; 9 ]
+                  ()))
+          specs
+      in
+      let rib = Rib.of_routes routes in
+      let r = Policy_atoms.infer rib in
+      let scattered = List.concat_map (fun a -> a.Policy_atoms.prefixes) r.Policy_atoms.atoms in
+      List.length scattered = r.Policy_atoms.prefixes_total
+      && List.sort_uniq Prefix.compare scattered = Rib.prefixes rib)
+
+let () =
+  Alcotest.run "rpi_extensions"
+    [
+      ( "prepend",
+        [
+          Alcotest.test_case "detect path" `Quick test_detect_path;
+          Alcotest.test_case "analyze" `Quick test_prepend_analyze;
+          Alcotest.test_case "engine prepending" `Quick test_engine_prepending;
+        ] );
+      ( "policy_atoms",
+        [
+          Alcotest.test_case "infer" `Quick test_policy_atoms;
+          Alcotest.test_case "purity" `Quick test_policy_atoms_purity;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "potential next hops" `Quick test_potential_next_hops;
+          Alcotest.test_case "analyze" `Quick test_availability_analyze;
+          Alcotest.test_case "sampling cap" `Quick test_availability_sampling_cap;
+        ] );
+      ( "irr_export",
+        [
+          Alcotest.test_case "leaky filter" `Quick test_leaky_filter;
+          Alcotest.test_case "analyze" `Quick test_irr_export_analyze;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_detect_path_total_copies; prop_atoms_partition ] );
+    ]

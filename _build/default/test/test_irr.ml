@@ -1,0 +1,195 @@
+module Asn = Rpi_bgp.Asn
+module Rpsl = Rpi_irr.Rpsl
+module Db = Rpi_irr.Db
+module Gen = Rpi_irr.Gen
+module As_graph = Rpi_topo.As_graph
+module Prng = Rpi_prng.Prng
+
+let asn = Asn.of_int
+
+let sample_object () =
+  Rpsl.make ~asn:(asn 1) ~as_name:"GTE"
+    ~imports:
+      [
+        { Rpsl.from_as = asn 2; pref = Some 1; accept = "ANY" };
+        { Rpsl.from_as = asn 3; pref = None; accept = "AS3" };
+      ]
+    ~exports:[ { Rpsl.to_as = asn 2; announce = "AS1" } ]
+    ~changed:20021104 ()
+
+let test_render_parse_roundtrip () =
+  let obj = sample_object () in
+  match Rpsl.parse_object (Rpsl.render obj) with
+  | Error e -> Alcotest.fail e
+  | Ok obj' ->
+      Alcotest.(check int) "asn" 1 (Asn.to_int obj'.Rpsl.asn);
+      Alcotest.(check string) "name" "GTE" obj'.Rpsl.as_name;
+      Alcotest.(check int) "imports" 2 (List.length obj'.Rpsl.imports);
+      Alcotest.(check int) "exports" 1 (List.length obj'.Rpsl.exports);
+      Alcotest.(check int) "changed" 20021104 obj'.Rpsl.changed;
+      let first = List.hd obj'.Rpsl.imports in
+      Alcotest.(check (option int)) "pref" (Some 1) first.Rpsl.pref;
+      Alcotest.(check string) "accept" "ANY" first.Rpsl.accept
+
+let test_parse_paper_example () =
+  (* The exact form quoted in Section 4.1 of the paper. *)
+  let text = "aut-num: AS1\nimport: from AS2 action pref = 1; accept ANY\n" in
+  match Rpsl.parse_object text with
+  | Error e -> Alcotest.fail e
+  | Ok obj -> begin
+      match obj.Rpsl.imports with
+      | [ rule ] ->
+          Alcotest.(check int) "from" 2 (Asn.to_int rule.Rpsl.from_as);
+          Alcotest.(check (option int)) "pref" (Some 1) rule.Rpsl.pref
+      | _ -> Alcotest.fail "expected one import"
+    end
+
+let test_parse_pref_compact () =
+  (* "pref=10;" without spaces. *)
+  let text = "aut-num: AS5\nimport: from AS6 action pref=10; accept ANY\n" in
+  match Rpsl.parse_object text with
+  | Ok obj ->
+      Alcotest.(check (option int)) "compact pref" (Some 10)
+        (List.hd obj.Rpsl.imports).Rpsl.pref
+  | Error e -> Alcotest.fail e
+
+let test_parse_no_autnum () =
+  Alcotest.(check bool) "missing aut-num rejected" true
+    (match Rpsl.parse_object "as-name: X\n" with Error _ -> true | Ok _ -> false)
+
+let test_parse_comments () =
+  let text = "% registry comment\naut-num: AS9\n# another\nas-name: NINE\n" in
+  match Rpsl.parse_object text with
+  | Ok obj -> Alcotest.(check string) "name" "NINE" obj.Rpsl.as_name
+  | Error e -> Alcotest.fail e
+
+let test_parse_many () =
+  let text =
+    Rpsl.render_many
+      [ sample_object (); Rpsl.make ~asn:(asn 2) ~as_name:"UUNET" () ]
+  in
+  match Rpsl.parse text with
+  | Ok objs -> Alcotest.(check int) "two objects" 2 (List.length objs)
+  | Error e -> Alcotest.fail e
+
+let test_db_filters () =
+  let fresh = sample_object () in
+  let stale = Rpsl.make ~asn:(asn 2) ~changed:20010101 () in
+  let db = Db.of_objects [ fresh; stale ] in
+  Alcotest.(check int) "both stored" 2 (Db.cardinal db);
+  Alcotest.(check int) "staleness filter" 1 (Db.cardinal (Db.fresh ~since:20020101 db));
+  Alcotest.(check int) "import threshold" 1 (Db.cardinal (Db.with_min_imports 1 db));
+  Alcotest.(check bool) "find" true (Db.find db (asn 1) <> None);
+  Alcotest.(check bool) "find missing" true (Db.find db (asn 99) = None)
+
+let test_db_replaces_duplicates () =
+  let v1 = Rpsl.make ~asn:(asn 7) ~as_name:"OLD" () in
+  let v2 = Rpsl.make ~asn:(asn 7) ~as_name:"NEW" () in
+  let db = Db.of_objects [ v1; v2 ] in
+  Alcotest.(check int) "one object" 1 (Db.cardinal db);
+  Alcotest.(check (option string)) "latest wins" (Some "NEW")
+    (Option.map (fun (o : Rpsl.aut_num) -> o.Rpsl.as_name) (Db.find db (asn 7)))
+
+let test_db_render_parse () =
+  let db = Db.of_objects [ sample_object (); Rpsl.make ~asn:(asn 5) () ] in
+  match Db.parse (Db.render db) with
+  | Ok db' -> Alcotest.(check int) "cardinal" (Db.cardinal db) (Db.cardinal db')
+  | Error e -> Alcotest.fail e
+
+(* --- generated registry --- *)
+
+let small_graph () =
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:(asn 10) ~customer:(asn 20) in
+  let g = As_graph.add_p2c g ~provider:(asn 10) ~customer:(asn 30) in
+  let g = As_graph.add_p2p g (asn 20) (asn 30) in
+  g
+
+let test_gen_registry () =
+  let g = small_graph () in
+  let rng = Prng.create ~seed:5 in
+  let config =
+    { Gen.default_config with Gen.p_stale = 0.0; p_missing_rule = 0.0; p_noisy_pref = 0.0 }
+  in
+  let db = Gen.registry ~config rng ~graph:g ~policies:(fun a -> Rpi_sim.Policy.default a) in
+  Alcotest.(check int) "one object per AS" 3 (Db.cardinal db);
+  match Db.find db (asn 20) with
+  | None -> Alcotest.fail "AS20 missing"
+  | Some obj ->
+      Alcotest.(check int) "one import per neighbour" 2 (List.length obj.Rpsl.imports);
+      (* Customer routes must carry a smaller (better) RPSL pref than
+         provider routes: lp 110 -> pref 90; lp 90 -> pref 110. *)
+      let pref_of nb =
+        List.find_map
+          (fun (r : Rpsl.import_rule) ->
+            if Asn.equal r.Rpsl.from_as nb then r.Rpsl.pref else None)
+          obj.Rpsl.imports
+      in
+      let provider_pref = pref_of (asn 10) and peer_pref = pref_of (asn 30) in
+      begin
+        match (provider_pref, peer_pref) with
+        | Some pp, Some peerp ->
+            Alcotest.(check bool) "peer preferred over provider" true (peerp < pp)
+        | _, _ -> Alcotest.fail "missing prefs"
+      end
+
+let test_gen_pref_mapping () =
+  Alcotest.(check int) "lp 110" 90 (Gen.pref_of_lp 110);
+  Alcotest.(check int) "lp 90" 110 (Gen.pref_of_lp 90);
+  Alcotest.(check int) "clamped" 1 (Gen.pref_of_lp 500)
+
+let test_gen_staleness_fraction () =
+  let g =
+    List.fold_left
+      (fun g i -> As_graph.add_p2c g ~provider:(asn 1) ~customer:(asn (100 + i)))
+      As_graph.empty
+      (List.init 200 Fun.id)
+  in
+  let rng = Prng.create ~seed:9 in
+  let config = { Gen.default_config with Gen.p_stale = 0.3 } in
+  let db = Gen.registry ~config rng ~graph:g ~policies:Rpi_sim.Policy.default in
+  let fresh = Db.cardinal (Db.fresh ~since:20020101 db) in
+  let total = Db.cardinal db in
+  let stale_fraction = 1.0 -. (float_of_int fresh /. float_of_int total) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale fraction %.2f near 0.3" stale_fraction)
+    true
+    (stale_fraction > 0.2 && stale_fraction < 0.4)
+
+let prop_registry_roundtrip =
+  QCheck2.Test.make ~name:"generated registry parses back" ~count:20
+    QCheck2.Gen.(int_range 1 100000)
+    (fun seed ->
+      let g = small_graph () in
+      let rng = Prng.create ~seed in
+      let db = Gen.registry rng ~graph:g ~policies:Rpi_sim.Policy.default in
+      match Db.parse (Db.render db) with
+      | Ok db' -> Db.cardinal db = Db.cardinal db'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rpi_irr"
+    [
+      ( "rpsl",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_render_parse_roundtrip;
+          Alcotest.test_case "paper example" `Quick test_parse_paper_example;
+          Alcotest.test_case "compact pref" `Quick test_parse_pref_compact;
+          Alcotest.test_case "missing aut-num" `Quick test_parse_no_autnum;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "many objects" `Quick test_parse_many;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "filters" `Quick test_db_filters;
+          Alcotest.test_case "duplicates" `Quick test_db_replaces_duplicates;
+          Alcotest.test_case "render/parse" `Quick test_db_render_parse;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "registry" `Quick test_gen_registry;
+          Alcotest.test_case "pref mapping" `Quick test_gen_pref_mapping;
+          Alcotest.test_case "staleness fraction" `Quick test_gen_staleness_fraction;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_registry_roundtrip ]);
+    ]

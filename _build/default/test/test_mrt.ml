@@ -1,0 +1,304 @@
+module Asn = Rpi_bgp.Asn
+module Route = Rpi_bgp.Route
+module Rib = Rpi_bgp.Rib
+module As_path = Rpi_bgp.As_path
+module Community = Rpi_bgp.Community
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+module Table_dump = Rpi_mrt.Table_dump
+module Show_ip_bgp = Rpi_mrt.Show_ip_bgp
+module Loader = Rpi_mrt.Loader
+
+let p = Prefix.of_string_exn
+let ip = Ipv4.of_string_exn
+let asn = Asn.of_int
+
+let sample_route ?(pfx = "10.1.0.0/16") ?(path = [ 7018; 1239 ]) ?(lp = 110) ?med
+    ?(communities = []) () =
+  Route.make ~prefix:(p pfx) ~next_hop:(ip "10.27.106.1")
+    ~as_path:(As_path.of_list (List.map asn path))
+    ~local_pref:lp ?med
+    ~communities:(Community.Set.of_list (List.map Community.of_string_exn communities))
+    ~router_id:(ip "10.27.106.1")
+    ~peer_as:(asn (List.hd path))
+    ()
+
+(* --- table dump --- *)
+
+let test_entry_roundtrip () =
+  let entry =
+    {
+      Table_dump.timestamp = 1037577600;
+      vantage_as = asn 7018;
+      route = sample_route ~communities:[ "7018:4000"; "no-export" ] ~med:5 ();
+    }
+  in
+  let line = Table_dump.entry_to_line entry in
+  match Table_dump.entry_of_line line with
+  | Error e -> Alcotest.fail e
+  | Ok entry' ->
+      Alcotest.(check int) "timestamp" entry.Table_dump.timestamp entry'.Table_dump.timestamp;
+      Alcotest.(check int) "vantage" 7018 (Asn.to_int entry'.Table_dump.vantage_as);
+      Alcotest.(check bool) "route equal" true
+        (Route.equal entry.Table_dump.route entry'.Table_dump.route)
+
+let test_entry_missing_fields () =
+  let defaults = sample_route ~lp:100 () in
+  let entry =
+    {
+      Table_dump.timestamp = 0;
+      vantage_as = asn 1;
+      route = { defaults with Route.local_pref = None; med = None };
+    }
+  in
+  let line = Table_dump.entry_to_line entry in
+  Alcotest.(check bool) "dashes for absent attrs" true
+    (String.length line > 0
+    &&
+    match Table_dump.entry_of_line line with
+    | Ok e -> e.Table_dump.route.Route.local_pref = None && e.Table_dump.route.Route.med = None
+    | Error _ -> false)
+
+let test_bad_lines () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) line true
+        (match Table_dump.entry_of_line line with Error _ -> true | Ok _ -> false))
+    [
+      "";
+      "RIB|x";
+      "NOTRIB|0|1|2|10.0.0.0/8|1 2|i|1.2.3.4|-|-|-";
+      "RIB|zzz|1|2|10.0.0.0/8|1 2|i|1.2.3.4|-|-|-";
+      "RIB|0|1|2|10.0.0.0/99|1 2|i|1.2.3.4|-|-|-";
+      "RIB|0|1|2|10.0.0.0/8|1 2|x|1.2.3.4|-|-|-";
+      "RIB|0|1|2|10.0.0.0/8|1 2|i|1.2.3.4|abc|-|-";
+    ]
+
+let test_rib_roundtrip () =
+  let rib =
+    Rib.of_routes
+      [
+        sample_route ();
+        sample_route ~pfx:"10.2.0.0/16" ~path:[ 701; 9 ] ();
+        sample_route ~pfx:"10.2.0.0/16" ~path:[ 1239; 9 ] ~lp:90 ();
+      ]
+  in
+  let text = Table_dump.rib_to_string ~vantage_as:(asn 1) rib in
+  match Table_dump.parse_to_rib text with
+  | Error e -> Alcotest.fail e
+  | Ok rib' ->
+      Alcotest.(check int) "prefixes" (Rib.prefix_count rib) (Rib.prefix_count rib');
+      Alcotest.(check int) "routes" (Rib.route_count rib) (Rib.route_count rib')
+
+let test_parse_comments_and_blanks () =
+  let text = "# a comment\n\nRIB|0|1|7018|10.0.0.0/8|7018|i|1.2.3.4|-|-|-\n\n" in
+  match Table_dump.parse text with
+  | Ok [ entry ] ->
+      Alcotest.(check string) "prefix" "10.0.0.0/8"
+        (Prefix.to_string entry.Table_dump.route.Route.prefix)
+  | Ok other -> Alcotest.failf "expected one entry, got %d" (List.length other)
+  | Error e -> Alcotest.fail e
+
+let test_parse_error_line_number () =
+  let text = "RIB|0|1|7018|10.0.0.0/8|7018|i|1.2.3.4|-|-|-\njunk here\n" in
+  match Table_dump.parse text with
+  | Error e ->
+      Alcotest.(check bool) "mentions line 2" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* --- show ip bgp --- *)
+
+let test_show_render_contains_best () =
+  let rib =
+    Rib.of_routes
+      [ sample_route ~lp:110 (); sample_route ~path:[ 701; 1239 ] ~lp:90 () ]
+  in
+  let text = Show_ip_bgp.render rib in
+  Alcotest.(check bool) "has best marker" true (String.contains text '>');
+  Alcotest.(check bool) "has header" true
+    (String.length text > 3 && String.sub text 0 3 = "BGP")
+
+let test_show_roundtrip () =
+  let rib =
+    Rib.of_routes
+      [
+        sample_route ~lp:110 ();
+        sample_route ~path:[ 701; 1239 ] ~lp:90 ();
+        sample_route ~pfx:"12.0.0.0/19" ~path:[ 3549 ] ~lp:100 ();
+      ]
+  in
+  let text = Show_ip_bgp.render rib in
+  match Show_ip_bgp.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok rib' ->
+      Alcotest.(check int) "prefixes" (Rib.prefix_count rib) (Rib.prefix_count rib');
+      Alcotest.(check int) "routes" (Rib.route_count rib) (Rib.route_count rib');
+      (* Local preference survives. *)
+      let best = Rib.best rib' (p "10.1.0.0/16") in
+      Alcotest.(check (option int)) "best lp" (Some 110)
+        (Option.bind best (fun (r : Route.t) -> r.Route.local_pref))
+
+let test_prefix_detail_roundtrip () =
+  let rib =
+    Rib.of_routes
+      [
+        sample_route ~communities:[ "12859:1000" ] ~lp:210 ();
+        sample_route ~path:[ 701; 1239 ] ~lp:90 ();
+      ]
+  in
+  let text = Show_ip_bgp.render_prefix_detail rib (p "10.1.0.0/16") in
+  Alcotest.(check bool) "has community line" true
+    (let needle = "12859:1000" in
+     let hl = String.length text and nl = String.length needle in
+     let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+     go 0);
+  match Show_ip_bgp.parse_prefix_detail text with
+  | Error e -> Alcotest.fail e
+  | Ok detail ->
+      Alcotest.(check bool) "prefix" true
+        (Prefix.equal detail.Show_ip_bgp.prefix (p "10.1.0.0/16"));
+      Alcotest.(check int) "two paths" 2 (List.length detail.Show_ip_bgp.paths);
+      let best_count =
+        List.length
+          (List.filter (fun (_, _, _, best) -> best) detail.Show_ip_bgp.paths)
+      in
+      Alcotest.(check int) "one best" 1 best_count;
+      let with_comm =
+        List.filter
+          (fun (_, _, cs, _) -> not (Community.Set.is_empty cs))
+          detail.Show_ip_bgp.paths
+      in
+      Alcotest.(check int) "one tagged path" 1 (List.length with_comm)
+
+let test_show_parse_handwritten () =
+  (* A block typed the way a Looking Glass would print it, including a
+     continuation line with a blank LocPrf column. *)
+  let text =
+    String.concat "\n"
+      [
+        "BGP table version is 1, local router ID is 172.16.1.1";
+        "Status codes: s suppressed, d damped, h history, * valid, > best, i - internal";
+        "Origin codes: i - IGP, e - EGP, ? - incomplete";
+        "";
+        "   Network            Next Hop            Metric LocPrf Weight Path";
+        "*> 12.0.0.0/19        10.27.86.1               0    110      0 7018 1239 i";
+        "*                     10.27.86.2               0      -     0 701 1239 i";
+        "*> 192.205.32.0/24    10.0.9.1                 5    100      0 3549 ?";
+        "";
+      ]
+  in
+  match Show_ip_bgp.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok rib ->
+      Alcotest.(check int) "two prefixes" 2 (Rib.prefix_count rib);
+      Alcotest.(check int) "three routes" 3 (Rib.route_count rib);
+      let cands = Rib.candidates rib (p "12.0.0.0/19") in
+      Alcotest.(check int) "continuation inherited network" 2 (List.length cands);
+      let lps =
+        List.filter_map (fun (r : Route.t) -> r.Route.local_pref) cands
+        |> List.sort Int.compare
+      in
+      Alcotest.(check (list int)) "dash locprf tolerated" [ 110 ] lps;
+      begin
+        match Rib.best rib (p "192.205.32.0/24") with
+        | Some r ->
+            Alcotest.(check bool) "incomplete origin parsed" true
+              (r.Route.origin = Route.Incomplete)
+        | None -> Alcotest.fail "missing route"
+      end
+
+(* --- loader --- *)
+
+let test_detect_format () =
+  Alcotest.(check bool) "dump" true
+    (Loader.detect_format "RIB|0|1|2|10.0.0.0/8|1|i|1.2.3.4|-|-|-" = `Table_dump);
+  Alcotest.(check bool) "cisco" true
+    (Loader.detect_format "BGP table version is 1..." = `Show_ip_bgp);
+  Alcotest.(check bool) "unknown" true (Loader.detect_format "hello" = `Unknown)
+
+let test_snapshot_roundtrip () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "rpi_test_snapshot" in
+  let tables =
+    [
+      (asn 1, Rib.of_routes [ sample_route () ]);
+      (asn 7018, Rib.of_routes [ sample_route ~pfx:"12.0.0.0/19" () ]);
+    ]
+  in
+  Loader.save_snapshot ~dir tables;
+  match Loader.load_snapshot ~dir with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+      Alcotest.(check int) "two tables" 2 (List.length loaded);
+      Alcotest.(check (list int)) "ascending AS order" [ 1; 7018 ]
+        (List.map (fun (a, _) -> Asn.to_int a) loaded);
+      List.iter
+        (fun (a, rib) ->
+          let original = List.assoc a tables in
+          Alcotest.(check int) "same size" (Rib.prefix_count original) (Rib.prefix_count rib))
+        loaded
+
+let test_load_missing_dir () =
+  Alcotest.(check bool) "missing dir is an error" true
+    (match Loader.load_snapshot ~dir:"/nonexistent/rpi" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- property: random RIBs survive the dump round-trip --- *)
+
+let gen_rib =
+  QCheck2.Gen.(
+    let gen_route =
+      map3
+        (fun net len peer ->
+          let prefix = Prefix.make (Ipv4.of_int32_exn ((net * 1021) land 0xFFFFFF00)) len in
+          sample_route ~pfx:(Prefix.to_string prefix) ~path:[ peer; 65000 ] ())
+        (int_bound 10000) (int_range 8 28) (int_range 1 60000)
+    in
+    list_size (int_range 1 50) gen_route |> map Rib.of_routes)
+
+let prop_dump_roundtrip =
+  QCheck2.Test.make ~name:"table dump roundtrip preserves rib" ~count:100 gen_rib
+    (fun rib ->
+      let text = Table_dump.rib_to_string ~vantage_as:(asn 1) rib in
+      match Table_dump.parse_to_rib text with
+      | Ok rib' ->
+          Rib.prefix_count rib = Rib.prefix_count rib'
+          && Rib.route_count rib = Rib.route_count rib'
+      | Error _ -> false)
+
+let prop_show_roundtrip =
+  QCheck2.Test.make ~name:"show ip bgp roundtrip preserves counts" ~count:100 gen_rib
+    (fun rib ->
+      match Show_ip_bgp.parse (Show_ip_bgp.render rib) with
+      | Ok rib' -> Rib.prefix_count rib = Rib.prefix_count rib'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rpi_mrt"
+    [
+      ( "table_dump",
+        [
+          Alcotest.test_case "entry roundtrip" `Quick test_entry_roundtrip;
+          Alcotest.test_case "missing fields" `Quick test_entry_missing_fields;
+          Alcotest.test_case "bad lines" `Quick test_bad_lines;
+          Alcotest.test_case "rib roundtrip" `Quick test_rib_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+          Alcotest.test_case "error line numbers" `Quick test_parse_error_line_number;
+        ] );
+      ( "show_ip_bgp",
+        [
+          Alcotest.test_case "render" `Quick test_show_render_contains_best;
+          Alcotest.test_case "roundtrip" `Quick test_show_roundtrip;
+          Alcotest.test_case "handwritten table" `Quick test_show_parse_handwritten;
+          Alcotest.test_case "prefix detail" `Quick test_prefix_detail_roundtrip;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "detect format" `Quick test_detect_format;
+          Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "missing dir" `Quick test_load_missing_dir;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_dump_roundtrip; prop_show_roundtrip ] );
+    ]

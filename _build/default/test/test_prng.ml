@@ -1,0 +1,194 @@
+module Prng = Rpi_prng.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then same := false
+  done;
+  Alcotest.(check bool) "streams differ" false !same
+
+let test_split_independent () =
+  let a = Prng.create ~seed:5 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_copy () =
+  let a = Prng.create ~seed:9 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_int_bounds () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_int_invalid () =
+  let rng = Prng.create ~seed:3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_int_in () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in rng (-3) 4 in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 4)
+  done
+
+let test_int_covers_all () =
+  let rng = Prng.create ~seed:11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let rng = Prng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_chance_extremes () =
+  let rng = Prng.create ~seed:17 in
+  Alcotest.(check bool) "p=0 never" false (Prng.chance rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.chance rng 1.0)
+
+let test_chance_rate () =
+  let rng = Prng.create ~seed:19 in
+  let hits = ref 0 in
+  let n = 10000 in
+  for _ = 1 to n do
+    if Prng.chance rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "close to 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_choice () =
+  let rng = Prng.create ~seed:23 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.choice rng arr) arr)
+  done
+
+let test_weighted_choice () =
+  let rng = Prng.create ~seed:29 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10000 do
+    let v = Prng.weighted_choice rng [ ("a", 1.0); ("b", 9.0) ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let b = Option.value ~default:0 (Hashtbl.find_opt counts "b") in
+  Alcotest.(check bool) "b dominates ~9:1" true (b > 8500 && b < 9500)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:31 in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 Fun.id) sorted
+
+let test_sample () =
+  let rng = Prng.create ~seed:37 in
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  let s = Prng.sample rng 3 xs in
+  Alcotest.(check int) "three drawn" 3 (List.length s);
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq Int.compare s));
+  let all = Prng.sample rng 99 xs in
+  Alcotest.(check int) "capped at length" 5 (List.length all)
+
+let test_zipf_bounds () =
+  let rng = Prng.create ~seed:41 in
+  for _ = 1 to 2000 do
+    let v = Prng.zipf rng ~n:50 ~s:1.2 in
+    Alcotest.(check bool) "1 <= v <= 50" true (v >= 1 && v <= 50)
+  done
+
+let test_zipf_skew () =
+  let rng = Prng.create ~seed:43 in
+  let ones = ref 0 and n = 5000 in
+  for _ = 1 to n do
+    if Prng.zipf rng ~n:100 ~s:1.5 = 1 then incr ones
+  done;
+  (* rank 1 should carry a large share under s = 1.5 *)
+  Alcotest.(check bool) "rank 1 frequent" true (!ones > n / 4)
+
+let test_pareto () =
+  let rng = Prng.create ~seed:47 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true (Prng.pareto rng ~xm:2.0 ~alpha:1.5 >= 2.0)
+  done
+
+let test_exponential () =
+  let rng = Prng.create ~seed:53 in
+  let total = ref 0.0 and n = 20000 in
+  for _ = 1 to n do
+    let v = Prng.exponential rng ~mean:4.0 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.0);
+    total := !total +. v
+  done;
+  let m = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 4" true (m > 3.7 && m < 4.3)
+
+(* Property tests. *)
+let prop_int_range =
+  QCheck2.Test.make ~name:"int stays in range" ~count:500
+    QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_preserves =
+  QCheck2.Test.make ~name:"shuffle preserves elements" ~count:200
+    QCheck2.Gen.(pair int (list int))
+    (fun (seed, xs) ->
+      let rng = Prng.create ~seed in
+      let shuffled = Prng.shuffle_list rng xs in
+      List.sort Int.compare shuffled = List.sort Int.compare xs)
+
+let () =
+  Alcotest.run "rpi_prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "copy" `Quick test_copy;
+        ] );
+      ( "draws",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "int covers all" `Quick test_int_covers_all;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "chance rate" `Quick test_chance_rate;
+          Alcotest.test_case "choice" `Quick test_choice;
+          Alcotest.test_case "weighted choice" `Quick test_weighted_choice;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample" `Quick test_sample;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "pareto" `Quick test_pareto;
+          Alcotest.test_case "exponential" `Quick test_exponential;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_int_range; prop_shuffle_preserves ] );
+    ]

@@ -1,0 +1,198 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Gen = Rpi_topo.Gen
+module Paths = Rpi_topo.Paths
+module Gao = Rpi_relinfer.Gao
+module Validate = Rpi_relinfer.Validate
+module Prng = Rpi_prng.Prng
+
+let asn = Asn.of_int
+let path = List.map asn
+
+let test_degrees () =
+  let paths = [ path [ 1; 2; 3 ]; path [ 4; 2 ] ] in
+  let deg = Gao.degrees paths in
+  Alcotest.(check int) "hub degree" 3 (Asn.Map.find (asn 2) deg);
+  Alcotest.(check int) "leaf degree" 1 (Asn.Map.find (asn 3) deg)
+
+let test_top_provider () =
+  let deg = Gao.degrees [ path [ 1; 2; 3 ]; path [ 4; 2 ]; path [ 5; 2 ] ] in
+  Alcotest.(check int) "hub on top" 1 (Gao.top_provider_index deg (path [ 1; 2; 3 ]))
+
+let test_infer_simple_chain () =
+  (* Many paths through a hub: 2 is everyone's provider.  The degree gap
+     between the hub (4) and its leaves (1) is tiny in this toy input, so
+     the peering ratio must be tightened below 4 for the provider labels to
+     survive the peering phase — with the paper-scale default of 60 the
+     algorithm (correctly, per Gao's design) refuses to call such a pair
+     provider-customer with confidence. *)
+  let config = { Gao.default_config with Gao.peer_degree_ratio = 3.0 } in
+  let paths = [ path [ 1; 2; 3 ]; path [ 4; 2; 3 ]; path [ 5; 2; 3 ]; path [ 1; 2; 4 ] ] in
+  let g = Gao.infer ~config paths in
+  Alcotest.(check bool) "2 provides for 3" true
+    (As_graph.relationship g (asn 2) (asn 3) = Some Relationship.Customer);
+  Alcotest.(check bool) "2 provides for 1" true
+    (As_graph.relationship g (asn 1) (asn 2) = Some Relationship.Provider)
+
+let test_peer_ratio_filter () =
+  (* Same input, permissive ratio: the leaf adjacent to the top provider is
+     (mis)labelled peer — documenting the knob's effect. *)
+  let config = { Gao.default_config with Gao.peer_degree_ratio = 60.0 } in
+  let paths = [ path [ 1; 2; 3 ]; path [ 4; 2; 3 ]; path [ 5; 2; 3 ]; path [ 1; 2; 4 ] ] in
+  let g = Gao.infer ~config paths in
+  Alcotest.(check bool) "loose ratio flips to peer" true
+    (As_graph.relationship g (asn 1) (asn 2) = Some Relationship.Peer)
+
+let test_infer_prepending_collapsed () =
+  let paths = [ path [ 1; 2; 2; 2; 3 ] ] in
+  let g = Gao.infer paths in
+  Alcotest.(check bool) "no self edge" false (As_graph.mem_edge g (asn 2) (asn 2));
+  Alcotest.(check bool) "adjacency found" true (As_graph.mem_edge g (asn 2) (asn 3))
+
+let test_infer_peering_between_hubs () =
+  (* Two hubs of similar degree exchanging customer routes: the hub-hub
+     edge should be labelled peer. *)
+  let paths =
+    [
+      path [ 11; 1; 2; 21 ];
+      path [ 12; 1; 2; 22 ];
+      path [ 13; 1; 2; 23 ];
+      path [ 21; 2; 1; 11 ];
+      path [ 22; 2; 1; 12 ];
+      path [ 23; 2; 1; 13 ];
+    ]
+  in
+  let g = Gao.infer paths in
+  Alcotest.(check bool) "hub edge is peer" true
+    (As_graph.relationship g (asn 1) (asn 2) = Some Relationship.Peer);
+  Alcotest.(check bool) "leaf is customer" true
+    (As_graph.relationship g (asn 1) (asn 11) = Some Relationship.Customer)
+
+(* End-to-end: infer relationships of a generated topology from the
+   valley-free paths its own structure produces, and check the accuracy is
+   in the ballpark the paper relies on (Table 4: ~94-99%). *)
+let synthetic_paths graph tier1 =
+  (* For every AS, walk a provider chain up to a Tier-1, then across the
+     clique, then down a customer chain — emitting the receiver-first path
+     a collector peering with Tier-1s would see. *)
+  let ases = As_graph.ases graph in
+  List.concat_map
+    (fun origin ->
+      let rec climb a acc =
+        match As_graph.providers graph a with
+        | [] -> a :: acc
+        | p :: _ -> climb p (a :: acc)
+      in
+      (* climb returns top-first list ending at origin. *)
+      let up = climb origin [] in
+      match up with
+      | top :: _ ->
+          let direct = up in
+          let crossed =
+            List.filter_map
+              (fun t1 ->
+                if Asn.equal t1 top then None
+                else if As_graph.relationship graph t1 top = Some Relationship.Peer then
+                  Some (t1 :: up)
+                else None)
+              tier1
+          in
+          direct :: crossed
+      | [] -> [])
+    ases
+
+let test_infer_generated_topology () =
+  let rng = Prng.create ~seed:11 in
+  let config =
+    { Gen.default_config with Gen.n_tier1 = 6; n_tier2 = 25; n_tier3 = 80; n_stub = 200 }
+  in
+  let t = Gen.generate ~config rng in
+  let paths = synthetic_paths t.Gen.graph t.Gen.tier1 in
+  let inferred = Gao.infer paths in
+  let report = Validate.compare_graphs ~truth:t.Gen.graph ~inferred in
+  let acc = Validate.accuracy report in
+  Alcotest.(check bool)
+    (Printf.sprintf "accuracy %.3f above 0.9 (compared %d)" acc report.Validate.edges_compared)
+    true (acc > 0.9);
+  Alcotest.(check bool) "compared a substantial share" true
+    (report.Validate.edges_compared > As_graph.as_count t.Gen.graph / 2)
+
+let test_validate_reports () =
+  let truth =
+    As_graph.add_p2c
+      (As_graph.add_p2p As_graph.empty (asn 1) (asn 2))
+      ~provider:(asn 1) ~customer:(asn 3)
+  in
+  let inferred =
+    As_graph.add_p2c
+      (As_graph.add_p2c As_graph.empty ~provider:(asn 1) ~customer:(asn 2))
+      ~provider:(asn 1) ~customer:(asn 3)
+  in
+  let r = Validate.compare_graphs ~truth ~inferred in
+  Alcotest.(check int) "compared" 2 r.Validate.edges_compared;
+  Alcotest.(check int) "correct" 1 r.Validate.edges_correct;
+  Alcotest.(check (float 0.001)) "accuracy" 0.5 (Validate.accuracy r);
+  let frac, n = Validate.neighbor_accuracy ~truth ~inferred (asn 1) in
+  Alcotest.(check int) "neighbour comparisons" 2 n;
+  Alcotest.(check (float 0.001)) "neighbour accuracy" 0.5 frac
+
+let test_validate_missing_extra () =
+  let truth = As_graph.add_p2p As_graph.empty (asn 1) (asn 2) in
+  let inferred = As_graph.add_p2p As_graph.empty (asn 3) (asn 4) in
+  let r = Validate.compare_graphs ~truth ~inferred in
+  Alcotest.(check int) "missing" 1 r.Validate.missing;
+  Alcotest.(check int) "extra" 1 r.Validate.extra;
+  Alcotest.(check (float 0.001)) "vacuous accuracy" 1.0 (Validate.accuracy r)
+
+let prop_inferred_edges_observed =
+  QCheck2.Test.make ~name:"inferred graph covers exactly observed adjacencies" ~count:20
+    QCheck2.Gen.(int_range 1 100000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let config =
+        { Gen.default_config with Gen.n_tier1 = 4; n_tier2 = 10; n_tier3 = 30; n_stub = 60 }
+      in
+      let t = Gen.generate ~config rng in
+      let paths = synthetic_paths t.Gen.graph t.Gen.tier1 in
+      let inferred = Gao.infer paths in
+      (* Every inferred edge appears in some path as an adjacency. *)
+      let adjacent =
+        List.concat_map
+          (fun p ->
+            let rec pairs = function
+              | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+              | [ _ ] | [] -> []
+            in
+            pairs p)
+          paths
+      in
+      As_graph.fold_edges
+        (fun a b _ ok ->
+          ok
+          && List.exists
+               (fun (x, y) ->
+                 (Asn.equal x a && Asn.equal y b) || (Asn.equal x b && Asn.equal y a))
+               adjacent)
+        inferred true)
+
+let () =
+  Alcotest.run "rpi_relinfer"
+    [
+      ( "gao",
+        [
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "top provider" `Quick test_top_provider;
+          Alcotest.test_case "simple chain" `Quick test_infer_simple_chain;
+          Alcotest.test_case "peer ratio filter" `Quick test_peer_ratio_filter;
+          Alcotest.test_case "prepending collapsed" `Quick test_infer_prepending_collapsed;
+          Alcotest.test_case "peering between hubs" `Quick test_infer_peering_between_hubs;
+          Alcotest.test_case "generated topology accuracy" `Slow test_infer_generated_topology;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "reports" `Quick test_validate_reports;
+          Alcotest.test_case "missing and extra" `Quick test_validate_missing_extra;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_inferred_edges_observed ]);
+    ]

@@ -1,0 +1,548 @@
+(* Tests for the propagation engine, vantage extraction and timeline,
+   anchored on the worked examples of the paper (Figs. 3, 5, 8). *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Prefix = Rpi_net.Prefix
+module Atom = Rpi_sim.Atom
+module Policy = Rpi_sim.Policy
+module Engine = Rpi_sim.Engine
+module Vantage = Rpi_sim.Vantage
+module Timeline = Rpi_sim.Timeline
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+
+let asn = Asn.of_int
+let p s = Prefix.of_string_exn s
+
+let default_import _ = Policy.default_import
+
+let check_path msg expected route =
+  match route with
+  | None -> Alcotest.failf "%s: no route" msg
+  | Some r ->
+      Alcotest.(check (list int))
+        msg expected
+        (List.map Asn.to_int r.Engine.path)
+
+(* Fig. 3: provider D with customer B; customer A below B and C; A
+   announces prefix p to C only.  D peers with E; E is above C.  D must see
+   p via its peer E, not via its customer B. *)
+let fig3_graph () =
+  let a = asn 10 and b = asn 20 and c = asn 30 and d = asn 40 and e = asn 50 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:d ~customer:b in
+  let g = As_graph.add_p2c g ~provider:b ~customer:a in
+  let g = As_graph.add_p2c g ~provider:c ~customer:a in
+  let g = As_graph.add_p2c g ~provider:e ~customer:c in
+  let g = As_graph.add_p2p g d e in
+  (g, a, b, c, d, e)
+
+let test_fig3_selective () =
+  let g, a, _b, c, d, e = fig3_graph () in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom =
+    Atom.make ~id:1 ~origin:a
+      ~provider_scope:(Atom.Only_providers (Asn.Set.singleton c))
+      [ p "10.0.0.0/24" ]
+  in
+  let retain = Asn.Set.of_list [ a; c; d; e ] in
+  let result = Engine.propagate net ~retain atom in
+  Alcotest.(check bool) "converged" true result.Engine.converged;
+  (* D's best route goes through peer E, not customer B. *)
+  check_path "route at D" [ Asn.to_int e; Asn.to_int c; Asn.to_int a ]
+    (Engine.best_at result d);
+  begin
+    match Engine.best_at result d with
+    | Some r ->
+        Alcotest.(check bool)
+          "D learned from peer" true
+          (match r.Engine.rel with
+          | Some Relationship.Peer -> true
+          | Some _ | None -> false)
+    | None -> Alcotest.fail "no route at D"
+  end
+
+let test_fig3_announce_all () =
+  let g, a, b, _c, d, _e = fig3_graph () in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom = Atom.vanilla ~id:2 ~origin:a [ p "10.0.0.0/24" ] in
+  let result = Engine.propagate net ~retain:(Asn.Set.singleton d) atom in
+  (* With announce-to-all, D prefers the customer path through B. *)
+  check_path "route at D" [ Asn.to_int b; Asn.to_int a ] (Engine.best_at result d)
+
+(* Fig. 5: AS1 has customer AS852, which has customer AS6280.  AS6280 also
+   connects (via AS13768) to AS3549, a peer of AS1.  When AS6280 announces
+   only towards AS13768, AS1 reaches it via its peer AS3549. *)
+let test_fig5 () =
+  let as1 = asn 1 and as852 = asn 852 and as6280 = asn 6280 in
+  let as3549 = asn 3549 and as13768 = asn 13768 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:as1 ~customer:as852 in
+  let g = As_graph.add_p2c g ~provider:as852 ~customer:as6280 in
+  let g = As_graph.add_p2c g ~provider:as13768 ~customer:as6280 in
+  let g = As_graph.add_p2c g ~provider:as3549 ~customer:as13768 in
+  let g = As_graph.add_p2p g as1 as3549 in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom =
+    Atom.make ~id:3 ~origin:as6280
+      ~provider_scope:(Atom.Only_providers (Asn.Set.singleton as13768))
+      [ p "20.0.0.0/24" ]
+  in
+  let result = Engine.propagate net ~retain:(Asn.Set.singleton as1) atom in
+  check_path "AS1 reaches its customer via peer AS3549"
+    [ 3549; 13768; 6280 ] (Engine.best_at result as1)
+
+(* No-export-up community: the origin announces to its provider with the
+   tag; the provider uses the route but does not pass it to its own
+   providers or peers. *)
+let test_no_export_up () =
+  let top = asn 100 and mid = asn 200 and leaf = asn 300 and side = asn 400 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:top ~customer:mid in
+  let g = As_graph.add_p2c g ~provider:mid ~customer:leaf in
+  let g = As_graph.add_p2c g ~provider:mid ~customer:side in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom =
+    Atom.make ~id:4 ~origin:leaf ~no_export_up:(Asn.Set.singleton mid)
+      [ p "30.0.0.0/24" ]
+  in
+  let retain = Asn.Set.of_list [ top; mid; side ] in
+  let result = Engine.propagate net ~retain atom in
+  Alcotest.(check bool)
+    "mid still has the route" true
+    (match Engine.best_at result mid with Some _ -> true | None -> false);
+  Alcotest.(check bool)
+    "top does not receive it" true
+    (match Engine.best_at result top with None -> true | Some _ -> false);
+  (* Down-stream export is allowed. *)
+  check_path "side still reachable" [ Asn.to_int mid; Asn.to_int leaf ]
+    (Engine.best_at result side)
+
+(* Aggregation suppression: the provider accepts the customer route but
+   never re-exports it. *)
+let test_suppressed_at () =
+  let top = asn 100 and agg = asn 200 and other = asn 250 and leaf = asn 300 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:top ~customer:agg in
+  let g = As_graph.add_p2c g ~provider:top ~customer:other in
+  let g = As_graph.add_p2c g ~provider:agg ~customer:leaf in
+  let g = As_graph.add_p2c g ~provider:other ~customer:leaf in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom =
+    Atom.make ~id:5 ~origin:leaf ~suppressed_at:(Asn.Set.singleton agg)
+      [ p "40.0.0.0/24" ]
+  in
+  let result = Engine.propagate net ~retain:(Asn.Set.of_list [ top; agg ]) atom in
+  (* top can only hear it via [other]. *)
+  check_path "top hears via other" [ Asn.to_int other; Asn.to_int leaf ]
+    (Engine.best_at result top);
+  check_path "aggregator holds the customer route" [ Asn.to_int leaf ]
+    (Engine.best_at result agg)
+
+(* Peer withholding. *)
+let test_withhold_peer () =
+  let a = asn 100 and b = asn 200 and c = asn 300 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2p g a b in
+  let g = As_graph.add_p2p g a c in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom =
+    Atom.make ~id:6 ~origin:a ~withhold_peers:(Asn.Set.singleton b)
+      [ p "50.0.0.0/24" ]
+  in
+  let result = Engine.propagate net ~retain:(Asn.Set.of_list [ b; c ]) atom in
+  Alcotest.(check bool)
+    "withheld peer gets nothing" true
+    (match Engine.best_at result b with None -> true | Some _ -> false);
+  check_path "other peer served" [ Asn.to_int a ] (Engine.best_at result c)
+
+(* Valley-free discipline: a peer route must not be re-exported to peers. *)
+let test_no_peer_transit () =
+  let a = asn 100 and b = asn 200 and c = asn 300 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2p g a b in
+  let g = As_graph.add_p2p g b c in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom = Atom.vanilla ~id:7 ~origin:a [ p "60.0.0.0/24" ] in
+  let result = Engine.propagate net ~retain:(Asn.Set.of_list [ b; c ]) atom in
+  Alcotest.(check bool)
+    "b hears from peer" true
+    (match Engine.best_at result b with Some _ -> true | None -> false);
+  Alcotest.(check bool)
+    "c is not served across two peer hops" true
+    (match Engine.best_at result c with None -> true | Some _ -> false)
+
+(* Local preference beats path length: a longer customer path is preferred
+   to a shorter peer path. *)
+let test_lp_beats_length () =
+  let top = asn 10 and m1 = asn 20 and m2 = asn 30 and o = asn 40 in
+  let g = As_graph.empty in
+  (* top -> m1 -> m2 -> o (customer chain), and top peers with o's other
+     provider m3 giving a 2-hop peer path. *)
+  let m3 = asn 50 in
+  let g = As_graph.add_p2c g ~provider:top ~customer:m1 in
+  let g = As_graph.add_p2c g ~provider:m1 ~customer:m2 in
+  let g = As_graph.add_p2c g ~provider:m2 ~customer:o in
+  let g = As_graph.add_p2c g ~provider:m3 ~customer:o in
+  let g = As_graph.add_p2p g top m3 in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom = Atom.vanilla ~id:8 ~origin:o [ p "70.0.0.0/24" ] in
+  let result = Engine.propagate net ~retain:(Asn.Set.singleton top) atom in
+  check_path "customer path wins despite extra hops"
+    [ Asn.to_int m1; Asn.to_int m2; Asn.to_int o ]
+    (Engine.best_at result top);
+  (* Ablation: without local preference, the shorter peer path wins.  We
+     model it by a flat import policy. *)
+  let flat _ =
+    { Policy.default_import with Policy.lp_customer = 100; lp_peer = 100; lp_provider = 100 }
+  in
+  let net_flat = Engine.prepare ~graph:g ~import:flat () in
+  let result_flat = Engine.propagate net_flat ~retain:(Asn.Set.singleton top) atom in
+  check_path "shortest path wins without local-pref"
+    [ Asn.to_int m3; Asn.to_int o ]
+    (Engine.best_at result_flat top)
+
+let test_vantage_rib () =
+  let g, a, b, c, d, e = fig3_graph () in
+  ignore c;
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom1 = Atom.vanilla ~id:1 ~origin:a [ p "10.0.0.0/24"; p "10.0.1.0/24" ] in
+  let atom2 = Atom.vanilla ~id:2 ~origin:b [ p "11.0.0.0/24" ] in
+  let results =
+    Engine.propagate_all net ~retain:(Asn.Set.of_list [ d; e ]) [ atom1; atom2 ]
+  in
+  let policy = { (Policy.default d) with Policy.scheme = Some Policy.default_scheme } in
+  let rib = Vantage.rib_at ~policy ~vantage:d results in
+  Alcotest.(check int) "three prefixes at D" 3 (Rib.prefix_count rib);
+  (* D's best for 10.0.0.0/24 must be the customer route via B, tagged with
+     D's customer community. *)
+  begin
+    match Rib.best rib (p "10.0.0.0/24") with
+    | None -> Alcotest.fail "no best route"
+    | Some route ->
+        Alcotest.(check (option int))
+          "peer_as is B"
+          (Some (Asn.to_int b))
+          (Option.map Asn.to_int route.Route.peer_as);
+        let tags = Rpi_bgp.Community.Set.elements route.Route.communities in
+        Alcotest.(check (list string))
+          "customer tag"
+          [ Printf.sprintf "%d:4000" (Asn.to_int d) ]
+          (List.map Rpi_bgp.Community.to_string tags)
+  end
+
+let test_collector_rib () =
+  let g, a, _b, _c, d, e = fig3_graph () in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom = Atom.vanilla ~id:1 ~origin:a [ p "10.0.0.0/24" ] in
+  let results = Engine.propagate_all net ~retain:(Asn.Set.of_list [ d; e ]) [ atom ] in
+  let rib = Vantage.collector_rib ~peers:[ d; e ] results in
+  let cands = Rib.candidates rib (p "10.0.0.0/24") in
+  Alcotest.(check int) "two feeds" 2 (List.length cands);
+  List.iter
+    (fun (r : Route.t) ->
+      Alcotest.(check (option int)) "no local-pref at collector" None r.Route.local_pref)
+    cands
+
+let test_timeline_conditional () =
+  (* A multihomed origin with conditional advertisement always down on the
+     primary announces via the backup — a single-provider scope that is
+     never the whole provider set. *)
+  let g, a, b, c, _d, _e = fig3_graph () in
+  let rng = Rpi_prng.Prng.create ~seed:21 in
+  let atoms = [ Atom.vanilla ~id:1 ~origin:a [ p "10.0.0.0/24" ] ] in
+  let churn =
+    {
+      Timeline.p_policy_change = 0.0;
+      p_outage = 0.0;
+      p_late_start = 0.0;
+      p_early_stop = 0.0;
+      p_conditional = 1.0;
+      p_primary_down = 1.0;
+    }
+  in
+  let epochs = Timeline.evolve rng ~graph:g ~churn ~epochs:3 atoms in
+  List.iter
+    (fun ep ->
+      match ep.Timeline.atoms with
+      | [ atom ] -> begin
+          match atom.Atom.provider_scope with
+          | Atom.Only_providers set ->
+              Alcotest.(check int) "single backup provider" 1 (Asn.Set.cardinal set);
+              Alcotest.(check bool) "backup is a real provider" true
+                (Asn.Set.subset set (Asn.Set.of_list [ b; c ]))
+          | Atom.All_providers -> Alcotest.fail "conditional scope expected"
+        end
+      | other -> Alcotest.failf "expected 1 atom, got %d" (List.length other))
+    epochs
+
+let test_timeline () =
+  let g, a, _b, _c, _d, _e = fig3_graph () in
+  let rng = Rpi_prng.Prng.create ~seed:7 in
+  let atoms = [ Atom.vanilla ~id:1 ~origin:a [ p "10.0.0.0/24" ] ] in
+  let epochs =
+    Timeline.evolve rng ~graph:g
+      ~churn:
+        {
+          Timeline.p_policy_change = 1.0;
+          p_outage = 0.0;
+          p_late_start = 0.0;
+          p_early_stop = 0.0;
+          p_conditional = 0.0;
+          p_primary_down = 0.0;
+        }
+      ~epochs:5 atoms
+  in
+  Alcotest.(check int) "five epochs" 5 (List.length epochs);
+  List.iter
+    (fun ep -> Alcotest.(check int) "atom present" 1 (List.length ep.Timeline.atoms))
+    epochs
+
+(* --- Policy --- *)
+
+let test_policy_lp_resolution () =
+  let nb = asn 7 in
+  let import =
+    {
+      Policy.default_import with
+      Policy.lp_neighbor = Asn.Map.singleton nb 95;
+      lp_atom = [ (nb, 3, 77) ];
+    }
+  in
+  Alcotest.(check int) "atom override wins" 77
+    (Policy.lp_for import ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
+  Alcotest.(check int) "neighbour override next" 95
+    (Policy.lp_for import ~neighbor:nb ~rel:Relationship.Customer ~atom:9);
+  Alcotest.(check int) "class fallback" 110
+    (Policy.lp_for import ~neighbor:(asn 8) ~rel:Relationship.Customer ~atom:9);
+  Alcotest.(check bool) "default order typical" true
+    (Policy.is_typical_classes Policy.default_import);
+  Alcotest.(check bool) "flat order atypical" false
+    (Policy.is_typical_classes { Policy.default_import with Policy.lp_customer = 100 })
+
+let test_policy_tagging () =
+  let self = asn 1 in
+  let scheme = Policy.multi_scheme in
+  (* Deterministic per neighbour; sibling untagged. *)
+  begin
+    match Policy.tag scheme ~self ~neighbor:(asn 20) Relationship.Peer with
+    | Some c ->
+        Alcotest.(check int) "tagging AS" 1 (Asn.to_int (Rpi_bgp.Community.asn c));
+        Alcotest.(check bool) "peer band" true
+          (Policy.code_class scheme (Rpi_bgp.Community.value c) = Some Relationship.Peer)
+    | None -> Alcotest.fail "expected a tag"
+  end;
+  Alcotest.(check bool) "sibling untagged" true
+    (Policy.tag scheme ~self ~neighbor:(asn 20) Relationship.Sibling = None);
+  Alcotest.(check bool) "customer band" true
+    (Policy.code_class scheme 4010 = Some Relationship.Customer);
+  Alcotest.(check bool) "provider band" true
+    (Policy.code_class scheme 2020 = Some Relationship.Provider);
+  Alcotest.(check bool) "below all bands" true (Policy.code_class scheme 10 = None)
+
+(* --- Vantage router views --- *)
+
+let test_router_views_invariants () =
+  let g, a, _b, _c, d, e = fig3_graph () in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let atom = Atom.vanilla ~id:1 ~origin:a [ p "10.0.0.0/24" ] in
+  let results = Engine.propagate_all net ~retain:(Asn.Set.of_list [ d; e ]) [ atom ] in
+  let policy = Policy.default d in
+  let views = Vantage.router_views ~policy ~vantage:d ~routers:8 results in
+  Alcotest.(check int) "eight views" 8 (List.length views);
+  (* Every router still resolves the prefix: the AS-level best reaches all
+     routers over iBGP even when the session subset excludes it. *)
+  List.iter
+    (fun rib ->
+      Alcotest.(check bool) "prefix resolvable" true
+        (Rib.best rib (p "10.0.0.0/24") <> None))
+    views
+
+(* --- Engine invariants on random topologies --- *)
+
+let random_world seed =
+  let rng = Rpi_prng.Prng.create ~seed in
+  let config =
+    {
+      Rpi_topo.Gen.default_config with
+      Rpi_topo.Gen.n_tier1 = 4;
+      n_tier2 = 8;
+      n_tier3 = 20;
+      n_stub = 40;
+    }
+  in
+  let topo = Rpi_topo.Gen.generate ~config rng in
+  (rng, topo)
+
+let prop_engine_converges =
+  QCheck2.Test.make ~name:"propagation always converges" ~count:15
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng, topo = random_world seed in
+      let g = topo.Rpi_topo.Gen.graph in
+      let net = Engine.prepare ~graph:g ~import:(fun _ -> Policy.default_import) () in
+      let ases = Array.of_list (As_graph.ases g) in
+      let retain = Asn.Set.of_list topo.Rpi_topo.Gen.tier1 in
+      List.for_all
+        (fun i ->
+          let origin = Rpi_prng.Prng.choice rng ases in
+          let atom = Atom.vanilla ~id:i ~origin [ p "10.0.0.0/24" ] in
+          (Engine.propagate net ~retain atom).Engine.converged)
+        (List.init 10 Fun.id))
+
+let prop_engine_paths_valley_free =
+  QCheck2.Test.make ~name:"stable routes are valley-free" ~count:10
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng, topo = random_world seed in
+      let g = topo.Rpi_topo.Gen.graph in
+      let net = Engine.prepare ~graph:g ~import:(fun _ -> Policy.default_import) () in
+      let ases = Array.of_list (As_graph.ases g) in
+      let retain = Asn.Set.of_list (Array.to_list ases) in
+      List.for_all
+        (fun i ->
+          let origin = Rpi_prng.Prng.choice rng ases in
+          let atom = Atom.vanilla ~id:i ~origin [ p "10.0.0.0/24" ] in
+          let result = Engine.propagate net ~retain atom in
+          Asn.Map.for_all
+            (fun holder table ->
+              List.for_all
+                (fun (r : Engine.route) ->
+                  match r.Engine.path with
+                  | [] -> true
+                  | _ :: _ -> Rpi_topo.Paths.is_valley_free g (holder :: r.Engine.path))
+                table.Engine.candidates)
+            result.Engine.tables)
+        (List.init 5 Fun.id))
+
+let prop_selective_monotone =
+  (* Restricting the provider scope never creates routes: every AS holding
+     a route under Only_providers also holds one under All_providers. *)
+  QCheck2.Test.make ~name:"selective announcement only removes routes" ~count:10
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng, topo = random_world seed in
+      let g = topo.Rpi_topo.Gen.graph in
+      let net = Engine.prepare ~graph:g ~import:(fun _ -> Policy.default_import) () in
+      let multihomed =
+        List.filter (fun a -> List.length (As_graph.providers g a) > 1) (As_graph.ases g)
+      in
+      match multihomed with
+      | [] -> true
+      | _ :: _ ->
+          let origin = Rpi_prng.Prng.choice_list rng multihomed in
+          let providers = As_graph.providers g origin in
+          let subset = Asn.Set.singleton (List.hd providers) in
+          let retain = Asn.Set.of_list (As_graph.ases g) in
+          let open_atom = Atom.vanilla ~id:0 ~origin [ p "10.0.0.0/24" ] in
+          let closed_atom =
+            Atom.make ~id:1 ~origin ~provider_scope:(Atom.Only_providers subset)
+              [ p "10.0.0.0/24" ]
+          in
+          let open_result = Engine.propagate net ~retain open_atom in
+          let closed_result = Engine.propagate net ~retain closed_atom in
+          Asn.Map.for_all
+            (fun holder closed_table ->
+              match closed_table.Engine.best with
+              | None -> true
+              | Some _ -> begin
+                  match Asn.Map.find_opt holder open_result.Engine.tables with
+                  | Some open_table -> open_table.Engine.best <> None
+                  | None -> false
+                end)
+            closed_result.Engine.tables)
+
+let prop_no_export_up_never_above_tagged =
+  (* With every provider tagged no-export-up, the route stays within one
+     hop of the origin's horizon: the direct providers and peers, plus
+     everything strictly below the origin, its providers, or its peers —
+     no second climb.  (Siblings are excluded from the world: a sibling
+     legitimately relays the route as its own, which widens the bound.) *)
+  QCheck2.Test.make ~name:"no-export-up bounds propagation" ~count:10
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Rpi_prng.Prng.create ~seed in
+      let config =
+        {
+          Rpi_topo.Gen.default_config with
+          Rpi_topo.Gen.n_tier1 = 4;
+          n_tier2 = 8;
+          n_tier3 = 20;
+          n_stub = 40;
+          sibling_pairs = 0;
+        }
+      in
+      let topo = Rpi_topo.Gen.generate ~config rng in
+      let g = topo.Rpi_topo.Gen.graph in
+      let net = Engine.prepare ~graph:g ~import:(fun _ -> Policy.default_import) () in
+      let with_providers =
+        List.filter (fun a -> As_graph.providers g a <> []) (As_graph.ases g)
+      in
+      match with_providers with
+      | [] -> true
+      | _ :: _ ->
+          let origin = Rpi_prng.Prng.choice_list rng with_providers in
+          let providers = Asn.Set.of_list (As_graph.providers g origin) in
+          let horizon =
+            Asn.Set.union providers (Asn.Set.of_list (As_graph.peers g origin))
+          in
+          let retain = Asn.Set.of_list (As_graph.ases g) in
+          let atom =
+            Atom.make ~id:0 ~origin ~no_export_up:providers [ p "10.0.0.0/24" ]
+          in
+          let result = Engine.propagate net ~retain atom in
+          Asn.Map.for_all
+            (fun holder table ->
+              match table.Engine.best with
+              | None -> true
+              | Some _ ->
+                  Asn.equal holder origin
+                  || Asn.Set.mem holder horizon
+                  || Rpi_topo.Paths.is_customer g ~provider:origin holder
+                  || Asn.Set.exists
+                       (fun d -> Rpi_topo.Paths.is_customer g ~provider:d holder)
+                       horizon)
+            result.Engine.tables)
+
+let () =
+  Alcotest.run "rpi_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "fig3 selective announcement" `Quick test_fig3_selective;
+          Alcotest.test_case "fig3 announce to all" `Quick test_fig3_announce_all;
+          Alcotest.test_case "fig5 curving route" `Quick test_fig5;
+          Alcotest.test_case "no-export-up community" `Quick test_no_export_up;
+          Alcotest.test_case "aggregation suppression" `Quick test_suppressed_at;
+          Alcotest.test_case "peer withholding" `Quick test_withhold_peer;
+          Alcotest.test_case "no transit across peers" `Quick test_no_peer_transit;
+          Alcotest.test_case "local-pref beats path length" `Quick test_lp_beats_length;
+        ] );
+      ( "vantage",
+        [
+          Alcotest.test_case "looking-glass rib" `Quick test_vantage_rib;
+          Alcotest.test_case "collector rib" `Quick test_collector_rib;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "lp resolution" `Quick test_policy_lp_resolution;
+          Alcotest.test_case "tagging" `Quick test_policy_tagging;
+        ] );
+      ( "router_views",
+        [ Alcotest.test_case "invariants" `Quick test_router_views_invariants ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "evolve" `Quick test_timeline;
+          Alcotest.test_case "conditional advertisement" `Quick test_timeline_conditional;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_engine_converges;
+            prop_engine_paths_valley_free;
+            prop_selective_monotone;
+            prop_no_export_up_never_above_tagged;
+          ] );
+    ]

@@ -1,0 +1,107 @@
+module Dist = Rpi_stats.Dist
+module Histogram = Rpi_stats.Histogram
+module Series = Rpi_stats.Series
+module Table = Rpi_stats.Table
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Dist.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Dist.mean [])
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Dist.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Dist.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Dist.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 2.0 (Dist.percentile 25.0 xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.percentile: empty list") (fun () ->
+      ignore (Dist.percentile 50.0 []))
+
+let test_stddev () =
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (Dist.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-6)) "known" 1.0 (Dist.stddev [ 1.0; 3.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 0.0 (Dist.stddev [ 7.0 ])
+
+let test_fraction () =
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Dist.fraction (1, 2));
+  Alcotest.(check (float 1e-9)) "zero denominator" 0.0 (Dist.fraction (1, 0));
+  Alcotest.(check (float 1e-9)) "pct" 25.0 (Dist.pct (1, 4))
+
+let test_histogram () =
+  let h = Histogram.of_list [ 1; 1; 2; 5 ] in
+  Alcotest.(check int) "count 1" 2 (Histogram.count 1 h);
+  Alcotest.(check int) "count missing" 0 (Histogram.count 3 h);
+  Alcotest.(check int) "total" 4 (Histogram.total h);
+  Alcotest.(check (list (pair int int))) "bins" [ (1, 2); (2, 1); (5, 1) ] (Histogram.bins h);
+  Alcotest.(check (list (pair int int))) "filled"
+    [ (1, 2); (2, 1); (3, 0); (4, 0); (5, 1) ]
+    (Histogram.bins_filled ~lo:1 ~hi:5 h);
+  Alcotest.(check (option int)) "max key" (Some 5) (Histogram.max_key h);
+  let h2 = Histogram.add ~count:3 2 Histogram.empty in
+  Alcotest.(check int) "merged" 4 (Histogram.count 2 (Histogram.merge h h2))
+
+let test_rank_by_count () =
+  let ranked = Series.rank_by_count [ ("a", 5); ("b", 50); ("c", 7) ] in
+  Alcotest.(check (list (pair int string)))
+    "ranked desc"
+    [ (1, "b"); (2, "c"); (3, "a") ]
+    (List.map (fun (r, x, _) -> (r, x)) ranked)
+
+let test_log_marks () =
+  Alcotest.(check (list int)) "marks" [ 1; 2; 5; 10; 20; 50; 100 ] (Series.log_spaced_marks 100)
+
+let test_ascii_plots () =
+  let plot = Series.ascii_loglog [ (1.0, 10.0); (10.0, 100.0); (100.0, 1.0) ] in
+  Alcotest.(check bool) "loglog renders stars" true (String.contains plot '*');
+  Alcotest.(check bool) "empty data handled" true
+    (String.length (Series.ascii_loglog []) > 0);
+  let ts = Series.ascii_timeseries ~labels:[ "All"; "SA" ] [ [ 100.0; 110.0 ]; [ 10.0; 11.0 ] ] in
+  Alcotest.(check bool) "timeseries renders marks" true (String.contains ts 'A')
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"Demo" [ ("AS", Table.Left); ("pct", Table.Right) ] in
+  Table.add_row t [ "AS1"; Table.cell_pct 99.994 ];
+  Table.add_row t [ "AS7018"; Table.cell_pct ~decimals:2 99.99 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "Demo");
+  Alcotest.(check bool) "has row" true (contains_substring s "AS7018");
+  Alcotest.(check bool) "has pct" true (contains_substring s "99.99%")
+
+let test_table_arity () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "pct" "97.6%" (Table.cell_pct 97.561)
+
+let () =
+  Alcotest.run "rpi_stats"
+    [
+      ( "dist",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "fraction" `Quick test_fraction;
+        ] );
+      ("histogram", [ Alcotest.test_case "histogram" `Quick test_histogram ]);
+      ( "series",
+        [
+          Alcotest.test_case "rank by count" `Quick test_rank_by_count;
+          Alcotest.test_case "log marks" `Quick test_log_marks;
+          Alcotest.test_case "ascii plots" `Quick test_ascii_plots;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+    ]

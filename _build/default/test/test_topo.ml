@@ -1,0 +1,342 @@
+module Asn = Rpi_bgp.Asn
+module Relationship = Rpi_topo.Relationship
+module As_graph = Rpi_topo.As_graph
+module Paths = Rpi_topo.Paths
+module Tier = Rpi_topo.Tier
+module Gen = Rpi_topo.Gen
+module Prng = Rpi_prng.Prng
+
+let asn = Asn.of_int
+
+(* A small reference topology, the paper's Fig. 1 extended:
+   t1a, t1b: Tier-1 clique; m1, m2 mid-tier customers of the Tier-1s;
+   s1 stub below m1, s2 multihomed stub below m1 and m2. *)
+let sample () =
+  let t1a = asn 10 and t1b = asn 20 and m1 = asn 30 and m2 = asn 40 in
+  let s1 = asn 50 and s2 = asn 60 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2p g t1a t1b in
+  let g = As_graph.add_p2c g ~provider:t1a ~customer:m1 in
+  let g = As_graph.add_p2c g ~provider:t1b ~customer:m2 in
+  let g = As_graph.add_p2p g m1 m2 in
+  let g = As_graph.add_p2c g ~provider:m1 ~customer:s1 in
+  let g = As_graph.add_p2c g ~provider:m1 ~customer:s2 in
+  let g = As_graph.add_p2c g ~provider:m2 ~customer:s2 in
+  (g, t1a, t1b, m1, m2, s1, s2)
+
+let test_relationship_invert () =
+  Alcotest.(check string) "customer<->provider" "provider"
+    (Relationship.to_string (Relationship.invert Relationship.Customer));
+  Alcotest.(check string) "peer fixed" "peer"
+    (Relationship.to_string (Relationship.invert Relationship.Peer));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "double inversion" true
+        (Relationship.equal r (Relationship.invert (Relationship.invert r))))
+    Relationship.all
+
+let test_graph_symmetry () =
+  let g, t1a, _, m1, _, _, _ = sample () in
+  Alcotest.(check bool) "a sees customer" true
+    (As_graph.relationship g t1a m1 = Some Relationship.Customer);
+  Alcotest.(check bool) "b sees provider" true
+    (As_graph.relationship g m1 t1a = Some Relationship.Provider);
+  Alcotest.(check bool) "consistency" true
+    (match As_graph.check_consistency g with Ok () -> true | Error _ -> false)
+
+let test_graph_queries () =
+  let g, t1a, t1b, m1, m2, s1, s2 = sample () in
+  Alcotest.(check int) "as count" 6 (As_graph.as_count g);
+  Alcotest.(check int) "edge count" 7 (As_graph.edge_count g);
+  Alcotest.(check (list int)) "customers of m1"
+    [ Asn.to_int s1; Asn.to_int s2 ]
+    (List.map Asn.to_int (As_graph.customers g m1));
+  Alcotest.(check (list int)) "providers of s2"
+    [ Asn.to_int m1; Asn.to_int m2 ]
+    (List.map Asn.to_int (As_graph.providers g s2));
+  Alcotest.(check (list int)) "peers of t1a" [ Asn.to_int t1b ]
+    (List.map Asn.to_int (As_graph.peers g t1a));
+  Alcotest.(check int) "degree of m1" 4 (As_graph.degree g m1);
+  Alcotest.(check bool) "s2 multihomed" true (As_graph.is_multihomed g s2);
+  Alcotest.(check bool) "s1 single-homed" false (As_graph.is_multihomed g s1);
+  Alcotest.(check bool) "s1 stub" true (As_graph.is_stub g s1);
+  Alcotest.(check bool) "m1 not stub" false (As_graph.is_stub g m2)
+
+let test_graph_self_loop () =
+  Alcotest.check_raises "self loop rejected"
+    (Invalid_argument "As_graph.add_edge: self-loop") (fun () ->
+      ignore (As_graph.add_p2p As_graph.empty (asn 1) (asn 1)))
+
+let test_graph_edges_roundtrip () =
+  let g, _, _, _, _, _, _ = sample () in
+  let g' = As_graph.of_edges (As_graph.to_edges g) in
+  Alcotest.(check int) "same edges" (As_graph.edge_count g) (As_graph.edge_count g');
+  List.iter
+    (fun (a, b, rel) ->
+      Alcotest.(check bool) "label preserved" true
+        (As_graph.relationship g' a b = Some rel))
+    (As_graph.to_edges g)
+
+let test_graph_text_roundtrip () =
+  let g, _, _, _, _, _, _ = sample () in
+  match As_graph.parse_edges (As_graph.render_edges g) with
+  | Error e -> Alcotest.fail e
+  | Ok g' ->
+      Alcotest.(check int) "edges preserved" (As_graph.edge_count g) (As_graph.edge_count g');
+      List.iter
+        (fun (a, b, rel) ->
+          Alcotest.(check bool) "label preserved" true
+            (As_graph.relationship g' a b = Some rel))
+        (As_graph.to_edges g)
+
+let test_graph_parse_errors () =
+  Alcotest.(check bool) "junk rejected" true
+    (match As_graph.parse_edges "AS1 AS2\n" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "bad relationship rejected" true
+    (match As_graph.parse_edges "AS1 AS2 friend\n" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "comments fine" true
+    (match As_graph.parse_edges "# header\n\nAS1 AS2 peer\n" with
+    | Ok g -> As_graph.edge_count g = 1
+    | Error _ -> false)
+
+let test_graph_remove_edge () =
+  let g, t1a, t1b, _, _, _, _ = sample () in
+  let g = As_graph.remove_edge g t1a t1b in
+  Alcotest.(check bool) "edge gone" false (As_graph.mem_edge g t1a t1b);
+  Alcotest.(check bool) "reverse gone" false (As_graph.mem_edge g t1b t1a)
+
+let test_customer_paths () =
+  let g, t1a, t1b, m1, _, s1, s2 = sample () in
+  Alcotest.(check bool) "direct" true (Paths.is_direct_customer g ~provider:m1 s1);
+  Alcotest.(check bool) "indirect" true (Paths.is_customer g ~provider:t1a s1);
+  Alcotest.(check bool) "not through peer" false (Paths.is_customer g ~provider:t1a (asn 40));
+  Alcotest.(check bool) "t1b reaches s2" true (Paths.is_customer g ~provider:t1b s2);
+  Alcotest.(check (option (list int))) "path found"
+    (Some [ Asn.to_int t1a; Asn.to_int m1; Asn.to_int s1 ])
+    (Option.map (List.map Asn.to_int) (Paths.customer_path g ~provider:t1a s1));
+  Alcotest.(check bool) "self is not its own customer" false
+    (Paths.is_customer g ~provider:t1a t1a)
+
+let test_customer_cone () =
+  let g, t1a, _, m1, _, _, _ = sample () in
+  Alcotest.(check int) "cone of t1a" 3 (Paths.customer_cone_size g t1a);
+  Alcotest.(check int) "cone of m1" 2 (Paths.customer_cone_size g m1);
+  Alcotest.(check int) "cone of stub" 0 (Paths.customer_cone_size g (asn 50))
+
+let test_valley_free () =
+  let g, t1a, t1b, m1, m2, s1, s2 = sample () in
+  (* Receiver-first paths. *)
+  let vf path = Paths.is_valley_free g path in
+  Alcotest.(check bool) "up only" true (vf [ m1; s1 ]);
+  Alcotest.(check bool) "up peer down" true (vf [ t1a; t1b; m2; s2 ]);
+  Alcotest.(check bool) "down after peer ok" true (vf [ m2; m1; s1 ]);
+  (* Invalid: two peering edges (t1a-t1b then m1-m2 after descent is fine;
+     construct peer after descent). *)
+  Alcotest.(check bool) "peer after descent invalid" false (vf [ t1a; m1; m2 ]);
+  (* Valley: descend to the stub and climb back out. *)
+  Alcotest.(check bool) "valley invalid" false (vf [ m1; s2; m2 ]);
+  Alcotest.(check bool) "unknown edge invalid" false (vf [ t1a; asn 999 ])
+
+let test_classify_path () =
+  let g, t1a, t1b, m1, _, s1, _ = sample () in
+  Alcotest.(check bool) "customer route" true
+    (Paths.classify_path g ~observer:t1a [ m1; s1 ] = Some Relationship.Customer);
+  Alcotest.(check bool) "peer route" true
+    (Paths.classify_path g ~observer:t1a [ t1b ] = Some Relationship.Peer);
+  Alcotest.(check bool) "empty path" true (Paths.classify_path g ~observer:t1a [] = None)
+
+let test_is_customer_path () =
+  let g, t1a, _, m1, m2, s1, _ = sample () in
+  Alcotest.(check bool) "descending chain" true (Paths.is_customer_path g [ t1a; m1; s1 ]);
+  Alcotest.(check bool) "peer hop breaks it" false (Paths.is_customer_path g [ m1; m2 ])
+
+let test_provider_chain () =
+  let g, t1a, t1b, _, _, s1, _ = sample () in
+  Alcotest.(check bool) "s1 climbs to t1a" true
+    (Paths.provider_chain_exists g ~from_as:s1 t1a);
+  Alcotest.(check bool) "s1 cannot climb to t1b" false
+    (Paths.provider_chain_exists g ~from_as:s1 t1b)
+
+let test_tier_classify () =
+  let g, t1a, t1b, m1, m2, s1, s2 = sample () in
+  let tiers = Tier.classify g in
+  let tier a = Asn.Map.find a tiers in
+  Alcotest.(check int) "t1a tier 1" 1 (tier t1a);
+  Alcotest.(check int) "t1b tier 1" 1 (tier t1b);
+  Alcotest.(check int) "m1 tier 2" 2 (tier m1);
+  Alcotest.(check int) "m2 tier 2" 2 (tier m2);
+  Alcotest.(check int) "s1 tier 3" 3 (tier s1);
+  Alcotest.(check int) "s2 tier 3" 3 (tier s2);
+  Alcotest.(check (list int)) "tier1 list"
+    [ Asn.to_int t1a; Asn.to_int t1b ]
+    (List.map Asn.to_int (Tier.tier1_ases g));
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 2); (2, 2); (3, 2) ]
+    (Tier.histogram tiers)
+
+(* --- Generator --- *)
+
+let small_config =
+  {
+    Gen.default_config with
+    Gen.n_tier1 = 5;
+    n_tier2 = 20;
+    n_tier3 = 60;
+    n_stub = 150;
+  }
+
+let test_gen_counts () =
+  let rng = Prng.create ~seed:1 in
+  let t = Gen.generate ~config:small_config rng in
+  Alcotest.(check int) "tier1 count" 5 (List.length t.Gen.tier1);
+  Alcotest.(check int) "tier2 count" 20 (List.length t.Gen.tier2);
+  Alcotest.(check int) "total ASs" 235 (As_graph.as_count t.Gen.graph)
+
+let test_gen_clique () =
+  let rng = Prng.create ~seed:2 in
+  let t = Gen.generate ~config:small_config rng in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Asn.equal a b) then
+            Alcotest.(check bool) "tier1 pair peers" true
+              (As_graph.relationship t.Gen.graph a b = Some Relationship.Peer))
+        t.Gen.tier1;
+      Alcotest.(check (list int)) "tier1 has no providers" []
+        (List.map Asn.to_int (As_graph.providers t.Gen.graph a)))
+    t.Gen.tier1
+
+let test_gen_everyone_connected () =
+  let rng = Prng.create ~seed:3 in
+  let t = Gen.generate ~config:small_config rng in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "has a provider" true
+        (As_graph.providers t.Gen.graph a <> []))
+    (t.Gen.tier2 @ t.Gen.tier3 @ t.Gen.stubs)
+
+let test_gen_deterministic () =
+  let t1 = Gen.generate ~config:small_config (Prng.create ~seed:7) in
+  let t2 = Gen.generate ~config:small_config (Prng.create ~seed:7) in
+  Alcotest.(check int) "same edge count"
+    (As_graph.edge_count t1.Gen.graph) (As_graph.edge_count t2.Gen.graph);
+  Alcotest.(check bool) "same edges" true
+    (As_graph.to_edges t1.Gen.graph = As_graph.to_edges t2.Gen.graph)
+
+let test_gen_ground_truth_tiers () =
+  let rng = Prng.create ~seed:4 in
+  let t = Gen.generate ~config:small_config rng in
+  let truth = Gen.tiers_ground_truth t in
+  let computed = Tier.classify t.Gen.graph in
+  (* Generated tier-1s are exactly the provider-free ASs. *)
+  List.iter
+    (fun a -> Alcotest.(check int) "tier1 as classified" 1 (Asn.Map.find a computed))
+    t.Gen.tier1;
+  Alcotest.(check int) "truth covers all" (As_graph.as_count t.Gen.graph)
+    (Asn.Map.cardinal truth)
+
+let test_gen_famous_cast () =
+  let rng = Prng.create ~seed:8 in
+  let t = Gen.generate ~config:small_config rng in
+  (* The first Tier-1 slots carry the paper's AS numbers, in order. *)
+  Alcotest.(check (list int)) "tier1 cast" [ 1; 7018; 3549; 1239; 701 ]
+    (List.map Asn.to_int t.Gen.tier1);
+  (* Dynamic numbers start at the documented base and never collide with
+     the famous pool. *)
+  List.iter
+    (fun a ->
+      let n = Asn.to_int a in
+      Alcotest.(check bool) "dynamic range" true (n >= Gen.first_dynamic_asn))
+    t.Gen.stubs
+
+let test_gen_consistency () =
+  let rng = Prng.create ~seed:5 in
+  let t = Gen.generate ~config:small_config rng in
+  Alcotest.(check bool) "graph consistent" true
+    (match As_graph.check_consistency t.Gen.graph with Ok () -> true | Error _ -> false)
+
+let test_gen_valley_free_everywhere () =
+  (* Every generated customer path must validate as valley-free. *)
+  let rng = Prng.create ~seed:6 in
+  let t = Gen.generate ~config:small_config rng in
+  let g = t.Gen.graph in
+  List.iter
+    (fun s ->
+      match As_graph.providers g s with
+      | p1 :: _ -> begin
+          match As_graph.providers g p1 with
+          | p2 :: _ -> Alcotest.(check bool) "2-level chain vf" true (Paths.is_valley_free g [ p2; p1; s ])
+          | [] -> ()
+        end
+      | [] -> ())
+    t.Gen.stubs
+
+(* --- Properties --- *)
+
+let prop_gen_multihoming_rate =
+  QCheck2.Test.make ~name:"multihoming rate tracks config" ~count:5
+    QCheck2.Gen.(int_range 1 10000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let t = Gen.generate ~config:small_config rng in
+      let g = t.Gen.graph in
+      let non_t1 = t.Gen.tier2 @ t.Gen.tier3 @ t.Gen.stubs in
+      let multi = List.length (List.filter (As_graph.is_multihomed g) non_t1) in
+      let rate = float_of_int multi /. float_of_int (List.length non_t1) in
+      rate > 0.4 && rate < 0.8)
+
+let prop_tier_monotone =
+  QCheck2.Test.make ~name:"customer tier strictly below best provider" ~count:5
+    QCheck2.Gen.(int_range 1 10000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let t = Gen.generate ~config:small_config rng in
+      let g = t.Gen.graph in
+      let tiers = Tier.classify g in
+      List.for_all
+        (fun a ->
+          match As_graph.providers g a with
+          | [] -> Asn.Map.find a tiers = 1
+          | providers ->
+              let best = List.fold_left (fun acc p -> min acc (Asn.Map.find p tiers)) max_int providers in
+              Asn.Map.find a tiers = best + 1)
+        (As_graph.ases g))
+
+let () =
+  Alcotest.run "rpi_topo"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "relationship invert" `Quick test_relationship_invert;
+          Alcotest.test_case "symmetry" `Quick test_graph_symmetry;
+          Alcotest.test_case "queries" `Quick test_graph_queries;
+          Alcotest.test_case "self loop" `Quick test_graph_self_loop;
+          Alcotest.test_case "edges roundtrip" `Quick test_graph_edges_roundtrip;
+          Alcotest.test_case "text roundtrip" `Quick test_graph_text_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_graph_parse_errors;
+          Alcotest.test_case "remove edge" `Quick test_graph_remove_edge;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "customer paths" `Quick test_customer_paths;
+          Alcotest.test_case "customer cone" `Quick test_customer_cone;
+          Alcotest.test_case "valley free" `Quick test_valley_free;
+          Alcotest.test_case "classify path" `Quick test_classify_path;
+          Alcotest.test_case "is customer path" `Quick test_is_customer_path;
+          Alcotest.test_case "provider chain" `Quick test_provider_chain;
+        ] );
+      ("tier", [ Alcotest.test_case "classify" `Quick test_tier_classify ]);
+      ( "generator",
+        [
+          Alcotest.test_case "counts" `Quick test_gen_counts;
+          Alcotest.test_case "tier1 clique" `Quick test_gen_clique;
+          Alcotest.test_case "everyone connected" `Quick test_gen_everyone_connected;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "ground truth tiers" `Quick test_gen_ground_truth_tiers;
+          Alcotest.test_case "famous cast" `Quick test_gen_famous_cast;
+          Alcotest.test_case "consistency" `Quick test_gen_consistency;
+          Alcotest.test_case "valley free chains" `Quick test_gen_valley_free_everywhere;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_gen_multihoming_rate; prop_tier_monotone ] );
+    ]
