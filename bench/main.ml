@@ -1,15 +1,22 @@
 (* Benchmark harness.
 
-   Two things happen here, in order:
+   Three things happen here, in order:
 
-   1. The full evaluation of the paper is regenerated: every table and
-      figure, printed in paper-vs-measured form (the same output as
-      `experiments run all`).
+   1. The full evaluation of the paper is regenerated on the default
+      scenario — sequentially first (one domain), then again on the
+      multicore runner's domain pool — and the two rendered outputs are
+      checked byte-identical.  The sequential output is printed (the same
+      report as `experiments run all`).
 
    2. Bechamel micro-benchmarks time the computational kernel behind each
       table/figure — one Test.make per experiment — plus the substrate
       hot paths (prefix-trie lookup vs list scan, decision process, route
-      propagation, relationship inference, table parsing). *)
+      propagation, relationship inference, table parsing).
+
+   3. Everything is written to BENCH_results.json — per-test OLS ns/run,
+      per-experiment wall-clock, and the sequential vs parallel run_all
+      wall-clock — so future changes have a machine-readable baseline to
+      diff against. *)
 
 open Bechamel
 
@@ -18,16 +25,37 @@ module Prefix = Rpi_net.Prefix
 module Scenario = Rpi_dataset.Scenario
 module Context = Rpi_experiments.Context
 module Exp = Rpi_experiments.Exp
+module Runner = Rpi_runner.Runner
 
-(* --- Part 1: regenerate the evaluation --- *)
+(* --- Part 1: regenerate the evaluation, sequential vs parallel --- *)
 
 let regenerate () =
   print_endline "==============================================================";
   print_endline " Reproduction of every table and figure (paper vs measured)";
   print_endline "==============================================================";
-  let ctx = Context.create () in
-  print_endline (Exp.run_all ctx);
-  ctx
+  (* Fresh contexts for each run: the context memoizes the SA analyses, so
+     reusing one would hand the second run a warm cache and make the
+     comparison meaningless. *)
+  let seq_ctx = Context.create () in
+  let seq = Runner.run ~jobs:1 seq_ctx Exp.all in
+  print_endline (Runner.render seq);
+  let jobs = max 2 (Runner.default_jobs ()) in
+  let par_ctx = Context.create () in
+  let par = Runner.run ~jobs par_ctx Exp.all in
+  let identical = String.equal (Runner.render seq) (Runner.render par) in
+  print_endline "==============================================================";
+  print_endline " run_all wall-clock, sequential vs parallel";
+  print_endline "==============================================================";
+  Printf.printf "sequential (1 domain):   %8.2f s\n" seq.Runner.wall_clock_s;
+  Printf.printf "parallel   (%d domains): %8.2f s  (speedup %.2fx)\n" par.Runner.jobs
+    par.Runner.wall_clock_s
+    (seq.Runner.wall_clock_s /. par.Runner.wall_clock_s);
+  Printf.printf "outputs byte-identical:  %b\n" identical;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host domains available:  %d%s\n" cores
+    (if cores < 2 then "  (single core: no parallel speedup is possible here)"
+     else "");
+  (seq, par, identical)
 
 (* --- Part 2: micro-benchmarks --- *)
 
@@ -44,16 +72,16 @@ let experiment_tests ctx =
      sample. *)
   let quick =
     List.filter
-      (fun (id, _, _) ->
+      (fun (e : Exp.t) ->
         (* The persistence experiment re-simulates dozens of epochs, and
            the stability sweep rebuilds whole worlds; both are far too
            heavy for a sampling loop. *)
-        id <> "fig6+7" && id <> "stability")
+        e.Exp.id <> "fig6+7" && e.Exp.id <> "stability")
       Exp.all
   in
   List.map
-    (fun (id, _, f) ->
-      Test.make ~name:("exp/" ^ id) (Staged.stage (fun () -> ignore (f ctx))))
+    (fun (e : Exp.t) ->
+      Test.make ~name:("exp/" ^ e.Exp.id) (Staged.stage (fun () -> ignore (e.Exp.run ctx))))
     quick
 
 let substrate_tests small =
@@ -157,7 +185,7 @@ let run_benchmarks tests =
   print_endline "==============================================================";
   print_endline " Micro-benchmarks (monotonic clock, OLS estimate per run)";
   print_endline "==============================================================";
-  List.iter
+  List.filter_map
     (fun (name, result) ->
       let estimate =
         match Analyze.OLS.estimates result with
@@ -171,12 +199,49 @@ let run_benchmarks tests =
         else if estimate > 1e3 then Printf.sprintf "%8.2f us" (estimate /. 1e3)
         else Printf.sprintf "%8.0f ns" estimate
       in
-      Printf.printf "%-40s %s\n" name human)
+      Printf.printf "%-40s %s\n" name human;
+      if Float.is_nan estimate then None else Some (name, estimate))
     rows
+
+(* --- Part 3: machine-readable baseline --- *)
+
+let write_results ~path ~seq ~par ~identical ~micro =
+  let timed_json (r : Runner.timed) =
+    Rpi_json.Obj
+      [
+        ("id", Rpi_json.String r.Runner.outcome.Exp.id);
+        ("elapsed_s", Rpi_json.Float r.Runner.elapsed_s);
+      ]
+  in
+  let doc =
+    Rpi_json.Obj
+      [
+        ("schema", Rpi_json.String "rpi-bench/1");
+        ( "run_all",
+          Rpi_json.Obj
+            [
+              ("sequential_s", Rpi_json.Float seq.Runner.wall_clock_s);
+              ("parallel_s", Rpi_json.Float par.Runner.wall_clock_s);
+              ("parallel_jobs", Rpi_json.Int par.Runner.jobs);
+              ("host_domains", Rpi_json.Int (Domain.recommended_domain_count ()));
+              ( "speedup",
+                Rpi_json.Float (seq.Runner.wall_clock_s /. par.Runner.wall_clock_s) );
+              ("identical_output", Rpi_json.Bool identical);
+            ] );
+        ( "experiments_sequential",
+          Rpi_json.List (List.map timed_json seq.Runner.results) );
+        ( "microbench_ns_per_run",
+          Rpi_json.Obj (List.map (fun (name, ns) -> (name, Rpi_json.Float ns)) micro) );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Rpi_json.to_channel oc doc);
+  Printf.printf "\nWrote %s\n" path
 
 let () =
   Logs.set_level (Some Logs.Warning);
-  ignore (regenerate ());
+  let seq, par, identical = regenerate () in
   let small = small_ctx () in
   let tests = experiment_tests small @ substrate_tests small in
-  run_benchmarks tests
+  let micro = run_benchmarks tests in
+  write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro

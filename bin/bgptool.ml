@@ -16,14 +16,11 @@ let read_table path =
   let text = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic) in
   Rpi_mrt.Loader.parse_any text
 
-let stats_cmd path =
+let stats_cmd json path =
   match read_table path with
   | Error e -> `Error (false, e)
   | Ok rib ->
-      Printf.printf "prefixes: %d\nroutes:   %d\n" (Rib.prefix_count rib)
-        (Rib.route_count rib);
       let origins = Rpi_core.Export_infer.origins_of_rib rib in
-      Printf.printf "origin ASs: %d\n" (List.length origins);
       let peers =
         Rib.fold
           (fun _ routes acc ->
@@ -35,7 +32,21 @@ let stats_cmd path =
               acc routes)
           rib Asn.Set.empty
       in
-      Printf.printf "feeding sessions: %d\n" (Asn.Set.cardinal peers);
+      if json then
+        Rpi_json.to_channel stdout
+          (Rpi_json.Obj
+             [
+               ("prefixes", Rpi_json.Int (Rib.prefix_count rib));
+               ("routes", Rpi_json.Int (Rib.route_count rib));
+               ("origin_ases", Rpi_json.Int (List.length origins));
+               ("feeding_sessions", Rpi_json.Int (Asn.Set.cardinal peers));
+             ])
+      else begin
+        Printf.printf "prefixes: %d\nroutes:   %d\n" (Rib.prefix_count rib)
+          (Rib.route_count rib);
+        Printf.printf "origin ASs: %d\n" (List.length origins);
+        Printf.printf "feeding sessions: %d\n" (Asn.Set.cardinal peers)
+      end;
       `Ok ()
 
 let show_cmd path prefix_str =
@@ -76,7 +87,7 @@ let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
 
-let sa_cmd table_path edges_path provider_str =
+let sa_cmd json table_path edges_path provider_str =
   let ( let* ) = Result.bind in
   let result =
     let* rib = read_table table_path in
@@ -84,26 +95,69 @@ let sa_cmd table_path edges_path provider_str =
     let* provider = Asn.of_string provider_str in
     let origins = Rpi_core.Export_infer.origins_of_rib rib in
     (* If the table is a multi-feed collector dump, narrow to the
-       provider's own feed; a single-vantage table passes through. *)
-    let viewpoint =
+       provider's own feed; a single-vantage table passes through.  When
+       the provider has no feed at all, fall back to the whole table —
+       but say so: SA classification then reflects the collector's
+       viewpoint, not the provider's own announcements. *)
+    let viewpoint, viewpoint_kind =
       let own = Rpi_core.Export_infer.viewpoint_of_feed ~feed:provider rib in
-      if Rib.prefix_count own > 0 then own else rib
+      if Rib.prefix_count own > 0 then (own, "own-feed")
+      else begin
+        Printf.eprintf
+          "warning: %s has no feed in %s; falling back to the full multi-feed \
+           table — SA prefixes are classified from the collector viewpoint, \
+           not %s's own best routes\n%!"
+          (Asn.to_label provider) table_path (Asn.to_label provider);
+        (rib, "multi-feed-fallback")
+      end
     in
     let report = Rpi_core.Export_infer.analyze graph ~provider ~origins viewpoint in
-    Printf.printf "provider:          %s\n" (Asn.to_label provider);
-    Printf.printf "customers seen:    %d\n" report.Rpi_core.Export_infer.customers_seen;
-    Printf.printf "customer prefixes: %d\n" report.Rpi_core.Export_infer.customer_prefixes;
-    Printf.printf "SA prefixes:       %d (%.1f%%)\n"
-      (List.length report.Rpi_core.Export_infer.sa)
-      report.Rpi_core.Export_infer.pct_sa;
-    List.iter
-      (fun (r : Rpi_core.Export_infer.sa_record) ->
-        Printf.printf "SA %s origin %s via %s %s\n"
-          (Prefix.to_string r.Rpi_core.Export_infer.prefix)
-          (Asn.to_label r.Rpi_core.Export_infer.origin)
-          (Rpi_topo.Relationship.to_string r.Rpi_core.Export_infer.via)
-          (Asn.to_label r.Rpi_core.Export_infer.next_hop))
-      report.Rpi_core.Export_infer.sa;
+    if json then
+      Rpi_json.to_channel stdout
+        (Rpi_json.Obj
+           [
+             ("provider", Rpi_json.String (Asn.to_label provider));
+             ("viewpoint", Rpi_json.String viewpoint_kind);
+             ("customers_seen", Rpi_json.Int report.Rpi_core.Export_infer.customers_seen);
+             ( "customer_prefixes",
+               Rpi_json.Int report.Rpi_core.Export_infer.customer_prefixes );
+             ("sa_count", Rpi_json.Int (List.length report.Rpi_core.Export_infer.sa));
+             ("pct_sa", Rpi_json.Float report.Rpi_core.Export_infer.pct_sa);
+             ( "sa",
+               Rpi_json.List
+                 (List.map
+                    (fun (r : Rpi_core.Export_infer.sa_record) ->
+                      Rpi_json.Obj
+                        [
+                          ( "prefix",
+                            Rpi_json.String (Prefix.to_string r.Rpi_core.Export_infer.prefix) );
+                          ( "origin",
+                            Rpi_json.String (Asn.to_label r.Rpi_core.Export_infer.origin) );
+                          ( "via",
+                            Rpi_json.String
+                              (Rpi_topo.Relationship.to_string r.Rpi_core.Export_infer.via) );
+                          ( "next_hop",
+                            Rpi_json.String (Asn.to_label r.Rpi_core.Export_infer.next_hop) );
+                        ])
+                    report.Rpi_core.Export_infer.sa) );
+           ])
+    else begin
+      Printf.printf "provider:          %s\n" (Asn.to_label provider);
+      Printf.printf "viewpoint:         %s\n" viewpoint_kind;
+      Printf.printf "customers seen:    %d\n" report.Rpi_core.Export_infer.customers_seen;
+      Printf.printf "customer prefixes: %d\n" report.Rpi_core.Export_infer.customer_prefixes;
+      Printf.printf "SA prefixes:       %d (%.1f%%)\n"
+        (List.length report.Rpi_core.Export_infer.sa)
+        report.Rpi_core.Export_infer.pct_sa;
+      List.iter
+        (fun (r : Rpi_core.Export_infer.sa_record) ->
+          Printf.printf "SA %s origin %s via %s %s\n"
+            (Prefix.to_string r.Rpi_core.Export_infer.prefix)
+            (Asn.to_label r.Rpi_core.Export_infer.origin)
+            (Rpi_topo.Relationship.to_string r.Rpi_core.Export_infer.via)
+            (Asn.to_label r.Rpi_core.Export_infer.next_hop))
+        report.Rpi_core.Export_infer.sa
+    end;
     Ok ()
   in
   match result with
@@ -139,10 +193,14 @@ let table_arg =
 let prefix_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX" ~doc:"CIDR prefix.")
 
+let json_arg =
+  let doc = "Emit the report as a single JSON object instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let cmds =
   [
     Cmd.v (Cmd.info "stats" ~doc:"Summary statistics of a table dump")
-      Term.(ret (const stats_cmd $ table_arg));
+      Term.(ret (const stats_cmd $ json_arg $ table_arg));
     Cmd.v
       (Cmd.info "show" ~doc:"Per-prefix detail (show ip bgp <prefix>)")
       Term.(ret (const show_cmd $ table_arg $ prefix_arg));
@@ -160,7 +218,7 @@ let cmds =
      in
      Cmd.v
        (Cmd.info "sa" ~doc:"Infer selectively-announced prefixes from a provider's viewpoint")
-       Term.(ret (const sa_cmd $ table_arg $ edges_arg $ provider_arg)));
+       Term.(ret (const sa_cmd $ json_arg $ table_arg $ edges_arg $ provider_arg)));
     (let new_arg =
        Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"Newer table dump.")
      in

@@ -1,10 +1,16 @@
 (* Experiment runner: regenerate any table or figure of the paper on a
-   synthetic dataset.
+   synthetic dataset.  Execution goes through the multicore runner
+   (Rpi_runner), which fans the experiments out over a domain pool and
+   reports results in declaration order.
 
      experiments list
      experiments run all
-     experiments run table5 table7 --seed 7
+     experiments run all --jobs 4
+     experiments run table5 table7 --seed 7 --json
 *)
+
+module Exp = Rpi_experiments.Exp
+module Runner = Rpi_runner.Runner
 
 let setup_logging level =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -12,43 +18,44 @@ let setup_logging level =
 
 let list_cmd () =
   List.iter
-    (fun (id, doc, _) -> Printf.printf "%-18s %s\n" id doc)
-    Rpi_experiments.Exp.all;
+    (fun (e : Exp.t) -> Printf.printf "%-18s %s\n" e.Exp.id e.Exp.title)
+    Exp.all;
   `Ok ()
 
-let run_cmd log_level seed small ids =
+let run_cmd log_level seed small jobs json ids =
   setup_logging log_level;
   let base =
     if small then Rpi_dataset.Scenario.small_config
     else Rpi_dataset.Scenario.default_config
   in
   let config = { base with Rpi_dataset.Scenario.seed } in
-  let runners =
-    if ids = [] || List.mem "all" ids then
-      List.map (fun (_, _, f) -> Ok f) Rpi_experiments.Exp.all
+  let resolved =
+    if ids = [] || List.mem "all" ids then List.map (fun e -> Ok e) Exp.all
     else
       List.map
-        (fun id ->
-          match
-            List.find_opt (fun (id', _, _) -> String.equal id id') Rpi_experiments.Exp.all
-          with
-          | Some (_, _, f) -> Ok f
-          | None -> Error id)
+        (fun id -> match Exp.find id with Some e -> Ok e | None -> Error id)
         ids
   in
   let unknown =
-    List.filter_map (function Error id -> Some id | Ok _ -> None) runners
+    List.filter_map (function Error id -> Some id | Ok _ -> None) resolved
   in
   if unknown <> [] then
     `Error (false, "unknown experiments: " ^ String.concat ", " unknown)
   else begin
-    Printf.printf "Scenario seed: %d\n\n" seed;
+    let exps = List.filter_map (function Ok e -> Some e | Error _ -> None) resolved in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    if not json then Printf.printf "Scenario seed: %d\n\n" seed;
     let ctx = Rpi_experiments.Context.create ~config () in
-    List.iter
-      (function
-        | Ok f -> print_endline (f ctx)
-        | Error _ -> ())
-      runners;
+    let report = Runner.run ?jobs ctx exps in
+    if json then
+      (* One JSON object per experiment, one per line. *)
+      List.iter
+        (fun timed -> Rpi_json.to_channel stdout (Runner.timed_to_json timed))
+        report.Runner.results
+    else
+      List.iter
+        (fun (r : Runner.timed) -> print_endline r.Runner.outcome.Exp.rendered)
+        report.Runner.results;
     `Ok ()
   end
 
@@ -70,9 +77,27 @@ let small_arg =
   let doc = "Use the reduced (~300 AS) scenario for a fast run." in
   Arg.(value & flag & info [ "small" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains for the parallel runner (default: the RPI_JOBS \
+     environment variable, else the recommended domain count; 1 runs \
+     sequentially)."
+  in
+  let env = Cmd.Env.info "RPI_JOBS" in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+
+let json_arg =
+  let doc =
+    "Emit one JSON object per experiment (id, title, metrics, tables, \
+     elapsed_s) instead of the rendered text reports."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let list_term = Term.(ret (const list_cmd $ const ()))
 
-let run_term = Term.(ret (const run_cmd $ log_level_arg $ seed_arg $ small_arg $ ids_arg))
+let run_term =
+  Term.(
+    ret (const run_cmd $ log_level_arg $ seed_arg $ small_arg $ jobs_arg $ json_arg $ ids_arg))
 
 let cmds =
   [

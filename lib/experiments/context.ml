@@ -1,6 +1,8 @@
 module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
 module As_graph = Rpi_topo.As_graph
 module Scenario = Rpi_dataset.Scenario
+module Export_infer = Rpi_core.Export_infer
 
 type t = {
   scenario : Scenario.t;
@@ -10,6 +12,10 @@ type t = {
   irr : Rpi_irr.Db.t;
   collector_origins : (Asn.t * Rpi_net.Prefix.t list) list;
   focus_tier1 : Asn.t list;
+  sa_lock : Mutex.t;
+  sa_done : Condition.t;
+  sa_pending : (int, unit) Hashtbl.t;
+  sa_cache : (int, Rib.t * Export_infer.report) Hashtbl.t;
 }
 
 (* Section 4.3: re-label a vantage's own adjacencies from the community
@@ -52,10 +58,95 @@ let create ?config ?(gao_config = default_gao_config) () =
       (fun a -> As_graph.mem_as scenario.Scenario.graph a)
       (List.map Asn.of_int [ 1; 3549; 7018 ])
   in
-  { scenario; inferred; corrected; path_index; irr; collector_origins; focus_tier1 }
+  {
+    scenario;
+    inferred;
+    corrected;
+    path_index;
+    irr;
+    collector_origins;
+    focus_tier1;
+    sa_lock = Mutex.create ();
+    sa_done = Condition.create ();
+    sa_pending = Hashtbl.create 8;
+    sa_cache = Hashtbl.create 8;
+  }
 
 let use_ground_truth_graph t =
-  { t with inferred = t.scenario.Scenario.graph; corrected = t.scenario.Scenario.graph }
+  (* The SA analysis depends on the graph, so the swapped context gets a
+     fresh cache — sharing the original's would serve stale reports. *)
+  {
+    t with
+    inferred = t.scenario.Scenario.graph;
+    corrected = t.scenario.Scenario.graph;
+    sa_lock = Mutex.create ();
+    sa_done = Condition.create ();
+    sa_pending = Hashtbl.create 8;
+    sa_cache = Hashtbl.create 8;
+  }
+
+(* SA analysis for one provider, memoized in the context (several tables
+   reuse it).  The provider's viewpoint is its own collector feed (its best
+   routes with itself stripped from the paths) — using the best route
+   across all feeds would classify from the collector's viewpoint, not the
+   provider's.
+
+   The cache is shared across domains when experiments run on the parallel
+   runner, so every access happens under [sa_lock].  Misses are
+   single-flight: the first domain to ask for a provider claims the key in
+   [sa_pending], runs the analysis outside the lock, and publishes the
+   entry; domains racing on the same key block on [sa_done] instead of
+   recomputing the multi-second analysis.  If the computing domain raises,
+   it releases the claim so a waiter can retry. *)
+let sa_view (t : t) provider =
+  let key = Asn.to_int provider in
+  let rec claim () =
+    match Hashtbl.find_opt t.sa_cache key with
+    | Some pair -> `Ready pair
+    | None ->
+        if Hashtbl.mem t.sa_pending key then begin
+          Condition.wait t.sa_done t.sa_lock;
+          claim ()
+        end
+        else begin
+          Hashtbl.add t.sa_pending key ();
+          `Compute
+        end
+  in
+  Mutex.lock t.sa_lock;
+  let decision = claim () in
+  Mutex.unlock t.sa_lock;
+  match decision with
+  | `Ready pair -> pair
+  | `Compute ->
+      let publish entry =
+        Mutex.lock t.sa_lock;
+        Hashtbl.remove t.sa_pending key;
+        (match entry with
+        | Some pair -> Hashtbl.add t.sa_cache key pair
+        | None -> ());
+        Condition.broadcast t.sa_done;
+        Mutex.unlock t.sa_lock
+      in
+      (match
+         let viewpoint =
+           Export_infer.viewpoint_of_feed ~feed:provider
+             t.scenario.Scenario.collector
+         in
+         let r =
+           Export_infer.analyze t.corrected ~provider
+             ~origins:t.collector_origins viewpoint
+         in
+         (viewpoint, r)
+       with
+      | pair ->
+          publish (Some pair);
+          pair
+      | exception e ->
+          publish None;
+          raise e)
+
+let sa_report t provider = snd (sa_view t provider)
 
 let lg_rib_exn t a =
   match Scenario.lg_table t.scenario a with

@@ -22,6 +22,21 @@ module Table = Rpi_stats.Table
 module Series = Rpi_stats.Series
 module Dist = Rpi_stats.Dist
 
+type outcome = {
+  id : string;
+  title : string;
+  rendered : string;
+  metrics : (string * float) list;
+  tables : Table.t list;
+}
+
+type t = { id : string; title : string; run : Context.t -> outcome }
+
+let mk ~id ~title ?(metrics = []) ?(tables = []) rendered =
+  { id; title; rendered; metrics; tables }
+
+let fi = float_of_int
+
 let header id paper =
   Printf.sprintf "=== %s ===\nPaper reports: %s\n" id paper
 
@@ -32,37 +47,11 @@ let region_of asn =
   | 5 | 6 | 7 | 8 -> "Eu"
   | _ -> "Au/As"
 
-(* SA analysis for one provider, cached per context (several tables reuse
-   it).  The provider's viewpoint is its own collector feed (its best
-   routes with itself stripped from the paths) — using the best route
-   across all feeds would classify from the collector's viewpoint, not the
-   provider's. *)
-let sa_cache : (int, Rib.t * Export_infer.report) Hashtbl.t = Hashtbl.create 8
-let sa_cache_owner : Context.t option ref = ref None
-
-let sa_view (ctx : Context.t) provider =
-  begin
-    match !sa_cache_owner with
-    | Some owner when owner == ctx -> ()
-    | Some _ | None ->
-        Hashtbl.reset sa_cache;
-        sa_cache_owner := Some ctx
-  end;
-  match Hashtbl.find_opt sa_cache (Asn.to_int provider) with
-  | Some pair -> pair
-  | None ->
-      let viewpoint =
-        Export_infer.viewpoint_of_feed ~feed:provider
-          ctx.Context.scenario.Scenario.collector
-      in
-      let r =
-        Export_infer.analyze ctx.Context.corrected ~provider
-          ~origins:ctx.Context.collector_origins viewpoint
-      in
-      Hashtbl.add sa_cache (Asn.to_int provider) (viewpoint, r);
-      (viewpoint, r)
-
-let sa_report ctx provider = snd (sa_view ctx provider)
+(* The per-provider SA analysis is memoized in the context (several tables
+   reuse it) behind a mutex, so experiments sharing a context may run on
+   concurrent domains. *)
+let sa_view = Context.sa_view
+let sa_report = Context.sa_report
 
 (* --- Table 1 --- *)
 
@@ -91,11 +80,21 @@ let table1 (ctx : Context.t) =
           region_of a;
         ])
     s.Scenario.lg_ases;
-  header "Table 1" "68 tables: Oregon RouteViews (56 peers) + 15 Looking Glass ASs, degrees 14..1330"
-  ^ Table.render t
-  ^ Printf.sprintf "Synthetic dataset: %d ASs, %d edges, %d prefixes at the collector.\n"
-      (As_graph.as_count g) (As_graph.edge_count g)
-      (Rib.prefix_count s.Scenario.collector)
+  mk ~id:"table1" ~title:"data sources"
+    ~metrics:
+      [
+        ("ases", fi (As_graph.as_count g));
+        ("edges", fi (As_graph.edge_count g));
+        ("collector_prefixes", fi (Rib.prefix_count s.Scenario.collector));
+        ("collector_peers", fi (List.length s.Scenario.collector_peers));
+        ("lg_vantages", fi (List.length s.Scenario.lg_ases));
+      ]
+    ~tables:[ t ]
+    (header "Table 1" "68 tables: Oregon RouteViews (56 peers) + 15 Looking Glass ASs, degrees 14..1330"
+    ^ Table.render t
+    ^ Printf.sprintf "Synthetic dataset: %d ASs, %d edges, %d prefixes at the collector.\n"
+        (As_graph.as_count g) (As_graph.edge_count g)
+        (Rib.prefix_count s.Scenario.collector))
 
 (* --- Table 2 --- *)
 
@@ -119,12 +118,21 @@ let table2 (ctx : Context.t) =
         r.Import_infer.pct_typical)
       s.Scenario.lg_tables
   in
-  header "Table 2" "typical local preference on 94.3%..100% of prefixes for 15 ASs"
-  ^ Table.render t
-  ^ Printf.sprintf "Measured: min %.2f%%, median %.2f%%, max %.2f%%.\n"
-      (Option.value ~default:0.0 (Dist.min_value pcts))
-      (Dist.median pcts)
-      (Option.value ~default:0.0 (Dist.max_value pcts))
+  mk ~id:"table2" ~title:"typical local preference (BGP tables)"
+    ~metrics:
+      [
+        ("vantages", fi (List.length pcts));
+        ("pct_typical_min", Option.value ~default:0.0 (Dist.min_value pcts));
+        ("pct_typical_median", Dist.median pcts);
+        ("pct_typical_max", Option.value ~default:0.0 (Dist.max_value pcts));
+      ]
+    ~tables:[ t ]
+    (header "Table 2" "typical local preference on 94.3%..100% of prefixes for 15 ASs"
+    ^ Table.render t
+    ^ Printf.sprintf "Measured: min %.2f%%, median %.2f%%, max %.2f%%.\n"
+        (Option.value ~default:0.0 (Dist.min_value pcts))
+        (Dist.median pcts)
+        (Option.value ~default:0.0 (Dist.max_value pcts)))
 
 (* --- Table 3 --- *)
 
@@ -152,15 +160,24 @@ let table3 (ctx : Context.t) =
         ])
     shown;
   let pcts = List.map (fun (r : Irr_import.report) -> r.Irr_import.pct_typical) sorted in
-  header "Table 3"
-    "typical local preference for 62 well-connected ASs from the IRR, 80%..100%"
-  ^ Table.render t
-  ^ Printf.sprintf
-      "Measured over %d fresh, well-connected aut-num objects: min %.1f%%, median %.1f%%, max %.1f%%.\n"
-      (List.length sorted)
-      (Option.value ~default:0.0 (Dist.min_value pcts))
-      (if pcts = [] then 0.0 else Dist.median pcts)
-      (Option.value ~default:0.0 (Dist.max_value pcts))
+  mk ~id:"table3" ~title:"typical local preference (IRR)"
+    ~metrics:
+      [
+        ("objects", fi (List.length sorted));
+        ("pct_typical_min", Option.value ~default:0.0 (Dist.min_value pcts));
+        ("pct_typical_median", if pcts = [] then 0.0 else Dist.median pcts);
+        ("pct_typical_max", Option.value ~default:0.0 (Dist.max_value pcts));
+      ]
+    ~tables:[ t ]
+    (header "Table 3"
+       "typical local preference for 62 well-connected ASs from the IRR, 80%..100%"
+    ^ Table.render t
+    ^ Printf.sprintf
+        "Measured over %d fresh, well-connected aut-num objects: min %.1f%%, median %.1f%%, max %.1f%%.\n"
+        (List.length sorted)
+        (Option.value ~default:0.0 (Dist.min_value pcts))
+        (if pcts = [] then 0.0 else Dist.median pcts)
+        (Option.value ~default:0.0 (Dist.max_value pcts)))
 
 (* --- Table 4 --- *)
 
@@ -186,12 +203,19 @@ let table4 (ctx : Context.t) =
         end)
       s.Scenario.lg_tables
   in
-  header "Table 4"
-    "94.1%..99.55% of the AS relationships of 9 ASs verified via community tags"
-  ^ Table.render t
-  ^ Printf.sprintf "Measured: median %.2f%% across %d vantages.\n"
-      (if pcts = [] then 0.0 else Dist.median pcts)
-      (List.length pcts)
+  mk ~id:"table4" ~title:"relationship verification via communities"
+    ~metrics:
+      [
+        ("vantages", fi (List.length pcts));
+        ("pct_verified_median", if pcts = [] then 0.0 else Dist.median pcts);
+      ]
+    ~tables:[ t ]
+    (header "Table 4"
+       "94.1%..99.55% of the AS relationships of 9 ASs verified via community tags"
+    ^ Table.render t
+    ^ Printf.sprintf "Measured: median %.2f%% across %d vantages.\n"
+        (if pcts = [] then 0.0 else Dist.median pcts)
+        (List.length pcts))
 
 (* --- Table 5 --- *)
 
@@ -209,19 +233,30 @@ let table5 (ctx : Context.t) =
       [ ("AS", Table.Left); ("customer prefixes", Table.Right); ("SA prefixes", Table.Right);
         ("% SA", Table.Right) ]
   in
-  List.iter
-    (fun provider ->
-      let r = sa_report ctx provider in
-      Table.add_row t
-        [
-          Asn.to_label provider;
-          Table.cell_int r.Export_infer.customer_prefixes;
-          Table.cell_int (List.length r.Export_infer.sa);
-          Table.cell_pct r.Export_infer.pct_sa;
-        ])
-    providers;
-  header "Table 5" "SA prefixes at 16 ASs: 0%..48.6% (Tier-1s typically 14%..32%)"
-  ^ Table.render t
+  let pcts =
+    List.map
+      (fun provider ->
+        let r = sa_report ctx provider in
+        Table.add_row t
+          [
+            Asn.to_label provider;
+            Table.cell_int r.Export_infer.customer_prefixes;
+            Table.cell_int (List.length r.Export_infer.sa);
+            Table.cell_pct r.Export_infer.pct_sa;
+          ];
+        r.Export_infer.pct_sa)
+      providers
+  in
+  mk ~id:"table5" ~title:"SA-prefix share per provider"
+    ~metrics:
+      [
+        ("providers", fi (List.length providers));
+        ("pct_sa_mean", if pcts = [] then 0.0 else Dist.mean pcts);
+        ("pct_sa_max", Option.value ~default:0.0 (Dist.max_value pcts));
+      ]
+    ~tables:[ t ]
+    (header "Table 5" "SA prefixes at 16 ASs: 0%..48.6% (Tier-1s typically 14%..32%)"
+    ^ Table.render t)
 
 (* --- Table 6 --- *)
 
@@ -276,9 +311,20 @@ let table6 (ctx : Context.t) =
           Table.cell_pct (100.0 *. float_of_int sa /. float_of_int (max 1 n));
         ])
     top;
-  header "Table 6"
-    "8 customers below AS1+AS3549+AS7018 with 17%..97% of their prefixes SA"
-  ^ Table.render t
+  let shares =
+    List.map (fun (_, n, sa) -> 100.0 *. fi sa /. fi (max 1 n)) top
+  in
+  mk ~id:"table6" ~title:"per-customer SA share"
+    ~metrics:
+      [
+        ("customers", fi (List.length top));
+        ("pct_sa_mean", if shares = [] then 0.0 else Dist.mean shares);
+        ("pct_sa_max", Option.value ~default:0.0 (Dist.max_value shares));
+      ]
+    ~tables:[ t ]
+    (header "Table 6"
+       "8 customers below AS1+AS3549+AS7018 with 17%..97% of their prefixes SA"
+    ^ Table.render t)
 
 (* --- Table 7 --- *)
 
@@ -287,19 +333,22 @@ let table7 (ctx : Context.t) =
     Table.create
       [ ("Provider", Table.Left); ("# SA prefixes", Table.Right); ("% verified", Table.Right) ]
   in
-  List.iter
-    (fun provider ->
-      let sa = (sa_report ctx provider).Export_infer.sa in
-      let r =
-        Sa_verify.verify ctx.Context.corrected ctx.Context.path_index ~provider sa
-      in
-      Table.add_row t
-        [
-          Asn.to_label provider;
-          Table.cell_int r.Sa_verify.total;
-          Table.cell_pct r.Sa_verify.pct_verified;
-        ])
-    ctx.Context.focus_tier1;
+  let pcts =
+    List.map
+      (fun provider ->
+        let sa = (sa_report ctx provider).Export_infer.sa in
+        let r =
+          Sa_verify.verify ctx.Context.corrected ctx.Context.path_index ~provider sa
+        in
+        Table.add_row t
+          [
+            Asn.to_label provider;
+            Table.cell_int r.Sa_verify.total;
+            Table.cell_pct r.Sa_verify.pct_verified;
+          ];
+        r.Sa_verify.pct_verified)
+      ctx.Context.focus_tier1
+  in
   (* Oracle cross-check: are inferred SA prefixes actually SA per the
      engine state? *)
   let oracle_checked, oracle_correct =
@@ -318,11 +367,19 @@ let table7 (ctx : Context.t) =
           (sa_report ctx provider).Export_infer.sa)
       (0, 0) ctx.Context.focus_tier1
   in
-  header "Table 7" "95%..97.6% of SA prefixes verified for AS1, AS3549, AS7018"
-  ^ Table.render t
-  ^ Printf.sprintf "Oracle: %d/%d inferred SA prefixes confirmed against engine state (%.1f%%).\n"
-      oracle_correct oracle_checked
-      (Dist.pct (oracle_correct, oracle_checked))
+  mk ~id:"table7" ~title:"SA-prefix verification"
+    ~metrics:
+      [
+        ("pct_verified_mean", if pcts = [] then 0.0 else Dist.mean pcts);
+        ("oracle_checked", fi oracle_checked);
+        ("oracle_pct", Dist.pct (oracle_correct, oracle_checked));
+      ]
+    ~tables:[ t ]
+    (header "Table 7" "95%..97.6% of SA prefixes verified for AS1, AS3549, AS7018"
+    ^ Table.render t
+    ^ Printf.sprintf "Oracle: %d/%d inferred SA prefixes confirmed against engine state (%.1f%%).\n"
+        oracle_correct oracle_checked
+        (Dist.pct (oracle_correct, oracle_checked)))
 
 (* --- Table 8 --- *)
 
@@ -332,20 +389,30 @@ let table8 (ctx : Context.t) =
       [ ("Provider", Table.Left); ("multihomed", Table.Right); ("single-homed", Table.Right);
         ("% multihomed", Table.Right) ]
   in
-  List.iter
-    (fun provider ->
-      let sa = (sa_report ctx provider).Export_infer.sa in
-      let r = Homing.analyze ctx.Context.corrected ~provider sa in
-      Table.add_row t
-        [
-          Asn.to_label provider;
-          Table.cell_int r.Homing.multihomed;
-          Table.cell_int r.Homing.single_homed;
-          Table.cell_pct r.Homing.pct_multihomed;
-        ])
-    ctx.Context.focus_tier1;
-  header "Table 8" "~75% of ASs behind SA prefixes are multihomed, ~25% single-homed"
-  ^ Table.render t
+  let pcts =
+    List.map
+      (fun provider ->
+        let sa = (sa_report ctx provider).Export_infer.sa in
+        let r = Homing.analyze ctx.Context.corrected ~provider sa in
+        Table.add_row t
+          [
+            Asn.to_label provider;
+            Table.cell_int r.Homing.multihomed;
+            Table.cell_int r.Homing.single_homed;
+            Table.cell_pct r.Homing.pct_multihomed;
+          ];
+        r.Homing.pct_multihomed)
+      ctx.Context.focus_tier1
+  in
+  mk ~id:"table8" ~title:"multihoming of SA origins"
+    ~metrics:
+      [
+        ("providers", fi (List.length pcts));
+        ("pct_multihomed_mean", if pcts = [] then 0.0 else Dist.mean pcts);
+      ]
+    ~tables:[ t ]
+    (header "Table 8" "~75% of ASs behind SA prefixes are multihomed, ~25% single-homed"
+    ^ Table.render t)
 
 (* --- Table 9 --- *)
 
@@ -355,24 +422,36 @@ let table9 (ctx : Context.t) =
       [ ("Provider", Table.Left); ("# SA", Table.Right); ("# splitting", Table.Right);
         ("# aggregable", Table.Right) ]
   in
-  List.iter
-    (fun provider ->
-      let viewpoint, report = sa_view ctx provider in
-      let sa = report.Export_infer.sa in
-      let split = Sa_causes.splitting viewpoint sa in
-      let agg = Sa_causes.aggregable viewpoint sa in
-      Table.add_row t
-        [
-          Asn.to_label provider;
-          Table.cell_int (List.length sa);
-          Table.cell_int (List.length split);
-          Table.cell_int (List.length agg);
-        ])
-    ctx.Context.focus_tier1;
-  header "Table 9"
-    "splitting (63..127) and aggregable (104..218) prefixes are tiny shares of SA totals (3431..9120)"
-  ^ Table.render t
-  ^ "Both causes are an order of magnitude below the SA count: selective announcing dominates.\n"
+  let totals =
+    List.map
+      (fun provider ->
+        let viewpoint, report = sa_view ctx provider in
+        let sa = report.Export_infer.sa in
+        let split = Sa_causes.splitting viewpoint sa in
+        let agg = Sa_causes.aggregable viewpoint sa in
+        Table.add_row t
+          [
+            Asn.to_label provider;
+            Table.cell_int (List.length sa);
+            Table.cell_int (List.length split);
+            Table.cell_int (List.length agg);
+          ];
+        (List.length sa, List.length split, List.length agg))
+      ctx.Context.focus_tier1
+  in
+  let sum f = List.fold_left (fun acc x -> acc + f x) 0 totals in
+  mk ~id:"table9" ~title:"splitting/aggregation vs SA"
+    ~metrics:
+      [
+        ("sa_total", fi (sum (fun (a, _, _) -> a)));
+        ("splitting_total", fi (sum (fun (_, b, _) -> b)));
+        ("aggregable_total", fi (sum (fun (_, _, c) -> c)));
+      ]
+    ~tables:[ t ]
+    (header "Table 9"
+       "splitting (63..127) and aggregable (104..218) prefixes are tiny shares of SA totals (3431..9120)"
+    ^ Table.render t
+    ^ "Both causes are an order of magnitude below the SA count: selective announcing dominates.\n")
 
 (* --- Table 10 --- *)
 
@@ -383,24 +462,34 @@ let table10 (ctx : Context.t) =
       [ ("AS", Table.Left); ("peers with visible prefixes", Table.Right);
         ("% announcing all directly", Table.Right) ]
   in
-  List.iter
-    (fun vantage ->
-      match Scenario.lg_table s vantage with
-      | None -> ()
-      | Some rib ->
-          let r =
-            Peer_export.analyze ctx.Context.corrected ~vantage
-              ~reference:s.Scenario.collector rib
-          in
-          Table.add_row t
-            [
-              Asn.to_label vantage;
-              Table.cell_int r.Peer_export.peers_total;
-              Table.cell_pct r.Peer_export.pct_announcing;
-            ])
-    ctx.Context.focus_tier1;
-  header "Table 10" "86%, 100%, 89% of peers announce their own prefixes directly"
-  ^ Table.render t
+  let pcts =
+    List.filter_map
+      (fun vantage ->
+        match Scenario.lg_table s vantage with
+        | None -> None
+        | Some rib ->
+            let r =
+              Peer_export.analyze ctx.Context.corrected ~vantage
+                ~reference:s.Scenario.collector rib
+            in
+            Table.add_row t
+              [
+                Asn.to_label vantage;
+                Table.cell_int r.Peer_export.peers_total;
+                Table.cell_pct r.Peer_export.pct_announcing;
+              ];
+            Some r.Peer_export.pct_announcing)
+      ctx.Context.focus_tier1
+  in
+  mk ~id:"table10" ~title:"peer export completeness"
+    ~metrics:
+      [
+        ("vantages", fi (List.length pcts));
+        ("pct_announcing_mean", if pcts = [] then 0.0 else Dist.mean pcts);
+      ]
+    ~tables:[ t ]
+    (header "Table 10" "86%, 100%, 89% of peers announce their own prefixes directly"
+    ^ Table.render t)
 
 (* --- Case 3 --- *)
 
@@ -412,27 +501,37 @@ let case3 (ctx : Context.t) =
         ("withhold", Table.Right); ("undetermined", Table.Right);
         ("% announce", Table.Right) ]
   in
-  List.iter
-    (fun provider ->
-      let viewpoint, report = sa_view ctx provider in
-      let sa = report.Export_infer.sa in
-      let r =
-        Sa_causes.analyze ctx.Context.corrected ~viewpoint
-          ~paths_of:(Context.paths_for_prefix ctx)
-          ~feeds:s.Scenario.collector_peers ~provider sa
-      in
-      Table.add_row t
-        [
-          Asn.to_label provider;
-          Table.cell_int r.Sa_causes.case3_announce;
-          Table.cell_int r.Sa_causes.case3_withhold;
-          Table.cell_int r.Sa_causes.case3_undetermined;
-          Table.cell_pct r.Sa_causes.pct_announce;
-        ])
-    ctx.Context.focus_tier1;
-  header "Case 3 (Sec 5.1.5)"
-    "~21% of SA prefixes announced to the failing direct provider (the community mechanism), ~79% withheld (AS1)"
-  ^ Table.render t
+  let pcts =
+    List.map
+      (fun provider ->
+        let viewpoint, report = sa_view ctx provider in
+        let sa = report.Export_infer.sa in
+        let r =
+          Sa_causes.analyze ctx.Context.corrected ~viewpoint
+            ~paths_of:(Context.paths_for_prefix ctx)
+            ~feeds:s.Scenario.collector_peers ~provider sa
+        in
+        Table.add_row t
+          [
+            Asn.to_label provider;
+            Table.cell_int r.Sa_causes.case3_announce;
+            Table.cell_int r.Sa_causes.case3_withhold;
+            Table.cell_int r.Sa_causes.case3_undetermined;
+            Table.cell_pct r.Sa_causes.pct_announce;
+          ];
+        r.Sa_causes.pct_announce)
+      ctx.Context.focus_tier1
+  in
+  mk ~id:"case3" ~title:"announce/withhold split to direct providers"
+    ~metrics:
+      [
+        ("providers", fi (List.length pcts));
+        ("pct_announce_mean", if pcts = [] then 0.0 else Dist.mean pcts);
+      ]
+    ~tables:[ t ]
+    (header "Case 3 (Sec 5.1.5)"
+       "~21% of SA prefixes announced to the failing direct provider (the community mechanism), ~79% withheld (AS1)"
+    ^ Table.render t)
 
 (* --- Fig. 2 --- *)
 
@@ -443,21 +542,24 @@ let fig2 (ctx : Context.t) =
       [ ("AS", Table.Left); ("% prefixes with next-hop-based LP", Table.Right);
         ("single-valued neighbors", Table.Right) ]
   in
-  List.iter
-    (fun (a, rib) ->
-      let r = Nexthop.analyze rib in
-      Table.add_row t
-        [
-          Asn.to_label a;
-          Table.cell_pct ~decimals:2 r.Nexthop.pct_nexthop_based;
-          Table.cell_pct ~decimals:1 r.Nexthop.pct_single_valued_neighbors;
-        ])
-    s.Scenario.lg_tables;
+  let lg_pcts =
+    List.map
+      (fun (a, rib) ->
+        let r = Nexthop.analyze rib in
+        Table.add_row t
+          [
+            Asn.to_label a;
+            Table.cell_pct ~decimals:2 r.Nexthop.pct_nexthop_based;
+            Table.cell_pct ~decimals:1 r.Nexthop.pct_single_valued_neighbors;
+          ];
+        r.Nexthop.pct_nexthop_based)
+      s.Scenario.lg_tables
+  in
   (* (b): 30 emulated backbone routers of AS7018. *)
   let as7018 = Asn.of_int 7018 in
-  let router_part =
+  let router_part, router_tables, router_metrics =
     match Scenario.lg_table s as7018 with
-    | None -> "AS7018 not in this scenario; skipping the per-router view.\n"
+    | None -> ("AS7018 not in this scenario; skipping the per-router view.\n", [], [])
     | Some _ ->
         let policy = Scenario.policy_of s as7018 in
         let views =
@@ -472,13 +574,27 @@ let fig2 (ctx : Context.t) =
             Table.add_row tb
               [ Table.cell_int (i + 1); Table.cell_pct ~decimals:2 r.Nexthop.pct_nexthop_based ])
           reports;
-        Printf.sprintf "(b) AS7018 across 30 backbone routers: min %.2f%%, max %.2f%%\n"
-          (Option.value ~default:0.0 (Dist.min_value pcts))
-          (Option.value ~default:0.0 (Dist.max_value pcts))
-        ^ Table.render tb
+        ( Printf.sprintf "(b) AS7018 across 30 backbone routers: min %.2f%%, max %.2f%%\n"
+            (Option.value ~default:0.0 (Dist.min_value pcts))
+            (Option.value ~default:0.0 (Dist.max_value pcts))
+          ^ Table.render tb,
+          [ tb ],
+          [
+            ("router_pct_min", Option.value ~default:0.0 (Dist.min_value pcts));
+            ("router_pct_max", Option.value ~default:0.0 (Dist.max_value pcts));
+          ] )
   in
-  header "Fig. 2" "~98% of prefixes have local preference determined by the next-hop AS"
-  ^ "(a) per Looking-Glass AS\n" ^ Table.render t ^ router_part
+  mk ~id:"fig2" ~title:"local-pref consistency with next hop"
+    ~metrics:
+      ([
+         ("vantages", fi (List.length lg_pcts));
+         ("pct_nexthop_min", Option.value ~default:0.0 (Dist.min_value lg_pcts));
+         ("pct_nexthop_max", Option.value ~default:0.0 (Dist.max_value lg_pcts));
+       ]
+      @ router_metrics)
+    ~tables:(t :: router_tables)
+    (header "Fig. 2" "~98% of prefixes have local preference determined by the next-hop AS"
+    ^ "(a) per Looking-Glass AS\n" ^ Table.render t ^ router_part)
 
 (* --- Figs. 6 and 7 --- *)
 
@@ -551,13 +667,29 @@ let fig6_fig7 ?(days = 31) ?(hours = 12) (ctx : Context.t) =
           Table.cell_int (bins up.Persistence.shifting k);
         ]
     done;
-    Printf.sprintf "%s\n%s%s%% of SA prefixes shifted SA->non-SA: %.1f%%\n" label plot
-      (Table.render t) up.Persistence.pct_shifting
+    ( Printf.sprintf "%s\n%s%s%% of SA prefixes shifted SA->non-SA: %.1f%%\n" label plot
+        (Table.render t) up.Persistence.pct_shifting,
+      t,
+      up.Persistence.pct_shifting )
   in
-  header "Figs. 6-7"
-    "SA counts stable over a month and a day; ~1/6 of SA prefixes shift within a month, almost none within a day"
-  ^ render_window (Printf.sprintf "Fig 6(a)/7(a): %d daily epochs, AS1" days) daily
-  ^ render_window (Printf.sprintf "Fig 6(b)/7(b): %d hourly epochs, AS1" hours) hourly
+  let daily_text, daily_table, daily_shift =
+    render_window (Printf.sprintf "Fig 6(a)/7(a): %d daily epochs, AS1" days) daily
+  in
+  let hourly_text, hourly_table, hourly_shift =
+    render_window (Printf.sprintf "Fig 6(b)/7(b): %d hourly epochs, AS1" hours) hourly
+  in
+  mk ~id:"fig6+7" ~title:"SA persistence over time"
+    ~metrics:
+      [
+        ("daily_epochs", fi days);
+        ("hourly_epochs", fi hours);
+        ("daily_pct_shifting", daily_shift);
+        ("hourly_pct_shifting", hourly_shift);
+      ]
+    ~tables:[ daily_table; hourly_table ]
+    (header "Figs. 6-7"
+       "SA counts stable over a month and a day; ~1/6 of SA prefixes shift within a month, almost none within a day"
+    ^ daily_text ^ hourly_text)
 
 (* --- Fig. 9 --- *)
 
@@ -579,30 +711,37 @@ let fig9 (ctx : Context.t) =
       (List.map Asn.of_int [ 1; 3549 ])
     @ (match pick_small with Some a -> [ a ] | None -> [])
   in
-  String.concat ""
-    (List.map
-       (fun a ->
-         match Scenario.lg_table s a with
-         | None -> ""
-         | Some rib ->
-             let counts = Community_verify.prefix_counts rib in
-             let points =
-               List.mapi (fun i (_, n) -> (float_of_int (i + 1), float_of_int n)) counts
-             in
-             let top =
-               List.filteri (fun i _ -> i < 5) counts
-               |> List.map (fun (nb, n) -> Printf.sprintf "%s:%d" (Asn.to_label nb) n)
-               |> String.concat "  "
-             in
-             Printf.sprintf "%s (degree %d): prefixes per next-hop AS, rank order\n%stop: %s\n"
-               (Asn.to_label a) (As_graph.degree g a)
-               (Series.ascii_loglog points)
-               top)
-       vantages)
-  |> fun body ->
-  header "Fig. 9"
-    "rank vs announced-prefix plots: top announcers are peers/providers, the tail customers"
-  ^ body
+  let plotted =
+    List.length
+      (List.filter (fun a -> Option.is_some (Scenario.lg_table s a)) vantages)
+  in
+  let body =
+    String.concat ""
+      (List.map
+         (fun a ->
+           match Scenario.lg_table s a with
+           | None -> ""
+           | Some rib ->
+               let counts = Community_verify.prefix_counts rib in
+               let points =
+                 List.mapi (fun i (_, n) -> (float_of_int (i + 1), float_of_int n)) counts
+               in
+               let top =
+                 List.filteri (fun i _ -> i < 5) counts
+                 |> List.map (fun (nb, n) -> Printf.sprintf "%s:%d" (Asn.to_label nb) n)
+                 |> String.concat "  "
+               in
+               Printf.sprintf "%s (degree %d): prefixes per next-hop AS, rank order\n%stop: %s\n"
+                 (Asn.to_label a) (As_graph.degree g a)
+                 (Series.ascii_loglog points)
+                 top)
+         vantages)
+  in
+  mk ~id:"fig9" ~title:"prefix-count rank plots"
+    ~metrics:[ ("vantages_plotted", fi plotted) ]
+    (header "Fig. 9"
+       "rank vs announced-prefix plots: top announcers are peers/providers, the tail customers"
+    ^ body)
 
 (* --- Ablations --- *)
 
@@ -614,34 +753,44 @@ let ablation_curving (ctx : Context.t) =
       [ ("Provider", Table.Left); ("prefixes", Table.Right);
         ("best changes without LP", Table.Right); ("% curving", Table.Right) ]
   in
-  List.iter
-    (fun provider ->
-      match Scenario.lg_table s provider with
-      | None -> ()
-      | Some rib ->
-          let total = ref 0 and changed = ref 0 in
-          Rib.iter
-            (fun prefix _ ->
-              incr total;
-              let with_lp = Rib.best rib prefix in
-              let without = Rib.best ~config:no_lp rib prefix in
-              match (with_lp, without) with
-              | Some a, Some b ->
-                  if not (Option.equal Asn.equal (Route.next_hop_as a) (Route.next_hop_as b))
-                  then incr changed
-              | _, _ -> ())
-            rib;
-          Table.add_row t
-            [
-              Asn.to_label provider;
-              Table.cell_int !total;
-              Table.cell_int !changed;
-              Table.cell_pct (Dist.pct (!changed, !total));
-            ])
-    ctx.Context.focus_tier1;
-  header "Ablation: decision without local preference"
-    "(design ablation; the paper's premise is that LP overrides shortest-path)"
-  ^ Table.render t
+  let pcts =
+    List.filter_map
+      (fun provider ->
+        match Scenario.lg_table s provider with
+        | None -> None
+        | Some rib ->
+            let total = ref 0 and changed = ref 0 in
+            Rib.iter
+              (fun prefix _ ->
+                incr total;
+                let with_lp = Rib.best rib prefix in
+                let without = Rib.best ~config:no_lp rib prefix in
+                match (with_lp, without) with
+                | Some a, Some b ->
+                    if not (Option.equal Asn.equal (Route.next_hop_as a) (Route.next_hop_as b))
+                    then incr changed
+                | _, _ -> ())
+              rib;
+            Table.add_row t
+              [
+                Asn.to_label provider;
+                Table.cell_int !total;
+                Table.cell_int !changed;
+                Table.cell_pct (Dist.pct (!changed, !total));
+              ];
+            Some (Dist.pct (!changed, !total)))
+      ctx.Context.focus_tier1
+  in
+  mk ~id:"ablation-curving" ~title:"decision without local pref"
+    ~metrics:
+      [
+        ("providers", fi (List.length pcts));
+        ("pct_curving_mean", if pcts = [] then 0.0 else Dist.mean pcts);
+      ]
+    ~tables:[ t ]
+    (header "Ablation: decision without local preference"
+       "(design ablation; the paper's premise is that LP overrides shortest-path)"
+    ^ Table.render t)
 
 let ablation_vantage_count (ctx : Context.t) =
   let s = ctx.Context.scenario in
@@ -663,27 +812,42 @@ let ablation_vantage_count (ctx : Context.t) =
       [ ("collector feeds", Table.Right); ("edges compared", Table.Right);
         ("accuracy", Table.Right) ]
   in
-  List.iter
-    (fun k ->
-      let keep = List.filteri (fun i _ -> i < k) s.Scenario.collector_peers in
-      let paths =
-        List.filter_map
-          (fun (peer, hops) ->
-            if List.exists (Asn.equal peer) keep then Some hops else None)
-          paths_by_peer
-      in
-      let inferred = Rpi_relinfer.Gao.infer paths in
-      let report = Rpi_relinfer.Validate.compare_graphs ~truth ~inferred in
-      Table.add_row t
-        [
-          Table.cell_int k;
-          Table.cell_int report.Rpi_relinfer.Validate.edges_compared;
-          Table.cell_pct (100.0 *. Rpi_relinfer.Validate.accuracy report);
-        ])
-    [ 1; 2; 5; 10; 20; List.length s.Scenario.collector_peers ];
-  header "Ablation: relationship-inference accuracy vs vantage count"
-    "(design ablation; the paper relies on 56 feeds being enough)"
-  ^ Table.render t
+  let feed_counts = [ 1; 2; 5; 10; 20; List.length s.Scenario.collector_peers ] in
+  let accuracies =
+    List.map
+      (fun k ->
+        let keep = List.filteri (fun i _ -> i < k) s.Scenario.collector_peers in
+        let paths =
+          List.filter_map
+            (fun (peer, hops) ->
+              if List.exists (Asn.equal peer) keep then Some hops else None)
+            paths_by_peer
+        in
+        let inferred = Rpi_relinfer.Gao.infer paths in
+        let report = Rpi_relinfer.Validate.compare_graphs ~truth ~inferred in
+        Table.add_row t
+          [
+            Table.cell_int k;
+            Table.cell_int report.Rpi_relinfer.Validate.edges_compared;
+            Table.cell_pct (100.0 *. Rpi_relinfer.Validate.accuracy report);
+          ];
+        (k, 100.0 *. Rpi_relinfer.Validate.accuracy report))
+      feed_counts
+  in
+  let accuracy_at_full =
+    match List.rev accuracies with (_, a) :: _ -> a | [] -> 0.0
+  in
+  mk ~id:"ablation-vantages" ~title:"inference accuracy vs feeds"
+    ~metrics:
+      [
+        ("feed_counts", fi (List.length feed_counts));
+        ("accuracy_single_feed", (match accuracies with (_, a) :: _ -> a | [] -> 0.0));
+        ("accuracy_all_feeds", accuracy_at_full);
+      ]
+    ~tables:[ t ]
+    (header "Ablation: relationship-inference accuracy vs vantage count"
+       "(design ablation; the paper relies on 56 feeds being enough)"
+    ^ Table.render t)
 
 let ablation_graph_oracle (ctx : Context.t) =
   let oracle_ctx = Context.use_ground_truth_graph ctx in
@@ -692,24 +856,35 @@ let ablation_graph_oracle (ctx : Context.t) =
       [ ("Provider", Table.Left); ("% SA (inferred graph)", Table.Right);
         ("% SA (oracle graph)", Table.Right) ]
   in
-  List.iter
-    (fun provider ->
-      let inferred_r = sa_report ctx provider in
-      let oracle_r =
-        Export_infer.analyze oracle_ctx.Context.corrected ~provider
-          ~origins:oracle_ctx.Context.collector_origins
-          oracle_ctx.Context.scenario.Scenario.collector
-      in
-      Table.add_row t
-        [
-          Asn.to_label provider;
-          Table.cell_pct inferred_r.Export_infer.pct_sa;
-          Table.cell_pct oracle_r.Export_infer.pct_sa;
-        ])
-    ctx.Context.focus_tier1;
-  header "Ablation: inferred vs ground-truth AS relationships"
-    "(the paper argues inference error is negligible — Table 4)"
-  ^ Table.render t
+  let pairs =
+    List.map
+      (fun provider ->
+        let inferred_r = sa_report ctx provider in
+        let oracle_r =
+          Export_infer.analyze oracle_ctx.Context.corrected ~provider
+            ~origins:oracle_ctx.Context.collector_origins
+            oracle_ctx.Context.scenario.Scenario.collector
+        in
+        Table.add_row t
+          [
+            Asn.to_label provider;
+            Table.cell_pct inferred_r.Export_infer.pct_sa;
+            Table.cell_pct oracle_r.Export_infer.pct_sa;
+          ];
+        (inferred_r.Export_infer.pct_sa, oracle_r.Export_infer.pct_sa))
+      ctx.Context.focus_tier1
+  in
+  let inferred_pcts = List.map fst pairs and oracle_pcts = List.map snd pairs in
+  mk ~id:"ablation-oracle" ~title:"inferred vs oracle graph"
+    ~metrics:
+      [
+        ("pct_sa_inferred_mean", if pairs = [] then 0.0 else Dist.mean inferred_pcts);
+        ("pct_sa_oracle_mean", if pairs = [] then 0.0 else Dist.mean oracle_pcts);
+      ]
+    ~tables:[ t ]
+    (header "Ablation: inferred vs ground-truth AS relationships"
+       "(the paper argues inference error is negligible — Table 4)"
+    ^ Table.render t)
 
 (* --- Extensions --- *)
 
@@ -748,18 +923,26 @@ let ext_prepend (ctx : Context.t) =
     List.length
       (List.filter (fun a -> List.exists (Asn.equal a) true_preppers) detected_preppers)
   in
-  header "Extension: AS-path prepending"
-    "(Section 2.2.2 lists prepending as the soft inbound-TE alternative; not quantified in the paper)"
-  ^ Printf.sprintf "%d/%d routes at the collector carry a prepended path (%.1f%%).\n"
-      r.Rpi_core.Prepend_infer.routes_prepended r.Rpi_core.Prepend_infer.routes_total
-      r.Rpi_core.Prepend_infer.pct_prepended
-  ^ Table.render t
-  ^ Printf.sprintf
-      "Oracle: %d ASs configured prepending; %d distinct origin-prependers detected, %d of them real (precision %.0f%%).\n"
-      truth
-      (List.length detected_preppers)
-      correct
-      (Dist.pct (correct, List.length detected_preppers))
+  mk ~id:"ext-prepend" ~title:"AS-path prepending detection"
+    ~metrics:
+      [
+        ("pct_prepended", r.Rpi_core.Prepend_infer.pct_prepended);
+        ("preppers_detected", fi (List.length detected_preppers));
+        ("precision_pct", Dist.pct (correct, List.length detected_preppers));
+      ]
+    ~tables:[ t ]
+    (header "Extension: AS-path prepending"
+       "(Section 2.2.2 lists prepending as the soft inbound-TE alternative; not quantified in the paper)"
+    ^ Printf.sprintf "%d/%d routes at the collector carry a prepended path (%.1f%%).\n"
+        r.Rpi_core.Prepend_infer.routes_prepended r.Rpi_core.Prepend_infer.routes_total
+        r.Rpi_core.Prepend_infer.pct_prepended
+    ^ Table.render t
+    ^ Printf.sprintf
+        "Oracle: %d ASs configured prepending; %d distinct origin-prependers detected, %d of them real (precision %.0f%%).\n"
+        truth
+        (List.length detected_preppers)
+        correct
+        (Dist.pct (correct, List.length detected_preppers)))
 
 let ext_atoms (ctx : Context.t) =
   let s = ctx.Context.scenario in
@@ -770,16 +953,23 @@ let ext_atoms (ctx : Context.t) =
       (Ground_truth.atom_of_prefix s prefix)
   in
   let purity = Rpi_core.Policy_atoms.purity r ~ground_truth:truth_of in
-  header "Extension: policy atoms"
-    "Afek et al. (IMW 2002): most policy atoms are created by origin routing policies (Sec 5.1.5)"
-  ^ Printf.sprintf
-      "%d prefixes form %d policy atoms (mean size %.2f, max %d, %d singletons).\n"
-      r.Rpi_core.Policy_atoms.prefixes_total r.Rpi_core.Policy_atoms.atom_count
-      r.Rpi_core.Policy_atoms.mean_size r.Rpi_core.Policy_atoms.max_size
-      r.Rpi_core.Policy_atoms.singleton_count
-  ^ Printf.sprintf
-      "Purity against ground-truth announcement atoms: %.1f%% of inferred atoms map into a single configured atom.\n"
-      (100.0 *. purity)
+  mk ~id:"ext-atoms" ~title:"policy atoms and their causes"
+    ~metrics:
+      [
+        ("atoms", fi r.Rpi_core.Policy_atoms.atom_count);
+        ("mean_size", r.Rpi_core.Policy_atoms.mean_size);
+        ("purity_pct", 100.0 *. purity);
+      ]
+    (header "Extension: policy atoms"
+       "Afek et al. (IMW 2002): most policy atoms are created by origin routing policies (Sec 5.1.5)"
+    ^ Printf.sprintf
+        "%d prefixes form %d policy atoms (mean size %.2f, max %d, %d singletons).\n"
+        r.Rpi_core.Policy_atoms.prefixes_total r.Rpi_core.Policy_atoms.atom_count
+        r.Rpi_core.Policy_atoms.mean_size r.Rpi_core.Policy_atoms.max_size
+        r.Rpi_core.Policy_atoms.singleton_count
+    ^ Printf.sprintf
+        "Purity against ground-truth announcement atoms: %.1f%% of inferred atoms map into a single configured atom.\n"
+        (100.0 *. purity))
 
 let ext_availability (ctx : Context.t) =
   let s = ctx.Context.scenario in
@@ -789,28 +979,43 @@ let ext_availability (ctx : Context.t) =
         ("mean actual next hops", Table.Right); ("availability", Table.Right);
         ("starved prefixes", Table.Right) ]
   in
-  List.iter
-    (fun observer ->
-      match Scenario.lg_table s observer with
-      | None -> ()
-      | Some rib ->
-          let r =
-            Rpi_core.Availability.analyze ctx.Context.corrected ~observer
-              ~origins:ctx.Context.collector_origins rib
-          in
-          Table.add_row t
-            [
-              Asn.to_label observer;
-              Table.cell_float r.Rpi_core.Availability.mean_potential;
-              Table.cell_float r.Rpi_core.Availability.mean_actual;
-              Table.cell_pct (100.0 *. r.Rpi_core.Availability.availability_ratio);
-              Table.cell_int r.Rpi_core.Availability.starved;
-            ])
-    ctx.Context.focus_tier1;
-  header "Extension: path availability"
-    "\"much less available paths in the Internet than shown in the AS connectivity graph\" (Sec 1, 5.1.2)"
-  ^ Table.render t
-  ^ "A starved prefix has >= 2 graph-level next hops but at most one actual route.\n"
+  let stats =
+    List.filter_map
+      (fun observer ->
+        match Scenario.lg_table s observer with
+        | None -> None
+        | Some rib ->
+            let r =
+              Rpi_core.Availability.analyze ctx.Context.corrected ~observer
+                ~origins:ctx.Context.collector_origins rib
+            in
+            Table.add_row t
+              [
+                Asn.to_label observer;
+                Table.cell_float r.Rpi_core.Availability.mean_potential;
+                Table.cell_float r.Rpi_core.Availability.mean_actual;
+                Table.cell_pct (100.0 *. r.Rpi_core.Availability.availability_ratio);
+                Table.cell_int r.Rpi_core.Availability.starved;
+              ];
+            Some
+              ( 100.0 *. r.Rpi_core.Availability.availability_ratio,
+                r.Rpi_core.Availability.starved ))
+      ctx.Context.focus_tier1
+  in
+  let ratios = List.map fst stats in
+  let starved_total = List.fold_left (fun acc (_, s) -> acc + s) 0 stats in
+  mk ~id:"ext-availability" ~title:"connectivity vs reachability"
+    ~metrics:
+      [
+        ("observers", fi (List.length stats));
+        ("availability_pct_mean", if ratios = [] then 0.0 else Dist.mean ratios);
+        ("starved_total", fi starved_total);
+      ]
+    ~tables:[ t ]
+    (header "Extension: path availability"
+       "\"much less available paths in the Internet than shown in the AS connectivity graph\" (Sec 1, 5.1.2)"
+    ^ Table.render t
+    ^ "A starved prefix has >= 2 graph-level next hops but at most one actual route.\n")
 
 let ext_irr_export (ctx : Context.t) =
   let r = Rpi_core.Irr_export.analyze ctx.Context.corrected ctx.Context.irr in
@@ -830,14 +1035,22 @@ let ext_irr_export (ctx : Context.t) =
             v.Rpi_core.Irr_export.announce;
           ])
     r.Rpi_core.Irr_export.violations;
-  header "Extension: IRR export audit"
-    "(the paper mines imports only; exports can be audited against Sec 2.2.2's rules)"
-  ^ Printf.sprintf
-      "%d objects, %d classified export rules, %d leak-shaped rules; %.1f%% of objects clean.\n"
-      r.Rpi_core.Irr_export.objects_checked r.Rpi_core.Irr_export.rules_checked
-      (List.length r.Rpi_core.Irr_export.violations)
-      r.Rpi_core.Irr_export.pct_clean_objects
-  ^ Table.render t
+  mk ~id:"ext-irr-export" ~title:"IRR export-rule audit"
+    ~metrics:
+      [
+        ("objects", fi r.Rpi_core.Irr_export.objects_checked);
+        ("leak_rules", fi (List.length r.Rpi_core.Irr_export.violations));
+        ("pct_clean_objects", r.Rpi_core.Irr_export.pct_clean_objects);
+      ]
+    ~tables:[ t ]
+    (header "Extension: IRR export audit"
+       "(the paper mines imports only; exports can be audited against Sec 2.2.2's rules)"
+    ^ Printf.sprintf
+        "%d objects, %d classified export rules, %d leak-shaped rules; %.1f%% of objects clean.\n"
+        r.Rpi_core.Irr_export.objects_checked r.Rpi_core.Irr_export.rules_checked
+        (List.length r.Rpi_core.Irr_export.violations)
+        r.Rpi_core.Irr_export.pct_clean_objects
+    ^ Table.render t)
 
 let ext_tiers (ctx : Context.t) =
   let s = ctx.Context.scenario in
@@ -855,15 +1068,19 @@ let ext_tiers (ctx : Context.t) =
   List.iter
     (fun (tier, count) -> Table.add_row t [ Table.cell_int tier; Table.cell_int count ])
     (Tier.histogram classified);
-  header "Extension: tier classification"
-    "(the paper classifies ASs to tiers per Subramanian et al. [8])"
-  ^ Table.render t
-  ^ Printf.sprintf "Agreement with the generator's ground truth: %d/%d (%.1f%%).\n" agree
-      total
-      (Dist.pct (agree, total))
-  ^ "Disagreements come from bypass links: an AS attaching above its generation class\n\
-     (a Tier-3 buying from a Tier-1, a stub buying from a Tier-2) classifies one tier up —\n\
-     the classifier follows the provider hierarchy, not the generator's labels.\n"
+  mk ~id:"ext-tiers" ~title:"tier classification accuracy"
+    ~metrics:
+      [ ("agreement_pct", Dist.pct (agree, total)); ("ases_compared", fi total) ]
+    ~tables:[ t ]
+    (header "Extension: tier classification"
+       "(the paper classifies ASs to tiers per Subramanian et al. [8])"
+    ^ Table.render t
+    ^ Printf.sprintf "Agreement with the generator's ground truth: %d/%d (%.1f%%).\n" agree
+        total
+        (Dist.pct (agree, total))
+    ^ "Disagreements come from bypass links: an AS attaching above its generation class\n\
+       (a Tier-3 buying from a Tier-1, a stub buying from a Tier-2) classifies one tier up —\n\
+       the classifier follows the provider hierarchy, not the generator's labels.\n")
 
 let stability ?(seeds = [ 7; 19; 1031 ]) (ctx : Context.t) =
   ignore ctx;
@@ -872,74 +1089,88 @@ let stability ?(seeds = [ 7; 19; 1031 ]) (ctx : Context.t) =
       [ ("seed", Table.Right); ("typical pref median", Table.Right);
         ("Tier-1 SA share", Table.Right); ("inference accuracy", Table.Right) ]
   in
-  List.iter
-    (fun seed ->
-      let config = { Scenario.small_config with Scenario.seed } in
-      let c = Context.create ~config () in
-      let s = c.Context.scenario in
-      let typical_median =
-        Dist.median
-          (List.map
-             (fun (a, rib) ->
-               (Import_infer.analyze c.Context.corrected ~vantage:a rib)
-                 .Import_infer.pct_typical)
-             s.Scenario.lg_tables)
-      in
-      let sa_shares =
-        List.map
-          (fun provider ->
-            let viewpoint =
-              Export_infer.viewpoint_of_feed ~feed:provider s.Scenario.collector
-            in
-            (Export_infer.analyze c.Context.corrected ~provider
-               ~origins:c.Context.collector_origins viewpoint)
-              .Export_infer.pct_sa)
-          s.Scenario.topo.Rpi_topo.Gen.tier1
-      in
-      let accuracy =
-        Rpi_relinfer.Validate.accuracy
-          (Rpi_relinfer.Validate.compare_graphs ~truth:s.Scenario.graph
-             ~inferred:c.Context.corrected)
-      in
-      Table.add_row t
-        [
-          Table.cell_int seed;
-          Table.cell_pct ~decimals:2 typical_median;
-          Table.cell_pct (Dist.mean sa_shares);
-          Table.cell_pct (100.0 *. accuracy);
-        ])
-    seeds;
-  header "Stability across seeds"
-    "(robustness check: the qualitative bands must hold in freshly generated worlds)"
-  ^ Table.render t
-  ^ "Expected bands: typical preference > 90%, Tier-1 SA share in 5..45%, accuracy > 93%.\n"
+  let rows =
+    List.map
+      (fun seed ->
+        let config = { Scenario.small_config with Scenario.seed } in
+        let c = Context.create ~config () in
+        let s = c.Context.scenario in
+        let typical_median =
+          Dist.median
+            (List.map
+               (fun (a, rib) ->
+                 (Import_infer.analyze c.Context.corrected ~vantage:a rib)
+                   .Import_infer.pct_typical)
+               s.Scenario.lg_tables)
+        in
+        let sa_shares =
+          List.map
+            (fun provider ->
+              let viewpoint =
+                Export_infer.viewpoint_of_feed ~feed:provider s.Scenario.collector
+              in
+              (Export_infer.analyze c.Context.corrected ~provider
+                 ~origins:c.Context.collector_origins viewpoint)
+                .Export_infer.pct_sa)
+            s.Scenario.topo.Rpi_topo.Gen.tier1
+        in
+        let accuracy =
+          Rpi_relinfer.Validate.accuracy
+            (Rpi_relinfer.Validate.compare_graphs ~truth:s.Scenario.graph
+               ~inferred:c.Context.corrected)
+        in
+        Table.add_row t
+          [
+            Table.cell_int seed;
+            Table.cell_pct ~decimals:2 typical_median;
+            Table.cell_pct (Dist.mean sa_shares);
+            Table.cell_pct (100.0 *. accuracy);
+          ];
+        (typical_median, 100.0 *. accuracy))
+      seeds
+  in
+  let medians = List.map fst rows and accs = List.map snd rows in
+  mk ~id:"stability" ~title:"headline metrics across seeds"
+    ~metrics:
+      [
+        ("seeds", fi (List.length seeds));
+        ("typical_median_min", Option.value ~default:0.0 (Dist.min_value medians));
+        ("accuracy_min", Option.value ~default:0.0 (Dist.min_value accs));
+      ]
+    ~tables:[ t ]
+    (header "Stability across seeds"
+       "(robustness check: the qualitative bands must hold in freshly generated worlds)"
+    ^ Table.render t
+    ^ "Expected bands: typical preference > 90%, Tier-1 SA share in 5..45%, accuracy > 93%.\n")
 
 let all =
   [
-    ("table1", "data sources", table1);
-    ("table2", "typical local preference (BGP tables)", table2);
-    ("table3", "typical local preference (IRR)", table3);
-    ("table4", "relationship verification via communities", table4);
-    ("table5", "SA-prefix share per provider", table5);
-    ("table6", "per-customer SA share", table6);
-    ("table7", "SA-prefix verification", table7);
-    ("table8", "multihoming of SA origins", table8);
-    ("table9", "splitting/aggregation vs SA", table9);
-    ("table10", "peer export completeness", table10);
-    ("case3", "announce/withhold split to direct providers", case3);
-    ("fig2", "local-pref consistency with next hop", fig2);
-    ("fig6+7", "SA persistence over time", fun ctx -> fig6_fig7 ctx);
-    ("fig9", "prefix-count rank plots", fig9);
-    ("ablation-curving", "decision without local pref", ablation_curving);
-    ("ablation-vantages", "inference accuracy vs feeds", ablation_vantage_count);
-    ("ablation-oracle", "inferred vs oracle graph", ablation_graph_oracle);
-    ("ext-prepend", "AS-path prepending detection", ext_prepend);
-    ("ext-atoms", "policy atoms and their causes", ext_atoms);
-    ("ext-availability", "connectivity vs reachability", ext_availability);
-    ("ext-irr-export", "IRR export-rule audit", ext_irr_export);
-    ("ext-tiers", "tier classification accuracy", ext_tiers);
-    ("stability", "headline metrics across seeds", fun ctx -> stability ctx);
+    { id = "table1"; title = "data sources"; run = table1 };
+    { id = "table2"; title = "typical local preference (BGP tables)"; run = table2 };
+    { id = "table3"; title = "typical local preference (IRR)"; run = table3 };
+    { id = "table4"; title = "relationship verification via communities"; run = table4 };
+    { id = "table5"; title = "SA-prefix share per provider"; run = table5 };
+    { id = "table6"; title = "per-customer SA share"; run = table6 };
+    { id = "table7"; title = "SA-prefix verification"; run = table7 };
+    { id = "table8"; title = "multihoming of SA origins"; run = table8 };
+    { id = "table9"; title = "splitting/aggregation vs SA"; run = table9 };
+    { id = "table10"; title = "peer export completeness"; run = table10 };
+    { id = "case3"; title = "announce/withhold split to direct providers"; run = case3 };
+    { id = "fig2"; title = "local-pref consistency with next hop"; run = fig2 };
+    { id = "fig6+7"; title = "SA persistence over time"; run = (fun ctx -> fig6_fig7 ctx) };
+    { id = "fig9"; title = "prefix-count rank plots"; run = fig9 };
+    { id = "ablation-curving"; title = "decision without local pref"; run = ablation_curving };
+    { id = "ablation-vantages"; title = "inference accuracy vs feeds"; run = ablation_vantage_count };
+    { id = "ablation-oracle"; title = "inferred vs oracle graph"; run = ablation_graph_oracle };
+    { id = "ext-prepend"; title = "AS-path prepending detection"; run = ext_prepend };
+    { id = "ext-atoms"; title = "policy atoms and their causes"; run = ext_atoms };
+    { id = "ext-availability"; title = "connectivity vs reachability"; run = ext_availability };
+    { id = "ext-irr-export"; title = "IRR export-rule audit"; run = ext_irr_export };
+    { id = "ext-tiers"; title = "tier classification accuracy"; run = ext_tiers };
+    { id = "stability"; title = "headline metrics across seeds"; run = (fun ctx -> stability ctx) };
   ]
 
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
 let run_all ctx =
-  String.concat "\n" (List.map (fun (_, _, f) -> f ctx) all)
+  String.concat "\n" (List.map (fun e -> (e.run ctx).rendered) all)

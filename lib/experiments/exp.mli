@@ -1,99 +1,134 @@
-(** One function per table and figure of the paper's evaluation, each
-    rendering a text report: what the paper reports, what this reproduction
-    measures on the synthetic dataset, plus oracle-based accuracy where the
-    ground truth makes it possible. *)
+(** One experiment per table and figure of the paper's evaluation.
 
-val table1 : Context.t -> string
+    Each experiment returns a structured {!outcome} instead of an opaque
+    string: the rendered text report (what the paper reports vs what this
+    reproduction measures), the headline metrics as machine-readable
+    [(name, value)] pairs, and the underlying {!Rpi_stats.Table.t} values
+    — so results can be printed, emitted as JSON, diffed across runs, or
+    asserted on in tests.
+
+    Experiments are pure functions of the {!Context.t} (the per-provider
+    SA analyses they share are memoized inside the context behind a
+    mutex), so any subset may run concurrently on separate domains — see
+    [Rpi_runner.Runner]. *)
+
+type outcome = {
+  id : string;  (** Catalogue identifier, e.g. ["table5"]. *)
+  title : string;  (** One-line description. *)
+  rendered : string;  (** Paper-style text report (header + tables + notes). *)
+  metrics : (string * float) list;
+      (** Headline numbers, never empty: the values the text report quotes
+          (percentages, counts, medians), keyed by stable snake_case names. *)
+  tables : Rpi_stats.Table.t list;
+      (** The tables embedded in [rendered], in order of appearance. *)
+}
+
+type t = {
+  id : string;
+  title : string;
+  run : Context.t -> outcome;
+}
+(** A catalogue entry; [run] produces an outcome whose [id]/[title] match. *)
+
+val table1 : Context.t -> outcome
 (** Data sources: collector peering + Looking-Glass vantages (AS, degree,
     tier, region). *)
 
-val table2 : Context.t -> string
+val table2 : Context.t -> outcome
 (** Typical local preference per Looking-Glass AS. *)
 
-val table3 : Context.t -> string
+val table3 : Context.t -> outcome
 (** Typical preference for well-connected ASs from the synthetic IRR. *)
 
-val table4 : Context.t -> string
+val table4 : Context.t -> outcome
 (** AS relationships verified via community tags, per vantage. *)
 
-val table5 : Context.t -> string
+val table5 : Context.t -> outcome
 (** Percentage of SA prefixes for the collector-visible providers. *)
 
-val table6 : Context.t -> string
+val table6 : Context.t -> outcome
 (** Per-customer SA share for customers common to the three focus
     Tier-1s. *)
 
-val table7 : Context.t -> string
+val table7 : Context.t -> outcome
 (** Verification of SA prefixes for the three focus Tier-1s. *)
 
-val table8 : Context.t -> string
+val table8 : Context.t -> outcome
 (** Multihomed vs single-homed SA origins. *)
 
-val table9 : Context.t -> string
+val table9 : Context.t -> outcome
 (** Prefix splitting / aggregation vs total SA prefixes. *)
 
-val table10 : Context.t -> string
+val table10 : Context.t -> outcome
 (** Peers announcing their own prefixes to the focus Tier-1s. *)
 
-val case3 : Context.t -> string
+val case3 : Context.t -> outcome
 (** Section 5.1.5 Case 3: announce / withhold split over (origin, direct
     provider) pairs. *)
 
-val fig2 : Context.t -> string
+val fig2 : Context.t -> outcome
 (** Local-pref consistency with next-hop AS: (a) per vantage, (b) per
     emulated backbone router of AS7018. *)
 
-val fig6_fig7 : ?days:int -> ?hours:int -> Context.t -> string
+val fig6_fig7 : ?days:int -> ?hours:int -> Context.t -> outcome
 (** Persistence of SA prefixes: time series and uptime histograms, from a
     churned re-simulation (defaults: 31 daily and 12 hourly epochs on a
     reduced scenario for wall-clock sanity). *)
 
-val fig9 : Context.t -> string
+val fig9 : Context.t -> outcome
 (** Rank vs announced-prefix-count plots for community semantics
     inference, for three vantages of contrasting size. *)
 
-val ablation_curving : Context.t -> string
+val ablation_curving : Context.t -> outcome
 (** DESIGN ablation: how many best routes at the focus Tier-1s change when
     local preference is ignored (shortest-path BGP) — the "curving routes"
     effect. *)
 
-val ablation_vantage_count : Context.t -> string
+val ablation_vantage_count : Context.t -> outcome
 (** DESIGN ablation: Gao inference accuracy as collector feeds are added. *)
 
-val ablation_graph_oracle : Context.t -> string
+val ablation_graph_oracle : Context.t -> outcome
 (** DESIGN ablation: Table 5 recomputed with the ground-truth graph versus
     the inferred graph — the error inherited from relationship
     inference. *)
 
-val ext_prepend : Context.t -> string
+val ext_prepend : Context.t -> outcome
 (** Extension: AS-path prepending — the soft inbound-TE tool of
     Section 2.2.2 — detected in the tables and scored against the
     configured ground truth. *)
 
-val ext_atoms : Context.t -> string
+val ext_atoms : Context.t -> outcome
 (** Extension: policy atoms (Afek et al., cited in Section 5.1.5) inferred
     from the collector table, with the paper's claim — atoms are created
     by origin routing policies — checked against the oracle. *)
 
-val ext_availability : Context.t -> string
+val ext_availability : Context.t -> outcome
 (** Extension: "connectivity does not mean reachability" quantified —
     potential vs actual next-hop diversity at the focus Tier-1s. *)
 
-val ext_irr_export : Context.t -> string
+val ext_irr_export : Context.t -> outcome
 (** Extension: export rules in the IRR audited against the inferred
     relationships for leak-shaped policies. *)
 
-val ext_tiers : Context.t -> string
+val ext_tiers : Context.t -> outcome
 (** Extension: the tier classifier (used to label Tables 2/3/5) scored
     against the generator's ground truth. *)
 
-val stability : ?seeds:int list -> Context.t -> string
+val stability : ?seeds:int list -> Context.t -> outcome
 (** Robustness: the headline metrics (typical-preference median, Tier-1 SA
     share, relationship-inference accuracy) recomputed on freshly built
     reduced worlds for several seeds — the reproduction's qualitative
     claims should hold in every world. *)
 
-val all : (string * string * (Context.t -> string)) list
-(** (id, one-line description, runner) for every experiment above. *)
+val all : t list
+(** The full catalogue, in the paper's presentation order — the order
+    [run_all] and the parallel runner report results in. *)
+
+val find : string -> t option
+(** Look an experiment up by its catalogue [id]. *)
 
 val run_all : Context.t -> string
+(** Render every experiment sequentially and join the reports with a blank
+    line — byte-identical to the pre-[outcome] string API.  Prefer
+    [Rpi_runner.Runner.run] (then [Runner.render]) to execute on several
+    domains. *)

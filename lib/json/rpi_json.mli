@@ -1,0 +1,20 @@
+(** A minimal JSON tree and serializer — enough to emit machine-readable
+    experiment outcomes, CLI reports, and benchmark baselines without an
+    external dependency.  Serialization only; no parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline).  Floats are
+    emitted with enough digits to round-trip; NaN and infinities become
+    [null] (JSON has no representation for them). *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] plus a trailing newline — one JSON document per line. *)

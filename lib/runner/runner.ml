@@ -1,0 +1,120 @@
+module Exp = Rpi_experiments.Exp
+module Context = Rpi_experiments.Context
+module Table = Rpi_stats.Table
+module Json = Rpi_json
+
+type timed = { outcome : Exp.outcome; elapsed_s : float }
+
+type report = { jobs : int; wall_clock_s : float; results : timed list }
+
+let default_jobs () =
+  match Sys.getenv_opt "RPI_JOBS" with
+  | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          Printf.eprintf
+            "warning: ignoring RPI_JOBS=%S (expected a positive integer); using %d domains\n%!"
+            s
+            (Domain.recommended_domain_count ());
+          Domain.recommended_domain_count ()
+    end
+  | None -> Domain.recommended_domain_count ()
+
+let now = Unix.gettimeofday
+
+let run_one ctx (exp : Exp.t) =
+  let t0 = now () in
+  let outcome = exp.Exp.run ctx in
+  { outcome; elapsed_s = now () -. t0 }
+
+let run ?jobs ctx exps =
+  let requested = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let exps = Array.of_list exps in
+  let n = Array.length exps in
+  let jobs = min requested (max 1 n) in
+  let t0 = now () in
+  (* Each slot is written by exactly one domain (indices are handed out by
+     the atomic counter), and read only after every domain is joined. *)
+  let slots = Array.make n None in
+  if jobs = 1 then
+    Array.iteri (fun i exp -> slots.(i) <- Some (Ok (run_one ctx exp))) exps
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          slots.(i) <-
+            Some
+              (try Ok (run_one ctx exps.(i))
+               with e -> Error (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The calling domain works too, so [jobs] includes it. *)
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  let results =
+    Array.to_list slots
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  in
+  { jobs; wall_clock_s = now () -. t0; results }
+
+let render report =
+  String.concat "\n" (List.map (fun r -> r.outcome.Exp.rendered) report.results)
+
+let table_to_json t =
+  let title =
+    match Table.title t with Some s -> [ ("title", Json.String s) ] | None -> []
+  in
+  Json.Obj
+    (title
+    @ [
+        ( "columns",
+          Json.List
+            (List.map
+               (fun (name, align) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ( "align",
+                       Json.String
+                         (match align with Table.Left -> "left" | Table.Right -> "right") );
+                   ])
+               (Table.columns t)) );
+        ( "rows",
+          Json.List
+            (List.map
+               (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+               (Table.rows t)) );
+      ])
+
+let outcome_to_json (o : Exp.outcome) =
+  Json.Obj
+    [
+      ("id", Json.String o.Exp.id);
+      ("title", Json.String o.Exp.title);
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) o.Exp.metrics));
+      ("tables", Json.List (List.map table_to_json o.Exp.tables));
+    ]
+
+let timed_to_json { outcome; elapsed_s } =
+  match outcome_to_json outcome with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("elapsed_s", Json.Float elapsed_s) ])
+  | other -> other
+
+let report_to_json { jobs; wall_clock_s; results } =
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("wall_clock_s", Json.Float wall_clock_s);
+      ("experiments", Json.List (List.map timed_to_json results));
+    ]

@@ -8,6 +8,10 @@ type t = {
 
 let create ?title headers = { title; headers; rows = [] }
 
+let title t = t.title
+let columns t = t.headers
+let rows t = List.rev t.rows
+
 let add_row t row =
   if List.length row <> List.length t.headers then
     invalid_arg "Table.add_row: arity mismatch";

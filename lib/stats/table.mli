@@ -12,6 +12,14 @@ val add_row : t -> string list -> unit
 
 val add_rows : t -> string list list -> unit
 
+val title : t -> string option
+
+val columns : t -> (string * align) list
+(** Header cells with their alignment, in display order. *)
+
+val rows : t -> string list list
+(** Data rows in insertion order (as rendered, not reversed). *)
+
 val render : t -> string
 (** Box-drawn table with padded columns, preceded by the title. *)
 

@@ -24,11 +24,15 @@ let contains hay needle =
 let test_all_experiments_render () =
   let c = Lazy.force ctx in
   List.iter
-    (fun (id, _, f) ->
+    (fun (e : Exp.t) ->
       (* The persistence experiment re-simulates; shrink it. *)
-      let out = if id = "fig6+7" then Exp.fig6_fig7 ~days:4 ~hours:3 c else f c in
-      Alcotest.(check bool) (id ^ " has header") true (contains out "Paper reports");
-      Alcotest.(check bool) (id ^ " non-trivial") true (String.length out > 100))
+      let outcome =
+        if e.Exp.id = "fig6+7" then Exp.fig6_fig7 ~days:4 ~hours:3 c else e.Exp.run c
+      in
+      let out = outcome.Exp.rendered in
+      Alcotest.(check string) (e.Exp.id ^ " outcome id") e.Exp.id outcome.Exp.id;
+      Alcotest.(check bool) (e.Exp.id ^ " has header") true (contains out "Paper reports");
+      Alcotest.(check bool) (e.Exp.id ^ " non-trivial") true (String.length out > 100))
     Exp.all
 
 let test_typical_preference_shape () =

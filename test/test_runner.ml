@@ -1,0 +1,125 @@
+(* The multicore experiment runner: parallel execution must be
+   observationally identical to sequential execution (same rendered text,
+   declaration order preserved), every experiment must expose
+   machine-readable metrics, and the context's mutex-protected SA cache
+   must serve identical reports to concurrently racing domains. *)
+
+module Asn = Rpi_bgp.Asn
+module Prefix = Rpi_net.Prefix
+module Scenario = Rpi_dataset.Scenario
+module Context = Rpi_experiments.Context
+module Exp = Rpi_experiments.Exp
+module Export_infer = Rpi_core.Export_infer
+module Runner = Rpi_runner.Runner
+
+let config = { Scenario.small_config with Scenario.seed = 3 }
+
+(* The catalogue with the two re-simulating experiments shrunk, exactly as
+   test_experiments does — the runner semantics under test do not depend
+   on epoch counts. *)
+let exps =
+  List.map
+    (fun (e : Exp.t) ->
+      match e.Exp.id with
+      | "fig6+7" -> { e with Exp.run = (fun c -> Exp.fig6_fig7 ~days:3 ~hours:2 c) }
+      | "stability" -> { e with Exp.run = (fun c -> Exp.stability ~seeds:[ 7 ] c) }
+      | _ -> e)
+    Exp.all
+
+let sequential =
+  lazy (Runner.run ~jobs:1 (Context.create ~config ()) exps)
+
+let test_parallel_equals_sequential () =
+  let seq = Lazy.force sequential in
+  (* A fresh context: the SA cache memoizes per-context, and the parallel
+     run must produce the same bytes from a cold start. *)
+  let par = Runner.run ~jobs:4 (Context.create ~config ()) exps in
+  Alcotest.(check int) "used several domains" 4 par.Runner.jobs;
+  Alcotest.(check int) "one result per experiment" (List.length exps)
+    (List.length par.Runner.results);
+  List.iter2
+    (fun (e : Exp.t) (r : Runner.timed) ->
+      Alcotest.(check string) ("order: " ^ e.Exp.id) e.Exp.id r.Runner.outcome.Exp.id)
+    exps par.Runner.results;
+  Alcotest.(check string) "rendered output identical under domains"
+    (Runner.render seq) (Runner.render par)
+
+let test_run_all_matches_runner () =
+  (* The back-compat string API and the runner agree byte for byte. *)
+  let ctx = Context.create ~config () in
+  let via_runner = Runner.render (Runner.run ~jobs:2 ctx Exp.all) in
+  Alcotest.(check string) "Exp.run_all == Runner.render" (Exp.run_all ctx) via_runner
+
+let test_metrics_nonempty () =
+  let seq = Lazy.force sequential in
+  List.iter
+    (fun (r : Runner.timed) ->
+      let o = r.Runner.outcome in
+      Alcotest.(check bool) (o.Exp.id ^ " has metrics") true (o.Exp.metrics <> []);
+      List.iter
+        (fun (name, v) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s is finite" o.Exp.id name)
+            true (Float.is_finite v))
+        o.Exp.metrics;
+      Alcotest.(check bool) (o.Exp.id ^ " timed") true (r.Runner.elapsed_s >= 0.0))
+    seq.Runner.results
+
+let test_sa_cache_concurrent () =
+  (* Two domains race on the same provider's SA analysis; both must see
+     the same report, and the cache must end up with a single entry. *)
+  let ctx = Context.create ~config () in
+  let provider = List.hd ctx.Context.scenario.Scenario.topo.Rpi_topo.Gen.tier1 in
+  let fingerprint (r : Export_infer.report) =
+    ( r.Export_infer.customer_prefixes,
+      r.Export_infer.pct_sa,
+      List.map
+        (fun (s : Export_infer.sa_record) -> Prefix.to_string s.Export_infer.prefix)
+        r.Export_infer.sa )
+  in
+  let d1 = Domain.spawn (fun () -> fingerprint (Context.sa_report ctx provider)) in
+  let d2 = Domain.spawn (fun () -> fingerprint (Context.sa_report ctx provider)) in
+  let f1 = Domain.join d1 and f2 = Domain.join d2 in
+  Alcotest.(check bool) "concurrent SA reports identical" true (f1 = f2);
+  Alcotest.(check int) "cache holds one entry for the provider" 1
+    (Hashtbl.length ctx.Context.sa_cache);
+  (* And a later sequential call hits the same cached value. *)
+  let f3 = fingerprint (Context.sa_report ctx provider) in
+  Alcotest.(check bool) "cached report stable" true (f1 = f3)
+
+let test_oracle_context_fresh_cache () =
+  (* use_ground_truth_graph swaps the graph the SA analysis depends on, so
+     it must not inherit the original's memoized reports. *)
+  let ctx = Context.create ~config () in
+  let provider = List.hd ctx.Context.scenario.Scenario.topo.Rpi_topo.Gen.tier1 in
+  ignore (Context.sa_report ctx provider);
+  let oracle = Context.use_ground_truth_graph ctx in
+  Alcotest.(check int) "oracle context starts cold" 0 (Hashtbl.length oracle.Context.sa_cache);
+  Alcotest.(check bool) "original cache untouched" true
+    (Hashtbl.length ctx.Context.sa_cache > 0)
+
+let test_default_jobs_env () =
+  Unix.putenv "RPI_JOBS" "3";
+  Alcotest.(check int) "RPI_JOBS honoured" 3 (Runner.default_jobs ());
+  Unix.putenv "RPI_JOBS" "not-a-number";
+  Alcotest.(check bool) "garbage RPI_JOBS falls back to >= 1" true
+    (Runner.default_jobs () >= 1);
+  Unix.putenv "RPI_JOBS" ""
+
+let () =
+  Alcotest.run "rpi_runner"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "parallel == sequential" `Slow test_parallel_equals_sequential;
+          Alcotest.test_case "run_all matches runner" `Slow test_run_all_matches_runner;
+          Alcotest.test_case "metrics non-empty" `Slow test_metrics_nonempty;
+          Alcotest.test_case "RPI_JOBS override" `Quick test_default_jobs_env;
+        ] );
+      ( "sa-cache",
+        [
+          Alcotest.test_case "concurrent domains agree" `Quick test_sa_cache_concurrent;
+          Alcotest.test_case "oracle context gets fresh cache" `Quick
+            test_oracle_context_fresh_cache;
+        ] );
+    ]
