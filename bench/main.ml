@@ -76,7 +76,8 @@ let experiment_tests ctx =
         (* The persistence experiment re-simulates dozens of epochs, and
            the stability sweep rebuilds whole worlds; both are far too
            heavy for a sampling loop. *)
-        e.Exp.id <> "fig6+7" && e.Exp.id <> "stability")
+        (not (String.equal e.Exp.id "fig6+7"))
+        && not (String.equal e.Exp.id "stability"))
       Exp.all
   in
   List.map

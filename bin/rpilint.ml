@@ -1,0 +1,126 @@
+(* rpilint: the repo's static-analysis pass.  Parses every .ml/.mli under
+   the given roots with compiler-libs and enforces the domain-safety and
+   hot-path rules in Rpi_lint.Rule.
+
+     rpilint lib bin bench examples            # text report, exit 1 on findings
+     rpilint --json ...                        # NDJSON, one object per finding
+     rpilint --rules                           # the rule catalogue
+     rpilint --baseline lint.allow ...         # apply the checked-in allowlist
+*)
+
+module Rule = Rpi_lint.Rule
+module Diagnostic = Rpi_lint.Diagnostic
+module Baseline = Rpi_lint.Baseline
+module Engine = Rpi_lint.Engine
+
+let strip_dot_slash path =
+  if String.starts_with ~prefix:"./" path then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let rec walk acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.length name = 0 || name.[0] = '.' then acc
+           else if String.equal name "_build" then acc
+           else walk acc (Filename.concat path name))
+         acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then strip_dot_slash path :: acc
+  else acc
+
+let print_rules () =
+  List.iter
+    (fun (r : Rule.t) ->
+      Printf.printf "%-18s %s\n" r.Rule.id r.Rule.summary;
+      Printf.printf "%-18s %s\n" "" r.Rule.rationale)
+    Rule.all;
+  0
+
+let run rules_only json baseline_path paths =
+  if rules_only then print_rules ()
+  else
+    let baseline =
+      match baseline_path with
+      | None -> Ok Baseline.empty
+      | Some p -> Baseline.load p
+    in
+    match baseline with
+    | Error e ->
+        prerr_endline ("rpilint: " ^ e);
+        2
+    | Ok baseline -> (
+        let paths =
+          match paths with
+          | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+          | _ -> paths
+        in
+        match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+        | Some missing ->
+            prerr_endline
+              (Printf.sprintf "rpilint: no such file or directory: %s" missing);
+            2
+        | None ->
+            let files =
+              List.fold_left walk [] paths |> List.sort_uniq String.compare
+            in
+            let findings =
+              List.concat_map Engine.lint_path files
+              @ Engine.missing_mli files
+              |> Engine.apply_baseline baseline
+              |> List.sort Diagnostic.compare
+            in
+            List.iter
+              (fun d ->
+                if json then Rpi_json.to_channel stdout (Diagnostic.to_json d)
+                else print_endline (Diagnostic.to_string d))
+              findings;
+            if findings = [] then 0
+            else begin
+              if not json then
+                Printf.eprintf "rpilint: %d finding%s\n" (List.length findings)
+                  (if List.length findings = 1 then "" else "s");
+              1
+            end)
+
+open Cmdliner
+
+let rules_arg =
+  Arg.(
+    value & flag
+    & info [ "rules" ] ~doc:"Print the rule catalogue with rationale and exit.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit NDJSON (one object per finding) instead of text.")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Checked-in allowlist of reviewed findings (one \"<rule-id> \
+           <path>\" per line).")
+
+let paths_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH"
+        ~doc:
+          "Files or directories to lint (default: lib bin bench examples).")
+
+let () =
+  let doc = "Static analysis: domain-safety and hot-path invariants" in
+  let cmd =
+    Cmd.v
+      (Cmd.info "rpilint" ~doc)
+      Term.(const run $ rules_arg $ json_arg $ baseline_arg $ paths_arg)
+  in
+  exit (Cmd.eval' cmd)

@@ -36,7 +36,7 @@ let () =
 
   (* Structured metrics: no text scraping needed. *)
   print_endline "\nHeadline metrics of table5 (SA-prefix share per provider):";
-  (match List.find_opt (fun (r : Runner.timed) -> r.Runner.outcome.Exp.id = "table5") report.Runner.results with
+  (match List.find_opt (fun (r : Runner.timed) -> String.equal r.Runner.outcome.Exp.id "table5") report.Runner.results with
   | Some r ->
       List.iter
         (fun (name, v) -> Printf.printf "  %-16s %.2f\n" name v)
@@ -45,6 +45,6 @@ let () =
 
   (* And the same outcome as one machine-readable JSON line. *)
   print_endline "\nAs JSON:";
-  match List.find_opt (fun (r : Runner.timed) -> r.Runner.outcome.Exp.id = "ext-tiers") report.Runner.results with
+  match List.find_opt (fun (r : Runner.timed) -> String.equal r.Runner.outcome.Exp.id "ext-tiers") report.Runner.results with
   | Some r -> Rpi_json.to_channel stdout (Runner.timed_to_json r)
   | None -> ()

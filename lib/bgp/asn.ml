@@ -8,7 +8,7 @@ let to_int n = n
 
 let of_string s =
   let body =
-    if String.length s >= 2 && (String.sub s 0 2 = "AS" || String.sub s 0 2 = "as") then
+    if String.starts_with ~prefix:"AS" s || String.starts_with ~prefix:"as" s then
       String.sub s 2 (String.length s - 2)
     else s
   in

@@ -52,6 +52,13 @@ let has_community c r = Community.Set.mem c r.communities
 let add_community c r = { r with communities = Community.Set.add c r.communities }
 let with_local_pref v r = { r with local_pref = Some v }
 
+(* Declaration-order ranks: an explicit total order for sorts and
+   dedup, so nothing structural-compares these variants.  The decision
+   process has its own semantic ranks in Decision (where Local outranks
+   eBGP); these are for canonical ordering only. *)
+let origin_rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+let source_rank = function Ebgp -> 0 | Ibgp -> 1 | Local -> 2
+
 let origin_to_string = function
   | Igp -> "i"
   | Egp -> "e"
@@ -74,11 +81,11 @@ let compare a b =
       (fun () -> Rpi_net.Prefix.compare a.prefix b.prefix);
       (fun () -> As_path.compare a.as_path b.as_path);
       (fun () -> Rpi_net.Ipv4.compare a.next_hop b.next_hop);
-      (fun () -> Stdlib.compare a.origin b.origin);
+      (fun () -> Int.compare (origin_rank a.origin) (origin_rank b.origin));
       (fun () -> Option.compare Int.compare a.local_pref b.local_pref);
       (fun () -> Option.compare Int.compare a.med b.med);
       (fun () -> Community.Set.compare a.communities b.communities);
-      (fun () -> Stdlib.compare a.source b.source);
+      (fun () -> Int.compare (source_rank a.source) (source_rank b.source));
       (fun () -> Int.compare a.igp_metric b.igp_metric);
       (fun () -> Rpi_net.Ipv4.compare a.router_id b.router_id);
       (fun () -> Option.compare Asn.compare a.peer_as b.peer_as);

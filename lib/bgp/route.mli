@@ -60,6 +60,14 @@ val has_community : Community.t -> t -> bool
 val add_community : Community.t -> t -> t
 val with_local_pref : int -> t -> t
 
+val origin_rank : origin -> int
+(** Declaration-order rank (Igp < Egp < Incomplete) — the explicit total
+    order {!compare} uses; the decision process ranks separately in
+    [Decision]. *)
+
+val source_rank : source -> int
+(** Declaration-order rank (Ebgp < Ibgp < Local), for {!compare} only. *)
+
 val origin_to_string : origin -> string
 (** ["i"], ["e"] or ["?"]. *)
 

@@ -407,7 +407,9 @@ let build ?(config = default_config) () =
         (* Only small transit ASs do this: a large Tier-2 restricting its
            customer-route exports would black-hole a whole region of the
            hierarchy, which operators at that scale do not do. *)
-        let small_transit = Asn.Map.find_opt asn tiers = Some 3 in
+        let small_transit =
+          match Asn.Map.find_opt asn tiers with Some 3 -> true | _ -> false
+        in
         if
           has_customers && small_transit
           && List.length providers > 1

@@ -78,7 +78,7 @@ let parse_import value =
                 let rec find = function
                   | "pref" :: "=" :: v :: _ ->
                       int_of_string_opt (String.concat "" (String.split_on_char ';' v))
-                  | tok :: _ when String.length tok >= 5 && String.sub tok 0 5 = "pref="
+                  | tok :: _ when String.starts_with ~prefix:"pref=" tok
                     ->
                       let v = String.sub tok 5 (String.length tok - 5) in
                       int_of_string_opt (String.concat "" (String.split_on_char ';' v))

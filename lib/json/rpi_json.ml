@@ -62,3 +62,187 @@ let to_string t =
 let to_channel oc t =
   output_string oc (to_string t);
   output_char oc '\n'
+
+(* ------------------------------------------------------------------ *)
+(* Parsing — a recursive-descent reader for the same dialect the
+   serializer emits (strict JSON plus raw non-ASCII bytes in strings). *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.equal (String.sub s !pos (String.length word)) word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v =
+      match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+      | Some v -> v
+      | None -> fail "bad \\u escape"
+    in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'u' ->
+              advance ();
+              let cp = hex4 () in
+              let cp =
+                if cp >= 0xD800 && cp <= 0xDBFF
+                   && !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo >= 0xDC00 && lo <= 0xDFFF then
+                    0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
+                  else fail "unpaired surrogate"
+                end
+                else cp
+              in
+              (match Uchar.of_int cp with
+              | u -> Buffer.add_utf_8_uchar buf u
+              | exception Invalid_argument _ -> fail "invalid \\u codepoint")
+          | _ -> fail "bad escape");
+          go ()
+      | Some c when Char.code c < 0x20 -> fail "unescaped control character"
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let rec consume () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+          advance ();
+          consume ()
+      | _ -> ()
+    in
+    consume ();
+    let text = String.sub s start (!pos - start) in
+    let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text in
+    if is_float then
+      match float_of_string_opt text with
+      | Some v -> Float v
+      | None -> fail (Printf.sprintf "bad number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some v -> Int v
+      | None -> (
+          (* out of int range: fall back to float *)
+          match float_of_string_opt text with
+          | Some v -> Float v
+          | None -> fail (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if (match peek () with Some ']' -> true | _ -> false) then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if (match peek () with Some '}' -> true | _ -> false) then begin
+          advance ();
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (kv :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev (kv :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg

@@ -1,6 +1,6 @@
-(** A minimal JSON tree and serializer — enough to emit machine-readable
-    experiment outcomes, CLI reports, and benchmark baselines without an
-    external dependency.  Serialization only; no parser. *)
+(** A minimal JSON tree, serializer and parser — enough to emit and
+    round-trip machine-readable experiment outcomes, CLI reports, lint
+    findings and benchmark baselines without an external dependency. *)
 
 type t =
   | Null
@@ -18,3 +18,11 @@ val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
 (** [to_string] plus a trailing newline — one JSON document per line. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (strict JSON; [\uXXXX] escapes, including
+    surrogate pairs, decode to UTF-8 bytes, and raw non-ASCII bytes pass
+    through — the dialect {!to_string} emits).  Whole numbers parse as
+    [Int] (falling back to [Float] beyond [max_int]); anything with a
+    fraction or exponent parses as [Float].  [Error] carries a message
+    with the byte offset of the failure. *)

@@ -1,0 +1,33 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.message
+
+let to_json d =
+  Rpi_json.Obj
+    [
+      ("file", Rpi_json.String d.file);
+      ("line", Rpi_json.Int d.line);
+      ("col", Rpi_json.Int d.col);
+      ("rule", Rpi_json.String d.rule);
+      ("message", Rpi_json.String d.message);
+    ]

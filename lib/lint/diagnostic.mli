@@ -1,0 +1,18 @@
+(** One lint finding: a position, the rule that fired and a message. *)
+
+type t = {
+  file : string;  (** path as given to the engine, e.g. ["lib/bgp/route.ml"] *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, compiler-style *)
+  rule : string;  (** a {!Rule.t} id *)
+  message : string;
+}
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule, message — the report order. *)
+
+val to_string : t -> string
+(** ["file:line:col [rule-id] message"] — the text report line. *)
+
+val to_json : t -> Rpi_json.t
+(** One NDJSON object: [{"file", "line", "col", "rule", "message"}]. *)

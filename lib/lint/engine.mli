@@ -1,0 +1,40 @@
+(** The rpilint rule engine.
+
+    Purely syntactic: rules walk vanilla compiler-libs Parsetrees, so no
+    typing environment is needed and inline snippets lint exactly like
+    checked-out files.  Path-scoped rules (no-obj-magic, stdout-in-lib,
+    missing-mli: [lib/]; failwith-in-core: [lib/core/]) key off the
+    [~file] argument, which should be the repo-relative path
+    (["lib/bgp/route.ml"], no leading ["./"]).
+
+    Suppression: a source comment [(* rpilint: allow <rule-id> ... *)] on
+    line [l] suppresses matching findings on [l] and [l + 1]. *)
+
+val lint_structure :
+  file:string -> source:string -> Parsetree.structure -> Diagnostic.t list
+(** Run every structure rule.  [source] is the file's text, used only to
+    honour suppression comments (the Parsetree has none). *)
+
+val lint_signature :
+  file:string -> source:string -> Parsetree.signature -> Diagnostic.t list
+(** Interfaces get the mutable-record-type check only (no expressions). *)
+
+val lint_source : file:string -> string -> Diagnostic.t list
+(** Parse [source] (as an interface when [file] ends in [.mli], an
+    implementation otherwise) and lint it.  A syntax error yields a
+    single ["parse-error"] diagnostic instead of raising. *)
+
+val lint_path : string -> Diagnostic.t list
+(** Read and lint one checked-out file, parsing with [Pparse] (so AST
+    files and preprocessor hooks behave exactly as the compiler's own
+    driver).  Same error behaviour as {!lint_source}. *)
+
+val parse_error_rule : string
+(** The pseudo rule id carried by unparseable-input diagnostics. *)
+
+val missing_mli : string list -> Diagnostic.t list
+(** Given every walked file path, one finding per [lib/] implementation
+    without a sibling interface. *)
+
+val apply_baseline : Baseline.t -> Diagnostic.t list -> Diagnostic.t list
+(** Drop findings covered by the checked-in baseline. *)

@@ -1,0 +1,90 @@
+type t = { id : string; summary : string; rationale : string }
+
+let mutable_toplevel =
+  {
+    id = "mutable-toplevel";
+    summary =
+      "module-level mutable value (ref/Hashtbl.create/array/...) or mutable \
+       record type";
+    rationale =
+      "Shared module-level mutable state races under OCaml 5 domains; the \
+       parallel runner executes experiments concurrently.  Per-call state or \
+       state carried in Context.t behind a mutex is safe; Atomic/Mutex/\
+       Condition values are exempt.";
+  }
+
+let poly_compare =
+  {
+    id = "poly-compare";
+    summary =
+      "polymorphic Stdlib.compare / (=) / (<>) on a structural value";
+    rationale =
+      "Polymorphic compare walks the runtime representation: it orders \
+       variants by declaration accident, raises on functional values, and \
+       is a measurable cost on hot decision/sort paths.  Use the module's \
+       dedicated compare/equal or an explicit rank function.";
+  }
+
+let catch_all_handler =
+  {
+    id = "catch-all-handler";
+    summary = "try ... with _ -> swallows every exception";
+    rationale =
+      "A wildcard handler silently eats Out_of_memory, Stack_overflow and \
+       programming errors alongside the one failure it meant to absorb, \
+       corrupting results instead of failing loudly.  Match the specific \
+       exception or let it propagate.";
+  }
+
+let no_obj_magic =
+  {
+    id = "no-obj-magic";
+    summary = "Obj.* / Marshal.* in library code";
+    rationale =
+      "Obj.magic defeats the type system and Marshal round-trips are \
+       unchecked at read time; neither belongs in inference code whose \
+       whole value is that its results can be trusted.";
+  }
+
+let stdout_in_lib =
+  {
+    id = "stdout-in-lib";
+    summary = "printing to stdout from library code";
+    rationale =
+      "Library output belongs in returned values (Exp.outcome, rendered \
+       tables) so the runner, the JSON emitters and the tests all see the \
+       same bytes; stray prints interleave nondeterministically under the \
+       parallel runner.";
+  }
+
+let missing_mli =
+  {
+    id = "missing-mli";
+    summary = "library module without an .mli interface";
+    rationale =
+      "An explicit interface is what keeps module-level state private and \
+       the API surface reviewable; every lib/ module ships one.";
+  }
+
+let failwith_in_core =
+  {
+    id = "failwith-in-core";
+    summary = "failwith / assert false in lib/core inference code";
+    rationale =
+      "The paper pipelines run for minutes over many inputs; a stringly \
+       failure in the middle loses which input broke.  Core inference \
+       signals errors with a typed Error or a dedicated exception.";
+  }
+
+let all =
+  [
+    mutable_toplevel;
+    poly_compare;
+    catch_all_handler;
+    no_obj_magic;
+    stdout_in_lib;
+    missing_mli;
+    failwith_in_core;
+  ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) all

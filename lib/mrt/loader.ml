@@ -17,7 +17,7 @@ let load_snapshot ~dir =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f ->
              String.length f > 7
-             && String.sub f 0 2 = "AS"
+             && String.starts_with ~prefix:"AS" f
              && Filename.check_suffix f ".dump")
       |> List.sort String.compare
     in
@@ -52,8 +52,11 @@ let detect_format text =
     | l :: rest -> if String.trim l = "" then first_line rest else String.trim l
   in
   let line = first_line (String.split_on_char '\n' text) in
-  if String.length line >= 4 && String.sub line 0 4 = "RIB|" then `Table_dump
-  else if String.length line >= 3 && (String.sub line 0 3 = "BGP" || line.[0] = '*') then
+  if String.starts_with ~prefix:"RIB|" line then `Table_dump
+  else if
+    String.starts_with ~prefix:"BGP" line
+    || (String.length line >= 3 && line.[0] = '*')
+  then
     `Show_ip_bgp
   else if String.length line >= 1 && line.[0] = '#' then `Table_dump
   else `Unknown

@@ -112,7 +112,7 @@ let parse text =
                     | None -> Error (Printf.sprintf "line %d: bad metric %S" n med)
                   in
                   let* locprf =
-                    if locprf = "-" then Ok None
+                    if String.equal locprf "-" then Ok None
                     else begin
                       match int_of_string_opt locprf with
                       | Some lp -> Ok (Some lp)
@@ -207,20 +207,20 @@ let parse_prefix_detail text =
   let* prefix =
     match lines with
     | first :: _ when String.length first > 27
-                      && String.sub first 0 27 = "BGP routing table entry for" ->
+                      && String.starts_with ~prefix:"BGP routing table entry for" first ->
         Prefix.of_string (String.trim (String.sub first 27 (String.length first - 27)))
     | _ -> Error "missing table entry header"
   in
   (* Walk the block: a path line is a bare AS path (or "Local"); attribute
      lines start with Origin/Community/from. *)
   let is_attr line =
-    let starts p = String.length line >= String.length p && String.sub line 0 (String.length p) = p in
+    let starts p = String.starts_with ~prefix:p line in
     starts "Origin" || starts "Community:" || String.contains line ','
     || starts "Paths:" || starts "BGP "
   in
   let looks_like_path line =
     line <> ""
-    && (line = "Local"
+    && (String.equal line "Local"
        || String.for_all (fun c -> (c >= '0' && c <= '9') || c = ' ' || c = '{' || c = '}' || c = ',') line)
     && not (String.contains line '.')
   in
@@ -229,7 +229,8 @@ let parse_prefix_detail text =
     | line :: rest ->
         if looks_like_path line && not (is_attr line) then begin
           let parsed =
-            if line = "Local" then Ok As_path.empty else As_path.of_string line
+            if String.equal line "Local" then Ok As_path.empty
+            else As_path.of_string line
           in
           match parsed with
           | Ok path ->
@@ -242,12 +243,16 @@ let parse_prefix_detail text =
           | None -> walk acc current rest
           | Some (path, lp, comms, best) ->
               let current =
-                if String.length line >= 7 && String.sub line 0 7 = "Origin " then begin
+                if String.starts_with ~prefix:"Origin " line then begin
                   let best = best ||
                     (let suffix = ", best" in
                      let ll = String.length line and sl = String.length suffix in
                      ll >= sl &&
-                     (let rec find i = i + sl <= ll && (String.sub line i sl = suffix || find (i + 1)) in
+                     (let rec find i =
+                        i + sl <= ll
+                        && (String.equal (String.sub line i sl) suffix
+                           || find (i + 1))
+                      in
                       find 0))
                   in
                   let lp =
@@ -266,7 +271,7 @@ let parse_prefix_detail text =
                   in
                   Some (path, lp, comms, best)
                 end
-                else if String.length line >= 10 && String.sub line 0 10 = "Community:" then begin
+                else if String.starts_with ~prefix:"Community:" line then begin
                   let body = String.sub line 10 (String.length line - 10) in
                   match Community.Set.of_string (String.trim body) with
                   | Ok set -> Some (path, lp, Community.Set.union comms set, best)

@@ -35,7 +35,7 @@ let entry_to_line { timestamp; vantage_as; route } =
     ]
 
 let parse_opt_int field s =
-  if s = "-" then Ok None
+  if String.equal s "-" then Ok None
   else begin
     match int_of_string_opt s with
     | Some v -> Ok (Some v)
@@ -53,7 +53,8 @@ let entry_of_line line =
       in
       let* vantage_as = Asn.of_string vantage in
       let* peer_as =
-        if peer = "-" then Ok None else Result.map Option.some (Asn.of_string peer)
+        if String.equal peer "-" then Ok None
+        else Result.map Option.some (Asn.of_string peer)
       in
       let* prefix = Prefix.of_string prefix in
       let* as_path = As_path.of_string path in
@@ -62,7 +63,7 @@ let entry_of_line line =
       let* local_pref = parse_opt_int "local-pref" lp in
       let* med = parse_opt_int "med" med in
       let* communities =
-        if communities = "-" then Ok Community.Set.empty
+        if String.equal communities "-" then Ok Community.Set.empty
         else Community.Set.of_string communities
       in
       let route =

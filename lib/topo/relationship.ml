@@ -19,8 +19,11 @@ let of_string = function
   | "sibling" -> Ok Sibling
   | s -> Error (Printf.sprintf "invalid relationship %S" s)
 
-let compare = Stdlib.compare
-let equal a b = compare a b = 0
+(* Declaration-order rank: keeps the order explicit instead of leaning on
+   structural compare of the variant representation. *)
+let rank = function Customer -> 0 | Provider -> 1 | Peer -> 2 | Sibling -> 3
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 let all = [ Customer; Provider; Peer; Sibling ]

@@ -1,0 +1,155 @@
+(* Rpi_json: the serializer's escaping and float dialect, the parser, and
+   the contract that every NDJSON line the experiment runner emits parses
+   back cleanly. *)
+
+module Json = Rpi_json
+module Scenario = Rpi_dataset.Scenario
+module Context = Rpi_experiments.Context
+module Exp = Rpi_experiments.Exp
+module Runner = Rpi_runner.Runner
+
+let test_escaping () =
+  Alcotest.(check string)
+    "quotes and backslash" {|"a\"b\\c"|}
+    (Json.to_string (Json.String {|a"b\c|}));
+  Alcotest.(check string)
+    "named escapes" {|"x\ny\tz\r"|}
+    (Json.to_string (Json.String "x\ny\tz\r"));
+  Alcotest.(check string)
+    "control chars become \\u" "\"\\u0001\\u001f\""
+    (Json.to_string (Json.String "\001\031"));
+  Alcotest.(check string)
+    "non-ASCII bytes pass through raw" "\"d\xc3\xa9j\xc3\xa0\""
+    (Json.to_string (Json.String "d\xc3\xa9j\xc3\xa0"));
+  Alcotest.(check string)
+    "keys are escaped too" {|{"a\"b":1}|}
+    (Json.to_string (Json.Obj [ ({|a"b|}, Json.Int 1) ]))
+
+let test_floats () =
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "infinities are null" "null,null"
+    (Json.to_string (Json.Float Float.infinity)
+    ^ ","
+    ^ Json.to_string (Json.Float Float.neg_infinity));
+  Alcotest.(check string)
+    "whole floats keep a decimal point" "1.0"
+    (Json.to_string (Json.Float 1.0));
+  Alcotest.(check string) "fractions" "1.5" (Json.to_string (Json.Float 1.5));
+  (* enough digits to round-trip *)
+  match Json.of_string (Json.to_string (Json.Float 0.1)) with
+  | Ok (Json.Float v) -> Alcotest.(check (float 0.0)) "0.1 round-trips" 0.1 v
+  | _ -> Alcotest.fail "0.1 must parse back as a float"
+
+let test_parser () =
+  Alcotest.(check bool)
+    "object with every constructor" true
+    (match
+       Json.of_string
+         {| {"a": null, "b": [true, false], "c": -12, "d": 3.5e2, "e": "s", "f": {}} |}
+     with
+    | Ok
+        (Json.Obj
+          [
+            ("a", Json.Null);
+            ("b", Json.List [ Json.Bool true; Json.Bool false ]);
+            ("c", Json.Int (-12));
+            ("d", Json.Float 350.0);
+            ("e", Json.String "s");
+            ("f", Json.Obj []);
+          ]) ->
+        true
+    | _ -> false);
+  Alcotest.(check bool)
+    "\\u escapes decode to UTF-8" true
+    (match Json.of_string "\"\\u00e9\\ud83d\\ude00\"" with
+    | Ok (Json.String s) -> String.equal s "\xc3\xa9\xf0\x9f\x98\x80"
+    | _ -> false);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must not parse" bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "\"\x01\"" ]
+
+let gen_json =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let scalar =
+             oneof
+               [
+                 return Json.Null;
+                 map (fun b -> Json.Bool b) bool;
+                 map (fun i -> Json.Int i) int;
+                 (* finite floats only: NaN/inf serialize to null by design *)
+                 map (fun f -> Json.Float f) (float_bound_inclusive 1e9);
+                 map (fun s -> Json.String s) (string_size (int_range 0 12));
+               ]
+           in
+           if n <= 0 then scalar
+           else
+             oneof
+               [
+                 scalar;
+                 map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_range 0 4)
+                      (pair (string_size (int_range 0 8)) (self (n / 2))));
+               ]))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"to_string |> of_string is the identity" ~count:500
+    gen_json (fun t ->
+      match Json.of_string (Json.to_string t) with
+      | Ok t' -> t' = t
+      | Error _ -> false)
+
+(* The shrunk catalogue test_runner also uses: runner semantics and JSON
+   shape do not depend on epoch counts. *)
+let exps =
+  List.map
+    (fun (e : Exp.t) ->
+      match e.Exp.id with
+      | "fig6+7" -> { e with Exp.run = (fun c -> Exp.fig6_fig7 ~days:3 ~hours:2 c) }
+      | "stability" -> { e with Exp.run = (fun c -> Exp.stability ~seeds:[ 7 ] c) }
+      | _ -> e)
+    Exp.all
+
+let test_ndjson_roundtrip () =
+  let config = { Scenario.small_config with Scenario.seed = 11 } in
+  let report = Runner.run ~jobs:1 (Context.create ~config ()) exps in
+  Alcotest.(check int)
+    "one line per experiment" (List.length exps)
+    (List.length report.Runner.results);
+  List.iter
+    (fun timed ->
+      (* exactly the line `experiments run --json` writes *)
+      let line = Json.to_string (Runner.timed_to_json timed) in
+      match Json.of_string line with
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: emitted NDJSON does not parse back: %s"
+               timed.Runner.outcome.Exp.id e)
+      | Ok parsed ->
+          Alcotest.(check string)
+            (timed.Runner.outcome.Exp.id ^ " reserializes identically")
+            line (Json.to_string parsed))
+    report.Runner.results
+
+let () =
+  Alcotest.run "json"
+    [
+      ( "serialize",
+        [
+          Alcotest.test_case "string escaping" `Quick test_escaping;
+          Alcotest.test_case "float dialect" `Quick test_floats;
+        ] );
+      ( "parse",
+        [ Alcotest.test_case "parser" `Quick test_parser ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ] );
+      ( "ndjson",
+        [ Alcotest.test_case "runner emission round-trips" `Slow test_ndjson_roundtrip ]
+      );
+    ]

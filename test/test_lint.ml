@@ -1,0 +1,244 @@
+(* The linter linted: each rule fires on a minimal snippet at the exact
+   line, path scoping holds, and the legitimate patterns (local state,
+   module-defined compare, suppressions, the baseline) stay quiet. *)
+
+module Rule = Rpi_lint.Rule
+module Diagnostic = Rpi_lint.Diagnostic
+module Baseline = Rpi_lint.Baseline
+module Engine = Rpi_lint.Engine
+
+(* (rule, line) pairs, report order. *)
+let hits ~file source =
+  List.map
+    (fun (d : Diagnostic.t) -> (d.Diagnostic.rule, d.Diagnostic.line))
+    (Engine.lint_source ~file source)
+
+let pair = Alcotest.(list (pair string int))
+
+let test_mutable_toplevel () =
+  Alcotest.check pair "toplevel Hashtbl"
+    [ ("mutable-toplevel", 2) ]
+    (hits ~file:"lib/core/fake.ml" "let ok = 1\nlet cache = Hashtbl.create 8\n");
+  Alcotest.check pair "toplevel ref"
+    [ ("mutable-toplevel", 1) ]
+    (hits ~file:"lib/core/fake.ml" "let hits = ref 0\n");
+  Alcotest.check pair "mutable record type"
+    [ ("mutable-toplevel", 1) ]
+    (hits ~file:"lib/core/fake.ml" "type t = { mutable count : int }\n");
+  Alcotest.check pair "nested module toplevel"
+    [ ("mutable-toplevel", 2) ]
+    (hits ~file:"lib/core/fake.ml"
+       "module Inner = struct\n  let tbl = Hashtbl.create 4\nend\n");
+  Alcotest.check pair "array literal"
+    [ ("mutable-toplevel", 1) ]
+    (hits ~file:"lib/core/fake.ml" "let scratch = [| 0; 0 |]\n")
+
+let test_mutable_toplevel_quiet () =
+  Alcotest.check pair "local Hashtbl inside a function is fine" []
+    (hits ~file:"lib/core/fake.ml"
+       "let count xs =\n\
+       \  let tbl = Hashtbl.create 8 in\n\
+       \  List.iter (fun x -> Hashtbl.replace tbl x ()) xs;\n\
+       \  Hashtbl.length tbl\n");
+  Alcotest.check pair "domain-safe primitives are exempt" []
+    (hits ~file:"lib/core/fake.ml"
+       "let lock = Mutex.create ()\nlet hits = Atomic.make 0\n");
+  Alcotest.check pair "functor bodies create per-application state" []
+    (hits ~file:"lib/core/fake.ml"
+       "module Make () = struct\n  let tbl = Hashtbl.create 4\nend\n")
+
+let test_poly_compare () =
+  Alcotest.check pair "Stdlib.compare"
+    [ ("poly-compare", 1) ]
+    (hits ~file:"lib/bgp/fake.ml" "let cmp a b = Stdlib.compare a b\n");
+  Alcotest.check pair "bare compare"
+    [ ("poly-compare", 1) ]
+    (hits ~file:"lib/bgp/fake.ml" "let sort xs = List.sort compare xs\n");
+  Alcotest.check pair "(=) on a string literal"
+    [ ("poly-compare", 1) ]
+    (hits ~file:"lib/bgp/fake.ml" "let is_rib l = l = \"RIB\"\n");
+  Alcotest.check pair "(<>) on Some"
+    [ ("poly-compare", 1) ]
+    (hits ~file:"lib/bgp/fake.ml" "let f x = x <> Some 3\n")
+
+let test_poly_compare_quiet () =
+  (* The allowlisted pattern: a module defining its own compare may call
+     it bare — route.ml/relationship.ml after the rank refactor. *)
+  Alcotest.check pair "module-defined compare" []
+    (hits ~file:"lib/bgp/fake.ml"
+       "let rank = function `A -> 0 | `B -> 1\n\
+        let compare a b = Int.compare (rank a) (rank b)\n\
+        let equal a b = compare a b = 0\n");
+  Alcotest.check pair "int and empty-string comparisons are fine" []
+    (hits ~file:"lib/bgp/fake.ml"
+       "let f n s xs = n = 0 && String.length s = 1 && s = \"\" && xs = []\n")
+
+let test_catch_all () =
+  Alcotest.check pair "with _ ->"
+    [ ("catch-all-handler", 1) ]
+    (hits ~file:"lib/mrt/fake.ml"
+       "let f x = try int_of_string x with _ -> 0\n");
+  Alcotest.check pair "match ... with exception _"
+    [ ("catch-all-handler", 1) ]
+    (hits ~file:"lib/mrt/fake.ml"
+       "let f x = match int_of_string x with v -> v | exception _ -> 0\n");
+  Alcotest.check pair "specific exception is fine" []
+    (hits ~file:"lib/mrt/fake.ml"
+       "let f x = try int_of_string x with Failure _ -> 0\n")
+
+let test_obj_magic () =
+  Alcotest.check pair "Obj.magic in lib"
+    [ ("no-obj-magic", 1) ]
+    (hits ~file:"lib/sim/fake.ml" "let f x = Obj.magic x\n");
+  Alcotest.check pair "Marshal in lib"
+    [ ("no-obj-magic", 1) ]
+    (hits ~file:"lib/sim/fake.ml"
+       "let f x = Marshal.to_string x []\n");
+  Alcotest.check pair "Obj in bin is tolerated" []
+    (hits ~file:"bin/fake.ml" "let f x = Obj.magic x\n")
+
+let test_stdout_in_lib () =
+  Alcotest.check pair "print_endline in lib"
+    [ ("stdout-in-lib", 1) ]
+    (hits ~file:"lib/stats/fake.ml" "let f () = print_endline \"hi\"\n");
+  Alcotest.check pair "Printf.printf in lib"
+    [ ("stdout-in-lib", 1) ]
+    (hits ~file:"lib/stats/fake.ml" "let f n = Printf.printf \"%d\" n\n");
+  Alcotest.check pair "printing from bin is fine" []
+    (hits ~file:"bin/fake.ml" "let f () = print_endline \"hi\"\n");
+  Alcotest.check pair "sprintf in lib is fine" []
+    (hits ~file:"lib/stats/fake.ml" "let f n = Printf.sprintf \"%d\" n\n")
+
+let test_failwith_in_core () =
+  Alcotest.check pair "failwith in core"
+    [ ("failwith-in-core", 1) ]
+    (hits ~file:"lib/core/fake.ml" "let f () = failwith \"boom\"\n");
+  Alcotest.check pair "assert false in core"
+    [ ("failwith-in-core", 1) ]
+    (hits ~file:"lib/core/fake.ml" "let f () = assert false\n");
+  Alcotest.check pair "failwith outside core is tolerated" []
+    (hits ~file:"lib/bgp/fake.ml" "let f () = failwith \"boom\"\n");
+  Alcotest.check pair "ordinary assert is fine" []
+    (hits ~file:"lib/core/fake.ml" "let f n = assert (n > 0)\n")
+
+let test_missing_mli () =
+  let diags =
+    Engine.missing_mli
+      [ "lib/core/a.ml"; "lib/core/b.ml"; "lib/core/b.mli"; "bin/c.ml" ]
+  in
+  Alcotest.check pair "only the uncovered lib module"
+    [ ("missing-mli", 1) ]
+    (List.map (fun (d : Diagnostic.t) -> (d.Diagnostic.rule, d.Diagnostic.line)) diags);
+  Alcotest.(check string)
+    "names the file" "lib/core/a.ml"
+    (match diags with d :: _ -> d.Diagnostic.file | [] -> "")
+
+let test_suppression () =
+  Alcotest.check pair "comment above the line" []
+    (hits ~file:"lib/core/fake.ml"
+       "(* rpilint: allow mutable-toplevel *)\nlet cache = Hashtbl.create 8\n");
+  Alcotest.check pair "trailing comment on the line" []
+    (hits ~file:"lib/core/fake.ml"
+       "let cache = Hashtbl.create 8 (* rpilint: allow mutable-toplevel *)\n");
+  Alcotest.check pair "suppression is rule-specific"
+    [ ("mutable-toplevel", 2) ]
+    (hits ~file:"lib/core/fake.ml"
+       "(* rpilint: allow poly-compare *)\nlet cache = Hashtbl.create 8\n");
+  Alcotest.check pair "suppression does not leak past the next line"
+    [ ("mutable-toplevel", 3) ]
+    (hits ~file:"lib/core/fake.ml"
+       "(* rpilint: allow mutable-toplevel *)\nlet ok = 1\nlet cache = Hashtbl.create 8\n")
+
+let test_baseline () =
+  let baseline =
+    match
+      Baseline.parse_string
+        "# comment\nmutable-toplevel lib/prng/prng.ml\npoly-compare lib/topo\n"
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let d file rule = { Diagnostic.file; line = 1; col = 0; rule; message = "m" } in
+  Alcotest.(check int)
+    "exact file and directory prefix are filtered" 1
+    (List.length
+       (Engine.apply_baseline baseline
+          [
+            d "lib/prng/prng.ml" "mutable-toplevel";
+            d "lib/topo/relationship.ml" "poly-compare";
+            d "lib/bgp/route.ml" "poly-compare";
+          ]));
+  (match Baseline.parse_string "no-such-rule lib/x.ml\n" with
+  | Ok _ -> Alcotest.fail "unknown rule id must be rejected"
+  | Error _ -> ());
+  match Baseline.parse_string "gibberish\n" with
+  | Ok _ -> Alcotest.fail "entry without a path must be rejected"
+  | Error _ -> ()
+
+let test_parse_error () =
+  match Engine.lint_source ~file:"lib/core/fake.ml" "let = in" with
+  | [ d ] ->
+      Alcotest.(check string) "parse-error rule" Engine.parse_error_rule
+        d.Diagnostic.rule
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected one parse-error diagnostic, got %d"
+           (List.length other))
+
+let test_diagnostic_output () =
+  let d =
+    {
+      Diagnostic.file = "lib/bgp/route.ml";
+      line = 77;
+      col = 17;
+      rule = "poly-compare";
+      message = "msg";
+    }
+  in
+  Alcotest.(check string)
+    "text format" "lib/bgp/route.ml:77:17 [poly-compare] msg"
+    (Diagnostic.to_string d);
+  match Rpi_json.of_string (Rpi_json.to_string (Diagnostic.to_json d)) with
+  | Ok (Rpi_json.Obj fields) ->
+      Alcotest.(check (option string))
+        "rule field"
+        (Some "poly-compare")
+        (match List.assoc_opt "rule" fields with
+        | Some (Rpi_json.String s) -> Some s
+        | _ -> None)
+  | Ok _ | Error _ -> Alcotest.fail "diagnostic JSON must parse back to an object"
+
+let test_rule_catalogue () =
+  Alcotest.(check int) "seven shipped rules" 7 (List.length Rule.all);
+  List.iter
+    (fun (r : Rule.t) ->
+      Alcotest.(check bool)
+        (r.Rule.id ^ " resolvable")
+        true
+        (match Rule.find r.Rule.id with Some _ -> true | None -> false))
+    Rule.all
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "mutable-toplevel" `Quick test_mutable_toplevel;
+          Alcotest.test_case "mutable-toplevel quiet" `Quick test_mutable_toplevel_quiet;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "poly-compare quiet" `Quick test_poly_compare_quiet;
+          Alcotest.test_case "catch-all-handler" `Quick test_catch_all;
+          Alcotest.test_case "no-obj-magic" `Quick test_obj_magic;
+          Alcotest.test_case "stdout-in-lib" `Quick test_stdout_in_lib;
+          Alcotest.test_case "failwith-in-core" `Quick test_failwith_in_core;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "suppression comments" `Quick test_suppression;
+          Alcotest.test_case "baseline" `Quick test_baseline;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "diagnostic output" `Quick test_diagnostic_output;
+          Alcotest.test_case "rule catalogue" `Quick test_rule_catalogue;
+        ] );
+    ]
