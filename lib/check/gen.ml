@@ -1,0 +1,206 @@
+module Prng = Rpi_prng.Prng
+module Asn = Rpi_bgp.Asn
+module As_path = Rpi_bgp.As_path
+module Community = Rpi_bgp.Community
+module Route = Rpi_bgp.Route
+module Rib = Rpi_bgp.Rib
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+module Rpsl = Rpi_irr.Rpsl
+module Table = Rpi_stats.Table
+module Scenario = Rpi_dataset.Scenario
+
+let asn rng = Asn.of_int (Prng.int_in rng 1 65535)
+
+let prefix rng = Prefix.random rng ~min_len:8 ~max_len:28
+
+let as_path rng =
+  let hops = Prng.int rng 6 in
+  let seq = List.init hops (fun _ -> asn rng) in
+  let segments =
+    let seq_segments = if seq = [] then [] else [ As_path.Seq seq ] in
+    if hops > 0 && Prng.chance rng 0.15 then begin
+      let members = List.init (Prng.int_in rng 1 3) (fun _ -> asn rng) in
+      seq_segments @ [ As_path.Set (Asn.Set.of_list members) ]
+    end
+    else seq_segments
+  in
+  As_path.of_segments segments
+
+let communities rng =
+  let n = Prng.int rng 3 in
+  let base =
+    List.init n (fun _ -> Community.make (asn rng) (Prng.int rng 1000))
+  in
+  let base = if Prng.chance rng 0.1 then Community.no_export :: base else base in
+  Community.Set.of_list base
+
+let route rng ~index =
+  let path = as_path rng in
+  let next_hop = Ipv4.of_octets 10 (index lsr 8 land 0xff) (index land 0xff) 1 in
+  let local_pref = if Prng.bool rng then None else Some (Prng.int_in rng 50 200) in
+  let med = if Prng.bool rng then None else Some (Prng.int rng 500) in
+  Route.make ~prefix:(prefix rng) ~next_hop ~as_path:path
+    ~origin:(Prng.choice rng [| Route.Igp; Route.Egp; Route.Incomplete |])
+    ?local_pref ?med ~communities:(communities rng) ~router_id:next_hop
+    ?peer_as:(As_path.first_hop path) ()
+
+let rib rng =
+  let n_prefixes = Prng.int_in rng 1 12 in
+  let index = ref 0 in
+  let routes =
+    List.concat_map
+      (fun _ ->
+        let p = prefix rng in
+        List.init (Prng.int_in rng 1 4) (fun _ ->
+            incr index;
+            { (route rng ~index:!index) with Route.prefix = p }))
+      (List.init n_prefixes Fun.id)
+  in
+  Rib.of_routes routes
+
+let tables rng =
+  let n = Prng.int_in rng 1 4 in
+  List.init n (fun i -> (Asn.of_int (100 + (i * 137) + Prng.int rng 100), rib rng))
+
+let registry_name rng =
+  let len = Prng.int_in rng 3 10 in
+  String.init len (fun _ ->
+      Prng.choice rng [| 'A'; 'B'; 'C'; 'N'; 'E'; 'T'; '0'; '3'; '7'; '-' |])
+
+let filter_expr rng =
+  match Prng.int rng 3 with
+  | 0 -> "ANY"
+  | 1 -> Printf.sprintf "AS%d" (Prng.int_in rng 1 65535)
+  | _ -> Printf.sprintf "AS-%s" (registry_name rng)
+
+let aut_num rng =
+  let imports =
+    List.init (Prng.int rng 4) (fun _ ->
+        {
+          Rpsl.from_as = asn rng;
+          pref = (if Prng.bool rng then Some (Prng.int rng 100) else None);
+          accept = filter_expr rng;
+        })
+  in
+  let exports =
+    List.init (Prng.int rng 4) (fun _ ->
+        { Rpsl.to_as = asn rng; announce = filter_expr rng })
+  in
+  Rpsl.make ~asn:(asn rng) ~as_name:(registry_name rng) ~imports ~exports
+    ~changed:(Prng.int_in rng 19980101 20031231)
+    ~source:(Prng.choice rng [| "RADB"; "RIPE"; "ARIN"; "APNIC" |])
+    ()
+
+let registry rng =
+  let n = Prng.int_in rng 1 5 in
+  List.mapi
+    (fun i obj -> { obj with Rpsl.asn = Asn.of_int (200 + (i * 91)) })
+    (List.init n (fun _ -> aut_num rng))
+
+(* Strings that stress the escaping paths: quotes, backslashes, control
+   bytes, raw UTF-8, newlines. *)
+let wild_string rng max_len =
+  let pool =
+    [|
+      "a"; "z"; "Q"; "7"; " "; "\""; "\\"; "\n"; "\t"; "\001"; "\031"; "/";
+      "\xc3\xa9"; "\xf0\x9f\x98\x80"; "{"; "]"; ":"; ",";
+    |]
+  in
+  let n = Prng.int rng (max_len + 1) in
+  String.concat "" (List.init n (fun _ -> Prng.choice rng pool))
+
+let json rng =
+  let scalar rng =
+    match Prng.int rng 5 with
+    | 0 -> Rpi_json.Null
+    | 1 -> Rpi_json.Bool (Prng.bool rng)
+    | 2 -> Rpi_json.Int (Prng.int_in rng (-1_000_000_000_000) 1_000_000_000_000)
+    | 3 ->
+        let v = Prng.float rng 1e9 -. Prng.float rng 1e9 in
+        Rpi_json.Float (if Prng.chance rng 0.3 then Float.round v else v)
+    | _ -> Rpi_json.String (wild_string rng 12)
+  in
+  let rec go rng depth =
+    if depth <= 0 then scalar rng
+    else begin
+      match Prng.int rng 4 with
+      | 0 | 1 -> scalar rng
+      | 2 ->
+          Rpi_json.List (List.init (Prng.int rng 4) (fun _ -> go rng (depth - 1)))
+      | _ ->
+          Rpi_json.Obj
+            (List.init (Prng.int rng 4) (fun _ ->
+                 (wild_string rng 8, go rng (depth - 1))))
+    end
+  in
+  go rng (Prng.int rng 4)
+
+let outcome rng =
+  let metrics =
+    List.init
+      (Prng.int_in rng 1 5)
+      (fun _ ->
+        let v =
+          if Prng.chance rng 0.05 then Float.nan
+          else Prng.float rng 1e6 -. Prng.float rng 1e3
+        in
+        (wild_string rng 10, v))
+  in
+  let table rng =
+    let n_cols = Prng.int_in rng 1 3 in
+    let columns =
+      List.init n_cols (fun _ ->
+          (wild_string rng 6, if Prng.bool rng then Table.Left else Table.Right))
+    in
+    let title = if Prng.bool rng then Some (wild_string rng 8) else None in
+    let t = Table.create ?title columns in
+    for _ = 1 to Prng.int rng 4 do
+      Table.add_row t (List.init n_cols (fun _ -> wild_string rng 8))
+    done;
+    t
+  in
+  {
+    Rpi_experiments.Exp.id = wild_string rng 8;
+    title = wild_string rng 16;
+    rendered = "";
+    metrics;
+    tables = List.init (Prng.int rng 3) (fun _ -> table rng);
+  }
+
+let junk_text rng =
+  let line rng =
+    match Prng.int rng 7 with
+    | 0 -> ""
+    | 1 -> "RIB|" ^ wild_string rng 20
+    | 2 -> "BGP" ^ wild_string rng 20
+    | 3 -> "*" ^ wild_string rng 20
+    | 4 -> "#" ^ wild_string rng 20
+    | 5 -> String.make (Prng.int_in rng 200 1000) (Char.chr (Prng.int_in rng 1 255))
+    | _ ->
+        String.init (Prng.int rng 80) (fun _ ->
+            let c = Prng.int_in rng 1 255 in
+            if c = Char.code '\n' then '|' else Char.chr c)
+  in
+  String.concat "\n" (List.init (Prng.int_in rng 1 6) (fun _ -> line rng))
+
+let pocket_topology =
+  {
+    Rpi_topo.Gen.default_config with
+    Rpi_topo.Gen.n_tier1 = 4;
+    n_tier2 = 8;
+    n_tier3 = 16;
+    n_stub = 60;
+    sibling_pairs = 2;
+  }
+
+let pocket_config ~seed =
+  {
+    Scenario.default_config with
+    Scenario.seed;
+    topology = pocket_topology;
+    prefixes_per_tier = (3, 3, 2, 2);
+    n_collector_peers = 8;
+    n_lg = 5;
+    atoms_per_as = 2;
+  }

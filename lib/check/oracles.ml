@@ -1,0 +1,547 @@
+module Prng = Rpi_prng.Prng
+module Asn = Rpi_bgp.Asn
+module Route = Rpi_bgp.Route
+module Rib = Rpi_bgp.Rib
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+module Table_dump = Rpi_mrt.Table_dump
+module Show_ip_bgp = Rpi_mrt.Show_ip_bgp
+module Loader = Rpi_mrt.Loader
+module Rpsl = Rpi_irr.Rpsl
+module Scenario = Rpi_dataset.Scenario
+module Export_infer = Rpi_core.Export_infer
+module Import_infer = Rpi_core.Import_infer
+module Relationship = Rpi_topo.Relationship
+module Gao = Rpi_relinfer.Gao
+module Validate = Rpi_relinfer.Validate
+module Runner = Rpi_runner.Runner
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "rpicheck" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Rpi_json.Null, Rpi_json.Null -> true
+  | Rpi_json.Bool x, Rpi_json.Bool y -> Bool.equal x y
+  | Rpi_json.Int x, Rpi_json.Int y -> Int.equal x y
+  | Rpi_json.Float x, Rpi_json.Float y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Rpi_json.String x, Rpi_json.String y -> String.equal x y
+  | Rpi_json.List x, Rpi_json.List y -> List.equal json_equal x y
+  | Rpi_json.Obj x, Rpi_json.Obj y ->
+      List.equal
+        (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+        x y
+  | ( ( Rpi_json.Null | Rpi_json.Bool _ | Rpi_json.Int _ | Rpi_json.Float _
+      | Rpi_json.String _ | Rpi_json.List _ | Rpi_json.Obj _ ),
+      _ ) ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table_dump_roundtrip =
+  Property.make ~name:"table-dump-roundtrip"
+    ~gen:(fun rng -> (Gen.asn rng, Prng.int rng 1_000_000_000, Gen.rib rng))
+    ~show:(fun (vantage, ts, rib) ->
+      Table_dump.rib_to_string ~timestamp:ts ~vantage_as:vantage rib)
+    ~check:(fun (vantage, ts, rib) ->
+      let s1 = Table_dump.rib_to_string ~timestamp:ts ~vantage_as:vantage rib in
+      match Table_dump.parse s1 with
+      | Error e -> Error ("strict parse rejected its own serialization: " ^ e)
+      | Ok entries ->
+          let reserialized =
+            String.concat ""
+              (List.map (fun e -> Table_dump.entry_to_line e ^ "\n") entries)
+          in
+          if not (String.equal reserialized s1) then
+            Error "entry_to_line of parsed entries differs from the original bytes"
+          else begin
+            match Table_dump.parse_to_rib s1 with
+            | Error e -> Error e
+            | Ok rib2 ->
+                let s2 = Table_dump.rib_to_string ~timestamp:ts ~vantage_as:vantage rib2 in
+                if String.equal s2 s1 then Ok 3
+                else Error "RIB rebuild does not re-serialize byte-identically"
+          end)
+    ()
+
+let show_ip_bgp_roundtrip =
+  Property.make ~name:"show-ip-bgp-roundtrip" ~gen:Gen.rib ~show:Show_ip_bgp.render
+    ~check:(fun rib ->
+      let s1 = Show_ip_bgp.render rib in
+      match Show_ip_bgp.parse s1 with
+      | Error e -> Error ("parse rejected its own rendering: " ^ e)
+      | Ok rib2 ->
+          if Rib.route_count rib2 <> Rib.route_count rib then
+            Error
+              (Printf.sprintf "route count changed: %d -> %d" (Rib.route_count rib)
+                 (Rib.route_count rib2))
+          else if Rib.prefix_count rib2 <> Rib.prefix_count rib then
+            Error "prefix count changed"
+          else if String.equal (Show_ip_bgp.render rib2) s1 then Ok 3
+          else Error "render |> parse |> render is not a fixpoint")
+    ()
+
+let snapshot_roundtrip =
+  Property.make ~name:"snapshot-roundtrip" ~gen:Gen.tables
+    ~show:(fun tables ->
+      String.concat "\n"
+        (List.map
+           (fun (asn, rib) ->
+             Printf.sprintf "AS%s:\n%s" (Asn.to_string asn)
+               (Table_dump.rib_to_string ~vantage_as:asn rib))
+           tables))
+    ~check:(fun tables ->
+      with_temp_dir (fun dir ->
+          let dir1 = Filename.concat dir "first" in
+          let dir2 = Filename.concat dir "second" in
+          Loader.save_snapshot ~dir:dir1 tables;
+          match Loader.load_snapshot ~dir:dir1 with
+          | Error e -> Error ("load_snapshot failed on its own save: " ^ e)
+          | Ok loaded ->
+              if List.length loaded <> List.length tables then
+                Error
+                  (Printf.sprintf "vantage count changed: %d -> %d"
+                     (List.length tables) (List.length loaded))
+              else begin
+                Loader.save_snapshot ~dir:dir2 loaded;
+                let mismatched =
+                  List.filter
+                    (fun (asn, _) ->
+                      let file =
+                        Printf.sprintf "AS%s.dump" (Asn.to_string asn)
+                      in
+                      not
+                        (String.equal
+                           (read_file (Filename.concat dir1 file))
+                           (read_file (Filename.concat dir2 file))))
+                    tables
+                in
+                match mismatched with
+                | [] -> Ok (1 + List.length tables)
+                | (asn, _) :: _ ->
+                    Error
+                      (Printf.sprintf "AS%s.dump not byte-identical after reload"
+                         (Asn.to_string asn))
+              end))
+    ()
+
+let rpsl_roundtrip =
+  Property.make ~name:"rpsl-roundtrip" ~gen:Gen.registry ~show:Rpsl.render_many
+    ~check:(fun objs ->
+      let text = Rpsl.render_many objs in
+      match Rpsl.parse text with
+      | Error e -> Error ("parse rejected its own rendering: " ^ e)
+      | Ok objs2 ->
+          if List.length objs2 <> List.length objs then
+            Error
+              (Printf.sprintf "object count changed: %d -> %d" (List.length objs)
+                 (List.length objs2))
+          else if String.equal (Rpsl.render_many objs2) text then Ok 2
+          else Error "render |> parse |> render is not a fixpoint")
+    ()
+
+let detect_format_total =
+  Property.make ~name:"detect-format-total" ~gen:Gen.junk_text
+    ~show:(fun s -> String.escaped s)
+    ~shrink:Mutate.shrink_text
+    ~check:(fun text ->
+      let format = Loader.detect_format text in
+      (* parse_any must be total on arbitrary bytes. *)
+      let (_ : (Rib.t, string) result) = Loader.parse_any text in
+      let first =
+        List.find_opt
+          (fun l -> String.length (String.trim l) > 0)
+          (String.split_on_char '\n' text)
+        |> Option.map String.trim |> Option.value ~default:""
+      in
+      let expect_dump = String.starts_with ~prefix:"RIB|" first in
+      let expect_show = String.starts_with ~prefix:"BGP" first in
+      match format with
+      | `Table_dump when expect_show -> Error "BGP header detected as table_dump"
+      | `Show_ip_bgp when expect_dump -> Error "RIB| line detected as show_ip_bgp"
+      | `Unknown when expect_dump || expect_show ->
+          Error "known leader line detected as unknown"
+      | `Table_dump | `Show_ip_bgp | `Unknown -> Ok 2)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fault_case = { original : string; mutants : string list }
+
+let mutants_per_case = 20
+
+let fault_property ~name ~make_original ~check_one =
+  Property.make ~name
+    ~gen:(fun rng ->
+      let original = make_original rng in
+      { original; mutants = Mutate.mutants rng ~count:mutants_per_case original })
+    ~show:(fun c ->
+      String.concat "\n"
+        ([ "ORIGINAL:"; c.original ]
+        @ List.concat_map (fun m -> [ "MUTANT:"; m ]) c.mutants))
+    ~shrink:(fun c ->
+      match c.mutants with
+      | [ m ] -> List.map (fun m' -> { c with mutants = [ m' ] }) (Mutate.shrink_text m)
+      | ms -> List.map (fun m -> { c with mutants = [ m ] }) ms)
+    ~check:(fun c ->
+      List.fold_left
+        (fun acc m ->
+          match acc with
+          | Error _ -> acc
+          | Ok n -> begin
+              match check_one ~original:c.original m with
+              | Ok k -> Ok (n + k)
+              | Error e -> Error e
+            end)
+        (Ok 0) c.mutants)
+    ()
+
+let fault_table_dump =
+  fault_property ~name:"fault-table-dump"
+    ~make_original:(fun rng ->
+      Table_dump.rib_to_string ~vantage_as:(Gen.asn rng) (Gen.rib rng))
+    ~check_one:(fun ~original m ->
+      match Table_dump.parse m with
+      | exception e -> Error ("parse raised: " ^ Printexc.to_string e)
+      | (_ : (Table_dump.entry list, string) result) -> begin
+          match Table_dump.parse_lenient m with
+          | exception e -> Error ("parse_lenient raised: " ^ Printexc.to_string e)
+          | entries, _skipped ->
+              let survivors = Mutate.surviving_lines ~original ~mutant:m in
+              if List.length entries >= List.length survivors then Ok 2
+              else
+                Error
+                  (Printf.sprintf "salvaged %d entries, but %d intact lines survive"
+                     (List.length entries) (List.length survivors))
+        end)
+
+let fault_show_ip_bgp =
+  (* Only rows that carry their own network token are position-independent;
+     continuation rows legitimately die with their leader. *)
+  let self_contained line =
+    String.length line >= 2
+    && line.[0] = '*'
+    &&
+    match
+      String.split_on_char ' ' (String.sub line 2 (String.length line - 2))
+      |> List.filter (fun t -> String.length t > 0)
+    with
+    | tok :: _ -> String.contains tok '/'
+    | [] -> false
+  in
+  fault_property ~name:"fault-show-ip-bgp"
+    ~make_original:(fun rng -> Show_ip_bgp.render (Gen.rib rng))
+    ~check_one:(fun ~original m ->
+      match Show_ip_bgp.parse m with
+      | exception e -> Error ("parse raised: " ^ Printexc.to_string e)
+      | (_ : (Rib.t, string) result) -> begin
+          match Show_ip_bgp.parse_lenient m with
+          | exception e -> Error ("parse_lenient raised: " ^ Printexc.to_string e)
+          | routes, _skipped ->
+              let survivors =
+                Mutate.surviving_lines ~original ~mutant:m
+                |> List.filter self_contained
+              in
+              if List.length routes >= List.length survivors then Ok 2
+              else
+                Error
+                  (Printf.sprintf "salvaged %d routes, but %d intact rows survive"
+                     (List.length routes) (List.length survivors))
+        end)
+
+(* Blank-line-delimited blocks, chunked exactly the way Rpsl.parse does. *)
+let rpsl_blocks text =
+  let flush chunk acc =
+    let body = String.concat "\n" (List.rev chunk) in
+    if String.length (String.trim body) = 0 then acc else body :: acc
+  in
+  let rec go chunk acc = function
+    | [] -> List.rev (flush chunk acc)
+    | line :: rest ->
+        if String.length (String.trim line) = 0 then go [] (flush chunk acc) rest
+        else go (line :: chunk) acc rest
+  in
+  go [] [] (String.split_on_char '\n' text)
+
+let fault_rpsl =
+  fault_property ~name:"fault-rpsl"
+    ~make_original:(fun rng -> Rpsl.render_many (Gen.registry rng))
+    ~check_one:(fun ~original m ->
+      match Rpsl.parse m with
+      | exception e -> Error ("parse raised: " ^ Printexc.to_string e)
+      | (_ : (Rpsl.aut_num list, string) result) -> begin
+          match Rpsl.parse_lenient m with
+          | exception e -> Error ("parse_lenient raised: " ^ Printexc.to_string e)
+          | objs, _errs ->
+              let originals = rpsl_blocks original in
+              let survivors =
+                rpsl_blocks m
+                |> List.filter (fun b -> List.exists (String.equal b) originals)
+              in
+              if List.length objs >= List.length survivors then Ok 2
+              else
+                Error
+                  (Printf.sprintf "salvaged %d objects, but %d intact blocks survive"
+                     (List.length objs) (List.length survivors))
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* JSON / NDJSON                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shrink_json t =
+  let drop_each l rebuild =
+    List.mapi (fun i _ -> rebuild (List.filteri (fun j _ -> j <> i) l)) l
+  in
+  match t with
+  | Rpi_json.List l ->
+      (Rpi_json.Null :: drop_each l (fun l -> Rpi_json.List l)) @ l
+  | Rpi_json.Obj kvs ->
+      (Rpi_json.Null :: drop_each kvs (fun kvs -> Rpi_json.Obj kvs)) @ List.map snd kvs
+  | Rpi_json.String s when String.length s > 0 ->
+      [ Rpi_json.String (String.sub s 0 (String.length s / 2)) ]
+  | _ -> []
+
+let json_roundtrip =
+  Property.make ~name:"json-roundtrip" ~gen:Gen.json ~show:Rpi_json.to_string
+    ~shrink:shrink_json
+    ~check:(fun t ->
+      let s = Rpi_json.to_string t in
+      match Rpi_json.of_string s with
+      | Error e -> Error ("serialized tree does not parse: " ^ e)
+      | Ok t2 ->
+          if not (json_equal t t2) then Error "parsed tree differs"
+          else if String.equal (Rpi_json.to_string t2) s then Ok 2
+          else Error "reserialization differs")
+    ()
+
+let runner_ndjson_roundtrip =
+  Property.make ~name:"runner-ndjson-roundtrip" ~gen:Gen.outcome
+    ~show:(fun o -> Rpi_json.to_string (Runner.outcome_to_json o))
+    ~check:(fun o ->
+      let line = Rpi_json.to_string (Runner.outcome_to_json o) in
+      match Rpi_json.of_string line with
+      | Error e -> Error ("runner NDJSON does not parse back: " ^ e)
+      | Ok parsed ->
+          if String.equal (Rpi_json.to_string parsed) line then Ok 2
+          else Error "NDJSON line does not reserialize identically")
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-backed metamorphic oracles                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Well below the accuracy EXPERIMENTS.md records for the full scenario
+   (95-98%): the pocket topology compresses degrees so Gao's degree-based
+   tie-breaks have less signal, and measured accuracy across seeds lands
+   in the 0.80-0.89 band.  The floor catches algorithmic regressions
+   (a broken heuristic drops towards the ~0.4 majority-class baseline),
+   not statistical jitter. *)
+let gao_accuracy_floor = 0.75
+
+let asn_set_show asns =
+  "{" ^ String.concat "," (List.map Asn.to_string asns) ^ "}"
+
+let scenario_properties ~seed =
+  let scen = lazy (Scenario.build ~config:(Gen.pocket_config ~seed) ()) in
+  let paths = lazy (Scenario.observed_paths (Lazy.force scen)) in
+  let gao_config =
+    { Gao.default_config with Gao.peer_degree_ratio = 6.0 }
+  in
+  let inferred = lazy (Gao.infer ~config:gao_config (Lazy.force paths)) in
+  let sa_subset_monotone =
+    Property.make ~name:"sa-subset-monotone"
+      ~gen:(fun rng ->
+        let t = Lazy.force scen in
+        let peers = t.Scenario.collector_peers in
+        let provider = Prng.choice_list rng peers in
+        let others = List.filter (fun a -> not (Asn.equal a provider)) peers in
+        let subset = provider :: Prng.sample rng (Prng.int rng (List.length others + 1)) others in
+        (provider, subset))
+      ~show:(fun (provider, subset) ->
+        Printf.sprintf "provider=AS%s feed-subset=%s" (Asn.to_string provider)
+          (asn_set_show subset))
+      ~shrink:(fun (provider, subset) ->
+        subset
+        |> List.filter (fun a -> not (Asn.equal a provider))
+        |> List.map (fun drop ->
+               (provider, List.filter (fun a -> not (Asn.equal a drop)) subset)))
+      ~check:(fun (provider, subset) ->
+        let t = Lazy.force scen in
+        let full = t.Scenario.collector in
+        let in_subset a = List.exists (Asn.equal a) subset in
+        let sub =
+          Rib.of_routes
+            (List.filter
+               (fun (r : Route.t) ->
+                 match r.Route.peer_as with
+                 | Some p -> in_subset p
+                 | None -> false)
+               (Rib.all_routes full))
+        in
+        let sa_keys rib =
+          let origins = Export_infer.origins_of_rib rib in
+          let view = Export_infer.viewpoint_of_feed ~feed:provider rib in
+          let report =
+            Export_infer.analyze t.Scenario.graph ~provider ~origins view
+          in
+          List.map
+            (fun (r : Export_infer.sa_record) ->
+              Prefix.to_string r.Export_infer.prefix ^ "@AS"
+              ^ Asn.to_string r.Export_infer.origin)
+            report.Export_infer.sa
+        in
+        let sa_sub = sa_keys sub in
+        let sa_full = sa_keys full in
+        let escaped =
+          List.filter (fun k -> not (List.exists (String.equal k) sa_full)) sa_sub
+        in
+        match escaped with
+        | [] -> Ok (1 + List.length sa_sub)
+        | k :: _ ->
+            Error
+              (Printf.sprintf
+                 "SA prefix %s inferred from the feed subset but not from the full \
+                  collector (monotonicity violated)"
+                 k))
+      ()
+  in
+  let import_renumber_invariant =
+    Property.make ~name:"import-renumber-invariant"
+      ~gen:(fun rng ->
+        let t = Lazy.force scen in
+        (Prng.choice_list rng t.Scenario.lg_ases, Prng.int_in rng 1 0x3FFFFFFF))
+      ~show:(fun (vantage, key) ->
+        Printf.sprintf "vantage=AS%s xor-key=%#x" (Asn.to_string vantage) key)
+      ~shrink:(fun (vantage, key) ->
+        if key > 1 then [ (vantage, key / 2); (vantage, key land (key - 1)) ] else [])
+      ~check:(fun (vantage, key) ->
+        let t = Lazy.force scen in
+        let rib =
+          match Scenario.lg_table t vantage with
+          | Some rib -> rib
+          | None -> Rib.empty
+        in
+        let renumber p =
+          let len = Prefix.length p in
+          let mask = (-1) lsl (32 - len) land 0xFFFFFFFF in
+          let network = Ipv4.to_int (Prefix.network p) in
+          Prefix.make (Ipv4.of_int32_exn (network lxor (key land mask))) len
+        in
+        let rib' =
+          Rib.of_routes
+            (List.map
+               (fun (r : Route.t) -> { r with Route.prefix = renumber r.Route.prefix })
+               (Rib.all_routes rib))
+        in
+        let a = Import_infer.analyze t.Scenario.graph ~vantage rib in
+        let b = Import_infer.analyze t.Scenario.graph ~vantage rib' in
+        let class_values_equal =
+          List.equal
+            (fun (r1, vs1) (r2, vs2) ->
+              Relationship.equal r1 r2 && List.equal Int.equal vs1 vs2)
+            a.Import_infer.class_values b.Import_infer.class_values
+        in
+        if a.Import_infer.prefixes_total <> b.Import_infer.prefixes_total then
+          Error "prefixes_total changed under renumbering"
+        else if a.Import_infer.prefixes_compared <> b.Import_infer.prefixes_compared
+        then Error "prefixes_compared changed under renumbering"
+        else if a.Import_infer.typical <> b.Import_infer.typical then
+          Error "typical count changed under renumbering"
+        else if a.Import_infer.atypical <> b.Import_infer.atypical then
+          Error "atypical count changed under renumbering"
+        else if not (Float.equal a.Import_infer.pct_typical b.Import_infer.pct_typical)
+        then Error "pct_typical changed under renumbering"
+        else if not class_values_equal then
+          Error "per-class local-pref values changed under renumbering"
+        else Ok 6)
+      ()
+  in
+  let gao_permutation_invariant =
+    Property.make ~name:"gao-permutation-invariant"
+      ~gen:(fun rng -> Prng.shuffle_list rng (Lazy.force paths))
+      ~show:(fun shuffled -> Printf.sprintf "permutation of %d paths" (List.length shuffled))
+      ~check:(fun shuffled ->
+        let base = Lazy.force inferred in
+        let permuted = Gao.infer ~config:gao_config shuffled in
+        let report = Validate.compare_graphs ~truth:base ~inferred:permuted in
+        if
+          report.Validate.missing = 0
+          && report.Validate.extra = 0
+          && report.Validate.edges_correct = report.Validate.edges_compared
+        then Ok 3
+        else
+          Error
+            (Printf.sprintf
+               "inference depends on path order: %d/%d labels agree, %d missing, %d \
+                extra edges"
+               report.Validate.edges_correct report.Validate.edges_compared
+               report.Validate.missing report.Validate.extra))
+      ()
+  in
+  let gao_ground_truth =
+    let accuracy =
+      lazy
+        (let t = Lazy.force scen in
+         Validate.accuracy
+           (Validate.compare_graphs ~truth:t.Scenario.graph
+              ~inferred:(Lazy.force inferred)))
+    in
+    Property.make ~name:"gao-ground-truth-agreement"
+      ~gen:(fun (_ : Prng.t) -> ())
+      ~show:(fun () -> "ground-truth comparison on the pocket scenario")
+      ~check:(fun () ->
+        let acc = Lazy.force accuracy in
+        if acc >= gao_accuracy_floor then Ok 1
+        else
+          Error
+            (Printf.sprintf "relationship accuracy %.3f below the %.2f floor" acc
+               gao_accuracy_floor))
+      ()
+  in
+  [
+    sa_subset_monotone;
+    import_renumber_invariant;
+    gao_permutation_invariant;
+    gao_ground_truth;
+  ]
+
+let suite ~seed =
+  [
+    table_dump_roundtrip;
+    show_ip_bgp_roundtrip;
+    snapshot_roundtrip;
+    rpsl_roundtrip;
+    detect_format_total;
+    fault_table_dump;
+    fault_show_ip_bgp;
+    fault_rpsl;
+    json_roundtrip;
+    runner_ndjson_roundtrip;
+  ]
+  @ scenario_properties ~seed
+
+let names ~seed = List.map Property.name (suite ~seed)

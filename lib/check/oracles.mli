@@ -1,0 +1,14 @@
+(** The property catalogue: metamorphic/differential oracles over the whole
+    pipeline (parsers, snapshot IO, JSON emission, SA-prefix inference,
+    import-policy inference, Gao relationship inference) plus the
+    fault-injection properties that feed every parser mutated corpora.
+
+    The scenario-backed oracles share one pocket-sized scenario, built
+    lazily from the run seed on first use. *)
+
+val suite : seed:int -> Property.t list
+(** All properties, in reporting order.  Deterministic in [seed]. *)
+
+val names : seed:int -> string list
+(** The property names [suite] would report, for [--list] and
+    [--properties] validation. *)

@@ -1,0 +1,154 @@
+module Prng = Rpi_prng.Prng
+
+type counterexample = {
+  case : int;
+  case_seed : int;
+  reason : string;
+  input : string;
+  shrink_steps : int;
+}
+
+type status =
+  | Pass
+  | Fail of counterexample
+
+type outcome = {
+  name : string;
+  seed : int;
+  cases_run : int;
+  checks : int;
+  status : status;
+}
+
+type t = { name : string; exec : seed:int -> cases:int -> outcome }
+
+let name t = t.name
+
+(* FNV-1a over the property name: stable across runs and OCaml versions,
+   unlike Hashtbl.hash. *)
+let fnv s =
+  String.fold_left (fun h c -> (h lxor Char.code c) * 0x01000193 land max_int) 0x811c9dc5 s
+
+let case_seed ~seed ~name ~case =
+  (seed * 0x9e3779b1) lxor fnv name lxor (case * 0x85ebca77) land max_int
+
+let max_shrink_steps = 400
+
+let make ~name ?(shrink = fun _ -> []) ~gen ~show ~check () =
+  let run_check x =
+    try check x with e -> Error ("uncaught exception: " ^ Printexc.to_string e)
+  in
+  let shrink_to_minimal x reason =
+    let rec go x reason steps =
+      if steps >= max_shrink_steps then (x, reason, steps)
+      else begin
+        let still_failing =
+          List.find_map
+            (fun cand ->
+              match run_check cand with
+              | Error r -> Some (cand, r)
+              | Ok _ -> None)
+            (shrink x)
+        in
+        match still_failing with
+        | Some (cand, r) -> go cand r (steps + 1)
+        | None -> (x, reason, steps)
+      end
+    in
+    go x reason 0
+  in
+  let exec ~seed ~cases =
+    let rec loop case checks =
+      if case >= cases then { name; seed; cases_run = cases; checks; status = Pass }
+      else begin
+        let cs = case_seed ~seed ~name ~case in
+        let rng = Prng.create ~seed:cs in
+        match (try Ok (gen rng) with e -> Error (Printexc.to_string e)) with
+        | Error msg ->
+            {
+              name;
+              seed;
+              cases_run = case + 1;
+              checks;
+              status =
+                Fail
+                  {
+                    case;
+                    case_seed = cs;
+                    reason = "generator raised: " ^ msg;
+                    input = "<generator failure>";
+                    shrink_steps = 0;
+                  };
+            }
+        | Ok x -> begin
+            match run_check x with
+            | Ok n -> loop (case + 1) (checks + n)
+            | Error reason ->
+                let x, reason, shrink_steps = shrink_to_minimal x reason in
+                {
+                  name;
+                  seed;
+                  cases_run = case + 1;
+                  checks;
+                  status =
+                    Fail { case; case_seed = cs; reason; input = show x; shrink_steps };
+                }
+          end
+      end
+    in
+    loop 0 0
+  in
+  { name; exec }
+
+let run t ~seed ~cases = t.exec ~seed ~cases
+
+let passed (o : outcome) =
+  match o.status with
+  | Pass -> true
+  | Fail _ -> false
+
+let outcome_to_json (o : outcome) =
+  let base =
+    [
+      ("property", Rpi_json.String o.name);
+      ("seed", Rpi_json.Int o.seed);
+      ("cases", Rpi_json.Int o.cases_run);
+      ("checks", Rpi_json.Int o.checks);
+      ( "status",
+        Rpi_json.String
+          (match o.status with
+          | Pass -> "pass"
+          | Fail _ -> "fail") );
+    ]
+  in
+  match o.status with
+  | Pass -> Rpi_json.Obj base
+  | Fail c ->
+      Rpi_json.Obj
+        (base
+        @ [
+            ( "counterexample",
+              Rpi_json.Obj
+                [
+                  ("case", Rpi_json.Int c.case);
+                  ("case_seed", Rpi_json.Int c.case_seed);
+                  ("shrink_steps", Rpi_json.Int c.shrink_steps);
+                  ("reason", Rpi_json.String c.reason);
+                  ("input", Rpi_json.String c.input);
+                ] );
+          ])
+
+let render (o : outcome) =
+  match o.status with
+  | Pass ->
+      Printf.sprintf "PASS %-28s %d cases, %d checks" o.name o.cases_run o.checks
+  | Fail c ->
+      String.concat "\n"
+        [
+          Printf.sprintf "FAIL %-28s case %d (case seed %d, %d shrink steps)" o.name
+            c.case c.case_seed c.shrink_steps;
+          Printf.sprintf "     reason: %s" c.reason;
+          Printf.sprintf "     input:  %s"
+            (String.concat "\n             " (String.split_on_char '\n' c.input));
+          Printf.sprintf "     replay: rpicheck --seed %d --properties %s" o.seed o.name;
+        ]

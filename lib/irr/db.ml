@@ -26,7 +26,9 @@ let save_file path db =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render db))
 
 let load_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> parse (In_channel.input_all ic))
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> parse (In_channel.input_all ic))

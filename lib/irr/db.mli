@@ -27,3 +27,5 @@ val render : t -> string
 val parse : string -> (t, string) result
 val save_file : string -> t -> unit
 val load_file : string -> (t, string) result
+(** IO failures (missing or unreadable file) surface as [Error], not
+    [Sys_error]. *)

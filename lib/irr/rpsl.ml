@@ -188,4 +188,25 @@ let parse text =
   in
   go [] [] lines
 
+let parse_lenient text =
+  let lines = String.split_on_char '\n' text in
+  let flush chunk (objs, errs) =
+    let body = String.concat "\n" (List.rev chunk) in
+    if String.trim body = "" then (objs, errs)
+    else begin
+      match parse_object body with
+      | Ok obj -> (obj :: objs, errs)
+      | Error e -> (objs, e :: errs)
+    end
+  in
+  let rec go chunk acc = function
+    | [] ->
+        let objs, errs = flush chunk acc in
+        (List.rev objs, List.rev errs)
+    | line :: rest ->
+        if String.trim line = "" then go [] (flush chunk acc) rest
+        else go (line :: chunk) acc rest
+  in
+  go [] ([], []) lines
+
 let pref_of_import r = r.pref

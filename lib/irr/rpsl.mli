@@ -61,5 +61,10 @@ val parse : string -> (aut_num list, string) result
 (** Parse a registry file: objects separated by blank lines; unknown
     attributes are preserved-skipped; [%] and [#] comment lines ignored. *)
 
+val parse_lenient : string -> aut_num list * string list
+(** Best-effort parse of an untrusted registry: every blank-line-delimited
+    block that parses becomes an object, every malformed block one
+    diagnostic — never an exception. *)
+
 val pref_of_import : import_rule -> int option
 (** Just the [pref] field (documented accessor for symmetry). *)

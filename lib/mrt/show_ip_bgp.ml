@@ -44,20 +44,19 @@ let render ?(router_id = Ipv4.of_octets 172 16 1 1) rib =
   Buffer.add_char buf '\n';
   Rib.iter
     (fun prefix routes ->
-      let best = Decision.select_best routes in
-      let is_best r =
-        match best with
-        | Some b -> Route.equal b r
-        | None -> false
-      in
+      (* Canonical candidate order: decision preference (a strict total
+         order) with the decision process's own pick first, so any table
+         holding the same route set renders to the same bytes — parse |>
+         render is a fixpoint. *)
+      let sorted = List.stable_sort (fun a b -> Decision.compare_routes a b) routes in
       let ordered =
-        match best with
-        | Some b -> b :: List.filter (fun r -> not (Route.equal r b)) routes
-        | None -> routes
+        match Decision.select_best sorted with
+        | Some b -> b :: List.filter (fun r -> not (Route.equal r b)) sorted
+        | None -> sorted
       in
       List.iteri
         (fun i r ->
-          Buffer.add_string buf (route_line ~best:(is_best r) ~show_network:(i = 0) r);
+          Buffer.add_string buf (route_line ~best:(i = 0) ~show_network:(i = 0) r);
           Buffer.add_char buf '\n')
         ordered;
       ignore prefix)
@@ -75,80 +74,97 @@ let is_header_line line =
 let split_ws s =
   String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
 
+(* One data row (sans the two status-code columns), shared by the strict
+   and lenient parsers.  [current] is the network in scope for
+   continuation rows. *)
+let parse_row ~current line =
+  if String.length line < 2 || line.[0] <> '*' then Error "unrecognised row"
+  else begin
+    let body = String.sub line 2 (String.length line - 2) in
+    let tokens = split_ws body in
+    (* Continuation rows have no network token (no '/'). *)
+    let network, tokens =
+      match tokens with
+      | tok :: rest_tokens when String.contains tok '/' ->
+          (Prefix.of_string tok |> Result.to_option, rest_tokens)
+      | _ -> (current, tokens)
+    in
+    match network with
+    | None -> Error "no network in scope"
+    | Some prefix -> begin
+        match tokens with
+        | next_hop :: med :: locprf :: weight_and_path -> begin
+            (* Fields after the next hop: metric, locprf ("-" when unset),
+               weight, then the path and origin code. *)
+            let ( let* ) = Result.bind in
+            let* next_hop = Ipv4.of_string next_hop in
+            let* med =
+              match int_of_string_opt med with
+              | Some m -> Ok m
+              | None -> Error (Printf.sprintf "bad metric %S" med)
+            in
+            let* locprf =
+              if String.equal locprf "-" then Ok None
+              else begin
+                match int_of_string_opt locprf with
+                | Some lp -> Ok (Some lp)
+                | None -> Error (Printf.sprintf "bad locprf %S" locprf)
+              end
+            in
+            let* path_tokens =
+              match weight_and_path with
+              | _weight :: path_tokens -> Ok path_tokens
+              | [] -> Error "missing path"
+            in
+            let* origin, path_tokens =
+              match List.rev path_tokens with
+              | o :: rev_path -> begin
+                  match Route.origin_of_string o with
+                  | Ok origin -> Ok (origin, List.rev rev_path)
+                  | Error e -> Error e
+                end
+              | [] -> Error "missing origin"
+            in
+            let* as_path = As_path.of_string (String.concat " " path_tokens) in
+            let peer_as = As_path.first_hop as_path in
+            Ok
+              ( prefix,
+                Route.make ~prefix ~next_hop ~as_path ~origin ?local_pref:locprf
+                  ~med ~router_id:next_hop ?peer_as () )
+          end
+        | _ -> Error "truncated row"
+      end
+  end
+
 let parse text =
   let lines = String.split_on_char '\n' text in
-  let rec go n current_prefix rib = function
+  let rec go n current rib = function
     | [] -> Ok rib
     | line :: rest ->
-        if String.trim line = "" || is_header_line line then
-          go (n + 1) current_prefix rib rest
-        else if String.length line < 2 || line.[0] <> '*' then
-          Error (Printf.sprintf "line %d: unrecognised row" n)
+        if String.trim line = "" || is_header_line line then go (n + 1) current rib rest
         else begin
-          let body = String.sub line 2 (String.length line - 2) in
-          let tokens = split_ws body in
-          (* Continuation rows have no network token (no '/'). *)
-          let network, tokens =
-            match tokens with
-            | tok :: rest_tokens when String.contains tok '/' ->
-                (Prefix.of_string tok |> Result.to_option, rest_tokens)
-            | _ -> (current_prefix, tokens)
-          in
-          match network with
-          | None -> Error (Printf.sprintf "line %d: no network in scope" n)
-          | Some prefix -> begin
-              match tokens with
-              | next_hop :: med :: locprf :: weight_and_path -> begin
-                  (* Fields after the next hop: metric, locprf ("-" when
-                     unset), weight, then the path and origin code. *)
-                  let ( let* ) = Result.bind in
-                  let* next_hop =
-                    Ipv4.of_string next_hop
-                    |> Result.map_error (fun e -> Printf.sprintf "line %d: %s" n e)
-                  in
-                  let* med =
-                    match int_of_string_opt med with
-                    | Some m -> Ok m
-                    | None -> Error (Printf.sprintf "line %d: bad metric %S" n med)
-                  in
-                  let* locprf =
-                    if String.equal locprf "-" then Ok None
-                    else begin
-                      match int_of_string_opt locprf with
-                      | Some lp -> Ok (Some lp)
-                      | None -> Error (Printf.sprintf "line %d: bad locprf %S" n locprf)
-                    end
-                  in
-                  let* path_tokens =
-                    match weight_and_path with
-                    | _weight :: path_tokens -> Ok path_tokens
-                    | [] -> Error (Printf.sprintf "line %d: missing path" n)
-                  in
-                  let* origin, path_tokens =
-                    match List.rev path_tokens with
-                    | o :: rev_path -> begin
-                        match Route.origin_of_string o with
-                        | Ok origin -> Ok (origin, List.rev rev_path)
-                        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
-                      end
-                    | [] -> Error (Printf.sprintf "line %d: missing origin" n)
-                  in
-                  let* as_path =
-                    As_path.of_string (String.concat " " path_tokens)
-                    |> Result.map_error (fun e -> Printf.sprintf "line %d: %s" n e)
-                  in
-                  let peer_as = As_path.first_hop as_path in
-                  let route =
-                    Route.make ~prefix ~next_hop ~as_path ~origin ?local_pref:locprf
-                      ~med ~router_id:next_hop ?peer_as ()
-                  in
-                  go (n + 1) (Some prefix) (Rib.add_route route rib) rest
-                end
-              | _ -> Error (Printf.sprintf "line %d: truncated row" n)
-            end
+          match parse_row ~current line with
+          | Ok (prefix, route) -> go (n + 1) (Some prefix) (Rib.add_route route rib) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
         end
   in
   go 1 None Rib.empty lines
+
+let parse_lenient text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n current routes skipped = function
+    | [] -> (List.rev routes, List.rev skipped)
+    | line :: rest ->
+        if String.trim line = "" || is_header_line line then
+          go (n + 1) current routes skipped rest
+        else begin
+          match parse_row ~current line with
+          | Ok (prefix, route) ->
+              go (n + 1) (Some prefix) (route :: routes) skipped rest
+          | Error e -> go (n + 1) current routes ((n, e) :: skipped) rest
+        end
+  in
+  go 1 None [] [] lines
 
 (* --- per-prefix detail --- *)
 

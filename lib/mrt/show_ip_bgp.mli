@@ -10,7 +10,10 @@
       example. *)
 
 val render : ?router_id:Rpi_net.Ipv4.t -> Rpi_bgp.Rib.t -> string
-(** The summary table, best route first within each prefix. *)
+(** The summary table, best route first within each prefix, remaining
+    candidates in decision-preference order — a canonical rendering, so
+    two tables holding the same routes produce the same bytes and
+    [parse |> render] is a fixpoint. *)
 
 val parse : string -> (Rpi_bgp.Rib.t, string) result
 (** Parse a summary table back into a RIB.  Header lines are skipped;
@@ -18,6 +21,12 @@ val parse : string -> (Rpi_bgp.Rib.t, string) result
     network.  Local preference and MED columns parse back into the route;
     the best marker is validated against nothing (the RIB recomputes
     best). *)
+
+val parse_lenient : string -> Rpi_bgp.Route.t list * (int * string) list
+(** Best-effort parse of an untrusted table: every well-formed row becomes
+    a route (returned flat, without the RIB's per-session replacement, so
+    callers can count salvaged rows), every malformed row a
+    [(line_number, diagnostic)] pair — never an exception. *)
 
 val render_prefix_detail : Rpi_bgp.Rib.t -> Rpi_net.Prefix.t -> string
 (** The [show ip bgp <prefix>] block: paths with next hop, origin, local

@@ -105,6 +105,21 @@ let parse text =
   in
   go 1 [] lines
 
+let parse_lenient text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n entries skipped = function
+    | [] -> (List.rev entries, List.rev skipped)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (n + 1) entries skipped rest
+        else begin
+          match entry_of_line trimmed with
+          | Ok entry -> go (n + 1) (entry :: entries) skipped rest
+          | Error e -> go (n + 1) entries ((n, e) :: skipped) rest
+        end
+  in
+  go 1 [] [] lines
+
 let parse_to_rib text =
   match parse text with
   | Error _ as e -> e
@@ -118,7 +133,9 @@ let save_file path ?timestamp ~vantage_as rib =
     (fun () -> output_string oc (rib_to_string ?timestamp ~vantage_as rib))
 
 let load_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> parse (In_channel.input_all ic))
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> parse (In_channel.input_all ic))

@@ -33,6 +33,11 @@ val parse : string -> (entry list, string) result
 (** Parse a whole dump; blank lines and [#] comments are skipped.  The
     error message carries the 1-based line number. *)
 
+val parse_lenient : string -> entry list * (int * string) list
+(** Best-effort parse of an untrusted dump: every well-formed line becomes
+    an entry, every malformed line a [(line_number, diagnostic)] pair —
+    never an exception.  [parse] is this with a zero-tolerance policy. *)
+
 val parse_to_rib : string -> (Rpi_bgp.Rib.t, string) result
 (** Parse and fold all entries into a table (vantage/timestamp metadata is
     dropped; per-session replacement semantics of {!Rpi_bgp.Rib.add_route}
@@ -40,3 +45,5 @@ val parse_to_rib : string -> (Rpi_bgp.Rib.t, string) result
 
 val save_file : string -> ?timestamp:int -> vantage_as:Rpi_bgp.Asn.t -> Rpi_bgp.Rib.t -> unit
 val load_file : string -> (entry list, string) result
+(** IO failures (missing or unreadable file) surface as [Error], not
+    [Sys_error]. *)

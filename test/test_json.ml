@@ -1,12 +1,14 @@
-(* Rpi_json: the serializer's escaping and float dialect, the parser, and
-   the contract that every NDJSON line the experiment runner emits parses
-   back cleanly. *)
+(* Rpi_json: the serializer's escaping and float dialect, and the parser's
+   handling of hand-picked valid and invalid documents.
+
+   The generative coverage that used to live here — random-tree
+   `to_string |> of_string` identity and the runner's NDJSON emission
+   parsing back byte-identically — moved to the rpicheck harness
+   (lib/check/oracles.ml: `json-roundtrip` and `runner-ndjson-roundtrip`),
+   where it runs seed-addressably with shrinking on every `dune runtest`
+   via the @check alias. *)
 
 module Json = Rpi_json
-module Scenario = Rpi_dataset.Scenario
-module Context = Rpi_experiments.Context
-module Exp = Rpi_experiments.Exp
-module Runner = Rpi_runner.Runner
 
 let test_escaping () =
   Alcotest.(check string)
@@ -72,72 +74,6 @@ let test_parser () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "\"\x01\"" ]
 
-let gen_json =
-  QCheck2.Gen.(
-    sized
-    @@ fix (fun self n ->
-           let scalar =
-             oneof
-               [
-                 return Json.Null;
-                 map (fun b -> Json.Bool b) bool;
-                 map (fun i -> Json.Int i) int;
-                 (* finite floats only: NaN/inf serialize to null by design *)
-                 map (fun f -> Json.Float f) (float_bound_inclusive 1e9);
-                 map (fun s -> Json.String s) (string_size (int_range 0 12));
-               ]
-           in
-           if n <= 0 then scalar
-           else
-             oneof
-               [
-                 scalar;
-                 map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
-                 map
-                   (fun kvs -> Json.Obj kvs)
-                   (list_size (int_range 0 4)
-                      (pair (string_size (int_range 0 8)) (self (n / 2))));
-               ]))
-
-let prop_roundtrip =
-  QCheck2.Test.make ~name:"to_string |> of_string is the identity" ~count:500
-    gen_json (fun t ->
-      match Json.of_string (Json.to_string t) with
-      | Ok t' -> t' = t
-      | Error _ -> false)
-
-(* The shrunk catalogue test_runner also uses: runner semantics and JSON
-   shape do not depend on epoch counts. *)
-let exps =
-  List.map
-    (fun (e : Exp.t) ->
-      match e.Exp.id with
-      | "fig6+7" -> { e with Exp.run = (fun c -> Exp.fig6_fig7 ~days:3 ~hours:2 c) }
-      | "stability" -> { e with Exp.run = (fun c -> Exp.stability ~seeds:[ 7 ] c) }
-      | _ -> e)
-    Exp.all
-
-let test_ndjson_roundtrip () =
-  let config = { Scenario.small_config with Scenario.seed = 11 } in
-  let report = Runner.run ~jobs:1 (Context.create ~config ()) exps in
-  Alcotest.(check int)
-    "one line per experiment" (List.length exps)
-    (List.length report.Runner.results);
-  List.iter
-    (fun timed ->
-      (* exactly the line `experiments run --json` writes *)
-      let line = Json.to_string (Runner.timed_to_json timed) in
-      match Json.of_string line with
-      | Error e ->
-          Alcotest.fail
-            (Printf.sprintf "%s: emitted NDJSON does not parse back: %s"
-               timed.Runner.outcome.Exp.id e)
-      | Ok parsed ->
-          Alcotest.(check string)
-            (timed.Runner.outcome.Exp.id ^ " reserializes identically")
-            line (Json.to_string parsed))
-    report.Runner.results
-
 let () =
   Alcotest.run "json"
     [
@@ -146,10 +82,5 @@ let () =
           Alcotest.test_case "string escaping" `Quick test_escaping;
           Alcotest.test_case "float dialect" `Quick test_floats;
         ] );
-      ( "parse",
-        [ Alcotest.test_case "parser" `Quick test_parser ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ] );
-      ( "ndjson",
-        [ Alcotest.test_case "runner emission round-trips" `Slow test_ndjson_roundtrip ]
-      );
+      ("parse", [ Alcotest.test_case "parser" `Quick test_parser ]);
     ]

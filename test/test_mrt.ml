@@ -244,6 +244,80 @@ let test_load_missing_dir () =
     | Error _ -> true
     | Ok _ -> false)
 
+(* A throwaway directory under the system tmpdir, removed afterwards. *)
+let with_snapshot_dir name files f =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> Sys.remove (Filename.concat dir file))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      List.iter
+        (fun (file, contents) ->
+          let oc = open_out_bin (Filename.concat dir file) in
+          output_string oc contents;
+          close_out oc)
+        files;
+      f dir)
+
+let test_load_empty_dump () =
+  (* An empty dump file is a vantage with an empty table, not an error:
+     a Looking-Glass pull can legitimately come back with no routes. *)
+  with_snapshot_dir "rpi_test_empty_dump" [ ("AS1.dump", "") ] (fun dir ->
+      match Loader.load_snapshot ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok [ (a, rib) ] ->
+          Alcotest.(check int) "vantage AS" 1 (Asn.to_int a);
+          Alcotest.(check int) "empty rib" 0 (Rib.prefix_count rib)
+      | Ok loaded -> Alcotest.failf "expected one table, got %d" (List.length loaded))
+
+let test_load_mixed_format_snapshot () =
+  (* A show-format file under a .dump name must fail loudly, naming the
+     offending file, instead of silently loading half the snapshot. *)
+  let good = "RIB|0|1|65001|10.0.0.0/8|65001 65000|IGP|1.2.3.4|-|-|-" in
+  let bad = "*> 10.0.0.0/8      1.2.3.4              0             0 65001 i" in
+  with_snapshot_dir "rpi_test_mixed_dump"
+    [ ("AS1.dump", good ^ "\n"); ("AS2.dump", bad ^ "\n") ]
+    (fun dir ->
+      match Loader.load_snapshot ~dir with
+      | Ok _ -> Alcotest.fail "mixed-format snapshot loaded without error"
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error %S names AS2.dump" e)
+            true
+            (String.length e >= 8
+            &&
+            let rec mem i =
+              i + 8 <= String.length e
+              && (String.equal (String.sub e i 8) "AS2.dump" || mem (i + 1))
+            in
+            mem 0))
+
+let test_load_file_missing_path () =
+  Alcotest.(check bool) "missing dump file is Error, not an exception" true
+    (match Table_dump.load_file "/nonexistent/rpi/AS1.dump" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_detect_format_pathological () =
+  let check name expect text =
+    Alcotest.(check bool) name true (Loader.detect_format text = expect)
+  in
+  check "empty" `Unknown "";
+  check "blank lines only" `Unknown "\n\n\n";
+  check "lone star is too short" `Unknown "*";
+  check "RIB without pipe" `Unknown "RIB";
+  check "comment leader" `Table_dump "#x";
+  check "BGP prefix even when bogus" `Show_ip_bgp "BGPbogus";
+  check "leading blanks are skipped" `Show_ip_bgp "\n\n*> 10.0.0.0/8 1.2.3.4";
+  Alcotest.(check bool) "parse_any on unknown is an error" true
+    (match Loader.parse_any "hello" with
+    | Error _ -> true
+    | Ok _ -> false)
+
 (* --- property: random RIBs survive the dump round-trip --- *)
 
 let gen_rib =
@@ -298,6 +372,11 @@ let () =
           Alcotest.test_case "detect format" `Quick test_detect_format;
           Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "missing dir" `Quick test_load_missing_dir;
+          Alcotest.test_case "empty dump" `Quick test_load_empty_dump;
+          Alcotest.test_case "mixed-format snapshot" `Quick test_load_mixed_format_snapshot;
+          Alcotest.test_case "load_file missing path" `Quick test_load_file_missing_path;
+          Alcotest.test_case "detect_format pathological" `Quick
+            test_detect_format_pathological;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_dump_roundtrip; prop_show_roundtrip ] );
