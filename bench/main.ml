@@ -26,6 +26,11 @@ module Scenario = Rpi_dataset.Scenario
 module Context = Rpi_experiments.Context
 module Exp = Rpi_experiments.Exp
 module Runner = Rpi_runner.Runner
+module Replay = Rpi_serve.Replay
+module Registry = Rpi_serve.Registry
+module IState = Rpi_ingest.State
+module Render = Rpi_ingest.Render
+module Export_infer = Rpi_core.Export_infer
 
 (* --- Part 1: regenerate the evaluation, sequential vs parallel --- *)
 
@@ -204,9 +209,85 @@ let run_benchmarks tests =
       if Float.is_nan estimate then None else Some (name, estimate))
     rows
 
+(* --- Part 2.5: streaming ingest vs per-epoch full recompute --- *)
+
+(* The daemon's value proposition, measured: replay the persistence-study
+   timeline (31 monthly epochs) through [Rpi_ingest] — updates applied,
+   dirty prefixes refreshed, reports re-materialized — against the
+   pre-daemon path that re-ran [Export_infer.analyze] over every table
+   from scratch each epoch.  Both sides render the same stats + per-
+   vantage SA NDJSON, and the outputs must stay byte-identical. *)
+let bench_ingest_replay ~epochs =
+  print_endline "==============================================================";
+  Printf.printf " Streaming ingest vs full recompute (%d monthly epochs)\n" epochs;
+  print_endline "==============================================================";
+  let plan = Replay.plan ~epochs () in
+  let graph = plan.Replay.scenario.Scenario.graph in
+  let registry = Replay.registry plan in
+  let js = Rpi_json.to_string in
+  (* Incremental: drive the daemon's ingest path and force the reports a
+     client would query after every epoch. *)
+  let rec drive (laps, outs) =
+    let t0 = Unix.gettimeofday () in
+    if Replay.step plan then begin
+      let out =
+        js (Render.stats_of_state registry.Registry.collector)
+        :: List.map
+             (fun (_, st) -> js (Render.sa ~viewpoint:"own-feed" (IState.sa_report st)))
+             registry.Registry.vantages
+      in
+      drive ((Unix.gettimeofday () -. t0) :: laps, out :: outs)
+    end
+    else (List.rev laps, List.rev outs)
+  in
+  let inc_laps, inc_outs = drive ([], []) in
+  (* Batch: from-scratch [Export_infer.analyze] + stats over the expected
+     tables — what every report cost before the ingest subsystem. *)
+  let batch_one (s : Replay.step) =
+    let t0 = Unix.gettimeofday () in
+    let origins = Export_infer.origins_of_rib s.Replay.expected_collector in
+    let out =
+      js (Render.stats_of_rib s.Replay.expected_collector)
+      :: List.map
+           (fun (v, view) ->
+             js
+               (Render.sa ~viewpoint:"own-feed"
+                  (Export_infer.analyze graph ~provider:v ~origins view)))
+           s.Replay.expected_views
+    in
+    (Unix.gettimeofday () -. t0, out)
+  in
+  let batch = List.map batch_one plan.Replay.steps in
+  let batch_laps = List.map fst batch and batch_outs = List.map snd batch in
+  let identical = inc_outs = batch_outs in
+  let total = List.fold_left ( +. ) 0.0 in
+  let inc_s = total inc_laps and batch_s = total batch_laps in
+  let mean_ms laps = 1e3 *. total laps /. float_of_int (max 1 (List.length laps)) in
+  let max_ms laps = 1e3 *. List.fold_left Float.max 0.0 laps in
+  let speedup = if inc_s > 0.0 then batch_s /. inc_s else Float.nan in
+  Printf.printf "incremental ingest:  %8.3f s total  (%.2f ms mean, %.2f ms max per epoch)\n"
+    inc_s (mean_ms inc_laps) (max_ms inc_laps);
+  Printf.printf "full recompute:      %8.3f s total  (%.2f ms mean, %.2f ms max per epoch)\n"
+    batch_s (mean_ms batch_laps) (max_ms batch_laps);
+  Printf.printf "speedup:             %8.2fx\n" speedup;
+  Printf.printf "outputs byte-identical: %b\n" identical;
+  Rpi_json.Obj
+    [
+      ("epochs", Rpi_json.Int (List.length inc_laps));
+      ("vantages", Rpi_json.Int (List.length plan.Replay.vantages));
+      ("incremental_s", Rpi_json.Float inc_s);
+      ("batch_s", Rpi_json.Float batch_s);
+      ("incremental_mean_ms", Rpi_json.Float (mean_ms inc_laps));
+      ("incremental_max_ms", Rpi_json.Float (max_ms inc_laps));
+      ("batch_mean_ms", Rpi_json.Float (mean_ms batch_laps));
+      ("batch_max_ms", Rpi_json.Float (max_ms batch_laps));
+      ("speedup", Rpi_json.Float speedup);
+      ("identical_output", Rpi_json.Bool identical);
+    ]
+
 (* --- Part 3: machine-readable baseline --- *)
 
-let write_results ~path ~seq ~par ~identical ~micro =
+let write_results ~path ~seq ~par ~identical ~micro ~ingest_replay =
   let timed_json (r : Runner.timed) =
     Rpi_json.Obj
       [
@@ -231,6 +312,7 @@ let write_results ~path ~seq ~par ~identical ~micro =
             ] );
         ( "experiments_sequential",
           Rpi_json.List (List.map timed_json seq.Runner.results) );
+        ("ingest_replay", ingest_replay);
         ( "microbench_ns_per_run",
           Rpi_json.Obj (List.map (fun (name, ns) -> (name, Rpi_json.Float ns)) micro) );
       ]
@@ -242,7 +324,8 @@ let write_results ~path ~seq ~par ~identical ~micro =
 let () =
   Logs.set_level (Some Logs.Warning);
   let seq, par, identical = regenerate () in
+  let ingest_replay = bench_ingest_replay ~epochs:31 in
   let small = small_ctx () in
   let tests = experiment_tests small @ substrate_tests small in
   let micro = run_benchmarks tests in
-  write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro
+  write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro ~ingest_replay

@@ -32,15 +32,7 @@ let stats_cmd json path =
               acc routes)
           rib Asn.Set.empty
       in
-      if json then
-        Rpi_json.to_channel stdout
-          (Rpi_json.Obj
-             [
-               ("prefixes", Rpi_json.Int (Rib.prefix_count rib));
-               ("routes", Rpi_json.Int (Rib.route_count rib));
-               ("origin_ases", Rpi_json.Int (List.length origins));
-               ("feeding_sessions", Rpi_json.Int (Asn.Set.cardinal peers));
-             ])
+      if json then Rpi_json.to_channel stdout (Rpi_ingest.Render.stats_of_rib rib)
       else begin
         Printf.printf "prefixes: %d\nroutes:   %d\n" (Rib.prefix_count rib)
           (Rib.route_count rib);
@@ -114,33 +106,7 @@ let sa_cmd json table_path edges_path provider_str =
     let report = Rpi_core.Export_infer.analyze graph ~provider ~origins viewpoint in
     if json then
       Rpi_json.to_channel stdout
-        (Rpi_json.Obj
-           [
-             ("provider", Rpi_json.String (Asn.to_label provider));
-             ("viewpoint", Rpi_json.String viewpoint_kind);
-             ("customers_seen", Rpi_json.Int report.Rpi_core.Export_infer.customers_seen);
-             ( "customer_prefixes",
-               Rpi_json.Int report.Rpi_core.Export_infer.customer_prefixes );
-             ("sa_count", Rpi_json.Int (List.length report.Rpi_core.Export_infer.sa));
-             ("pct_sa", Rpi_json.Float report.Rpi_core.Export_infer.pct_sa);
-             ( "sa",
-               Rpi_json.List
-                 (List.map
-                    (fun (r : Rpi_core.Export_infer.sa_record) ->
-                      Rpi_json.Obj
-                        [
-                          ( "prefix",
-                            Rpi_json.String (Prefix.to_string r.Rpi_core.Export_infer.prefix) );
-                          ( "origin",
-                            Rpi_json.String (Asn.to_label r.Rpi_core.Export_infer.origin) );
-                          ( "via",
-                            Rpi_json.String
-                              (Rpi_topo.Relationship.to_string r.Rpi_core.Export_infer.via) );
-                          ( "next_hop",
-                            Rpi_json.String (Asn.to_label r.Rpi_core.Export_infer.next_hop) );
-                        ])
-                    report.Rpi_core.Export_infer.sa) );
-           ])
+        (Rpi_ingest.Render.sa ~viewpoint:viewpoint_kind report)
     else begin
       Printf.printf "provider:          %s\n" (Asn.to_label provider);
       Printf.printf "viewpoint:         %s\n" viewpoint_kind;
@@ -185,6 +151,39 @@ let diff_cmd old_path new_path =
         d.Rib.best_changed;
       `Ok ()
 
+let query_cmd connect args =
+  match Rpi_serve.Server.address_of_string connect with
+  | Error e -> `Error (false, e)
+  | Ok address -> begin
+      match Rpi_serve.Protocol.request_of_args args with
+      | Error e -> `Error (false, e)
+      | Ok request -> begin
+          match Rpi_serve.Server.query address request with
+          | Error e -> `Error (false, Printf.sprintf "%s: %s" connect e)
+          | Ok response -> begin
+              (* Snapshot answers carry a table dump; print it raw so the
+                 output pipes straight back into `bgptool stats`. *)
+              match (request, response) with
+              | Rpi_serve.Protocol.Snapshot, Rpi_json.Obj fields
+                when List.mem_assoc "dump" fields -> begin
+                  match List.assoc "dump" fields with
+                  | Rpi_json.String dump ->
+                      print_string dump;
+                      `Ok ()
+                  | _ ->
+                      print_endline (Rpi_json.to_string response);
+                      `Ok ()
+                end
+              | _ ->
+                  print_endline (Rpi_json.to_string response);
+                  (match response with
+                  | Rpi_json.Obj (("error", Rpi_json.String msg) :: _) ->
+                      `Error (false, msg)
+                  | _ -> `Ok ())
+            end
+        end
+    end
+
 open Cmdliner
 
 let table_arg =
@@ -225,6 +224,23 @@ let cmds =
      Cmd.v
        (Cmd.info "diff" ~doc:"Day-over-day delta between two table dumps")
        Term.(ret (const diff_cmd $ table_arg $ new_arg)));
+    (let connect_arg =
+       Arg.(
+         value
+         & opt string "unix:/tmp/rpiserved.sock"
+         & info [ "connect" ] ~docv:"ADDR" ~doc:"rpiserved address (unix:PATH or HOST:PORT).")
+     in
+     let query_args =
+       Arg.(
+         non_empty & pos_all string []
+         & info [] ~docv:"QUERY"
+             ~doc:
+               "sa-status $(i,ASN) [$(i,PREFIX)] | import-pref $(i,ASN) | stats \
+                | snapshot")
+     in
+     Cmd.v
+       (Cmd.info "query" ~doc:"Query a running rpiserved over its socket")
+       Term.(ret (const query_cmd $ connect_arg $ query_args)));
   ]
 
 let () =

@@ -39,6 +39,21 @@ let withdraw ~peer_as prefix t =
         end)
     t
 
+let withdraw_local prefix t =
+  Trie.update prefix
+    (fun existing ->
+      match existing with
+      | None -> None
+      | Some routes -> begin
+          let kept =
+            List.filter (fun (r : Route.t) -> Option.is_some r.peer_as) routes
+          in
+          match kept with
+          | [] -> None
+          | _ :: _ -> Some kept
+        end)
+    t
+
 let of_routes routes = List.fold_left (fun t r -> add_route r t) empty routes
 
 let candidates t prefix =
@@ -61,6 +76,14 @@ let best_routes ?config t =
   |> List.filter_map (fun (_, routes) -> Decision.select_best ?config routes)
 
 let all_routes t = Trie.to_list t |> List.concat_map snd
+
+(* Candidate-list order within a prefix is arrival order, which differs
+   between a rib built in one pass and one reached through withdraw +
+   re-announce; equality must not see it. *)
+let equal a b =
+  List.equal Route.equal
+    (List.sort Route.compare (all_routes a))
+    (List.sort Route.compare (all_routes b))
 
 let longest_match t addr = Trie.longest_match addr t
 

@@ -18,6 +18,15 @@ val remove_routes : Rpi_net.Prefix.t -> t -> t
 val withdraw : peer_as:Asn.t -> Rpi_net.Prefix.t -> t -> t
 (** Drop the candidate learned from the given neighbour. *)
 
+val withdraw_local : Rpi_net.Prefix.t -> t -> t
+(** Drop locally-originated candidates (no [peer_as]) for the prefix —
+    the withdraw counterpart of inserting an own-prefix route, which
+    [withdraw] cannot reach because it matches a neighbour AS. *)
+
+val equal : t -> t -> bool
+(** Same candidate set per prefix, ignoring candidate-list order (which
+    is arrival order and differs across withdraw/re-announce histories). *)
+
 val of_routes : Route.t list -> t
 val candidates : t -> Rpi_net.Prefix.t -> Route.t list
 

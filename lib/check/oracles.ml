@@ -15,6 +15,10 @@ module Relationship = Rpi_topo.Relationship
 module Gao = Rpi_relinfer.Gao
 module Validate = Rpi_relinfer.Validate
 module Runner = Rpi_runner.Runner
+module Update = Rpi_bgp.Update
+module Feed = Rpi_ingest.Feed
+module State = Rpi_ingest.State
+module Render = Rpi_ingest.Render
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -522,11 +526,128 @@ let scenario_properties ~seed =
                gao_accuracy_floor))
       ()
   in
+  let incremental_matches_batch =
+    (* The tentpole invariant of the ingest subsystem: after ANY update
+       interleaving — including duplicate announces and spurious withdraws,
+       which must be no-ops — the incremental state's sa/stats NDJSON is
+       byte-identical to a from-scratch batch recompute over the same
+       table. *)
+    let js = Rpi_json.to_string in
+    let announce_of_route vantage (r : Route.t) =
+      let from_as = Option.value ~default:vantage r.Route.peer_as in
+      Update.announce ~from_as ~to_as:vantage r
+    in
+    Property.make ~name:"incremental_matches_batch"
+      ~gen:(fun rng ->
+        let t = Lazy.force scen in
+        let vantage = Prng.choice_list rng t.Scenario.collector_peers in
+        let view =
+          Export_infer.viewpoint_of_feed ~feed:vantage t.Scenario.collector
+        in
+        let base = Feed.diff ~vantage ~old_rib:Rib.empty view in
+        let keep = List.filter (fun _ -> Prng.int rng 4 > 0) base in
+        let withdraw_of (u : Update.t) =
+          Update.withdraw ~from_as:u.Update.from_as ~to_as:u.Update.to_as
+            (Update.prefix u)
+        in
+        let withdraws =
+          List.filter_map
+            (fun u -> if Prng.int rng 3 = 0 then Some (withdraw_of u) else None)
+            keep
+        in
+        (* Fault injection: exact duplicates of live announces, and
+           withdraws from a session that never announced the prefix. *)
+        let duplicates = List.filter (fun _ -> Prng.int rng 5 = 0) keep in
+        let spurious =
+          List.filter_map
+            (fun (u : Update.t) ->
+              if Prng.int rng 5 = 0 then
+                Some
+                  (Update.withdraw ~from_as:(Asn.of_int 65533) ~to_as:vantage
+                     (Update.prefix u))
+              else None)
+            base
+        in
+        let updates =
+          Prng.shuffle_list rng (keep @ withdraws @ duplicates @ spurious)
+        in
+        (vantage, updates))
+      ~show:(fun (vantage, updates) ->
+        Printf.sprintf "vantage=AS%s\n%s" (Asn.to_string vantage)
+          (Feed.render_stream updates))
+      ~shrink:(fun (vantage, updates) ->
+        List.mapi
+          (fun i _ -> (vantage, List.filteri (fun j _ -> j <> i) updates))
+          updates)
+      ~check:(fun (vantage, updates) ->
+        let t = Lazy.force scen in
+        let graph = t.Scenario.graph in
+        let state = State.create ~graph ~vantage () in
+        State.apply_all state updates;
+        let batch_rib = Feed.apply_all ~vantage updates Rib.empty in
+        let compare_reports tag =
+          let stats_inc = js (Render.stats_of_state state) in
+          let stats_batch = js (Render.stats_of_rib batch_rib) in
+          if not (String.equal stats_inc stats_batch) then
+            Error
+              (Printf.sprintf "%s: stats diverge\nincremental: %s\nbatch:       %s"
+                 tag stats_inc stats_batch)
+          else begin
+            let report =
+              Export_infer.analyze graph ~provider:vantage
+                ~origins:(Export_infer.origins_of_rib batch_rib)
+                batch_rib
+            in
+            let sa_inc = js (Render.sa ~viewpoint:"live" (State.sa_report state)) in
+            let sa_batch = js (Render.sa ~viewpoint:"live" report) in
+            if String.equal sa_inc sa_batch then Ok 2
+            else Error (Printf.sprintf "%s: sa reports diverge" tag)
+          end
+        in
+        if not (Rib.equal (State.rib state) batch_rib) then
+          Error "incremental table diverges from Feed.apply_all fold"
+        else begin
+          match compare_reports "after interleaving" with
+          | Error _ as e -> e
+          | Ok n -> begin
+              (* Idempotence at the fixed point: re-announcing a live route
+                 and withdrawing from an absent session must change
+                 nothing. *)
+              let faults =
+                (match Rib.prefixes batch_rib with
+                | [] -> []
+                | prefix :: _ -> begin
+                    match Rib.candidates batch_rib prefix with
+                    | r :: _ -> [ announce_of_route vantage r ]
+                    | [] -> []
+                  end)
+                @
+                match Rib.prefixes batch_rib with
+                | [] -> []
+                | prefix :: _ ->
+                    [
+                      Update.withdraw ~from_as:(Asn.of_int 65533) ~to_as:vantage
+                        prefix;
+                    ]
+              in
+              State.apply_all state faults;
+              if not (Rib.equal (State.rib state) batch_rib) then
+                Error "fault replay changed the table (not idempotent)"
+              else begin
+                match compare_reports "after fault replay" with
+                | Error _ as e -> e
+                | Ok m -> Ok (n + m + 2)
+              end
+            end
+        end)
+      ()
+  in
   [
     sa_subset_monotone;
     import_renumber_invariant;
     gao_permutation_invariant;
     gao_ground_truth;
+    incremental_matches_batch;
   ]
 
 let suite ~seed =

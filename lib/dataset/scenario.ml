@@ -474,6 +474,25 @@ let overrides_fn t id = Option.value ~default:[] (Int_tbl.find_opt t.lp_override
 let rerun_with_atoms t atoms =
   Engine.propagate_all t.network ~retain:t.retain ~lp_overrides:(overrides_fn t) atoms
 
+type result_cache = (Atom.t * Engine.result) Int_tbl.t
+
+let create_result_cache () = Int_tbl.create 256
+
+let rerun_with_atoms_cached t cache atoms =
+  List.map
+    (fun (atom : Atom.t) ->
+      match Int_tbl.find_opt cache atom.Atom.id with
+      | Some (cached_atom, result) when Atom.equal cached_atom atom -> result
+      | Some _ | None ->
+          let result =
+            Engine.propagate t.network ~retain:t.retain
+              ~lp_overrides:(overrides_fn t atom.Atom.id)
+              atom
+          in
+          Int_tbl.replace cache atom.Atom.id (atom, result);
+          result)
+    atoms
+
 let observed_paths t =
   let collector_paths =
     Rib.fold

@@ -100,6 +100,18 @@ val rerun_with_atoms : t -> Atom.t list -> Engine.result list
 (** Re-propagate a modified atom list on the same network and retain set
     (used by the persistence timeline). *)
 
+type result_cache
+(** Per-atom propagation results keyed by atom id, reused across epochs
+    while the atom is structurally unchanged ({!Atom.equal}).  Propagation
+    is deterministic, so a cache hit returns the identical result. *)
+
+val create_result_cache : unit -> result_cache
+
+val rerun_with_atoms_cached : t -> result_cache -> Atom.t list -> Engine.result list
+(** Like {!rerun_with_atoms}, but only atoms that changed since their
+    cached propagation (or were never propagated) run the engine; results
+    come back in atom-list order either way. *)
+
 val observed_paths : t -> Asn.t list list
 (** All AS paths visible across collector and Looking-Glass tables, for
     relationship inference and path-activity checks. *)

@@ -1,0 +1,217 @@
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module Update = Rpi_bgp.Update
+module As_path = Rpi_bgp.As_path
+module Community = Rpi_bgp.Community
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+
+let apply ~vantage (u : Update.t) rib =
+  if Asn.equal u.Update.from_as vantage then begin
+    match u.Update.payload with
+    | Update.Announce route -> Rib.add_route route rib
+    | Update.Withdraw prefix -> Rib.withdraw_local prefix rib
+  end
+  else Update.apply u rib
+
+let apply_all ~vantage updates rib =
+  List.fold_left (fun rib u -> apply ~vantage u rib) rib updates
+
+let is_local (r : Route.t) = Option.is_none r.Route.peer_as
+
+let session_equal (a : Route.t) (b : Route.t) =
+  Option.equal Asn.equal a.Route.peer_as b.Route.peer_as
+  && Ipv4.equal a.Route.router_id b.Route.router_id
+
+(* An announce that round-trips through [apply]: peered routes are sent
+   from their peer (Update.apply re-stamps [peer_as] from the sender),
+   local routes from the vantage itself. *)
+let announce_of_route ~vantage (r : Route.t) =
+  match r.Route.peer_as with
+  | Some peer -> Update.announce ~from_as:peer ~to_as:vantage r
+  | None -> Update.announce ~from_as:vantage ~to_as:vantage r
+
+let diff ~vantage ~old_rib new_rib =
+  let prefixes =
+    List.sort_uniq Prefix.compare (Rib.prefixes old_rib @ Rib.prefixes new_rib)
+  in
+  List.concat_map
+    (fun prefix ->
+      let olds = Rib.candidates old_rib prefix in
+      let news = Rib.candidates new_rib prefix in
+      let old_locals = List.filter is_local olds in
+      let new_locals = List.filter is_local news in
+      let locals_changed =
+        not
+          (List.equal Route.equal
+             (List.sort Route.compare old_locals)
+             (List.sort Route.compare new_locals))
+      in
+      (* [Rib.withdraw_local] drops every local candidate at once, so a
+         local change withdraws the lot and re-announces the new set. *)
+      let local_withdraws =
+        if locals_changed && old_locals <> [] then
+          [ Update.withdraw ~from_as:vantage ~to_as:vantage prefix ]
+        else []
+      in
+      let local_announces = if locals_changed then new_locals else [] in
+      let peer_withdraws =
+        List.filter_map
+          (fun (o : Route.t) ->
+            match o.Route.peer_as with
+            | None -> None
+            | Some peer ->
+                if List.exists (session_equal o) news then None
+                else Some (Update.withdraw ~from_as:peer ~to_as:vantage prefix))
+          (List.sort Route.compare olds)
+      in
+      let peer_announces =
+        List.filter
+          (fun (n : Route.t) ->
+            (not (is_local n))
+            && not (List.exists (fun o -> session_equal o n && Route.equal o n) olds))
+          news
+      in
+      let announces =
+        List.map (announce_of_route ~vantage)
+          (List.sort Route.compare (local_announces @ peer_announces))
+      in
+      local_withdraws @ peer_withdraws @ announces)
+    prefixes
+
+(* --- NDJSON codec ------------------------------------------------- *)
+
+let source_to_string = function
+  | Route.Ebgp -> "ebgp"
+  | Route.Ibgp -> "ibgp"
+  | Route.Local -> "local"
+
+let source_of_string = function
+  | "ebgp" -> Ok Route.Ebgp
+  | "ibgp" -> Ok Route.Ibgp
+  | "local" -> Ok Route.Local
+  | s -> Error (Printf.sprintf "unknown route source %S" s)
+
+let route_to_json (r : Route.t) =
+  let base =
+    [
+      ("prefix", Rpi_json.String (Prefix.to_string r.Route.prefix));
+      ("next_hop", Rpi_json.String (Ipv4.to_string r.Route.next_hop));
+      ("as_path", Rpi_json.String (As_path.to_string r.Route.as_path));
+      ("origin", Rpi_json.String (Route.origin_to_string r.Route.origin));
+      ("source", Rpi_json.String (source_to_string r.Route.source));
+      ("igp_metric", Rpi_json.Int r.Route.igp_metric);
+      ("router_id", Rpi_json.String (Ipv4.to_string r.Route.router_id));
+    ]
+  in
+  let opt name f = function
+    | Some v -> [ (name, f v) ]
+    | None -> []
+  in
+  Rpi_json.Obj
+    (base
+    @ opt "local_pref" (fun v -> Rpi_json.Int v) r.Route.local_pref
+    @ opt "med" (fun v -> Rpi_json.Int v) r.Route.med
+    @ opt "peer_as" (fun a -> Rpi_json.Int (Asn.to_int a)) r.Route.peer_as
+    @
+    if Community.Set.is_empty r.Route.communities then []
+    else
+      [ ("communities", Rpi_json.String (Community.Set.to_string r.Route.communities)) ]
+    )
+
+let field name = function
+  | Rpi_json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let string_field name json =
+  match field name json with
+  | Some (Rpi_json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name json =
+  match field name json with
+  | Some (Rpi_json.Int n) -> Ok n
+  | Some _ -> Error (Printf.sprintf "field %S is not an int" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_int_field name json =
+  match field name json with
+  | Some (Rpi_json.Int n) -> Ok (Some n)
+  | Some _ -> Error (Printf.sprintf "field %S is not an int" name)
+  | None -> Ok None
+
+let route_of_json json =
+  let ( let* ) = Result.bind in
+  let* prefix = Result.bind (string_field "prefix" json) Prefix.of_string in
+  let* next_hop = Result.bind (string_field "next_hop" json) Ipv4.of_string in
+  let* as_path = Result.bind (string_field "as_path" json) As_path.of_string in
+  let* origin = Result.bind (string_field "origin" json) Route.origin_of_string in
+  let* source = Result.bind (string_field "source" json) source_of_string in
+  let* igp_metric = int_field "igp_metric" json in
+  let* router_id = Result.bind (string_field "router_id" json) Ipv4.of_string in
+  let* local_pref = opt_int_field "local_pref" json in
+  let* med = opt_int_field "med" json in
+  let* peer_as = opt_int_field "peer_as" json in
+  let* communities =
+    match field "communities" json with
+    | Some (Rpi_json.String s) -> Community.Set.of_string s
+    | Some _ -> Error "field \"communities\" is not a string"
+    | None -> Ok Community.Set.empty
+  in
+  Ok
+    (Route.make ~prefix ~next_hop ~as_path ~origin ?local_pref ?med ~communities
+       ~source ~igp_metric ~router_id
+       ?peer_as:(Option.map Asn.of_int peer_as)
+       ())
+
+let update_to_json (u : Update.t) =
+  let head kind =
+    [
+      ("type", Rpi_json.String kind);
+      ("from", Rpi_json.Int (Asn.to_int u.Update.from_as));
+      ("to", Rpi_json.Int (Asn.to_int u.Update.to_as));
+    ]
+  in
+  match u.Update.payload with
+  | Update.Announce r -> Rpi_json.Obj (head "announce" @ [ ("route", route_to_json r) ])
+  | Update.Withdraw p ->
+      Rpi_json.Obj (head "withdraw" @ [ ("prefix", Rpi_json.String (Prefix.to_string p)) ])
+
+let update_of_json json =
+  let ( let* ) = Result.bind in
+  let* kind = string_field "type" json in
+  let* from_as = Result.map Asn.of_int (int_field "from" json) in
+  let* to_as = Result.map Asn.of_int (int_field "to" json) in
+  match kind with
+  | "announce" -> begin
+      match field "route" json with
+      | Some route_json ->
+          let* route = route_of_json route_json in
+          Ok (Update.announce ~from_as ~to_as route)
+      | None -> Error "announce without \"route\""
+    end
+  | "withdraw" ->
+      let* prefix = Result.bind (string_field "prefix" json) Prefix.of_string in
+      Ok (Update.withdraw ~from_as ~to_as prefix)
+  | other -> Error (Printf.sprintf "unknown update type %S" other)
+
+let render_stream updates =
+  String.concat ""
+    (List.map (fun u -> Rpi_json.to_string (update_to_json u) ^ "\n") updates)
+
+let parse_stream text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if String.equal line "" then go (lineno + 1) acc rest
+        else begin
+          match Result.bind (Rpi_json.of_string line) update_of_json with
+          | Ok u -> go (lineno + 1) (u :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        end
+  in
+  go 1 [] lines

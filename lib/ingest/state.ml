@@ -1,0 +1,444 @@
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module Update = Rpi_bgp.Update
+module Decision = Rpi_bgp.Decision
+module As_graph = Rpi_topo.As_graph
+module Relationship = Rpi_topo.Relationship
+module Paths = Rpi_topo.Paths
+module Prefix = Rpi_net.Prefix
+module Export_infer = Rpi_core.Export_infer
+module Import_infer = Rpi_core.Import_infer
+module Peer_export = Rpi_core.Peer_export
+
+type origin_mode = Derived | Fixed of (Asn.t * Prefix.t list) list
+
+(* Everything the reports need to know about one prefix, recomputed only
+   when an update touches the prefix.  [compute_entry] is the sole writer,
+   so an entry is always the batch algorithms' verdicts for the current
+   candidate set. *)
+type entry = {
+  e_class : Export_infer.prefix_class;
+  e_best_origin : Asn.t option;
+  e_verdict : Import_infer.prefix_verdict;
+  e_obs : (Relationship.t * int) list;  (** import (class, local-pref) pairs *)
+  e_origins : Asn.t list;  (** distinct origin ASs among candidates *)
+  e_direct : Asn.t list;  (** origins also seen with themselves as next hop *)
+  e_sessions : (Asn.t * int) list;  (** routes per feeding neighbour *)
+  e_nroutes : int;
+}
+
+type stats = {
+  prefixes : int;
+  routes : int;
+  origin_ases : int;
+  feeding_sessions : int;
+}
+
+type counters = {
+  updates_applied : int;
+  refreshes : int;
+  prefixes_recomputed : int;
+  dirty_pairs : int;
+}
+
+type t = {
+  graph : As_graph.t;
+  vantage : Asn.t;
+  origins : origin_mode ref;
+  lock : Mutex.t;
+  rib : Rib.t ref;
+  entries : (Prefix.t, entry) Hashtbl.t;
+  dirty : (Prefix.t, Asn.Set.t) Hashtbl.t;
+      (** The invalidation frontier: (prefix, next-hop AS) pairs touched
+          by updates since the last refresh. *)
+  generation : int ref;  (** bumped per applied update *)
+  (* aggregates, maintained subtract-old/add-new on entry replacement *)
+  route_total : int ref;
+  best_origin_count : int Asn.Table.t;  (** prefixes per best-route origin *)
+  session_count : int Asn.Table.t;  (** routes per feeding neighbour *)
+  own_count : int Asn.Table.t;  (** prefixes originated per AS *)
+  direct_count : int Asn.Table.t;  (** of those, announced directly *)
+  imp_compared : int ref;
+  imp_typical : int ref;
+  imp_atypical : int ref;
+  class_value_count : (int * int, int) Hashtbl.t;
+      (** observations per (relationship rank, local-pref) *)
+  customer_memo : bool Asn.Table.t;  (** Paths.is_customer, graph is fixed *)
+  (* memoized report materializations, keyed by generation *)
+  memo_sa : (int * Export_infer.report) option ref;
+  memo_import : (int * Import_infer.report) option ref;
+  memo_peer : (int * Peer_export.report) option ref;
+  memo_stats : (int * stats) option ref;
+  (* observability *)
+  n_applied : int ref;
+  n_refreshes : int ref;
+  n_recomputed : int ref;
+}
+
+let bump tbl key delta =
+  let v = delta + Option.value ~default:0 (Asn.Table.find_opt tbl key) in
+  if v = 0 then Asn.Table.remove tbl key else Asn.Table.replace tbl key v
+
+let count_of tbl key = Option.value ~default:0 (Asn.Table.find_opt tbl key)
+
+let is_customer t origin =
+  match Asn.Table.find_opt t.customer_memo origin with
+  | Some b -> b
+  | None ->
+      let b = Paths.is_customer t.graph ~provider:t.vantage origin in
+      Asn.Table.replace t.customer_memo origin b;
+      b
+
+let compute_entry t prefix =
+  match Rib.candidates !(t.rib) prefix with
+  | [] -> None
+  | routes ->
+      let best = Decision.select_best routes in
+      let e_best_origin = Option.bind best Route.origin_as in
+      let e_class = Export_infer.classify_prefix t.graph ~provider:t.vantage !(t.rib) prefix in
+      let obs = Import_infer.observations_for t.graph ~vantage:t.vantage !(t.rib) prefix in
+      let e_obs =
+        List.map
+          (fun (o : Import_infer.observation) ->
+            (o.Import_infer.rel, o.Import_infer.local_pref))
+          obs
+      in
+      let e_verdict = Import_infer.judge obs in
+      let origins_of =
+        List.filter_map (fun r -> Route.origin_as r) routes
+        |> List.sort_uniq Asn.compare
+      in
+      let e_direct =
+        List.filter
+          (fun origin ->
+            List.exists
+              (fun r ->
+                Option.equal Asn.equal (Route.origin_as r) (Some origin)
+                && Option.equal Asn.equal (Route.next_hop_as r) (Some origin))
+              routes)
+          origins_of
+      in
+      let e_sessions =
+        List.fold_left
+          (fun acc (r : Route.t) ->
+            match r.Route.peer_as with
+            | None -> acc
+            | Some peer -> begin
+                match List.assoc_opt peer acc with
+                | Some n ->
+                    (peer, n + 1) :: List.filter (fun (p, _) -> not (Asn.equal p peer)) acc
+                | None -> (peer, 1) :: acc
+              end)
+          [] routes
+      in
+      Some
+        {
+          e_class;
+          e_best_origin;
+          e_verdict;
+          e_obs;
+          e_origins = origins_of;
+          e_direct;
+          e_sessions;
+          e_nroutes = List.length routes;
+        }
+
+(* Add ([sign] = 1) or retire ([sign] = -1) one entry's contribution to
+   every aggregate.  Symmetry here is the whole invariant: an entry leaves
+   the aggregates exactly as it entered them. *)
+let account t sign entry =
+  t.route_total := !(t.route_total) + (sign * entry.e_nroutes);
+  Option.iter (fun origin -> bump t.best_origin_count origin sign) entry.e_best_origin;
+  List.iter (fun (peer, n) -> bump t.session_count peer (sign * n)) entry.e_sessions;
+  List.iter (fun origin -> bump t.own_count origin sign) entry.e_origins;
+  List.iter (fun origin -> bump t.direct_count origin sign) entry.e_direct;
+  (match entry.e_verdict with
+  | Import_infer.Typical ->
+      t.imp_compared := !(t.imp_compared) + sign;
+      t.imp_typical := !(t.imp_typical) + sign
+  | Import_infer.Atypical ->
+      t.imp_compared := !(t.imp_compared) + sign;
+      t.imp_atypical := !(t.imp_atypical) + sign
+  | Import_infer.Incomparable -> ());
+  List.iter
+    (fun (rel, lp) ->
+      let key = (Relationship.rank rel, lp) in
+      let v = sign + Option.value ~default:0 (Hashtbl.find_opt t.class_value_count key) in
+      if v = 0 then Hashtbl.remove t.class_value_count key
+      else Hashtbl.replace t.class_value_count key v)
+    entry.e_obs
+
+let refresh t =
+  if Hashtbl.length t.dirty > 0 then begin
+    let prefixes = Hashtbl.fold (fun p _ acc -> p :: acc) t.dirty [] in
+    List.iter
+      (fun prefix ->
+        (match Hashtbl.find_opt t.entries prefix with
+        | Some old ->
+            account t (-1) old;
+            Hashtbl.remove t.entries prefix
+        | None -> ());
+        match compute_entry t prefix with
+        | Some entry ->
+            account t 1 entry;
+            Hashtbl.replace t.entries prefix entry
+        | None -> ())
+      prefixes;
+    t.n_recomputed := !(t.n_recomputed) + List.length prefixes;
+    t.n_refreshes := !(t.n_refreshes) + 1;
+    Hashtbl.reset t.dirty
+  end
+
+let create ~graph ~vantage ?(origins = Derived) ?(initial = Rib.empty) () =
+  let t =
+    {
+      graph;
+      vantage;
+      origins = ref origins;
+      lock = Mutex.create ();
+      rib = ref initial;
+      entries = Hashtbl.create 1024;
+      dirty = Hashtbl.create 64;
+      generation = ref 0;
+      route_total = ref 0;
+      best_origin_count = Asn.Table.create 256;
+      session_count = Asn.Table.create 64;
+      own_count = Asn.Table.create 256;
+      direct_count = Asn.Table.create 256;
+      imp_compared = ref 0;
+      imp_typical = ref 0;
+      imp_atypical = ref 0;
+      class_value_count = Hashtbl.create 32;
+      customer_memo = Asn.Table.create 256;
+      memo_sa = ref None;
+      memo_import = ref None;
+      memo_peer = ref None;
+      memo_stats = ref None;
+      n_applied = ref 0;
+      n_refreshes = ref 0;
+      n_recomputed = ref 0;
+    }
+  in
+  List.iter (fun p -> Hashtbl.replace t.dirty p Asn.Set.empty) (Rib.prefixes initial);
+  t
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let mark_dirty t prefix ~next_hop =
+  let hops = Option.value ~default:Asn.Set.empty (Hashtbl.find_opt t.dirty prefix) in
+  Hashtbl.replace t.dirty prefix (Asn.Set.add next_hop hops)
+
+let apply_locked t (u : Update.t) =
+  t.rib := Feed.apply ~vantage:t.vantage u !(t.rib);
+  mark_dirty t (Update.prefix u) ~next_hop:u.Update.from_as;
+  t.generation := !(t.generation) + 1;
+  t.n_applied := !(t.n_applied) + 1
+
+let apply t u = locked t (fun () -> apply_locked t u)
+
+let apply_all t updates =
+  locked t (fun () -> List.iter (fun u -> apply_locked t u) updates)
+
+let rib t = locked t (fun () -> !(t.rib))
+let generation t = locked t (fun () -> !(t.generation))
+
+let stats t =
+  locked t (fun () ->
+      match !(t.memo_stats) with
+      | Some (g, s) when g = !(t.generation) -> s
+      | Some _ | None ->
+          refresh t;
+          let s =
+            {
+              prefixes = Hashtbl.length t.entries;
+              routes = !(t.route_total);
+              origin_ases = Asn.Table.length t.best_origin_count;
+              feeding_sessions = Asn.Table.length t.session_count;
+            }
+          in
+          t.memo_stats := Some (!(t.generation), s);
+          s)
+
+(* Rebuild [Export_infer.analyze]'s report from cached per-prefix
+   classifications: same origin-group iteration, same counters, same sa
+   order — but no per-prefix decision process and no customer DFS. *)
+let materialize_sa t origins =
+  let customers_seen = ref 0 in
+  let customer_prefixes = ref 0 in
+  let sa = ref [] in
+  let customer_routed = ref 0 in
+  let unreachable = ref 0 in
+  List.iter
+    (fun (origin, prefixes) ->
+      if (not (Asn.equal origin t.vantage)) && is_customer t origin then begin
+        incr customers_seen;
+        List.iter
+          (fun prefix ->
+            incr customer_prefixes;
+            let klass =
+              match Hashtbl.find_opt t.entries prefix with
+              | Some entry -> entry.e_class
+              | None -> Export_infer.Unreachable
+            in
+            match klass with
+            | Export_infer.Customer_route -> incr customer_routed
+            | Export_infer.Unreachable -> incr unreachable
+            | Export_infer.Sa_prefix { next_hop; via } ->
+                sa :=
+                  { Export_infer.prefix; origin; next_hop; via } :: !sa)
+          prefixes
+      end)
+    origins;
+  let sa = List.rev !sa in
+  {
+    Export_infer.provider = t.vantage;
+    customers_seen = !customers_seen;
+    customer_prefixes = !customer_prefixes;
+    sa;
+    customer_routed = !customer_routed;
+    unreachable = !unreachable;
+    pct_sa =
+      (if !customer_prefixes = 0 then 0.0
+       else
+         100.0 *. float_of_int (List.length sa) /. float_of_int !customer_prefixes);
+  }
+
+(* [Export_infer.origins_of_rib] from the entry cache: prefixes grouped by
+   the best route's origin in table-iteration order, groups ascending. *)
+let derived_origins t =
+  let by_origin = Asn.Table.create 256 in
+  Rib.iter
+    (fun prefix _ ->
+      match Hashtbl.find_opt t.entries prefix with
+      | Some { e_best_origin = Some origin; _ } ->
+          let existing = Option.value ~default:[] (Asn.Table.find_opt by_origin origin) in
+          Asn.Table.replace by_origin origin (prefix :: existing)
+      | Some { e_best_origin = None; _ } | None -> ())
+    !(t.rib);
+  Asn.Table.fold (fun origin prefixes acc -> (origin, List.rev prefixes) :: acc) by_origin []
+  |> List.sort (fun (a, _) (b, _) -> Asn.compare a b)
+
+let sa_report t =
+  locked t (fun () ->
+      match !(t.memo_sa) with
+      | Some (g, r) when g = !(t.generation) -> r
+      | Some _ | None ->
+          refresh t;
+          let origins =
+            match !(t.origins) with
+            | Fixed origins -> origins
+            | Derived -> derived_origins t
+          in
+          let r = materialize_sa t origins in
+          t.memo_sa := Some (!(t.generation), r);
+          r)
+
+let sa_status t prefix =
+  locked t (fun () ->
+      refresh t;
+      match Hashtbl.find_opt t.entries prefix with
+      | Some entry -> entry.e_class
+      | None -> Export_infer.Unreachable)
+
+let import_report t =
+  locked t (fun () ->
+      match !(t.memo_import) with
+      | Some (g, r) when g = !(t.generation) -> r
+      | Some _ | None ->
+          refresh t;
+          let class_values =
+            List.map
+              (fun rel ->
+                let rank = Relationship.rank rel in
+                let vs =
+                  Hashtbl.fold
+                    (fun (r, lp) n acc -> if r = rank && n > 0 then lp :: acc else acc)
+                    t.class_value_count []
+                  |> List.sort_uniq Int.compare
+                in
+                (rel, vs))
+              Relationship.all
+            |> List.filter (fun (_, vs) -> vs <> [])
+          in
+          let compared = !(t.imp_compared) in
+          let r =
+            {
+              Import_infer.vantage = t.vantage;
+              prefixes_total = Hashtbl.length t.entries;
+              prefixes_compared = compared;
+              typical = !(t.imp_typical);
+              atypical = !(t.imp_atypical);
+              pct_typical =
+                (if compared = 0 then 100.0
+                 else 100.0 *. float_of_int !(t.imp_typical) /. float_of_int compared);
+              class_values;
+            }
+          in
+          t.memo_import := Some (!(t.generation), r);
+          r)
+
+let peer_report t =
+  locked t (fun () ->
+      match !(t.memo_peer) with
+      | Some (g, r) when g = !(t.generation) -> r
+      | Some _ | None ->
+          refresh t;
+          let profiles =
+            List.filter_map
+              (fun peer ->
+                let own = count_of t.own_count peer in
+                let direct = count_of t.direct_count peer in
+                if own = 0 then None
+                else
+                  Some
+                    {
+                      Peer_export.peer;
+                      own_prefixes = own;
+                      direct;
+                      announces_all = direct = own;
+                    })
+              (As_graph.peers t.graph t.vantage)
+          in
+          let peers_total = List.length profiles in
+          let peers_announcing =
+            List.length (List.filter (fun p -> p.Peer_export.announces_all) profiles)
+          in
+          let r =
+            {
+              Peer_export.vantage = t.vantage;
+              peers = profiles;
+              peers_total;
+              peers_announcing;
+              pct_announcing =
+                (if peers_total = 0 then 100.0
+                 else
+                   100.0 *. float_of_int peers_announcing /. float_of_int peers_total);
+            }
+          in
+          t.memo_peer := Some (!(t.generation), r);
+          r)
+
+let origin_groups t =
+  locked t (fun () ->
+      refresh t;
+      derived_origins t)
+
+let set_origins t origins =
+  locked t (fun () ->
+      t.origins := origins;
+      (* Only the SA view reads the origin universe. *)
+      t.memo_sa := None)
+
+let counters t =
+  locked t (fun () ->
+      {
+        updates_applied = !(t.n_applied);
+        refreshes = !(t.n_refreshes);
+        prefixes_recomputed = !(t.n_recomputed);
+        dirty_pairs = Hashtbl.fold (fun _ hops n -> n + max 1 (Asn.Set.cardinal hops)) t.dirty 0;
+      })
+
+let vantage t = t.vantage

@@ -7,19 +7,7 @@ type timed = { outcome : Exp.outcome; elapsed_s : float }
 
 type report = { jobs : int; wall_clock_s : float; results : timed list }
 
-let default_jobs () =
-  match Sys.getenv_opt "RPI_JOBS" with
-  | Some s -> begin
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None ->
-          Printf.eprintf
-            "warning: ignoring RPI_JOBS=%S (expected a positive integer); using %d domains\n%!"
-            s
-            (Domain.recommended_domain_count ());
-          Domain.recommended_domain_count ()
-    end
-  | None -> Domain.recommended_domain_count ()
+let default_jobs = Pool.default_jobs
 
 let now = Unix.gettimeofday
 
@@ -41,7 +29,7 @@ let run ?jobs ctx exps =
     Array.iteri (fun i exp -> slots.(i) <- Some (Ok (run_one ctx exp))) exps
   else begin
     let next = Atomic.make 0 in
-    let worker () =
+    let worker _id =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
@@ -54,10 +42,7 @@ let run ?jobs ctx exps =
       in
       loop ()
     in
-    (* The calling domain works too, so [jobs] includes it. *)
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
+    Pool.run ~jobs worker
   end;
   let results =
     Array.to_list slots

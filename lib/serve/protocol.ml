@@ -1,0 +1,153 @@
+module Asn = Rpi_bgp.Asn
+module Prefix = Rpi_net.Prefix
+
+type request =
+  | Sa_status of { asn : Asn.t; prefix : Prefix.t option }
+  | Import_pref of Asn.t
+  | Stats
+  | Snapshot
+
+let request_to_json = function
+  | Sa_status { asn; prefix } ->
+      Rpi_json.Obj
+        ([
+           ("cmd", Rpi_json.String "sa-status");
+           ("asn", Rpi_json.String (Asn.to_label asn));
+         ]
+        @
+        match prefix with
+        | Some p -> [ ("prefix", Rpi_json.String (Prefix.to_string p)) ]
+        | None -> [])
+  | Import_pref asn ->
+      Rpi_json.Obj
+        [
+          ("cmd", Rpi_json.String "import-pref");
+          ("asn", Rpi_json.String (Asn.to_label asn));
+        ]
+  | Stats -> Rpi_json.Obj [ ("cmd", Rpi_json.String "stats") ]
+  | Snapshot -> Rpi_json.Obj [ ("cmd", Rpi_json.String "snapshot") ]
+
+let field name = function
+  | Rpi_json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let string_field name json =
+  match field name json with
+  | Some (Rpi_json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let asn_field json = Result.bind (string_field "asn" json) Asn.of_string
+
+let request_of_json json =
+  let ( let* ) = Result.bind in
+  let* cmd = string_field "cmd" json in
+  match cmd with
+  | "sa-status" ->
+      let* asn = asn_field json in
+      let* prefix =
+        match field "prefix" json with
+        | Some (Rpi_json.String s) -> Result.map Option.some (Prefix.of_string s)
+        | Some _ -> Error "field \"prefix\" is not a string"
+        | None -> Ok None
+      in
+      Ok (Sa_status { asn; prefix })
+  | "import-pref" ->
+      let* asn = asn_field json in
+      Ok (Import_pref asn)
+  | "stats" -> Ok Stats
+  | "snapshot" -> Ok Snapshot
+  | other -> Error (Printf.sprintf "unknown command %S" other)
+
+let request_of_args = function
+  | [ "sa-status"; asn ] ->
+      Result.map (fun asn -> Sa_status { asn; prefix = None }) (Asn.of_string asn)
+  | [ "sa-status"; asn; prefix ] ->
+      Result.bind (Asn.of_string asn) (fun asn ->
+          Result.map
+            (fun p -> Sa_status { asn; prefix = Some p })
+            (Prefix.of_string prefix))
+  | [ "import-pref"; asn ] -> Result.map (fun a -> Import_pref a) (Asn.of_string asn)
+  | [ "stats" ] -> Ok Stats
+  | [ "snapshot" ] -> Ok Snapshot
+  | args ->
+      Error
+        (Printf.sprintf
+           "cannot parse query %S (expected: sa-status <asn> [prefix] | import-pref \
+            <asn> | stats | snapshot)"
+           (String.concat " " args))
+
+let error_response message = Rpi_json.Obj [ ("error", Rpi_json.String message) ]
+
+(* --- length-prefixed NDJSON framing ------------------------------- *)
+
+(* A frame is "<len>\n<body>" where <body> is one JSON document followed
+   by a newline and <len> is the byte length of <body> (newline
+   included).  The length line caps a malformed peer's damage; the body
+   stays valid NDJSON for anyone watching the wire. *)
+
+let max_frame = 64 * 1024 * 1024
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_frame fd body =
+  let body = body ^ "\n" in
+  let frame = Printf.sprintf "%d\n%s" (String.length body) body in
+  write_all fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
+
+let read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with
+  | 0 -> None
+  | _ -> Some (Bytes.get b 0)
+
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then Some (Bytes.unsafe_to_string buf)
+    else begin
+      match Unix.read fd buf off (len - off) with
+      | 0 -> None
+      | n -> go (off + n)
+    end
+  in
+  go 0
+
+let read_frame fd =
+  let rec length acc first =
+    match read_byte fd with
+    | None -> if first then Ok None else Error "connection closed inside a frame header"
+    | Some '\n' -> begin
+        match int_of_string_opt acc with
+        | Some n when n >= 1 && n <= max_frame -> Ok (Some n)
+        | Some _ | None -> Error (Printf.sprintf "bad frame length %S" acc)
+      end
+    | Some c when c >= '0' && c <= '9' -> length (acc ^ String.make 1 c) false
+    | Some c -> Error (Printf.sprintf "unexpected byte %C in frame header" c)
+  in
+  match length "" true with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some len) -> begin
+      match read_exactly fd len with
+      | None -> Error "connection closed inside a frame body"
+      | Some body ->
+          let body =
+            if String.length body > 0 && body.[String.length body - 1] = '\n' then
+              String.sub body 0 (String.length body - 1)
+            else body
+          in
+          Ok (Some body)
+    end
+
+let write_json fd json = write_frame fd (Rpi_json.to_string json)
+
+let read_json fd =
+  match read_frame fd with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some body) -> Result.map Option.some (Rpi_json.of_string body)

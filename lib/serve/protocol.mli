@@ -1,0 +1,39 @@
+(** The rpiserved wire protocol: length-prefixed NDJSON frames.
+
+    A frame is ["<len>\n<body>"] where [body] is exactly one JSON document
+    followed by a newline and [len] is the byte length of [body], newline
+    included.  Requests are objects like
+    [{"cmd":"sa-status","asn":"AS3549","prefix":"10.0.0.0/24"}]; responses
+    are the report objects of {!Rpi_ingest.Render} or
+    [{"error":"message"}]. *)
+
+module Asn = Rpi_bgp.Asn
+module Prefix = Rpi_net.Prefix
+
+type request =
+  | Sa_status of { asn : Asn.t; prefix : Prefix.t option }
+      (** Without a prefix: the vantage's full SA report.  With one: that
+          prefix's classification. *)
+  | Import_pref of Asn.t  (** Import local-pref typicality (Table 2). *)
+  | Stats  (** Collector table summary (the [bgptool stats] object). *)
+  | Snapshot  (** The collector table as a TABLE_DUMP text. *)
+
+val request_to_json : request -> Rpi_json.t
+val request_of_json : Rpi_json.t -> (request, string) result
+
+val request_of_args : string list -> (request, string) result
+(** Parse a CLI-shaped query, e.g. [["sa-status"; "AS10"; "10.0.0.0/24"]]
+    — what [bgptool query] sends. *)
+
+val error_response : string -> Rpi_json.t
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame one already-serialized JSON document (no trailing newline). *)
+
+val read_frame : Unix.file_descr -> (string option, string) result
+(** [Ok None] on clean EOF before a frame starts; [Error _] on a
+    malformed header, an oversized length, or EOF mid-frame.  The
+    returned body has its trailing newline stripped. *)
+
+val write_json : Unix.file_descr -> Rpi_json.t -> unit
+val read_json : Unix.file_descr -> (Rpi_json.t option, string) result

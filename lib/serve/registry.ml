@@ -1,0 +1,47 @@
+module Asn = Rpi_bgp.Asn
+module State = Rpi_ingest.State
+module Render = Rpi_ingest.Render
+
+type t = {
+  collector : State.t;
+  vantages : (Asn.t * State.t) list;
+}
+
+let create ~collector ~vantages = { collector; vantages }
+
+let find t asn =
+  List.find_opt (fun (a, _) -> Asn.equal a asn) t.vantages |> Option.map snd
+
+let snapshot t =
+  Rpi_mrt.Table_dump.rib_to_string
+    ~vantage_as:(State.vantage t.collector)
+    (State.rib t.collector)
+
+let respond t request =
+  match request with
+  | Protocol.Stats -> Render.stats_of_state t.collector
+  | Protocol.Snapshot ->
+      Rpi_json.Obj
+        [
+          ("format", Rpi_json.String "table_dump");
+          ("dump", Rpi_json.String (snapshot t));
+        ]
+  | Protocol.Sa_status { asn; prefix } -> begin
+      match find t asn with
+      | None ->
+          Protocol.error_response
+            (Printf.sprintf "%s is not a served vantage" (Asn.to_label asn))
+      | Some state -> begin
+          match prefix with
+          | None -> Render.sa ~viewpoint:"own-feed" (State.sa_report state)
+          | Some prefix ->
+              Render.sa_status ~provider:asn ~prefix (State.sa_status state prefix)
+        end
+    end
+  | Protocol.Import_pref asn -> begin
+      match find t asn with
+      | None ->
+          Protocol.error_response
+            (Printf.sprintf "%s is not a served vantage" (Asn.to_label asn))
+      | Some state -> Render.import_pref (State.import_report state)
+    end

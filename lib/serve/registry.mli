@@ -1,0 +1,24 @@
+(** The set of live {!Rpi_ingest.State}s a server answers from: one
+    collector-table state (for [stats] and [snapshot]) plus one state per
+    served vantage, each holding that provider's own-feed viewpoint. *)
+
+module Asn = Rpi_bgp.Asn
+module State = Rpi_ingest.State
+
+type t = {
+  collector : State.t;
+  vantages : (Asn.t * State.t) list;
+}
+
+val create : collector:State.t -> vantages:(Asn.t * State.t) list -> t
+val find : t -> Asn.t -> State.t option
+
+val snapshot : t -> string
+(** The collector table rendered as TABLE_DUMP text — pipe it back into
+    [bgptool stats] to cross-check the live [stats] answer. *)
+
+val respond : t -> Protocol.request -> Rpi_json.t
+(** Dispatch one request to the owning state.  Unknown vantages yield
+    {!Protocol.error_response}; report objects come from
+    {!Rpi_ingest.Render}, so they are byte-identical to the batch CLI's
+    output for the same table. *)

@@ -1,0 +1,231 @@
+type address = Unix_socket of string | Tcp of string * int
+
+let address_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad listen address %S (want unix:PATH or HOST:PORT)" s)
+  | Some i ->
+      let head = String.sub s 0 i in
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      if String.equal head "unix" then
+        if String.equal tail "" then Error "unix: needs a socket path"
+        else Ok (Unix_socket tail)
+      else begin
+        match int_of_string_opt tail with
+        | Some port when port > 0 && port < 65536 -> Ok (Tcp (head, port))
+        | Some _ | None -> Error (Printf.sprintf "bad port in listen address %S" s)
+      end
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type metrics = {
+  connections : int;
+  requests : int;
+  errors : int;
+  busy_s : float;  (** summed request handling time *)
+}
+
+type t = {
+  registry : Registry.t;
+  address : address;
+  listen_fd : Unix.file_descr;
+  pipe_rd : Unix.file_descr;
+  pipe_wr : Unix.file_descr;
+  stopping : bool Atomic.t;
+  log : (Rpi_json.t -> unit) option;
+  m_connections : int Atomic.t;
+  m_requests : int Atomic.t;
+  m_errors : int Atomic.t;
+  m_busy_us : int Atomic.t;  (* float seconds don't fetch_and_add *)
+}
+
+let bind_listen address =
+  let fd =
+    match address with
+    | Unix_socket path ->
+        if Sys.file_exists path then Sys.remove path;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp (host, port) ->
+        let addr =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        fd
+  in
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let create ?log ~address registry =
+  let listen_fd = bind_listen address in
+  let pipe_rd, pipe_wr = Unix.pipe () in
+  {
+    registry;
+    address;
+    listen_fd;
+    pipe_rd;
+    pipe_wr;
+    stopping = Atomic.make false;
+    log;
+    m_connections = Atomic.make 0;
+    m_requests = Atomic.make 0;
+    m_errors = Atomic.make 0;
+    m_busy_us = Atomic.make 0;
+  }
+
+let metrics t =
+  {
+    connections = Atomic.get t.m_connections;
+    requests = Atomic.get t.m_requests;
+    errors = Atomic.get t.m_errors;
+    busy_s = float_of_int (Atomic.get t.m_busy_us) /. 1e6;
+  }
+
+let shutdown t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake every worker parked in select; a single byte fans out because
+       nobody drains the pipe. *)
+    try ignore (Unix.write t.pipe_wr (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let stopping t = Atomic.get t.stopping
+let draining = stopping
+
+let record t ~ok ~elapsed =
+  Atomic.incr t.m_requests;
+  if not ok then Atomic.incr t.m_errors;
+  ignore (Atomic.fetch_and_add t.m_busy_us (int_of_float (elapsed *. 1e6)))
+
+let access_log t ~worker ~cmd ~ok ~elapsed =
+  match t.log with
+  | None -> ()
+  | Some log ->
+      log
+        (Rpi_json.Obj
+           [
+             ("worker", Rpi_json.Int worker);
+             ("cmd", Rpi_json.String cmd);
+             ("ok", Rpi_json.Bool ok);
+             ("elapsed_us", Rpi_json.Int (int_of_float (elapsed *. 1e6)));
+           ])
+
+let cmd_label = function
+  | Protocol.Sa_status { prefix = None; _ } -> "sa-status"
+  | Protocol.Sa_status { prefix = Some _; _ } -> "sa-status/prefix"
+  | Protocol.Import_pref _ -> "import-pref"
+  | Protocol.Stats -> "stats"
+  | Protocol.Snapshot -> "snapshot"
+
+(* Wait until [fd] is readable or the shutdown pipe fires.  [`Ready] means
+   data (or a peer) is waiting on [fd]. *)
+let rec wait_readable t fd =
+  match Unix.select [ fd; t.pipe_rd ] [] [] (-1.0) with
+  | readable, _, _ ->
+      if List.memq t.pipe_rd readable then `Stop
+      else if List.memq fd readable then `Ready
+      else wait_readable t fd
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if stopping t then `Stop else wait_readable t fd
+
+(* One connection: serve frames until the peer closes or drain starts.
+   An in-flight request always completes — drain only refuses to start
+   reading the next frame. *)
+let serve_connection t ~worker fd =
+  let rec loop () =
+    match wait_readable t fd with
+    | `Stop -> ()
+    | `Ready -> begin
+        match Protocol.read_frame fd with
+        | Ok None -> ()
+        | Error msg ->
+            Protocol.write_json fd (Protocol.error_response msg);
+            record t ~ok:false ~elapsed:0.0
+        | Ok (Some body) ->
+            let t0 = Unix.gettimeofday () in
+            let response, label, ok =
+              match Result.bind (Rpi_json.of_string body) Protocol.request_of_json with
+              | Ok request ->
+                  (Registry.respond t.registry request, cmd_label request, true)
+              | Error msg -> (Protocol.error_response msg, "parse-error", false)
+            in
+            let ok =
+              ok
+              &&
+              match response with
+              | Rpi_json.Obj (("error", _) :: _) -> false
+              | _ -> true
+            in
+            Protocol.write_json fd response;
+            let elapsed = Unix.gettimeofday () -. t0 in
+            record t ~ok ~elapsed;
+            access_log t ~worker ~cmd:label ~ok ~elapsed;
+            if not (stopping t) then loop ()
+      end
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () -> try loop () with Unix.Unix_error (Unix.EPIPE, _, _) -> ())
+
+let accept_loop t ~worker =
+  let rec loop () =
+    if not (stopping t) then begin
+      match wait_readable t t.listen_fd with
+      | `Stop -> ()
+      | `Ready -> begin
+          (* Workers race on the same non-blocking listener; losers get
+             EAGAIN and go back to select. *)
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+              Atomic.incr t.m_connections;
+              serve_connection t ~worker fd;
+              loop ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              loop ()
+        end
+    end
+  in
+  loop ()
+
+let serve ?jobs t = Rpi_runner.Pool.run ?jobs (fun worker -> accept_loop t ~worker)
+
+let close t =
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    [ t.listen_fd; t.pipe_rd; t.pipe_wr ];
+  match t.address with
+  | Unix_socket path -> if Sys.file_exists path then Sys.remove path
+  | Tcp _ -> ()
+
+(* --- client side --------------------------------------------------- *)
+
+let connect address =
+  match address with
+  | Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+
+let query address request =
+  let fd = connect address in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Protocol.write_json fd (Protocol.request_to_json request);
+      match Protocol.read_json fd with
+      | Ok (Some json) -> Ok json
+      | Ok None -> Error "server closed the connection without answering"
+      | Error _ as e -> e)

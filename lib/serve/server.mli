@@ -1,0 +1,57 @@
+(** The rpiserved socket server: a {!Rpi_runner.Pool}-backed accept loop
+    answering {!Protocol} requests from a {!Registry}.
+
+    Workers share one non-blocking listening socket and park in
+    [Unix.select] on it plus an internal shutdown pipe; {!shutdown}
+    (callable from a signal handler) writes the pipe once and every
+    worker drains: in-flight requests complete, no new frames are read,
+    and {!serve} returns. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+val address_of_string : string -> (address, string) result
+(** ["unix:PATH"] or ["HOST:PORT"]. *)
+
+val address_to_string : address -> string
+
+type metrics = {
+  connections : int;
+  requests : int;
+  errors : int;  (** Parse failures and error responses. *)
+  busy_s : float;  (** Summed request handling time. *)
+}
+
+type t
+
+val create : ?log:(Rpi_json.t -> unit) -> address:address -> Registry.t -> t
+(** Bind and listen.  [log] receives one access-log object per request
+    ([worker], [cmd], [ok], [elapsed_us]).  A pre-existing unix socket
+    path is removed first.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val serve : ?jobs:int -> t -> unit
+(** Run the accept loop on the calling domain plus [jobs - 1] spawned
+    ones ({!Rpi_runner.Pool.run} discipline).  Returns after
+    {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Begin graceful drain.  Async-signal-safe enough for a [Sys.signal]
+    handler: one atomic flag set plus one pipe write. *)
+
+val draining : t -> bool
+(** True once {!shutdown} has been called — what a replay feeder polls as
+    its [stop] condition. *)
+
+val close : t -> unit
+(** Release the listening socket and shutdown pipe; unlinks a unix socket
+    path.  Call after {!serve} returns. *)
+
+val metrics : t -> metrics
+
+(** {2 Client side} *)
+
+val connect : address -> Unix.file_descr
+
+val query : address -> Protocol.request -> (Rpi_json.t, string) result
+(** One-shot client: connect, send the request, read one response frame,
+    close.  What [bgptool query] uses. *)

@@ -43,6 +43,24 @@ let is_selective t =
   | Only_providers _ -> true)
   || not (Asn.Set.is_empty t.no_export_up)
 
+let scope_equal a b =
+  match (a, b) with
+  | All_providers, All_providers -> true
+  | Only_providers x, Only_providers y -> Asn.Set.equal x y
+  | (All_providers | Only_providers _), _ -> false
+
+let equal a b =
+  a.id = b.id
+  && Asn.equal a.origin b.origin
+  && List.equal Prefix.equal a.prefixes b.prefixes
+  && scope_equal a.provider_scope b.provider_scope
+  && Asn.Set.equal a.no_export_up b.no_export_up
+  && Asn.Set.equal a.withhold_peers b.withhold_peers
+  && Asn.Set.equal a.suppressed_at b.suppressed_at
+  && List.equal
+       (fun (nb1, n1) (nb2, n2) -> Asn.equal nb1 nb2 && Int.equal n1 n2)
+       a.prepend_to b.prepend_to
+
 let prefix_count t = List.length t.prefixes
 
 let pp fmt t =

@@ -50,6 +50,11 @@ val prepend_count : t -> neighbor:Asn.t -> int
 (** Extra copies of the origin inserted towards that neighbour (0 when
     none configured). *)
 
+val equal : t -> t -> bool
+(** Structural equality of the whole export spec (id, origin, prefixes in
+    order, provider scope, community sets, prepending) — what the timeline
+    differ uses to decide that an atom's announcement changed. *)
+
 val is_selective : t -> bool
 (** True when the export spec restricts propagation towards providers
     (subset scope or a community tag) — the ground-truth notion of

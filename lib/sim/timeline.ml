@@ -33,6 +33,87 @@ let hourly_churn =
 
 type epoch = { index : int; atoms : Atom.t list }
 
+type delta = {
+  added : Atom.t list;
+  removed : Atom.t list;
+  changed : (Atom.t * Atom.t) list;
+}
+
+let delta_between a b =
+  let by_id atoms =
+    let tbl = Hashtbl.create (List.length atoms) in
+    List.iter (fun (atom : Atom.t) -> Hashtbl.replace tbl atom.Atom.id atom) atoms;
+    tbl
+  in
+  let old_tbl = by_id a.atoms and new_tbl = by_id b.atoms in
+  let added =
+    List.filter (fun (atom : Atom.t) -> not (Hashtbl.mem old_tbl atom.Atom.id)) b.atoms
+  in
+  let removed =
+    List.filter (fun (atom : Atom.t) -> not (Hashtbl.mem new_tbl atom.Atom.id)) a.atoms
+  in
+  let changed =
+    List.filter_map
+      (fun (atom : Atom.t) ->
+        match Hashtbl.find_opt old_tbl atom.Atom.id with
+        | Some old when not (Atom.equal old atom) -> Some (old, atom)
+        | Some _ | None -> None)
+      b.atoms
+  in
+  { added; removed; changed }
+
+let by_atom_id (x : Atom.t) (y : Atom.t) = Int.compare x.Atom.id y.Atom.id
+
+(* Origination events between two epochs: a withdraw per prefix that left
+   the announced set, an announce per prefix of a new or re-specified atom
+   (BGP replaces on re-announcement, so a changed atom needs no explicit
+   withdraw first).  The updates are self-originated — [from_as] and
+   [to_as] are both the origin, the path empty — because they describe
+   what the origin injects, before any propagation. *)
+let updates_between a b =
+  let d = delta_between a b in
+  let withdraw_atom (atom : Atom.t) =
+    List.map
+      (fun prefix -> Rpi_bgp.Update.withdraw ~from_as:atom.Atom.origin ~to_as:atom.Atom.origin prefix)
+      atom.Atom.prefixes
+  in
+  let announce_atom (atom : Atom.t) =
+    List.map
+      (fun prefix ->
+        let route =
+          Rpi_bgp.Route.make ~prefix
+            ~next_hop:(Rpi_net.Ipv4.of_int32_exn 0)
+            ~as_path:Rpi_bgp.As_path.empty ~source:Rpi_bgp.Route.Local ()
+        in
+        Rpi_bgp.Update.announce ~from_as:atom.Atom.origin ~to_as:atom.Atom.origin route)
+      atom.Atom.prefixes
+  in
+  (* A changed atom re-announces every current prefix; prefixes dropped
+     from its list (none under [evolve], but the differ is general) are
+     withdrawn explicitly. *)
+  let dropped_prefix_withdraws =
+    List.concat_map
+      (fun ((old : Atom.t), (fresh : Atom.t)) ->
+        List.filter_map
+          (fun prefix ->
+            if List.exists (Rpi_net.Prefix.equal prefix) fresh.Atom.prefixes then None
+            else
+              Some
+                (Rpi_bgp.Update.withdraw ~from_as:old.Atom.origin ~to_as:old.Atom.origin
+                   prefix))
+          old.Atom.prefixes)
+      (List.sort (fun (x, _) (y, _) -> by_atom_id x y) d.changed)
+  in
+  let withdraws =
+    List.concat_map withdraw_atom (List.sort by_atom_id d.removed)
+    @ dropped_prefix_withdraws
+  in
+  let announces =
+    List.concat_map announce_atom
+      (List.sort by_atom_id (d.added @ List.map snd d.changed))
+  in
+  withdraws @ announces
+
 (* Re-sample the provider scope of [atom]: any non-empty subset of the
    origin's providers, or all of them. *)
 let resample_scope rng graph (atom : Atom.t) =

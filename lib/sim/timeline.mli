@@ -41,6 +41,27 @@ type epoch = {
   atoms : Atom.t list;  (** Atoms visible in this epoch (outages removed). *)
 }
 
+type delta = {
+  added : Atom.t list;  (** In [b] but not [a] (by atom id). *)
+  removed : Atom.t list;  (** In [a] but not [b] (by atom id). *)
+  changed : (Atom.t * Atom.t) list;
+      (** [(old, new)] pairs present in both but not [Atom.equal];
+          listed in [b]'s order. *)
+}
+
+val delta_between : epoch -> epoch -> delta
+(** Structural diff of two epochs' atom lists, keyed by atom id. *)
+
+val updates_between : epoch -> epoch -> Rpi_bgp.Update.t list
+(** The origin-level BGP update stream that turns epoch [a]'s announced
+    state into epoch [b]'s: withdraws for prefixes that left the announced
+    set (removed atoms, and prefixes dropped from a changed atom), then
+    announces for every prefix of an added or changed atom (BGP replaces
+    on re-announcement, so changed atoms need no withdraw first).  Each
+    update is self-originated ([from_as] = [to_as] = origin, empty AS
+    path, source [Local]).  Order is deterministic: withdraws before
+    announces, each sorted by (atom id, prefix-list order). *)
+
 val evolve :
   Rpi_prng.Prng.t ->
   graph:Rpi_topo.As_graph.t ->

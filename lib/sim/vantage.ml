@@ -42,7 +42,7 @@ let route_of_engine ~policy ~prefix ~origin ?(igp_metric = 0) (r : Engine.route)
         ~communities:(communities_of policy ~origin r) ~source:Route.Ebgp
         ~igp_metric ~router_id:(next_hop_of neighbor) ~peer_as:neighbor ()
 
-let rib_at ~policy ~vantage results =
+let extend_rib_at ~policy ~vantage rib results =
   List.fold_left
     (fun rib (result : Engine.result) ->
       match Asn.Map.find_opt vantage result.Engine.tables with
@@ -55,7 +55,9 @@ let rib_at ~policy ~vantage results =
                 (fun rib r -> Rib.add_route (route_of_engine ~policy ~prefix ~origin r) rib)
                 rib table.Engine.candidates)
             rib result.Engine.atom.Atom.prefixes)
-    Rib.empty results
+    rib results
+
+let rib_at ~policy ~vantage results = extend_rib_at ~policy ~vantage Rib.empty results
 
 let collector_rib ~peers results =
   List.fold_left

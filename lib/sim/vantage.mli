@@ -23,6 +23,12 @@ val rib_at : policy:Policy.t -> vantage:Asn.t -> Engine.result list -> Rib.t
     its import policy and communities tagged per its community scheme.
     Routes the AS originates itself appear as [Local] routes. *)
 
+val extend_rib_at :
+  policy:Policy.t -> vantage:Asn.t -> Rib.t -> Engine.result list -> Rib.t
+(** {!rib_at} folded onto an existing table instead of an empty one — the
+    incremental persistence experiments remove a changed atom's stale
+    routes and extend with just the re-propagated results. *)
+
 val collector_rib : peers:Asn.t list -> Engine.result list -> Rib.t
 (** RouteViews-style table: for each feeding peer, its best route per
     prefix (AS path prepended with the peer itself), no local preference.

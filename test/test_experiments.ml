@@ -91,6 +91,106 @@ let test_relationship_inference_quality () =
   let acc = Rpi_relinfer.Validate.accuracy report in
   Alcotest.(check bool) (Printf.sprintf "accuracy %.3f above 0.93" acc) true (acc > 0.93)
 
+let test_context_delta_invalidation () =
+  (* Context's memoized SA analysis is now an incremental state: the
+     cached report matches the batch recompute, and advancing the feed
+     recomputes only the touched prefix. *)
+  let c = Lazy.force ctx in
+  let s = c.Context.scenario in
+  let provider = List.hd s.Scenario.topo.Rpi_topo.Gen.tier1 in
+  let rib, report = Context.sa_view c provider in
+  let batch =
+    Export_infer.analyze c.Context.corrected ~provider
+      ~origins:c.Context.collector_origins
+      (Export_infer.viewpoint_of_feed ~feed:provider s.Scenario.collector)
+  in
+  Alcotest.(check (float 1e-9)) "cached report = batch" batch.Export_infer.pct_sa
+    report.Export_infer.pct_sa;
+  Alcotest.(check int) "cached sa count = batch"
+    (List.length batch.Export_infer.sa)
+    (List.length report.Export_infer.sa);
+  let before = Context.feed_counters c provider in
+  let prefix, from_as =
+    (* A prefix with a peered route, so the withdraw removes something. *)
+    match
+      List.find_map
+        (fun p ->
+          match Rpi_bgp.Rib.candidates rib p with
+          | (r : Rpi_bgp.Route.t) :: _ ->
+              Option.map (fun a -> (p, a)) r.Rpi_bgp.Route.peer_as
+          | [] -> None)
+        (Rpi_bgp.Rib.prefixes rib)
+    with
+    | Some found -> found
+    | None -> Alcotest.fail "viewpoint has no peered route"
+  in
+  Context.advance_feed c provider
+    [ Rpi_bgp.Update.withdraw ~from_as ~to_as:provider prefix ];
+  let report' = Context.sa_report c provider in
+  let after = Context.feed_counters c provider in
+  Alcotest.(check int) "one update applied"
+    (before.Rpi_ingest.State.updates_applied + 1)
+    after.Rpi_ingest.State.updates_applied;
+  Alcotest.(check bool) "refresh touched exactly the withdrawn prefix" true
+    (after.Rpi_ingest.State.prefixes_recomputed
+    <= before.Rpi_ingest.State.prefixes_recomputed + 1);
+  let batch' =
+    Export_infer.analyze c.Context.corrected ~provider
+      ~origins:c.Context.collector_origins
+      (fst (Context.sa_view c provider))
+  in
+  Alcotest.(check int) "advanced report = batch over advanced table"
+    (List.length batch'.Export_infer.sa)
+    (List.length report'.Export_infer.sa)
+
+let test_incremental_epoch_ribs () =
+  (* The invalidation scheme fig6+7 runs on: withdraw-touched prefixes
+     removed, only changed atoms re-propagated (cached otherwise), table
+     extended in place.  Every epoch must equal the from-scratch rebuild. *)
+  let c = Lazy.force ctx in
+  let s = c.Context.scenario in
+  let provider = Asn.of_int 1 in
+  let policy = Scenario.policy_of s provider in
+  let rng = Rpi_prng.Prng.create ~seed:11 in
+  let timeline =
+    Rpi_sim.Timeline.evolve rng ~graph:s.Scenario.graph
+      ~churn:Rpi_sim.Timeline.monthly_churn ~epochs:5 s.Scenario.atoms
+  in
+  let cache = Scenario.create_result_cache () in
+  let module Rib = Rpi_bgp.Rib in
+  let step (prev, rib) (ep : Rpi_sim.Timeline.epoch) =
+    match prev with
+    | None ->
+        Rpi_sim.Vantage.rib_at ~policy ~vantage:provider
+          (Scenario.rerun_with_atoms_cached s cache ep.Rpi_sim.Timeline.atoms)
+    | Some prev_ep ->
+        let touched =
+          List.map Rpi_bgp.Update.prefix
+            (Rpi_sim.Timeline.updates_between prev_ep ep)
+        in
+        let rib = List.fold_left (Fun.flip Rib.remove_routes) rib touched in
+        let delta = Rpi_sim.Timeline.delta_between prev_ep ep in
+        let fresh =
+          delta.Rpi_sim.Timeline.added @ List.map snd delta.Rpi_sim.Timeline.changed
+        in
+        Rpi_sim.Vantage.extend_rib_at ~policy ~vantage:provider rib
+          (Scenario.rerun_with_atoms_cached s cache fresh)
+  in
+  ignore
+    (List.fold_left
+       (fun st (ep : Rpi_sim.Timeline.epoch) ->
+         let rib = step st ep in
+         let batch =
+           Rpi_sim.Vantage.rib_at ~policy ~vantage:provider
+             (Scenario.rerun_with_atoms s ep.Rpi_sim.Timeline.atoms)
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "epoch %d incremental rib = batch rib"
+              ep.Rpi_sim.Timeline.index)
+           true (Rib.equal rib batch);
+         (Some ep, rib))
+       (None, Rib.empty) timeline)
+
 let test_run_all_smoke () =
   (* run_all stitches every section together without raising. *)
   let c = Lazy.force ctx in
@@ -110,6 +210,9 @@ let () =
           Alcotest.test_case "next-hop consistency shape" `Quick test_nexthop_shape;
           Alcotest.test_case "SA shape" `Quick test_sa_shape;
           Alcotest.test_case "inference quality" `Quick test_relationship_inference_quality;
+          Alcotest.test_case "context delta invalidation" `Quick
+            test_context_delta_invalidation;
+          Alcotest.test_case "incremental epoch ribs" `Slow test_incremental_epoch_ribs;
           Alcotest.test_case "run_all smoke" `Slow test_run_all_smoke;
         ] );
     ]

@@ -178,6 +178,92 @@ let test_trie_map_filter () =
   let odd = Trie.filter (fun _ v -> v mod 2 = 1) t in
   Alcotest.(check int) "filtered" 2 (Trie.cardinal odd)
 
+let test_trie_default_route () =
+  (* 0.0.0.0/0 is the zero-depth root entry: it matches the entire
+     address space (both extremes included), is its own exact match, and
+     subsumes every other binding. *)
+  let t = Trie.empty |> Trie.add (p "0.0.0.0/0") 0 |> Trie.add (p "128.0.0.0/1") 1 in
+  let lm a =
+    match Trie.longest_match (addr a) t with
+    | Some (_, v) -> v
+    | None -> Alcotest.failf "%s: no match under a default route" a
+  in
+  Alcotest.(check int) "lowest address" 0 (lm "0.0.0.0");
+  Alcotest.(check int) "highest address hits the /1" 1 (lm "255.255.255.255");
+  Alcotest.(check int) "just below the /1" 0 (lm "127.255.255.255");
+  Alcotest.(check (option int)) "default is an exact match" (Some 0)
+    (Trie.find (p "0.0.0.0/0") t);
+  Alcotest.(check int) "default subsumes everything" 2
+    (List.length (Trie.subsumed_by (p "0.0.0.0/0") t));
+  Alcotest.(check (list int)) "default is every prefix's supernet" [ 0; 1 ]
+    (Trie.supernets_of (p "255.0.0.0/8") t |> List.map snd)
+
+let test_trie_host_routes () =
+  (* /32s sit at maximum depth: exact match, longest match and covering
+     queries must all agree, including at the address-space extremes. *)
+  let t =
+    Trie.of_list
+      [
+        (p "10.0.0.0/24", 24);
+        (p "10.0.0.1/32", 1);
+        (p "10.0.0.2/32", 2);
+        (p "0.0.0.0/32", 100);
+        (p "255.255.255.255/32", 101);
+      ]
+  in
+  let lm a =
+    match Trie.longest_match (addr a) t with
+    | Some (_, v) -> v
+    | None -> Alcotest.failf "%s: no match" a
+  in
+  Alcotest.(check int) "host beats covering /24" 1 (lm "10.0.0.1");
+  Alcotest.(check int) "second host" 2 (lm "10.0.0.2");
+  Alcotest.(check int) "non-host falls to the /24" 24 (lm "10.0.0.3");
+  Alcotest.(check int) "zero host" 100 (lm "0.0.0.0");
+  Alcotest.(check int) "broadcast host" 101 (lm "255.255.255.255");
+  Alcotest.(check (option int)) "exact /32" (Some 1) (Trie.find (p "10.0.0.1/32") t);
+  Alcotest.(check bool) "a /32 cannot split further" true
+    (Prefix.split (p "10.0.0.1/32") = None);
+  Alcotest.(check int) "hosts are the /24's strict more-specifics" 2
+    (List.length (Trie.strict_more_specifics (p "10.0.0.0/24") t))
+
+let test_trie_adjacent_siblings () =
+  (* Two same-length siblings split a parent on one bit.  The match for
+     an address in either half must pick that half — never leak to the
+     adjacent sibling — even at the first/last address of each half, and
+     removing one sibling falls back to the parent, not the neighbour. *)
+  let t =
+    Trie.of_list
+      [ (p "10.0.0.0/24", 24); (p "10.0.0.0/25", 1); (p "10.0.0.128/25", 2) ]
+  in
+  let lm trie a =
+    match Trie.longest_match (addr a) trie with
+    | Some (q, v) -> (Prefix.to_string q, v)
+    | None -> Alcotest.failf "%s: no match" a
+  in
+  Alcotest.(check (pair string int)) "first address of the low half"
+    ("10.0.0.0/25", 1) (lm t "10.0.0.0");
+  Alcotest.(check (pair string int)) "last address of the low half"
+    ("10.0.0.0/25", 1) (lm t "10.0.0.127");
+  Alcotest.(check (pair string int)) "first address of the high half"
+    ("10.0.0.128/25", 2) (lm t "10.0.0.128");
+  Alcotest.(check (pair string int)) "last address of the high half"
+    ("10.0.0.128/25", 2) (lm t "10.0.0.255");
+  let without_low = Trie.remove (p "10.0.0.0/25") t in
+  Alcotest.(check (pair string int)) "orphaned half falls back to the parent"
+    ("10.0.0.0/24", 24)
+    (lm without_low "10.0.0.127");
+  Alcotest.(check (pair string int)) "surviving sibling unaffected"
+    ("10.0.0.128/25", 2)
+    (lm without_low "10.0.0.128");
+  Alcotest.(check bool) "sibling is not its neighbour's supernet" false
+    (List.exists
+       (fun (q, _) -> Prefix.equal q (p "10.0.0.0/25"))
+       (Trie.supernets_of (p "10.0.0.128/25") t));
+  match Prefix.aggregate (p "10.0.0.0/25") (p "10.0.0.128/25") with
+  | Some parent -> Alcotest.check prefix_testable "siblings aggregate" (p "10.0.0.0/24") parent
+  | None -> Alcotest.fail "adjacent siblings must aggregate"
+
 (* --- Prefix sets --- *)
 
 let test_pset_ops () =
@@ -298,6 +384,9 @@ let () =
           Alcotest.test_case "sorted listing" `Quick test_trie_to_list_sorted;
           Alcotest.test_case "update" `Quick test_trie_update;
           Alcotest.test_case "map/filter" `Quick test_trie_map_filter;
+          Alcotest.test_case "default route boundaries" `Quick test_trie_default_route;
+          Alcotest.test_case "host routes" `Quick test_trie_host_routes;
+          Alcotest.test_case "adjacent siblings" `Quick test_trie_adjacent_siblings;
         ] );
       ( "prefix_set",
         [

@@ -1,0 +1,189 @@
+(* The socket server end to end, in process: frame a request over a unix
+   socket, get the same bytes a direct Render call produces, and drain
+   cleanly while connections are open. *)
+
+module Asn = Rpi_bgp.Asn
+module Rib = Rpi_bgp.Rib
+module Route = Rpi_bgp.Route
+module As_path = Rpi_bgp.As_path
+module Prefix = Rpi_net.Prefix
+module Ipv4 = Rpi_net.Ipv4
+module As_graph = Rpi_topo.As_graph
+module State = Rpi_ingest.State
+module Render = Rpi_ingest.Render
+module Protocol = Rpi_serve.Protocol
+module Registry = Rpi_serve.Registry
+module Server = Rpi_serve.Server
+
+let asn = Asn.of_int
+let p s = Prefix.of_string_exn s
+let js = Rpi_json.to_string
+
+let graph () =
+  let v = asn 100 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:v ~customer:(asn 10) in
+  let g = As_graph.add_p2c g ~provider:(asn 10) ~customer:(asn 11) in
+  let g = As_graph.add_p2p g v (asn 20) in
+  let g = As_graph.add_p2c g ~provider:(asn 30) ~customer:v in
+  let g = As_graph.add_p2c g ~provider:(asn 20) ~customer:(asn 11) in
+  g
+
+let route ?(lp = 100) ~peer ~rid path prefix =
+  Route.make ~prefix
+    ~next_hop:(Ipv4.of_octets 192 0 2 rid)
+    ~as_path:(As_path.of_list (List.map asn path))
+    ~local_pref:lp
+    ~router_id:(Ipv4.of_octets 192 0 2 rid)
+    ~peer_as:(asn peer) ()
+
+let registry () =
+  let g = graph () in
+  let v = asn 100 in
+  let rib =
+    Rib.of_routes
+      [
+        route ~peer:10 ~rid:1 ~lp:120 [ 10; 11 ] (p "10.11.0.0/16");
+        route ~peer:20 ~rid:2 ~lp:90 [ 20; 11 ] (p "10.12.0.0/16");
+        route ~peer:30 ~rid:3 ~lp:80 [ 30; 40 ] (p "40.0.0.0/8");
+      ]
+  in
+  let state = State.create ~graph:g ~vantage:v ~initial:rib () in
+  Registry.create ~collector:state ~vantages:[ (v, state) ]
+
+let socket_path () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rpiserved-test-%d.sock" (Unix.getpid ()))
+
+(* Protocol framing without any socket: a pipe is enough. *)
+let test_framing () =
+  let rd, wr = Unix.pipe () in
+  let payloads = [ "{\"cmd\":\"stats\"}"; "{}"; String.make 4000 'x' ] in
+  List.iter (fun body -> Protocol.write_frame wr body) payloads;
+  Unix.close wr;
+  let read_back =
+    List.map
+      (fun _ ->
+        match Protocol.read_frame rd with
+        | Ok (Some body) -> body
+        | Ok None -> Alcotest.fail "unexpected EOF"
+        | Error e -> Alcotest.failf "read_frame: %s" e)
+      payloads
+  in
+  (match Protocol.read_frame rd with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "expected clean EOF"
+  | Error e -> Alcotest.failf "EOF read: %s" e);
+  Unix.close rd;
+  List.iter2
+    (fun sent got -> Alcotest.(check string) "frame round-trips" sent got)
+    payloads read_back;
+  let rd, wr = Unix.pipe () in
+  ignore (Unix.write_substring wr "notdigits\n" 0 10);
+  Unix.close wr;
+  (match Protocol.read_frame rd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header must be rejected");
+  Unix.close rd
+
+let test_request_parsing () =
+  List.iter
+    (fun args ->
+      match Protocol.request_of_args args with
+      | Error e -> Alcotest.failf "parse %s: %s" (String.concat " " args) e
+      | Ok request ->
+          let round =
+            Result.bind
+              (Rpi_json.of_string (js (Protocol.request_to_json request)))
+              Protocol.request_of_json
+          in
+          (match round with
+          | Ok request' ->
+              Alcotest.(check string)
+                "request json round-trips"
+                (js (Protocol.request_to_json request))
+                (js (Protocol.request_to_json request'))
+          | Error e -> Alcotest.failf "round-trip: %s" e))
+    [
+      [ "sa-status"; "AS100" ];
+      [ "sa-status"; "AS100"; "10.12.0.0/16" ];
+      [ "import-pref"; "AS100" ];
+      [ "stats" ];
+      [ "snapshot" ];
+    ];
+  match Protocol.request_of_args [ "bogus" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown command must be rejected"
+
+(* Full loop: serve on a unix socket from a spawned domain, query from
+   the test domain, then shut down and join. *)
+let test_socket_round_trip () =
+  let reg = registry () in
+  let path = socket_path () in
+  let address = Server.Unix_socket path in
+  let server = Server.create ~address reg in
+  let server_domain = Domain.spawn (fun () -> Server.serve ~jobs:2 server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join server_domain;
+      Server.close server)
+    (fun () ->
+      let expect_response request =
+        match Server.query address request with
+        | Ok json -> json
+        | Error e -> Alcotest.failf "query: %s" e
+      in
+      Alcotest.(check string)
+        "stats over the socket"
+        (js (Render.stats_of_state reg.Registry.collector))
+        (js (expect_response Protocol.Stats));
+      Alcotest.(check string)
+        "sa-status over the socket"
+        (js (Registry.respond reg (Protocol.Sa_status { asn = asn 100; prefix = None })))
+        (js (expect_response (Protocol.Sa_status { asn = asn 100; prefix = None })));
+      (match
+         expect_response
+           (Protocol.Sa_status { asn = asn 100; prefix = Some (p "10.12.0.0/16") })
+       with
+      | Rpi_json.Obj fields ->
+          Alcotest.(check bool)
+            "per-prefix status is selective" true
+            (List.assoc_opt "status" fields
+            = Some (Rpi_json.String "selective"))
+      | _ -> Alcotest.fail "sa-status response is not an object");
+      (match expect_response (Protocol.Sa_status { asn = asn 999; prefix = None }) with
+      | Rpi_json.Obj (("error", _) :: _) -> ()
+      | _ -> Alcotest.fail "unknown vantage must answer an error object");
+      (* Snapshot text must feed the batch path: same stats from the dump. *)
+      (match expect_response Protocol.Snapshot with
+      | Rpi_json.Obj fields -> begin
+          match List.assoc_opt "dump" fields with
+          | Some (Rpi_json.String dump) -> begin
+              match Rpi_mrt.Loader.parse_any dump with
+              | Ok rib ->
+                  Alcotest.(check string)
+                    "snapshot round-trips through the batch path"
+                    (js (Render.stats_of_state reg.Registry.collector))
+                    (js (Render.stats_of_rib rib))
+              | Error e -> Alcotest.failf "snapshot parse: %s" e
+            end
+          | _ -> Alcotest.fail "snapshot lacks a dump field"
+        end
+      | _ -> Alcotest.fail "snapshot response is not an object");
+      let m = Server.metrics server in
+      Alcotest.(check bool) "served at least 5 requests" true (m.Server.requests >= 5);
+      Alcotest.(check int) "one error (unknown vantage)" 1 m.Server.errors);
+  Alcotest.(check bool) "socket removed on close" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "rpi_serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "framing" `Quick test_framing;
+          Alcotest.test_case "request parsing" `Quick test_request_parsing;
+        ] );
+      ( "server",
+        [ Alcotest.test_case "socket round trip" `Quick test_socket_round_trip ] );
+    ]

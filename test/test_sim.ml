@@ -300,6 +300,79 @@ let test_timeline () =
     (fun ep -> Alcotest.(check int) "atom present" 1 (List.length ep.Timeline.atoms))
     epochs
 
+let test_updates_between () =
+  let module Update = Rpi_bgp.Update in
+  let a1 = Atom.vanilla ~id:1 ~origin:(asn 10) [ p "10.0.0.0/24"; p "10.0.1.0/24" ] in
+  let a2 = Atom.vanilla ~id:2 ~origin:(asn 20) [ p "20.0.0.0/24"; p "20.0.1.0/24" ] in
+  let a2' =
+    Atom.make ~id:2 ~origin:(asn 20)
+      ~provider_scope:(Atom.Only_providers (Asn.Set.singleton (asn 30)))
+      [ p "20.0.0.0/24" ]
+  in
+  let a3 = Atom.vanilla ~id:3 ~origin:(asn 30) [ p "30.0.0.0/24" ] in
+  let ea = { Timeline.index = 0; atoms = [ a1; a2 ] } in
+  let eb = { Timeline.index = 1; atoms = [ a3; a2' ] } in
+  let d = Timeline.delta_between ea eb in
+  Alcotest.(check (list int))
+    "added ids" [ 3 ]
+    (List.map (fun (x : Atom.t) -> x.Atom.id) d.Timeline.added);
+  Alcotest.(check (list int))
+    "removed ids" [ 1 ]
+    (List.map (fun (x : Atom.t) -> x.Atom.id) d.Timeline.removed);
+  Alcotest.(check (list int))
+    "changed ids" [ 2 ]
+    (List.map (fun ((_, x) : Atom.t * Atom.t) -> x.Atom.id) d.Timeline.changed);
+  let show u =
+    let kind =
+      match u.Update.payload with
+      | Update.Announce _ -> "announce"
+      | Update.Withdraw _ -> "withdraw"
+    in
+    Printf.sprintf "%s %s from %d" kind
+      (Prefix.to_string (Update.prefix u))
+      (Asn.to_int u.Update.from_as)
+  in
+  let ups = Timeline.updates_between ea eb in
+  (* Withdraws first: removed atom 1's prefixes in list order, then the
+     prefix dropped from changed atom 2.  Announces after, sorted by atom
+     id: the changed atom 2's surviving prefix, then added atom 3. *)
+  Alcotest.(check (list string))
+    "update stream"
+    [
+      "withdraw 10.0.0.0/24 from 10";
+      "withdraw 10.0.1.0/24 from 10";
+      "withdraw 20.0.1.0/24 from 20";
+      "announce 20.0.0.0/24 from 20";
+      "announce 30.0.0.0/24 from 30";
+    ]
+    (List.map show ups);
+  List.iter
+    (fun u -> Alcotest.(check bool) "self-originated" true (Asn.equal u.Update.from_as u.Update.to_as))
+    ups;
+  Alcotest.(check int) "identical epochs diff to nothing" 0
+    (List.length (Timeline.updates_between eb eb));
+  (* Applying the stream to epoch [a]'s origin-level announced set yields
+     exactly epoch [b]'s. *)
+  let rib_of_epoch ep =
+    List.fold_left
+      (fun rib (atom : Atom.t) ->
+        List.fold_left
+          (fun rib prefix ->
+            let route =
+              Route.make ~prefix
+                ~next_hop:(Rpi_net.Ipv4.of_int32_exn 0)
+                ~as_path:Rpi_bgp.As_path.empty ~source:Route.Local ()
+            in
+            Update.apply
+              (Update.announce ~from_as:atom.Atom.origin ~to_as:atom.Atom.origin route)
+              rib)
+          rib atom.Atom.prefixes)
+      Rib.empty ep.Timeline.atoms
+  in
+  let replayed = List.fold_left (fun rib u -> Update.apply u rib) (rib_of_epoch ea) ups in
+  Alcotest.(check bool) "replayed rib matches target epoch" true
+    (Rib.equal replayed (rib_of_epoch eb))
+
 (* --- Policy --- *)
 
 let test_policy_lp_resolution () =
@@ -536,6 +609,7 @@ let () =
         [
           Alcotest.test_case "evolve" `Quick test_timeline;
           Alcotest.test_case "conditional advertisement" `Quick test_timeline_conditional;
+          Alcotest.test_case "epoch differ" `Quick test_updates_between;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
