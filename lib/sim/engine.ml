@@ -8,6 +8,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type route = {
   path : Asn.t list;
+  path_len : int;
   learned_from : Asn.t option;
   rel : Relationship.t option;
   export_class : Relationship.t option;
@@ -63,7 +64,7 @@ let graph_of net = net.graph
 let compare_candidates a b =
   match Int.compare b.lp a.lp with
   | 0 -> begin
-      match Int.compare (List.length a.path) (List.length b.path) with
+      match Int.compare a.path_len b.path_len with
       | 0 -> begin
           match Option.compare Asn.compare a.learned_from b.learned_from with
           | 0 -> List.compare Asn.compare a.path b.path
@@ -167,6 +168,7 @@ let propagate net ~retain ?(lp_overrides = []) atom =
   let origin_route =
     {
       path = [];
+      path_len = 0;
       learned_from = None;
       rel = None;
       export_class = None;
@@ -273,6 +275,7 @@ let propagate net ~retain ?(lp_overrides = []) atom =
                       Some
                         {
                           path = path';
+                          path_len = copies + r.path_len;
                           learned_from = Some holder;
                           rel = Some back_rel;
                           export_class;

@@ -24,6 +24,9 @@ type route = {
   path : Asn.t list;
       (** AS path as it would appear in this AS's table: announcing
           neighbour first, origin last; empty for the origin itself. *)
+  path_len : int;
+      (** [List.length path], maintained at construction so the decision
+          comparator never walks the list. *)
   learned_from : Asn.t option;  (** [None] for the origin's own route. *)
   rel : Relationship.t option;
       (** How this AS classifies [learned_from]. *)
