@@ -1,0 +1,135 @@
+(* Compare two BENCH_results.json files and fail loudly on regressions.
+
+   Usage:  check_regression [--tolerance F] [--floor-ns F] BASELINE NEW
+
+   Watches the wall-clock and per-run keys where bigger means slower —
+   run_all timings, per-experiment elapsed seconds, ingest replay totals
+   and every microbenchmark — and exits 1 if any of them grew by more
+   than the tolerance (default 0.20, i.e. a >20% regression).  Keys
+   present on only one side are reported and skipped, so adding or
+   retiring a benchmark never breaks the check, and a `--quick` run
+   (microbenches only) can be diffed against a full baseline on the
+   intersection.  Microbenchmarks under [--floor-ns] (default 100 ns) in
+   the baseline are skipped: at that scale the monotonic clock's own
+   jitter exceeds the tolerance.  Exit codes: 0 ok, 1 regression,
+   2 usage or parse error. *)
+
+module Json = Rpi_json
+
+let usage () =
+  prerr_endline "usage: check_regression [--tolerance F] [--floor-ns F] BASELINE NEW";
+  exit 2
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("check_regression: " ^ s); exit 2) fmt
+
+let load path =
+  let text =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg -> die "%s" msg
+  in
+  match Json.of_string (String.trim text) with
+  | Ok doc -> doc
+  | Error msg -> die "%s: %s" path msg
+
+let member key = function
+  | Json.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some _ | None -> None
+
+(* The watched (key, seconds-or-ns) pairs of one results file, in a
+   stable reporting order.  [ns] marks keys measured in nanoseconds so
+   the noise floor only applies to them. *)
+let watched doc =
+  let scalar path keys =
+    let v = List.fold_left (fun acc k -> Option.bind acc (member k)) (Some doc) keys in
+    match number v with Some f -> [ (path, (f, false)) ] | None -> []
+  in
+  let experiments =
+    match member "experiments_sequential" doc with
+    | Some (Json.List rows) ->
+        List.concat_map
+          (fun row ->
+            match (member "id" row, number (member "elapsed_s" row)) with
+            | Some (Json.String id), Some f -> [ ("exp/" ^ id ^ ".elapsed_s", (f, false)) ]
+            | _ -> [])
+          rows
+    | Some _ | None -> []
+  in
+  let micro =
+    match member "microbench_ns_per_run" doc with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) ->
+            match number (Some v) with
+            | Some f -> Some ("micro/" ^ name, (f, true))
+            | None -> None)
+          fields
+    | Some _ | None -> []
+  in
+  scalar "run_all.sequential_s" [ "run_all"; "sequential_s" ]
+  @ scalar "run_all.parallel_s" [ "run_all"; "parallel_s" ]
+  @ experiments
+  @ scalar "ingest_replay.incremental_s" [ "ingest_replay"; "incremental_s" ]
+  @ scalar "ingest_replay.batch_s" [ "ingest_replay"; "batch_s" ]
+  @ micro
+
+let () =
+  let tolerance = ref 0.20 in
+  let floor_ns = ref 100.0 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0.0 -> tolerance := f
+        | Some _ | None -> die "bad --tolerance %S" v);
+        parse rest
+    | "--floor-ns" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0.0 -> floor_ns := f
+        | Some _ | None -> die "bad --floor-ns %S" v);
+        parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "check_regression: unknown option %s\n" arg;
+        usage ()
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, new_path =
+    match List.rev !positional with [ b; n ] -> (b, n) | _ -> usage ()
+  in
+  let base = watched (load base_path) in
+  let fresh = watched (load new_path) in
+  let regressions = ref 0 in
+  Printf.printf "%-50s %12s %12s %8s\n" "key" "baseline" "new" "ratio";
+  List.iter
+    (fun (key, (old_v, is_ns)) ->
+      match List.assoc_opt key fresh with
+      | None -> Printf.printf "%-50s %12.4g %12s   (skipped: not in new run)\n" key old_v "-"
+      | Some (new_v, _) when is_ns && old_v < !floor_ns ->
+          Printf.printf "%-50s %12.4g %12.4g   (skipped: below %.0f ns noise floor)\n" key
+            old_v new_v !floor_ns
+      | Some (new_v, _) ->
+          let ratio = if old_v > 0.0 then new_v /. old_v else Float.nan in
+          let regressed = (not (Float.is_nan ratio)) && ratio > 1.0 +. !tolerance in
+          if regressed then incr regressions;
+          Printf.printf "%-50s %12.4g %12.4g %7.2fx%s\n" key old_v new_v ratio
+            (if regressed then "  REGRESSION" else ""))
+    base;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key base) then
+        Printf.printf "%-50s %12s %12s   (skipped: not in baseline)\n" key "-" "-")
+    fresh;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d key(s) regressed by more than %.0f%%\n" !regressions
+      (100.0 *. !tolerance);
+    exit 1
+  end
+  else Printf.printf "\nno regressions beyond %.0f%% tolerance\n" (100.0 *. !tolerance)

@@ -21,6 +21,7 @@
 open Bechamel
 
 module Asn = Rpi_bgp.Asn
+module Path_intern = Rpi_bgp.Path_intern
 module Prefix = Rpi_net.Prefix
 module Scenario = Rpi_dataset.Scenario
 module Context = Rpi_experiments.Context
@@ -159,6 +160,36 @@ let substrate_tests small =
     Rpi_mrt.Table_dump.rib_to_string ~vantage_as:(Asn.of_int 1) some_lg_rib
   in
   let irr_text = Rpi_irr.Db.render small.Context.irr in
+  (* Interned-path substrate: interning throughput over the observed-path
+     corpus, and the comparator the engine runs per candidate pair —
+     memoized-length ids vs walking [Asn.t list]s. *)
+  let intern = Path_intern.create () in
+  let ids = Array.of_list (List.map (Path_intern.of_list intern) paths) in
+  let list_paths = Array.of_list paths in
+  let n_paths = Array.length ids in
+  let compare_interned a b =
+    match Int.compare (Path_intern.length intern a) (Path_intern.length intern b) with
+    | 0 -> Path_intern.compare_lex intern a b
+    | c -> c
+  in
+  let compare_lists a b =
+    (* This IS the anti-pattern being measured: the list-walking baseline
+       that path-intern-compare is benchmarked against. *)
+    (* rpilint: allow list-length-in-compare *)
+    match Int.compare (List.length a) (List.length b) with
+    | 0 -> List.compare Asn.compare a b
+    | c -> c
+  in
+  (* Atom-level fan-out: a batch of announcements from distinct stubs, the
+     shape [table5] and the ablations feed [propagate_all].  On a
+     single-domain host the parallel variant only measures the fan-out
+     overhead — see the host_domains field in the baseline. *)
+  let batch_atoms =
+    List.filteri (fun i _ -> i < 8) topo.Rpi_topo.Gen.stubs
+    |> List.mapi (fun i origin ->
+           Rpi_sim.Atom.vanilla ~id:i ~origin [ Prefix.of_string_exn "10.0.0.0/24" ])
+  in
+  let fan_jobs = max 2 (Runner.default_jobs ()) in
   [
     Test.make ~name:"substrate/trie-longest-match"
       (Staged.stage (fun () -> ignore (Rpi_net.Prefix_trie.longest_match addr trie)));
@@ -168,6 +199,32 @@ let substrate_tests small =
       (Staged.stage (fun () -> ignore (Rpi_bgp.Decision.select_best candidates)));
     Test.make ~name:"substrate/engine-propagate-atom"
       (Staged.stage (fun () -> ignore (Rpi_sim.Engine.propagate network ~retain atom)));
+    Test.make ~name:"substrate/propagate-all-seq"
+      (Staged.stage (fun () ->
+           ignore (Rpi_sim.Engine.propagate_all network ~retain ~jobs:1 batch_atoms)));
+    Test.make ~name:"substrate/propagate-all-parallel"
+      (Staged.stage (fun () ->
+           ignore (Rpi_sim.Engine.propagate_all network ~retain ~jobs:fan_jobs batch_atoms)));
+    Test.make ~name:"substrate/path-intern-corpus"
+      (Staged.stage (fun () ->
+           let t = Path_intern.create () in
+           List.iter (fun p -> ignore (Path_intern.of_list t p)) paths));
+    Test.make ~name:"substrate/path-intern-compare"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 0 to n_paths - 1 do
+             let j = ((i * 7) + 1) mod n_paths in
+             acc := !acc + compare_interned ids.(i) ids.(j)
+           done;
+           ignore !acc));
+    Test.make ~name:"substrate/path-list-compare"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 0 to n_paths - 1 do
+             let j = ((i * 7) + 1) mod n_paths in
+             acc := !acc + compare_lists list_paths.(i) list_paths.(j)
+           done;
+           ignore !acc));
     Test.make ~name:"substrate/gao-infer"
       (Staged.stage (fun () -> ignore (Rpi_relinfer.Gao.infer paths)));
     Test.make ~name:"substrate/table-dump-parse"
@@ -176,10 +233,10 @@ let substrate_tests small =
       (Staged.stage (fun () -> ignore (Rpi_irr.Rpsl.parse irr_text)));
   ]
 
-let run_benchmarks tests =
+let run_benchmarks ?(quota = 0.5) tests =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ~kde:None ()
+    Benchmark.cfg ~limit:50 ~quota:(Time.second quota) ~stabilize:false ~kde:None ()
   in
   let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"rpi" ~fmt:"%s %s" tests) in
   let ols =
@@ -208,6 +265,31 @@ let run_benchmarks tests =
       Printf.printf "%-40s %s\n" name human;
       if Float.is_nan estimate then None else Some (name, estimate))
     rows
+
+(* Intern hit rate over the observed-path corpus: how much sharing the
+   hash-consed representation actually finds.  A high hit rate is the
+   whole premise of interning — most cons cells seen during a run already
+   exist, so path construction is a table probe, not an allocation. *)
+let intern_hit_rate small =
+  let paths = Scenario.observed_paths small.Context.scenario in
+  let t = Path_intern.create () in
+  List.iter (fun p -> ignore (Path_intern.of_list t p)) paths;
+  let s = Path_intern.stats t in
+  let probes = s.Path_intern.hits + s.Path_intern.misses in
+  let rate =
+    if probes = 0 then 0.0 else float_of_int s.Path_intern.hits /. float_of_int probes
+  in
+  Printf.printf
+    "path intern: %d paths -> %d unique cells, %d/%d cons hits (%.1f%% hit rate)\n"
+    (List.length paths) s.Path_intern.unique s.Path_intern.hits probes (100.0 *. rate);
+  Rpi_json.Obj
+    [
+      ("paths", Rpi_json.Int (List.length paths));
+      ("unique_cells", Rpi_json.Int s.Path_intern.unique);
+      ("cons_hits", Rpi_json.Int s.Path_intern.hits);
+      ("cons_misses", Rpi_json.Int s.Path_intern.misses);
+      ("hit_rate", Rpi_json.Float rate);
+    ]
 
 (* --- Part 2.5: streaming ingest vs per-epoch full recompute --- *)
 
@@ -287,7 +369,15 @@ let bench_ingest_replay ~epochs =
 
 (* --- Part 3: machine-readable baseline --- *)
 
-let write_results ~path ~seq ~par ~identical ~micro ~ingest_replay =
+let write_doc ~path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Rpi_json.to_channel oc doc);
+  Printf.printf "\nWrote %s\n" path
+
+let micro_json micro =
+  Rpi_json.Obj (List.map (fun (name, ns) -> (name, Rpi_json.Float ns)) micro)
+
+let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay =
   let timed_json (r : Runner.timed) =
     Rpi_json.Obj
       [
@@ -299,6 +389,7 @@ let write_results ~path ~seq ~par ~identical ~micro ~ingest_replay =
     Rpi_json.Obj
       [
         ("schema", Rpi_json.String "rpi-bench/1");
+        ("mode", Rpi_json.String "full");
         ( "run_all",
           Rpi_json.Obj
             [
@@ -309,23 +400,48 @@ let write_results ~path ~seq ~par ~identical ~micro ~ingest_replay =
               ( "speedup",
                 Rpi_json.Float (seq.Runner.wall_clock_s /. par.Runner.wall_clock_s) );
               ("identical_output", Rpi_json.Bool identical);
+              ( "schedule",
+                Rpi_json.List
+                  (List.map (fun id -> Rpi_json.String id) par.Runner.schedule) );
             ] );
         ( "experiments_sequential",
           Rpi_json.List (List.map timed_json seq.Runner.results) );
         ("ingest_replay", ingest_replay);
-        ( "microbench_ns_per_run",
-          Rpi_json.Obj (List.map (fun (name, ns) -> (name, Rpi_json.Float ns)) micro) );
+        ("path_intern", intern);
+        ("microbench_ns_per_run", micro_json micro);
       ]
   in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Rpi_json.to_channel oc doc);
-  Printf.printf "\nWrote %s\n" path
+  write_doc ~path doc
 
 let () =
   Logs.set_level (Some Logs.Warning);
-  let seq, par, identical = regenerate () in
-  let ingest_replay = bench_ingest_replay ~epochs:31 in
-  let small = small_ctx () in
-  let tests = experiment_tests small @ substrate_tests small in
-  let micro = run_benchmarks tests in
-  write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro ~ingest_replay
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  if quick then begin
+    (* --quick: the substrate microbenches only, on a reduced sampling
+       quota — seconds, not minutes.  Skips the full-evaluation
+       regeneration and the ingest replay, and writes BENCH_quick.json so
+       the committed full baseline is never clobbered; check_regression
+       diffs on the intersection of keys, so a quick run can still be
+       compared against the full baseline. *)
+    let small = small_ctx () in
+    let micro = run_benchmarks ~quota:0.1 (substrate_tests small) in
+    let intern = intern_hit_rate small in
+    write_doc ~path:"BENCH_quick.json"
+      (Rpi_json.Obj
+         [
+           ("schema", Rpi_json.String "rpi-bench/1");
+           ("mode", Rpi_json.String "quick");
+           ("path_intern", intern);
+           ("microbench_ns_per_run", micro_json micro);
+         ])
+  end
+  else begin
+    let seq, par, identical = regenerate () in
+    let ingest_replay = bench_ingest_replay ~epochs:31 in
+    let small = small_ctx () in
+    let tests = experiment_tests small @ substrate_tests small in
+    let micro = run_benchmarks tests in
+    let intern = intern_hit_rate small in
+    write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro ~intern
+      ~ingest_replay
+  end

@@ -13,6 +13,8 @@ module Export_infer = Rpi_core.Export_infer
 module Import_infer = Rpi_core.Import_infer
 module Relationship = Rpi_topo.Relationship
 module Gao = Rpi_relinfer.Gao
+module Engine = Rpi_sim.Engine
+module Atom = Rpi_sim.Atom
 module Validate = Rpi_relinfer.Validate
 module Runner = Rpi_runner.Runner
 module Update = Rpi_bgp.Update
@@ -642,11 +644,89 @@ let scenario_properties ~seed =
         end)
       ()
   in
+  let interned_engine_matches_reference =
+    (* The production solver runs on interned paths and flat index arenas;
+       this pins it to the retained list-of-routes reference solver —
+       identical tables, identical convergence trace — and propagate_all
+       to its jobs=1 merge for every domain count. *)
+    let route_equal (a : Engine.route) (b : Engine.route) =
+      a.Engine.lp = b.Engine.lp
+      && a.Engine.path_len = b.Engine.path_len
+      && a.Engine.no_up = b.Engine.no_up
+      && Option.equal Asn.equal a.Engine.learned_from b.Engine.learned_from
+      && Option.equal Relationship.equal a.Engine.rel b.Engine.rel
+      && Option.equal Relationship.equal a.Engine.export_class b.Engine.export_class
+      && List.equal Asn.equal a.Engine.path b.Engine.path
+    in
+    let table_equal (a : Engine.table) (b : Engine.table) =
+      Option.equal route_equal a.Engine.best b.Engine.best
+      && List.equal route_equal a.Engine.candidates b.Engine.candidates
+    in
+    let result_equal (a : Engine.result) (b : Engine.result) =
+      a.Engine.converged = b.Engine.converged
+      && a.Engine.steps = b.Engine.steps
+      && Asn.Map.equal table_equal a.Engine.tables b.Engine.tables
+    in
+    Property.make ~name:"interned_engine_matches_reference"
+      ~gen:(fun rng ->
+        let t = Lazy.force scen in
+        let atoms = Array.of_list t.Scenario.atoms in
+        let n = Array.length atoms in
+        let start = Prng.int rng n in
+        let len = 1 + Prng.int rng (min 6 n) in
+        List.init len (fun k -> atoms.((start + k) mod n)))
+      ~show:(fun batch ->
+        Printf.sprintf "atoms [%s]"
+          (String.concat ";"
+             (List.map (fun (a : Atom.t) -> string_of_int a.Atom.id) batch)))
+      ~shrink:(fun batch ->
+        match batch with
+        | [] | [ _ ] -> []
+        | _ -> List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) batch) batch)
+      ~check:(fun batch ->
+        let t = Lazy.force scen in
+        let net = t.Scenario.network in
+        let retain = t.Scenario.retain in
+        let ov = Scenario.overrides_fn t in
+        let mismatches =
+          List.filter
+            (fun (a : Atom.t) ->
+              let fast =
+                Engine.propagate net ~retain ~lp_overrides:(ov a.Atom.id) a
+              in
+              let ref_ =
+                Engine.propagate_reference net ~retain ~lp_overrides:(ov a.Atom.id) a
+              in
+              not (result_equal fast ref_))
+            batch
+        in
+        match mismatches with
+        | a :: _ ->
+            Error
+              (Printf.sprintf
+                 "interned solver diverges from the reference on atom %d" a.Atom.id)
+        | [] ->
+            let runs =
+              List.map
+                (fun jobs -> Engine.propagate_all net ~retain ~lp_overrides:ov ~jobs batch)
+                [ 1; 2; 4 ]
+            in
+            let all_equal =
+              match runs with
+              | base :: rest ->
+                  List.for_all (fun r -> List.equal result_equal base r) rest
+              | [] -> true
+            in
+            if all_equal then Ok (2 * List.length batch)
+            else Error "propagate_all result depends on the jobs count")
+      ()
+  in
   [
     sa_subset_monotone;
     import_renumber_invariant;
     gao_permutation_invariant;
     gao_ground_truth;
+    interned_engine_matches_reference;
     incremental_matches_batch;
   ]
 

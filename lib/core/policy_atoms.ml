@@ -65,7 +65,11 @@ let infer rib =
         in
         { prefixes; origin; signature_size } :: acc)
       groups []
-    |> List.sort (fun a b -> Int.compare (List.length b.prefixes) (List.length a.prefixes))
+    (* Decorate with the size so the comparator never walks a prefix
+       list; List.sort is stable, so ties keep their order either way. *)
+    |> List.map (fun a -> (List.length a.prefixes, a))
+    |> List.sort (fun (la, _) (lb, _) -> Int.compare lb la)
+    |> List.map snd
   in
   let sizes = List.map (fun a -> List.length a.prefixes) atoms in
   {

@@ -30,7 +30,7 @@ type outcome = {
   tables : Table.t list;
 }
 
-type t = { id : string; title : string; run : Context.t -> outcome }
+type t = { id : string; title : string; cost : float; run : Context.t -> outcome }
 
 let mk ~id ~title ?(metrics = []) ?(tables = []) rendered =
   { id; title; rendered; metrics; tables }
@@ -1176,31 +1176,33 @@ let stability ?(seeds = [ 7; 19; 1031 ]) (ctx : Context.t) =
     ^ Table.render t
     ^ "Expected bands: typical preference > 90%, Tier-1 SA share in 5..45%, accuracy > 93%.\n")
 
+(* Cost hints: measured elapsed_s on the default scenario (see
+   BENCH_results.json); only their relative order matters. *)
 let all =
   [
-    { id = "table1"; title = "data sources"; run = table1 };
-    { id = "table2"; title = "typical local preference (BGP tables)"; run = table2 };
-    { id = "table3"; title = "typical local preference (IRR)"; run = table3 };
-    { id = "table4"; title = "relationship verification via communities"; run = table4 };
-    { id = "table5"; title = "SA-prefix share per provider"; run = table5 };
-    { id = "table6"; title = "per-customer SA share"; run = table6 };
-    { id = "table7"; title = "SA-prefix verification"; run = table7 };
-    { id = "table8"; title = "multihoming of SA origins"; run = table8 };
-    { id = "table9"; title = "splitting/aggregation vs SA"; run = table9 };
-    { id = "table10"; title = "peer export completeness"; run = table10 };
-    { id = "case3"; title = "announce/withhold split to direct providers"; run = case3 };
-    { id = "fig2"; title = "local-pref consistency with next hop"; run = fig2 };
-    { id = "fig6+7"; title = "SA persistence over time"; run = (fun ctx -> fig6_fig7 ctx) };
-    { id = "fig9"; title = "prefix-count rank plots"; run = fig9 };
-    { id = "ablation-curving"; title = "decision without local pref"; run = ablation_curving };
-    { id = "ablation-vantages"; title = "inference accuracy vs feeds"; run = ablation_vantage_count };
-    { id = "ablation-oracle"; title = "inferred vs oracle graph"; run = ablation_graph_oracle };
-    { id = "ext-prepend"; title = "AS-path prepending detection"; run = ext_prepend };
-    { id = "ext-atoms"; title = "policy atoms and their causes"; run = ext_atoms };
-    { id = "ext-availability"; title = "connectivity vs reachability"; run = ext_availability };
-    { id = "ext-irr-export"; title = "IRR export-rule audit"; run = ext_irr_export };
-    { id = "ext-tiers"; title = "tier classification accuracy"; run = ext_tiers };
-    { id = "stability"; title = "headline metrics across seeds"; run = (fun ctx -> stability ctx) };
+    { id = "table1"; title = "data sources"; cost = 0.004; run = table1 };
+    { id = "table2"; title = "typical local preference (BGP tables)"; cost = 0.102; run = table2 };
+    { id = "table3"; title = "typical local preference (IRR)"; cost = 0.002; run = table3 };
+    { id = "table4"; title = "relationship verification via communities"; cost = 0.117; run = table4 };
+    { id = "table5"; title = "SA-prefix share per provider"; cost = 0.517; run = table5 };
+    { id = "table6"; title = "per-customer SA share"; cost = 0.014; run = table6 };
+    { id = "table7"; title = "SA-prefix verification"; cost = 0.202; run = table7 };
+    { id = "table8"; title = "multihoming of SA origins"; cost = 0.001; run = table8 };
+    { id = "table9"; title = "splitting/aggregation vs SA"; cost = 0.028; run = table9 };
+    { id = "table10"; title = "peer export completeness"; cost = 0.377; run = table10 };
+    { id = "case3"; title = "announce/withhold split to direct providers"; cost = 0.267; run = case3 };
+    { id = "fig2"; title = "local-pref consistency with next hop"; cost = 0.728; run = fig2 };
+    { id = "fig6+7"; title = "SA persistence over time"; cost = 1.034; run = (fun ctx -> fig6_fig7 ctx) };
+    { id = "fig9"; title = "prefix-count rank plots"; cost = 0.009; run = fig9 };
+    { id = "ablation-curving"; title = "decision without local pref"; cost = 0.025; run = ablation_curving };
+    { id = "ablation-vantages"; title = "inference accuracy vs feeds"; cost = 0.756; run = ablation_vantage_count };
+    { id = "ablation-oracle"; title = "inferred vs oracle graph"; cost = 0.073; run = ablation_graph_oracle };
+    { id = "ext-prepend"; title = "AS-path prepending detection"; cost = 0.034; run = ext_prepend };
+    { id = "ext-atoms"; title = "policy atoms and their causes"; cost = 0.316; run = ext_atoms };
+    { id = "ext-availability"; title = "connectivity vs reachability"; cost = 0.070; run = ext_availability };
+    { id = "ext-irr-export"; title = "IRR export-rule audit"; cost = 0.001; run = ext_irr_export };
+    { id = "ext-tiers"; title = "tier classification accuracy"; cost = 0.002; run = ext_tiers };
+    { id = "stability"; title = "headline metrics across seeds"; cost = 2.481; run = (fun ctx -> stability ctx) };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

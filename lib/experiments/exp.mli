@@ -26,6 +26,11 @@ type outcome = {
 type t = {
   id : string;
   title : string;
+  cost : float;
+      (** Relative wall-clock cost hint (roughly seconds on the default
+          scenario).  The parallel runner hands out expensive experiments
+          first so a long job never starts last and overhangs the batch;
+          the hint has no effect on results or on their order. *)
   run : Context.t -> outcome;
 }
 (** A catalogue entry; [run] produces an outcome whose [id]/[title] match. *)

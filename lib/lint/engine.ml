@@ -248,12 +248,83 @@ let check_expr ctx e =
          dedicated exception"
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* list-length-in-compare                                              *)
+
+let list_walk_op : Longident.t -> string option = function
+  | Ldot (Lident "List", (("length" | "nth") as f))
+  | Ldot (Ldot (Lident "Stdlib", "List"), (("length" | "nth") as f)) ->
+      Some ("List." ^ f)
+  | _ -> None
+
+(* Sweep a comparator body for list walks.  [what] names the context for
+   the message ("compare_foo" or "a function passed to List.sort"). *)
+let flag_comparator_body ctx ~what body =
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+        match list_walk_op txt with
+        | Some name ->
+            diag ctx loc Rule.list_length_in_compare.Rule.id
+              (Printf.sprintf
+                 "%s inside %s runs a list walk on every comparison; \
+                  precompute the length next to the list or use \
+                  List.compare_lengths"
+                 name what)
+        | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body
+
+let sort_application : Longident.t -> string option = function
+  | Ldot
+      ( (Lident (("List" | "Array" | "ListLabels" | "ArrayLabels") as m)),
+        (("sort" | "stable_sort" | "sort_uniq" | "fast_sort") as f) )
+  | Ldot
+      ( Ldot (Lident "Stdlib", (("List" | "Array") as m)),
+        (("sort" | "stable_sort" | "sort_uniq" | "fast_sort") as f) ) ->
+      Some (m ^ "." ^ f)
+  | _ -> None
+
+let rec syntactic_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_constraint (e, _) -> syntactic_function e
+  | _ -> false
+
+let check_comparator_contexts ctx e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      match sort_application txt with
+      | Some callee ->
+          List.iter
+            (fun (_, arg) ->
+              if syntactic_function arg then
+                flag_comparator_body ctx
+                  ~what:(Printf.sprintf "a function passed to %s" callee)
+                  arg)
+            args
+      | None -> ())
+  | _ -> ()
+
+let check_comparator_binding ctx vb =
+  let name = binding_name vb in
+  if String.starts_with ~prefix:"compare" name then
+    flag_comparator_body ctx ~what:(Printf.sprintf "'%s'" name) vb.pvb_expr
+
 let deep_iterator ctx =
   let expr it e =
     check_expr ctx e;
+    check_comparator_contexts ctx e;
     Ast_iterator.default_iterator.expr it e
   in
-  { Ast_iterator.default_iterator with expr }
+  let value_binding it vb =
+    check_comparator_binding ctx vb;
+    Ast_iterator.default_iterator.value_binding it vb
+  in
+  { Ast_iterator.default_iterator with expr; value_binding }
 
 let file_defines_compare structure =
   let found = ref false in

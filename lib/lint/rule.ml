@@ -76,6 +76,18 @@ let failwith_in_core =
        signals errors with a typed Error or a dedicated exception.";
   }
 
+let list_length_in_compare =
+  {
+    id = "list-length-in-compare";
+    summary = "List.length / List.nth inside a comparator";
+    rationale =
+      "A comparator runs O(n log n) times under sort and once per candidate \
+       in a selection scan; walking a list inside it turns a cheap \
+       comparison into a linear pass each time.  Precompute the length \
+       (store it alongside the list, as Engine.route does with path_len) \
+       or use List.compare_lengths.";
+  }
+
 let all =
   [
     mutable_toplevel;
@@ -85,6 +97,7 @@ let all =
     stdout_in_lib;
     missing_mli;
     failwith_in_core;
+    list_length_in_compare;
   ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all

@@ -12,6 +12,7 @@ val no_obj_magic : t
 val stdout_in_lib : t
 val missing_mli : t
 val failwith_in_core : t
+val list_length_in_compare : t
 
 val all : t list
 (** Every shipped rule, in documentation order. *)

@@ -1,4 +1,5 @@
 module Asn = Rpi_bgp.Asn
+module Path_intern = Rpi_bgp.Path_intern
 module As_graph = Rpi_topo.As_graph
 module Relationship = Rpi_topo.Relationship
 
@@ -17,9 +18,7 @@ let dedup path =
 module Pair = struct
   type t = Asn.t * Asn.t
 
-  (* Unordered key. *)
-  let key a b = if Asn.compare a b <= 0 then (a, b) else (b, a)
-
+  (* Keys are unordered pairs, kept (lo, hi). *)
   let compare (a1, b1) (a2, b2) =
     match Asn.compare a1 a2 with
     | 0 -> Asn.compare b1 b2
@@ -68,68 +67,128 @@ let top_provider_index degree path =
   top
 
 let infer ?(config = default_config) paths =
-  let paths = List.map dedup paths in
-  let degree = degrees paths in
-  let deg a =
-    match Asn.Map.find_opt a degree with
+  (* Observed tables repeat the same AS path massively (one copy per
+     prefix), so the sweep below runs once per *unique* deduped path with
+     its multiplicity: transit votes are commutative sums, so a path seen
+     k times contributes exactly k identical votes, and the degree
+     adjacency plus the peering candidate / non-peering sets are
+     set-valued, making multiplicity irrelevant there.  Interning makes
+     the uniqueness check one hash probe per hop, and the accumulators run
+     on hashed int pairs; the ordered maps and sets the labelling phases
+     need are rebuilt once at the end, so the result is the same graph the
+     purely-functional formulation produces. *)
+  let tbl = Path_intern.create ~capacity:4096 () in
+  let counts : (Path_intern.id, int) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun p ->
+      let id = Path_intern.of_list tbl (dedup p) in
+      match Hashtbl.find_opt counts id with
+      | Some k -> Hashtbl.replace counts id (k + 1)
+      | None -> Hashtbl.add counts id 1)
+    paths;
+  let uniq =
+    Hashtbl.fold
+      (fun id k acc -> (Array.of_list (Path_intern.to_list tbl id), k) :: acc)
+      counts []
+  in
+  (* Degree = number of distinct neighbours over the observed adjacencies;
+     multiplicities don't matter, so unique paths suffice (this matches
+     [degrees] on the raw path list). *)
+  let adjacency : (int * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let degree_tbl : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun ((arr : Asn.t array), _) ->
+      for i = 0 to Array.length arr - 2 do
+        let a = Asn.to_int arr.(i) and b = Asn.to_int arr.(i + 1) in
+        let key = if a <= b then (a, b) else (b, a) in
+        if a <> b && not (Hashtbl.mem adjacency key) then begin
+          Hashtbl.add adjacency key ();
+          let bump x =
+            match Hashtbl.find_opt degree_tbl x with
+            | Some d -> Hashtbl.replace degree_tbl x (d + 1)
+            | None -> Hashtbl.add degree_tbl x 1
+          in
+          bump a;
+          bump b
+        end
+      done)
+    uniq;
+  let deg_int a =
+    match Hashtbl.find_opt degree_tbl a with
     | Some d -> d
     | None -> 0
   in
-  (* transit votes: key (u, v) ordered, value (votes "v provides for u",
-     votes "u provides for v"). *)
-  let votes = ref Pair_map.empty in
-  let vote ~customer ~provider =
-    let key = Pair.key customer provider in
-    let lo, _ = key in
-    let fwd = Asn.equal lo customer in
+  let deg a = deg_int (Asn.to_int a) in
+  (* transit votes: key (u, v) with u < v as ints, value (votes "v provides
+     for u", votes "u provides for v"). *)
+  let votes : (int * int, (int * int) ref) Hashtbl.t = Hashtbl.create 4096 in
+  let vote ~w ~customer ~provider =
+    let c = Asn.to_int customer and p = Asn.to_int provider in
+    let key = if c <= p then (c, p) else (p, c) in
+    let fwd = c <= p in
     (* fwd: first component is the customer. *)
-    votes :=
-      Pair_map.update key
-        (fun existing ->
-          let a, b =
-            match existing with
-            | Some (a, b) -> (a, b)
-            | None -> (0, 0)
-          in
-          Some (if fwd then (a + 1, b) else (a, b + 1)))
-        !votes
+    let cell =
+      match Hashtbl.find_opt votes key with
+      | Some r -> r
+      | None ->
+          let r = ref (0, 0) in
+          Hashtbl.add votes key r;
+          r
+    in
+    let a, b = !cell in
+    cell := if fwd then (a + w, b) else (a, b + w)
   in
-  let non_peering = ref Pair_set.empty in
-  let candidates = ref Pair_set.empty in
-  let process path =
-    match path with
-    | [] | [ _ ] -> ()
-    | _ :: _ :: _ ->
-        let arr = Array.of_list path in
-        let n = Array.length arr in
-        let j = top_provider_index degree path in
-        for i = 0 to n - 2 do
-          let a = arr.(i) and b = arr.(i + 1) in
-          if i < j then vote ~customer:a ~provider:b
-          else vote ~customer:b ~provider:a;
-          (* Pairs strictly inside the uphill or downhill sections cannot be
-             peering. *)
-          if i + 1 < j || i > j then non_peering := Pair_set.add (Pair.key a b) !non_peering
-        done;
-        (* The top provider can peer with at most one path neighbour: the
-           higher-degree side. *)
-        let left = if j > 0 then Some arr.(j - 1) else None in
-        let right = if j < n - 1 then Some arr.(j + 1) else None in
-        let candidate =
-          match (left, right) with
-          | Some l, Some r -> Some (if deg l >= deg r then l else r)
-          | Some l, None -> Some l
-          | None, Some r -> Some r
-          | None, None -> None
-        in
-        begin
-          match candidate with
-          | Some c -> candidates := Pair_set.add (Pair.key arr.(j) c) !candidates
-          | None -> ()
+  let non_peering : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let candidates : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let add_pair t a b =
+    let a = Asn.to_int a and b = Asn.to_int b in
+    let key = if a <= b then (a, b) else (b, a) in
+    if not (Hashtbl.mem t key) then Hashtbl.add t key ()
+  in
+  let process ((arr : Asn.t array), w) =
+    let n = Array.length arr in
+    if n >= 2 then begin
+      (* Top provider: highest degree, ties to the first (same rule as
+         [top_provider_index]). *)
+      let j = ref 0 in
+      let best = ref min_int in
+      for i = 0 to n - 1 do
+        let d = deg arr.(i) in
+        if d > !best then begin
+          best := d;
+          j := i
         end
+      done;
+      let j = !j in
+      for i = 0 to n - 2 do
+        let a = arr.(i) and b = arr.(i + 1) in
+        if i < j then vote ~w ~customer:a ~provider:b else vote ~w ~customer:b ~provider:a;
+        (* Pairs strictly inside the uphill or downhill sections cannot be
+           peering. *)
+        if i + 1 < j || i > j then add_pair non_peering a b
+      done;
+      (* The top provider can peer with at most one path neighbour: the
+         higher-degree side. *)
+      let candidate =
+        if j > 0 && j < n - 1 then
+          Some (if deg arr.(j - 1) >= deg arr.(j + 1) then arr.(j - 1) else arr.(j + 1))
+        else if j > 0 then Some arr.(j - 1)
+        else if j < n - 1 then Some arr.(j + 1)
+        else None
+      in
+      match candidate with
+      | Some c -> add_pair candidates arr.(j) c
+      | None -> ()
+    end
   in
-  List.iter process paths;
-  (* Assign transit labels. *)
+  List.iter process uniq;
+  (* Assign transit labels, iterating pairs in the deterministic order the
+     ordered map gave the original formulation. *)
+  let vote_map =
+    Hashtbl.fold
+      (fun (u, v) cell acc -> Pair_map.add (Asn.of_int u, Asn.of_int v) !cell acc)
+      votes Pair_map.empty
+  in
   let graph =
     Pair_map.fold
       (fun (u, v) (v_provides_u, u_provides_v) g ->
@@ -139,15 +198,21 @@ let infer ?(config = default_config) paths =
         else if v_provides_u > u_provides_v then As_graph.add_p2c g ~provider:v ~customer:u
         else if u_provides_v > v_provides_u then As_graph.add_p2c g ~provider:u ~customer:v
         else As_graph.add_s2s g u v)
-      !votes As_graph.empty
+      vote_map As_graph.empty
   in
   (* Peering phase: relabel qualifying candidates. *)
+  let candidate_set =
+    Hashtbl.fold
+      (fun (u, v) () acc -> Pair_set.add (Asn.of_int u, Asn.of_int v) acc)
+      candidates Pair_set.empty
+  in
   Pair_set.fold
     (fun (u, v) g ->
-      if Pair_set.mem (u, v) !non_peering then g
+      let key = (Asn.to_int u, Asn.to_int v) in
+      if Hashtbl.mem non_peering key then g
       else begin
         let du = float_of_int (max 1 (deg u)) and dv = float_of_int (max 1 (deg v)) in
         let ratio = if du > dv then du /. dv else dv /. du in
         if ratio < config.peer_degree_ratio then As_graph.add_p2p g u v else g
       end)
-    !candidates graph
+    candidate_set graph

@@ -1,28 +1,4 @@
-let default_jobs () =
-  match Sys.getenv_opt "RPI_JOBS" with
-  | Some s -> begin
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None ->
-          Printf.eprintf
-            "warning: ignoring RPI_JOBS=%S (expected a positive integer); using %d domains\n%!"
-            s
-            (Domain.recommended_domain_count ());
-          Domain.recommended_domain_count ()
-    end
-  | None -> Domain.recommended_domain_count ()
-
-let run ?jobs worker =
-  let jobs =
-    match jobs with Some j -> max 1 j | None -> default_jobs ()
-  in
-  if jobs = 1 then worker 0
-  else begin
-    (* The calling domain is worker 0, so [jobs] includes it. *)
-    let domains = List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
-    let caller = try Ok (worker 0) with e -> Error (e, Printexc.get_raw_backtrace ()) in
-    List.iter Domain.join domains;
-    match caller with
-    | Ok () -> ()
-    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
-  end
+(* Re-export: the pool discipline lives in lib/pool/ (rpi_pool) so layers
+   below the runner — the propagation engine's atom fan-out in
+   lib/sim/ — can use it without depending on the experiment catalogue. *)
+include Rpi_pool.Pool

@@ -1,15 +1,6 @@
 (** The domain-pool discipline shared by the experiment runner and the
-    rpiserved accept loop: the calling domain is worker 0, [jobs - 1]
-    extra domains are spawned, and every domain is joined before [run]
-    returns — even when worker 0 raises (the exception is re-raised with
-    its backtrace after the join, so no domain leaks). *)
+    rpiserved accept loop — a re-export of [Rpi_pool.Pool], which is where
+    the implementation lives so that layers below the runner (the
+    propagation engine's atom-level fan-out) can share it. *)
 
-val default_jobs : unit -> int
-(** The [RPI_JOBS] environment variable when set to a positive integer,
-    otherwise [Domain.recommended_domain_count ()].  An unparseable
-    [RPI_JOBS] is reported on stderr and ignored. *)
-
-val run : ?jobs:int -> (int -> unit) -> unit
-(** [run ~jobs worker] executes [worker i] on [jobs] domains (default
-    {!default_jobs}), [i] ranging over [0 .. jobs - 1] with 0 in the
-    calling domain.  [jobs <= 1] runs in the caller with no spawns. *)
+include module type of Rpi_pool.Pool

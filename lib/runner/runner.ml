@@ -5,7 +5,12 @@ module Json = Rpi_json
 
 type timed = { outcome : Exp.outcome; elapsed_s : float }
 
-type report = { jobs : int; wall_clock_s : float; results : timed list }
+type report = {
+  jobs : int;
+  wall_clock_s : float;
+  schedule : string list;
+  results : timed list;
+}
 
 let default_jobs = Pool.default_jobs
 
@@ -22,6 +27,19 @@ let run ?jobs ctx exps =
   let n = Array.length exps in
   let jobs = min requested (max 1 n) in
   let t0 = now () in
+  (* Hand-out order for the work-stealing loop: most expensive first
+     (stable on the declaration index for equal costs), so the batch never
+     ends with one long experiment overhanging on an otherwise idle pool.
+     A single domain keeps declaration order — the hint cannot help there,
+     and the sequential trace stays the familiar one. *)
+  let order = Array.init n (fun i -> i) in
+  if jobs > 1 then
+    Array.sort
+      (fun a b ->
+        match Float.compare exps.(b).Exp.cost exps.(a).Exp.cost with
+        | 0 -> Int.compare a b
+        | c -> c)
+      order;
   (* Each slot is written by exactly one domain (indices are handed out by
      the atomic counter), and read only after every domain is joined. *)
   let slots = Array.make n None in
@@ -31,8 +49,9 @@ let run ?jobs ctx exps =
     let next = Atomic.make 0 in
     let worker _id =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
+        let k = Atomic.fetch_and_add next 1 in
+        if k < n then begin
+          let i = order.(k) in
           slots.(i) <-
             Some
               (try Ok (run_one ctx exps.(i))
@@ -51,7 +70,8 @@ let run ?jobs ctx exps =
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   in
-  { jobs; wall_clock_s = now () -. t0; results }
+  let schedule = Array.to_list (Array.map (fun i -> exps.(i).Exp.id) order) in
+  { jobs; wall_clock_s = now () -. t0; schedule; results }
 
 let render report =
   String.concat "\n" (List.map (fun r -> r.outcome.Exp.rendered) report.results)
@@ -96,10 +116,11 @@ let timed_to_json { outcome; elapsed_s } =
   | Json.Obj fields -> Json.Obj (fields @ [ ("elapsed_s", Json.Float elapsed_s) ])
   | other -> other
 
-let report_to_json { jobs; wall_clock_s; results } =
+let report_to_json { jobs; wall_clock_s; schedule; results } =
   Json.Obj
     [
       ("jobs", Json.Int jobs);
       ("wall_clock_s", Json.Float wall_clock_s);
+      ("schedule", Json.List (List.map (fun id -> Json.String id) schedule));
       ("experiments", Json.List (List.map timed_to_json results));
     ]

@@ -21,6 +21,10 @@ type timed = {
 type report = {
   jobs : int;  (** Number of domains the pool actually used. *)
   wall_clock_s : float;  (** Wall-clock seconds for the whole batch. *)
+  schedule : string list;
+      (** Experiment ids in hand-out order: declaration order when
+          [jobs = 1], descending {!Exp.t.cost} (ties by declaration order)
+          when [jobs > 1].  Purely observational — results are unaffected. *)
   results : timed list;  (** One per experiment, in declaration order. *)
 }
 
@@ -32,10 +36,12 @@ val default_jobs : unit -> int
 val run : ?jobs:int -> Context.t -> Exp.t list -> report
 (** Execute the experiments on [jobs] domains (default {!default_jobs},
     clamped to the number of experiments; [jobs <= 1] runs everything in
-    the calling domain with no spawns).  Results come back in the order
-    the experiments were given, regardless of completion order.  If an
-    experiment raises, the exception is re-raised (with its backtrace)
-    after every domain has been joined. *)
+    the calling domain with no spawns).  On several domains the shared
+    queue hands experiments out longest-first by their {!Exp.t.cost} hint.
+    Results come back in the order the experiments were given, regardless
+    of completion or hand-out order.  If an experiment raises, the
+    exception is re-raised (with its backtrace) after every domain has
+    been joined. *)
 
 val render : report -> string
 (** The rendered reports joined with a blank line — byte-identical to

@@ -1,4 +1,5 @@
 module Asn = Rpi_bgp.Asn
+module Path_intern = Rpi_bgp.Path_intern
 module As_graph = Rpi_topo.As_graph
 module Relationship = Rpi_topo.Relationship
 
@@ -25,13 +26,65 @@ type result = {
   steps : int;
 }
 
+(* Export-class codes: the candidate arena stores the class as a small
+   int so change detection and export filtering are scalar compares. *)
+let class_none = 0
+let class_customer = 1
+let class_peer = 2
+let class_provider = 3
+let class_sibling = 4
+
+let class_code = function
+  | None -> class_none
+  | Some Relationship.Customer -> class_customer
+  | Some Relationship.Peer -> class_peer
+  | Some Relationship.Provider -> class_provider
+  | Some Relationship.Sibling -> class_sibling
+
+(* Decoding returns constant blocks, so it never allocates an option. *)
+let class_decode = function
+  | 1 -> Some Relationship.Customer
+  | 2 -> Some Relationship.Peer
+  | 3 -> Some Relationship.Provider
+  | 4 -> Some Relationship.Sibling
+  | _ -> None
+
+(* One directed adjacency entry, as seen from the holder: everything the
+   inner loop needs about exporting to this neighbour, precomputed. *)
+type edge = {
+  e_to : int;  (* neighbour's AS index *)
+  e_asn : Asn.t;
+  e_asn_int : int;
+  e_rel : Relationship.t;  (* how the holder classifies the neighbour *)
+  e_back_rel : Relationship.t;  (* how the neighbour classifies the holder *)
+  e_back_rel_opt : Relationship.t option;  (* preallocated [Some e_back_rel] *)
+  e_back_class_code : int;
+      (* export class for non-sibling edges ([class_code (Some e_back_rel)]) *)
+  e_back_slot : int;  (* the holder's slot in the neighbour's edge array *)
+  e_slot : int;  (* same slot in the flat arena: slot_base.(e_to) + e_back_slot *)
+  e_recv_lp : int;
+      (* receiver-side import preference for routes over this edge, exact
+         unless the receiver has per-atom policy overrides (lp_dynamic) or
+         the propagation call carries lp_overrides *)
+}
+
 type network = {
   graph : As_graph.t;
   ases : Asn.t array;
   index : int Asn.Table.t;
   neighbors : (int * Asn.t * Relationship.t) array array;
+  edges : edge array array;
   import_policies : Policy.import_policy array;
   transit_scopes : Asn.Set.t option array;
+  lp_dynamic : bool array;  (* receiver's policy has lp_atom entries *)
+  (* Flat candidate-arena geometry: receiver [j]'s slots are the global
+     range [slot_base.(j), slot_base.(j+1)).  Sender identity and the
+     receiver's classification of it are static per slot, so the solver
+     never stores them per candidate. *)
+  slot_base : int array;
+  slot_sender : int array;  (* AS index of the slot's sender *)
+  slot_sender_asn : int array;  (* its AS number, for tie-breaks *)
+  slot_rel : Relationship.t option array;  (* receiver's view of the sender *)
 }
 
 let prepare ~graph ~import ?(transit_scope = fun _ -> None) () =
@@ -47,13 +100,78 @@ let prepare ~graph ~import ?(transit_scope = fun _ -> None) () =
         |> Array.of_list)
       ases
   in
+  let import_policies = Array.map import ases in
+  let lp_dynamic =
+    Array.map
+      (fun (p : Policy.import_policy) ->
+        match p.Policy.lp_atom with
+        | [] -> false
+        | _ :: _ -> true)
+      import_policies
+  in
+  (* Slot of each directed edge in the reverse direction's adjacency
+     array, so a holder can write its export straight into the receiver's
+     per-neighbour candidate arena. *)
+  let back_slot = Hashtbl.create (max 16 (4 * n)) in
+  Array.iteri
+    (fun j nbs -> Array.iteri (fun k (i, _, _) -> Hashtbl.replace back_slot ((j * n) + i) k) nbs)
+    neighbors;
+  let slot_base = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    slot_base.(j + 1) <- slot_base.(j) + Array.length neighbors.(j)
+  done;
+  let edges =
+    Array.mapi
+      (fun i nbs ->
+        Array.map
+          (fun (j, b, rel) ->
+            let back_rel = Relationship.invert rel in
+            let back_rel_opt = Some back_rel in
+            let bs = Hashtbl.find back_slot ((j * n) + i) in
+            {
+              e_to = j;
+              e_asn = b;
+              e_asn_int = Asn.to_int b;
+              e_rel = rel;
+              e_back_rel = back_rel;
+              e_back_rel_opt = back_rel_opt;
+              e_back_class_code = class_code back_rel_opt;
+              e_back_slot = bs;
+              e_slot = slot_base.(j) + bs;
+              (* atom id -1 never matches an lp_atom entry, so this is the
+                 override-free preference *)
+              e_recv_lp =
+                Policy.lp_for import_policies.(j) ~neighbor:ases.(i) ~rel:back_rel ~atom:(-1);
+            })
+          nbs)
+      neighbors
+  in
+  let total_slots = slot_base.(n) in
+  let slot_sender = Array.make total_slots 0 in
+  let slot_sender_asn = Array.make total_slots 0 in
+  let slot_rel = Array.make total_slots None in
+  Array.iteri
+    (fun i es ->
+      Array.iter
+        (fun e ->
+          slot_sender.(e.e_slot) <- i;
+          slot_sender_asn.(e.e_slot) <- Asn.to_int ases.(i);
+          slot_rel.(e.e_slot) <- e.e_back_rel_opt)
+        es)
+    edges;
   {
     graph;
     ases;
     index;
     neighbors;
-    import_policies = Array.map import ases;
+    edges;
+    import_policies;
     transit_scopes = Array.map transit_scope ases;
+    lp_dynamic;
+    slot_base;
+    slot_sender;
+    slot_sender_asn;
+    slot_rel;
   }
 
 let graph_of net = net.graph
@@ -131,8 +249,382 @@ let export_decision atom ~holder ~(r : route) ~nb ~nb_rel =
     else None
   end
 
+(* ------------------------------------------------------------------ *)
+(* Interned fast path.
+
+   The solver below is the production propagation: candidates live in a
+   struct-of-arrays arena over the network's flat slot space — interned
+   path id, memoized length, local preference, export-class code and the
+   no-up tag, each a scalar array indexed by global slot.  Sender identity
+   and classification are static per slot (precomputed in [prepare]), so
+   accepting an export is five scalar writes and the solver allocates
+   nothing per visit.  It makes exactly the decisions of
+   [propagate_reference] (same worklist order, same change detection,
+   same preference order), which the rpicheck property
+   [interned_engine_matches_reference] pins down byte-for-byte. *)
+
+(* The origin's own (path-less) route, shared per process. *)
+let origin_route =
+  {
+    path = [];
+    path_len = 0;
+    learned_from = None;
+    rel = None;
+    export_class = None;
+    lp = 0;
+    no_up = false;
+  }
+
 let propagate net ~retain ?(lp_overrides = []) atom =
-  let { ases; index; neighbors; import_policies; transit_scopes; graph = _ } = net in
+  let {
+    ases;
+    index;
+    edges;
+    import_policies;
+    transit_scopes;
+    lp_dynamic;
+    slot_base;
+    slot_sender;
+    slot_sender_asn;
+    slot_rel;
+    _;
+  } =
+    net
+  in
+  let n = Array.length ases in
+  let origin = atom.Atom.origin in
+  let origin_i =
+    match Asn.Table.find_opt index origin with
+    | Some i -> i
+    | None -> invalid_arg "Engine.propagate: origin not in graph"
+  in
+  (* Paths are interned per propagation run: the table is confined to this
+     call, so parallel atom fan-out shares nothing and stays
+     deterministic. *)
+  let tbl = Path_intern.create ~capacity:(max 512 n) () in
+  (* Per-atom lp override lookup, keyed by holder*n + neighbor. *)
+  let has_overrides =
+    match lp_overrides with
+    | [] -> false
+    | _ :: _ -> true
+  in
+  let override_tbl = Hashtbl.create (if has_overrides then 16 else 1) in
+  List.iter
+    (fun (holder, nb, lp) ->
+      match (Asn.Table.find_opt index holder, Asn.Table.find_opt index nb) with
+      | Some h, Some m -> Hashtbl.replace override_tbl ((h * n) + m) lp
+      | (Some _ | None), _ -> ())
+    lp_overrides;
+  (* Candidate arena: slot [slot_base.(j) + k] is what receiver j holds
+     from the sender in slot k of its adjacency, as parallel scalar
+     arrays.  [s_meta] packs presence, export class and the no-up tag
+     into one int: -1 when the slot is empty, else
+     [class lor (no_up lsl 3)]. *)
+  let total_slots = slot_base.(n) in
+  let s_meta = Array.make total_slots (-1) in
+  let s_path = Array.make total_slots Path_intern.nil in
+  let s_len = Array.make total_slots 0 in
+  let s_lp = Array.make total_slots 0 in
+  (* Best at last visit, copied out of the arena (slot contents mutate in
+     place): [b_slot.(i)] is the winning global slot, -1 the origin's own
+     route, -2 none.  Distinct slots of one receiver always have distinct
+     senders, so slot identity plus the copied scalars is exactly the
+     old-best content [route_equal] would compare. *)
+  let b_slot = Array.make n (-2) in
+  let b_path = Array.make n Path_intern.nil in
+  let b_lp = Array.make n 0 in
+  let b_meta = Array.make n 0 in
+  (* Worklist as a fixed int ring: [queued] dedups, so occupancy never
+     exceeds [n] and pushes allocate nothing. *)
+  let ring = Array.make (n + 1) 0 in
+  let ring_head = ref 0 in
+  let ring_tail = ref 0 in
+  let queued = Array.make n false in
+  let enqueue i =
+    if not queued.(i) then begin
+      queued.(i) <- true;
+      ring.(!ring_tail) <- i;
+      ring_tail := if !ring_tail = n then 0 else !ring_tail + 1
+    end
+  in
+  enqueue origin_i;
+  let steps = ref 0 in
+  let cap = 200 * (n + 1) in
+  (* [beats a b]: slot [a]'s candidate precedes slot [b]'s in the
+     preference order of [compare_candidates] — higher lp, then shorter
+     path, then smaller sender ASN, then lexicographic path.  The order is
+     total on distinct slots (senders differ), so the last tie-break never
+     decides between occupied slots of one receiver. *)
+  let beats a b =
+    match Int.compare s_lp.(b) s_lp.(a) with
+    | 0 -> begin
+        match Int.compare s_len.(a) s_len.(b) with
+        | 0 -> begin
+            match Int.compare slot_sender_asn.(a) slot_sender_asn.(b) with
+            | 0 -> Path_intern.compare_lex tbl s_path.(a) s_path.(b) < 0
+            | c -> c < 0
+          end
+        | c -> c < 0
+      end
+    | c -> c < 0
+  in
+  let select i =
+    if i = origin_i then -1
+    else begin
+      let hi = slot_base.(i + 1) in
+      let best = ref (-2) in
+      for s = slot_base.(i) to hi - 1 do
+        if s_meta.(s) >= 0 && (!best < 0 || beats s !best) then best := s
+      done;
+      !best
+    end
+  in
+  while !ring_head <> !ring_tail && !steps <= cap do
+    incr steps;
+    let i = ring.(!ring_head) in
+    ring_head := if !ring_head = n then 0 else !ring_head + 1;
+    queued.(i) <- false;
+    let holder = ases.(i) in
+    let nb = select i in
+    let ob = b_slot.(i) in
+    let changed =
+      if nb < 0 || ob < 0 then nb <> ob
+      else
+        not
+          (nb = ob && b_lp.(i) = s_lp.(nb) && b_meta.(i) = s_meta.(nb)
+          && Path_intern.equal b_path.(i) s_path.(nb))
+    in
+    (* The origin's best never changes after initialisation, but its first
+       visit must run the export step. *)
+    if changed || (i = origin_i && !steps = 1) then begin
+      b_slot.(i) <- nb;
+      if nb >= 0 then begin
+        b_path.(i) <- s_path.(nb);
+        b_lp.(i) <- s_lp.(nb);
+        b_meta.(i) <- s_meta.(nb)
+      end;
+      if nb = -2 then
+        (* No route any more: withdraw from every neighbour. *)
+        Array.iter
+          (fun e ->
+            if s_meta.(e.e_slot) >= 0 then begin
+              s_meta.(e.e_slot) <- -1;
+              enqueue e.e_to
+            end)
+          edges.(i)
+      else begin
+        let is_origin = nb = -1 in
+        let r_path = if is_origin then Path_intern.nil else s_path.(nb) in
+        let r_len = if is_origin then 0 else s_len.(nb) in
+        let r_lp = if is_origin then 0 else s_lp.(nb) in
+        let r_meta = if is_origin then class_none else s_meta.(nb) in
+        let r_class = r_meta land 7 in
+        let r_no_up = r_meta land 8 <> 0 in
+        let suppressed = (not is_origin) && Asn.Set.mem holder atom.Atom.suppressed_at in
+        let holder_int = Asn.to_int holder in
+        (* A relayed route is prepended exactly once, so its interned
+           export path is the same for every neighbour: one hash probe
+           per export round, not one per edge.  Only the origin prepends
+           per neighbour (AS-path prepending). *)
+        let relay_path =
+          if is_origin || suppressed then Path_intern.nil
+          else Path_intern.cons_n tbl holder 1 r_path
+        in
+        (* Per-edge visits dominate the whole solver, so the hot loop
+           computes the export as scalars and compares them against the
+           stored candidate first: re-visits that change nothing (the
+           steady state once the wavefront passes) allocate nothing. *)
+        Array.iter
+          (fun e ->
+            let s = e.e_slot in
+            let export_ok =
+              (not suppressed)
+              && begin
+                   (* Intermediate selective announcement: a relayed
+                      customer-class route only climbs to providers in
+                      the holder's transit scope. *)
+                   is_origin
+                   ||
+                   match e.e_rel with
+                   | Relationship.Provider -> begin
+                       match transit_scopes.(i) with
+                       | Some scope -> Asn.Set.mem e.e_asn scope
+                       | None -> true
+                     end
+                   | Relationship.Customer | Relationship.Peer | Relationship.Sibling ->
+                       true
+                 end
+              && begin
+                   (* The export class survives sibling hops: peer and
+                      provider routes go to customers and siblings only. *)
+                   is_origin
+                   || r_class = class_none || r_class = class_customer
+                   || r_class = class_sibling
+                   ||
+                   match e.e_rel with
+                   | Relationship.Customer | Relationship.Sibling -> true
+                   | Relationship.Peer | Relationship.Provider -> false
+                 end
+              && begin
+                   (not r_no_up)
+                   ||
+                   match e.e_rel with
+                   | Relationship.Customer | Relationship.Sibling -> true
+                   | Relationship.Peer | Relationship.Provider -> false
+                 end
+              && begin
+                   (not is_origin)
+                   ||
+                   match e.e_rel with
+                   | Relationship.Customer | Relationship.Sibling -> true
+                   | Relationship.Peer -> not (Asn.Set.mem e.e_asn atom.Atom.withhold_peers)
+                   | Relationship.Provider -> begin
+                       match atom.Atom.provider_scope with
+                       | Atom.All_providers -> true
+                       | Atom.Only_providers set -> Asn.Set.mem e.e_asn set
+                     end
+                 end
+              (* Loop rejection: the exported path is the holder
+                 prepended to its own path, so the neighbour appears on
+                 it iff it is the holder itself or already on the held
+                 path. *)
+              && e.e_asn_int <> holder_int
+              && not (Path_intern.mem tbl e.e_asn r_path)
+            in
+            if not export_ok then begin
+              if s_meta.(s) >= 0 then begin
+                s_meta.(s) <- -1;
+                enqueue e.e_to
+              end
+            end
+            else begin
+              let tag =
+                r_no_up || (is_origin && Asn.Set.mem e.e_asn atom.Atom.no_export_up)
+              in
+              (* The origin may pad its own announcement towards
+                 selected neighbours (AS-path prepending). *)
+              let copies =
+                if is_origin then 1 + Atom.prepend_count atom ~neighbor:e.e_asn else 1
+              in
+              let path' =
+                if is_origin then Path_intern.cons_n tbl holder copies r_path
+                else relay_path
+              in
+              let is_sibling_edge =
+                match e.e_back_rel with
+                | Relationship.Sibling -> true
+                | Relationship.Customer | Relationship.Peer | Relationship.Provider -> false
+              in
+              let lp =
+                if is_sibling_edge && not is_origin then
+                  (* Siblings behave like one AS: the preference assigned
+                     by the sending sibling carries over (re-assigning a
+                     flat sibling value above peer and provider creates
+                     DISAGREE-style oscillation between
+                     mutually-preferring siblings).  The origin's own
+                     route gets the receiver's sibling class value. *)
+                  r_lp
+                else if has_overrides then begin
+                  match Hashtbl.find_opt override_tbl ((e.e_to * n) + i) with
+                  | Some lp -> lp
+                  | None ->
+                      if lp_dynamic.(e.e_to) then
+                        Policy.lp_for import_policies.(e.e_to) ~neighbor:holder
+                          ~rel:e.e_back_rel ~atom:atom.Atom.id
+                      else e.e_recv_lp
+                end
+                else if lp_dynamic.(e.e_to) then
+                  Policy.lp_for import_policies.(e.e_to) ~neighbor:holder
+                    ~rel:e.e_back_rel ~atom:atom.Atom.id
+                else e.e_recv_lp
+              in
+              let export_class_code =
+                if is_sibling_edge then
+                  if r_class = class_none then class_customer else r_class
+                else e.e_back_class_code
+              in
+              let meta' = if tag then export_class_code lor 8 else export_class_code in
+              (* An empty slot's meta is -1, so presence is part of the
+                 same compare. *)
+              let unchanged =
+                s_meta.(s) = meta' && s_lp.(s) = lp
+                && Path_intern.equal s_path.(s) path'
+              in
+              if not unchanged then begin
+                s_meta.(s) <- meta';
+                s_path.(s) <- path';
+                s_len.(s) <- copies + r_len;
+                s_lp.(s) <- lp;
+                enqueue e.e_to
+              end
+            end)
+          edges.(i)
+      end
+    end
+  done;
+  let converged = !ring_head = !ring_tail in
+  if not converged then
+    Log.warn (fun m ->
+        m "propagation of atom %d did not converge within %d steps" atom.Atom.id cap);
+  (* Thin conversion back to the public list-of-routes representation;
+     only the retained vantage ASs pay for it. *)
+  let to_route s =
+    {
+      path = Path_intern.to_list tbl s_path.(s);
+      path_len = s_len.(s);
+      learned_from = Some ases.(slot_sender.(s));
+      rel = slot_rel.(s);
+      export_class = class_decode (s_meta.(s) land 7);
+      lp = s_lp.(s);
+      no_up = s_meta.(s) land 8 <> 0;
+    }
+  in
+  let tables =
+    Asn.Set.fold
+      (fun a acc ->
+        match Asn.Table.find_opt index a with
+        | None -> acc
+        | Some i ->
+            let cands = ref [] in
+            for s = slot_base.(i + 1) - 1 downto slot_base.(i) do
+              if s_meta.(s) >= 0 then cands := to_route s :: !cands
+            done;
+            let cands = if i = origin_i then origin_route :: !cands else !cands in
+            (* [compare_candidates] is total on distinct candidates (two
+               routes at one AS differ at least in learned_from), so the
+               sorted order is unique whatever the arena order was. *)
+            let sorted = List.sort compare_candidates cands in
+            (* The best is rebuilt from the copied-out scalars, not the
+               live slot, so a cap-stopped run reports the best as of the
+               AS's last visit — exactly what the reference solver
+               stores.  Path length is memoized in the intern table. *)
+            let best =
+              match b_slot.(i) with
+              | -2 -> None
+              | -1 -> Some origin_route
+              | s ->
+                  Some
+                    {
+                      path = Path_intern.to_list tbl b_path.(i);
+                      path_len = Path_intern.length tbl b_path.(i);
+                      learned_from = Some ases.(slot_sender.(s));
+                      rel = slot_rel.(s);
+                      export_class = class_decode (b_meta.(i) land 7);
+                      lp = b_lp.(i);
+                      no_up = b_meta.(i) land 8 <> 0;
+                    }
+            in
+            Asn.Map.add a { candidates = sorted; best } acc)
+      retain Asn.Map.empty
+  in
+  { atom; tables; converged; steps = !steps }
+
+(* ------------------------------------------------------------------ *)
+(* Reference solver: the direct list-of-routes implementation the
+   interned fast path is checked against.  Kept deliberately naive. *)
+
+let propagate_reference net ~retain ?(lp_overrides = []) atom =
+  let { ases; index; neighbors; import_policies; transit_scopes; _ } = net in
   let n = Array.length ases in
   let origin = atom.Atom.origin in
   let origin_i =
@@ -164,17 +656,6 @@ let propagate net ~retain ?(lp_overrides = []) atom =
       queued.(i) <- true;
       Queue.push i queue
     end
-  in
-  let origin_route =
-    {
-      path = [];
-      path_len = 0;
-      learned_from = None;
-      rel = None;
-      export_class = None;
-      lp = 0;
-      no_up = false;
-    }
   in
   enqueue origin_i;
   let steps = ref 0 in
@@ -322,16 +803,48 @@ let propagate net ~retain ?(lp_overrides = []) atom =
   in
   { atom; tables; converged; steps = !steps }
 
-let propagate_all net ~retain ?lp_overrides atoms =
+let propagate_all net ~retain ?lp_overrides ?(jobs = 1) atoms =
   let overrides_for =
     match lp_overrides with
     | Some f -> f
     | None -> fun _ -> []
   in
-  List.map
-    (fun atom ->
-      propagate net ~retain ~lp_overrides:(overrides_for atom.Atom.id) atom)
-    atoms
+  let jobs = max 1 jobs in
+  if jobs = 1 then
+    List.map
+      (fun atom ->
+        propagate net ~retain ~lp_overrides:(overrides_for atom.Atom.id) atom)
+      atoms
+  else begin
+    (* Atom-level fan-out: each propagation run is self-contained (its own
+       intern table and arenas), slots are written by exactly one domain,
+       and the merge reads them back in declaration order — so the result
+       is byte-identical whatever the domain count. *)
+    let arr = Array.of_list atoms in
+    let m = Array.length arr in
+    let slots = Array.make m None in
+    let next = Atomic.make 0 in
+    let worker _id =
+      let rec loop () =
+        let k = Atomic.fetch_and_add next 1 in
+        if k < m then begin
+          let atom = arr.(k) in
+          slots.(k) <-
+            Some
+              (try Ok (propagate net ~retain ~lp_overrides:(overrides_for atom.Atom.id) atom)
+               with e -> Error (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    Rpi_pool.Pool.run ~jobs:(min jobs (max 1 m)) worker;
+    Array.to_list slots
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
 
 let best_at result a =
   match Asn.Map.find_opt a result.tables with

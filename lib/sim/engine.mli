@@ -76,15 +76,37 @@ val propagate :
 (** [lp_overrides]: [(holder, neighbor, lp)] triples overriding the
     holder's import policy for this atom only (prefix-granularity local
     preference).
+
+    The solver runs on interned paths and flat per-AS candidate arenas
+    (integer AS indices, path ids with memoized length); the [result] is
+    converted back to the list-of-routes representation only for the
+    retained ASs.  The intern table is private to the call, so concurrent
+    propagations share nothing.
     @raise Invalid_argument when the atom's origin is not in the graph. *)
+
+val propagate_reference :
+  network ->
+  retain:Asn.Set.t ->
+  ?lp_overrides:(Asn.t * Asn.t * int) list ->
+  Atom.t ->
+  result
+(** The direct list-of-routes solver {!propagate} is checked against: same
+    worklist order, same decisions, byte-identical results (the rpicheck
+    property [interned_engine_matches_reference] pins this down).  Slower;
+    exists for differential testing only. *)
 
 val propagate_all :
   network ->
   retain:Asn.Set.t ->
   ?lp_overrides:(int -> (Asn.t * Asn.t * int) list) ->
+  ?jobs:int ->
   Atom.t list ->
   result list
-(** One propagation per atom; [lp_overrides] is queried by atom id. *)
+(** One propagation per atom; [lp_overrides] is queried by atom id.
+    [jobs > 1] fans the atoms out over that many domains (the calling
+    domain included) on the shared pool discipline; results are merged in
+    declaration order, so the output is identical for every job count.
+    Default 1 (no spawns). *)
 
 val best_at : result -> Asn.t -> route option
 (** Best route of a retained AS ([None] when unreachable or not retained). *)

@@ -38,13 +38,6 @@ let customer_path g ~provider target =
     dfs provider
   end
 
-let is_customer g ~provider target =
-  (not (Asn.equal provider target))
-  &&
-  match customer_path g ~provider target with
-  | Some _ -> true
-  | None -> false
-
 let customer_cone g a =
   let rec visit visited frontier =
     match frontier with
@@ -149,3 +142,12 @@ let provider_chain_exists g ~from_as target =
         end
   in
   climb (Asn.Set.singleton from_as) [ from_as ]
+
+(* Membership in the provider's customer cone, asked the cheap way round:
+   climbing provider/sibling edges up from [target] reaches [provider] iff
+   a customer/sibling walk descends from [provider] to [target] (the two
+   edge sets are the same edges read from opposite ends), and the upward
+   frontier is bounded by the hierarchy's depth rather than by the size of
+   a large provider's cone. *)
+let is_customer g ~provider target =
+  (not (Asn.equal provider target)) && provider_chain_exists g ~from_as:target provider

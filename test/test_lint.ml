@@ -121,6 +121,46 @@ let test_failwith_in_core () =
   Alcotest.check pair "ordinary assert is fine" []
     (hits ~file:"lib/core/fake.ml" "let f n = assert (n > 0)\n")
 
+let test_list_length_in_compare () =
+  Alcotest.check pair "List.length in a compare* binding (one per occurrence)"
+    [ ("list-length-in-compare", 1); ("list-length-in-compare", 1) ]
+    (hits ~file:"lib/bgp/fake.ml"
+       "let compare_paths a b = Int.compare (List.length a) (List.length b)\n");
+  Alcotest.check pair "List.nth in a compare* binding"
+    [ ("list-length-in-compare", 2); ("list-length-in-compare", 2) ]
+    (hits ~file:"lib/bgp/fake.ml"
+       "let compare_first xs ys =\n\
+       \  Int.compare (List.nth xs 0) (List.nth ys 0)\n");
+  Alcotest.check pair "lambda passed to List.sort"
+    [ ("list-length-in-compare", 1) ]
+    (hits ~file:"lib/bgp/fake.ml"
+       "let f xs = List.sort (fun a b -> Int.compare (List.length a) 0) xs\n");
+  Alcotest.check pair "lambda passed to Array.stable_sort"
+    [ ("list-length-in-compare", 1); ("list-length-in-compare", 1) ]
+    (hits ~file:"lib/bgp/fake.ml"
+       "let f a = Array.stable_sort (fun x y -> Int.compare (List.length x) (List.nth y 0)) a\n");
+  Alcotest.check pair "local compare* binding inside a function"
+    [ ("list-length-in-compare", 2); ("list-length-in-compare", 2) ]
+    (hits ~file:"lib/bgp/fake.ml"
+       "let f xs =\n\
+       \  let compare_rows a b = Int.compare (List.length a) (List.length b) in\n\
+       \  List.sort compare_rows xs\n")
+
+let test_list_length_in_compare_quiet () =
+  Alcotest.check pair "List.length outside comparators is fine" []
+    (hits ~file:"lib/bgp/fake.ml" "let f xs = List.length xs\n");
+  Alcotest.check pair "compare* using a precomputed length is fine" []
+    (hits ~file:"lib/bgp/fake.ml"
+       "let compare_rows a b = Int.compare (fst a) (fst b)\n");
+  Alcotest.check pair "List.compare_lengths is the endorsed spelling" []
+    (hits ~file:"lib/bgp/fake.ml"
+       "let compare_paths a b = List.compare_lengths a b\n");
+  Alcotest.check pair "sort with a named comparator is fine at the call site" []
+    (hits ~file:"lib/bgp/fake.ml" "let f xs = List.sort Int.compare xs\n");
+  Alcotest.check pair "List.length in sort's *input*, not its comparator" []
+    (hits ~file:"lib/bgp/fake.ml"
+       "let f xs = List.sort Int.compare (List.map List.length xs)\n")
+
 let test_missing_mli () =
   let diags =
     Engine.missing_mli
@@ -209,7 +249,7 @@ let test_diagnostic_output () =
   | Ok _ | Error _ -> Alcotest.fail "diagnostic JSON must parse back to an object"
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "seven shipped rules" 7 (List.length Rule.all);
+  Alcotest.(check int) "eight shipped rules" 8 (List.length Rule.all);
   List.iter
     (fun (r : Rule.t) ->
       Alcotest.(check bool)
@@ -231,6 +271,9 @@ let () =
           Alcotest.test_case "no-obj-magic" `Quick test_obj_magic;
           Alcotest.test_case "stdout-in-lib" `Quick test_stdout_in_lib;
           Alcotest.test_case "failwith-in-core" `Quick test_failwith_in_core;
+          Alcotest.test_case "list-length-in-compare" `Quick test_list_length_in_compare;
+          Alcotest.test_case "list-length-in-compare quiet" `Quick
+            test_list_length_in_compare_quiet;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
         ] );
       ( "engine",
