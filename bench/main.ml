@@ -45,7 +45,7 @@ let regenerate () =
   let seq_ctx = Context.create () in
   let seq = Runner.run ~jobs:1 seq_ctx Exp.all in
   print_endline (Runner.render seq);
-  let jobs = max 2 (Runner.default_jobs ()) in
+  let jobs = max 2 (Rpi_pool.Jobs.default ()) in
   let par_ctx = Context.create () in
   let par = Runner.run ~jobs par_ctx Exp.all in
   let identical = String.equal (Runner.render seq) (Runner.render par) in
@@ -83,7 +83,9 @@ let experiment_tests ctx =
            the stability sweep rebuilds whole worlds; both are far too
            heavy for a sampling loop. *)
         (not (String.equal e.Exp.id "fig6+7"))
-        && not (String.equal e.Exp.id "stability"))
+        && (not (String.equal e.Exp.id "stability"))
+        (* ns-bgp rebuilds two whole worlds per run, like stability. *)
+        && not (String.equal e.Exp.id "ns-bgp"))
       Exp.all
   in
   List.map
@@ -189,7 +191,7 @@ let substrate_tests small =
     |> List.mapi (fun i origin ->
            Rpi_sim.Atom.vanilla ~id:i ~origin [ Prefix.of_string_exn "10.0.0.0/24" ])
   in
-  let fan_jobs = max 2 (Runner.default_jobs ()) in
+  let fan_jobs = max 2 (Rpi_pool.Jobs.default ()) in
   [
     Test.make ~name:"substrate/trie-longest-match"
       (Staged.stage (fun () -> ignore (Rpi_net.Prefix_trie.longest_match addr trie)));
@@ -199,6 +201,11 @@ let substrate_tests small =
       (Staged.stage (fun () -> ignore (Rpi_bgp.Decision.select_best candidates)));
     Test.make ~name:"substrate/engine-propagate-atom"
       (Staged.stage (fun () -> ignore (Rpi_sim.Engine.propagate network ~retain atom)));
+    Test.make ~name:"substrate/ns-bgp-propagate"
+      (Staged.stage (fun () ->
+           ignore
+             (Rpi_sim.Engine.propagate network ~retain
+                ~decision:Rpi_sim.Decision.neighbor_specific atom)));
     Test.make ~name:"substrate/propagate-all-seq"
       (Staged.stage (fun () ->
            ignore (Rpi_sim.Engine.propagate_all network ~retain ~jobs:1 batch_atoms)));

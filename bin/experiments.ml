@@ -43,7 +43,6 @@ let run_cmd log_level seed small jobs json ids =
     `Error (false, "unknown experiments: " ^ String.concat ", " unknown)
   else begin
     let exps = List.filter_map (function Ok e -> Some e | Error _ -> None) resolved in
-    let jobs = if jobs <= 0 then None else Some jobs in
     if not json then Printf.printf "Scenario seed: %d\n\n" seed;
     let ctx = Rpi_experiments.Context.create ~config () in
     let report = Runner.run ?jobs ctx exps in
@@ -77,14 +76,7 @@ let small_arg =
   let doc = "Use the reduced (~300 AS) scenario for a fast run." in
   Arg.(value & flag & info [ "small" ] ~doc)
 
-let jobs_arg =
-  let doc =
-    "Number of domains for the parallel runner (default: the RPI_JOBS \
-     environment variable, else the recommended domain count; 1 runs \
-     sequentially)."
-  in
-  let env = Cmd.Env.info "RPI_JOBS" in
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+let jobs_arg = Rpi_pool.Jobs.term
 
 let json_arg =
   let doc =

@@ -189,11 +189,7 @@ let epoch_ms_t =
     value & opt int 1000
     & info [ "epoch-ms" ] ~docv:"MS" ~doc:"Delay between replayed epochs.")
 
-let jobs_t =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "jobs" ] ~docv:"N" ~doc:"Server worker domains (default: auto).")
+let jobs_t = Rpi_pool.Jobs.term
 
 let json_t =
   Arg.(value & flag & info [ "json" ] ~doc:"Access log as NDJSON on stdout.")

@@ -15,6 +15,8 @@ module Relationship = Rpi_topo.Relationship
 module Gao = Rpi_relinfer.Gao
 module Engine = Rpi_sim.Engine
 module Atom = Rpi_sim.Atom
+module Decision = Rpi_sim.Decision
+module Gadget = Rpi_sim.Gadget
 module Validate = Rpi_relinfer.Validate
 module Runner = Rpi_runner.Runner
 module Update = Rpi_bgp.Update
@@ -644,29 +646,31 @@ let scenario_properties ~seed =
         end)
       ()
   in
+  (* Byte-level equality of engine results — convergence trace included —
+     shared by the solver-differential properties below. *)
+  let engine_route_equal (a : Engine.route) (b : Engine.route) =
+    a.Engine.lp = b.Engine.lp
+    && a.Engine.path_len = b.Engine.path_len
+    && a.Engine.no_up = b.Engine.no_up
+    && Option.equal Asn.equal a.Engine.learned_from b.Engine.learned_from
+    && Option.equal Relationship.equal a.Engine.rel b.Engine.rel
+    && Option.equal Relationship.equal a.Engine.export_class b.Engine.export_class
+    && List.equal Asn.equal a.Engine.path b.Engine.path
+  in
+  let engine_table_equal (a : Engine.table) (b : Engine.table) =
+    Option.equal engine_route_equal a.Engine.best b.Engine.best
+    && List.equal engine_route_equal a.Engine.candidates b.Engine.candidates
+  in
+  let result_equal (a : Engine.result) (b : Engine.result) =
+    a.Engine.converged = b.Engine.converged
+    && a.Engine.steps = b.Engine.steps
+    && Asn.Map.equal engine_table_equal a.Engine.tables b.Engine.tables
+  in
   let interned_engine_matches_reference =
     (* The production solver runs on interned paths and flat index arenas;
        this pins it to the retained list-of-routes reference solver —
        identical tables, identical convergence trace — and propagate_all
        to its jobs=1 merge for every domain count. *)
-    let route_equal (a : Engine.route) (b : Engine.route) =
-      a.Engine.lp = b.Engine.lp
-      && a.Engine.path_len = b.Engine.path_len
-      && a.Engine.no_up = b.Engine.no_up
-      && Option.equal Asn.equal a.Engine.learned_from b.Engine.learned_from
-      && Option.equal Relationship.equal a.Engine.rel b.Engine.rel
-      && Option.equal Relationship.equal a.Engine.export_class b.Engine.export_class
-      && List.equal Asn.equal a.Engine.path b.Engine.path
-    in
-    let table_equal (a : Engine.table) (b : Engine.table) =
-      Option.equal route_equal a.Engine.best b.Engine.best
-      && List.equal route_equal a.Engine.candidates b.Engine.candidates
-    in
-    let result_equal (a : Engine.result) (b : Engine.result) =
-      a.Engine.converged = b.Engine.converged
-      && a.Engine.steps = b.Engine.steps
-      && Asn.Map.equal table_equal a.Engine.tables b.Engine.tables
-    in
     Property.make ~name:"interned_engine_matches_reference"
       ~gen:(fun rng ->
         let t = Lazy.force scen in
@@ -687,16 +691,11 @@ let scenario_properties ~seed =
         let t = Lazy.force scen in
         let net = t.Scenario.network in
         let retain = t.Scenario.retain in
-        let ov = Scenario.overrides_fn t in
         let mismatches =
           List.filter
             (fun (a : Atom.t) ->
-              let fast =
-                Engine.propagate net ~retain ~lp_overrides:(ov a.Atom.id) a
-              in
-              let ref_ =
-                Engine.propagate_reference net ~retain ~lp_overrides:(ov a.Atom.id) a
-              in
+              let fast = Engine.propagate net ~retain a in
+              let ref_ = Engine.propagate_reference net ~retain a in
               not (result_equal fast ref_))
             batch
         in
@@ -708,7 +707,7 @@ let scenario_properties ~seed =
         | [] ->
             let runs =
               List.map
-                (fun jobs -> Engine.propagate_all net ~retain ~lp_overrides:ov ~jobs batch)
+                (fun jobs -> Engine.propagate_all net ~retain ~jobs batch)
                 [ 1; 2; 4 ]
             in
             let all_equal =
@@ -721,12 +720,120 @@ let scenario_properties ~seed =
             else Error "propagate_all result depends on the jobs count")
       ()
   in
+  let decision_vanilla_matches_reference =
+    (* The generic pluggable solver under [Per_as] granularity must make
+       exactly the decisions of the specialised fast path and the
+       reference solver.  Dispatch is by module name, so a renamed copy
+       of Vanilla forces the generic path. *)
+    let generic : Decision.t =
+      (module struct
+        let name = "vanilla/generic"
+        let granularity = Decision.Per_as
+        let prefer = Decision.Vanilla.prefer
+        let export_ok = Decision.Vanilla.export_ok
+      end)
+    in
+    Property.make ~name:"decision_vanilla_matches_reference"
+      ~gen:(fun rng ->
+        let t = Lazy.force scen in
+        let atoms = Array.of_list t.Scenario.atoms in
+        let n = Array.length atoms in
+        let start = Prng.int rng n in
+        let len = 1 + Prng.int rng (min 4 n) in
+        List.init len (fun k -> atoms.((start + k) mod n)))
+      ~show:(fun batch ->
+        Printf.sprintf "atoms [%s]"
+          (String.concat ";"
+             (List.map (fun (a : Atom.t) -> string_of_int a.Atom.id) batch)))
+      ~shrink:(fun batch ->
+        match batch with
+        | [] | [ _ ] -> []
+        | _ -> List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) batch) batch)
+      ~check:(fun batch ->
+        let t = Lazy.force scen in
+        let net = t.Scenario.network in
+        let retain = t.Scenario.retain in
+        let bad =
+          List.filter
+            (fun (a : Atom.t) ->
+              let fast = Engine.propagate net ~retain a in
+              let plug = Engine.propagate net ~retain ~decision:generic a in
+              let ref_ = Engine.propagate_reference net ~retain a in
+              not (result_equal fast plug && result_equal plug ref_))
+            batch
+        in
+        match bad with
+        | a :: _ ->
+            Error
+              (Printf.sprintf
+                 "pluggable vanilla diverges from fast path/reference on atom %d"
+                 a.Atom.id)
+        | [] -> Ok (3 * List.length batch))
+      ()
+  in
+  let ns_bgp_converges_on_gadget =
+    (* BAD GADGET has no stable state under per-AS selection, so the
+       vanilla solver runs into its step cap; NS-BGP converges on the
+       same configuration, because what each rim AS exports to its peers
+       — its customer route, the only one the valley-free discipline
+       lets out — no longer depends on the route it currently prefers
+       for itself. *)
+    Property.make ~name:"ns_bgp_converges_on_gadget"
+      ~gen:(fun rng ->
+        let o = 64000 + Prng.int rng 900 in
+        let a = o + 1 + Prng.int rng 20 in
+        let b = a + 1 + Prng.int rng 20 in
+        let c = b + 1 + Prng.int rng 20 in
+        (o, a, b, c, 111 + Prng.int rng 40))
+      ~show:(fun (o, a, b, c, pref) ->
+        Printf.sprintf "origin AS%d rim AS%d/AS%d/AS%d pref %d" o a b c pref)
+      ~check:(fun (o, a, b, c, pref) ->
+        let origin = Asn.of_int o in
+        let a1 = Asn.of_int a and a2 = Asn.of_int b and a3 = Asn.of_int c in
+        let graph, import =
+          Gadget.bad_gadget ~origin ~rim:(a1, a2, a3) ~pref_rim:pref ()
+        in
+        let network = Engine.prepare ~graph ~import () in
+        let retain = Asn.Set.of_list (Rpi_topo.As_graph.ases graph) in
+        let atom =
+          Atom.vanilla ~id:0 ~origin [ Prefix.make (Ipv4.of_octets 10 9 9 0) 24 ]
+        in
+        let vanilla = Engine.propagate network ~retain atom in
+        let ns =
+          Engine.propagate network ~retain ~decision:Decision.neighbor_specific atom
+        in
+        if vanilla.Engine.converged then
+          Error "vanilla BGP converged on BAD GADGET (expected oscillation)"
+        else if not ns.Engine.converged then
+          Error "NS-BGP failed to converge on BAD GADGET"
+        else begin
+          (* The NS fixed point is the wheel every AS wanted: each rim AS
+             settles on the route relayed by its preferred peer. *)
+          let bad =
+            List.filter
+              (fun (holder, preferred) ->
+                match Engine.best_at ns holder with
+                | Some r ->
+                    not
+                      (Option.equal Asn.equal r.Engine.learned_from (Some preferred)
+                      && r.Engine.lp = pref)
+                | None -> true)
+              [ (a1, a2); (a2, a3); (a3, a1) ]
+          in
+          match bad with
+          | [] -> Ok 2
+          | _ :: _ -> Error "NS-BGP fixed point is not the preferred-peer wheel"
+        end)
+      ()
+  in
   [
     sa_subset_monotone;
     import_renumber_invariant;
     gao_permutation_invariant;
     gao_ground_truth;
     interned_engine_matches_reference;
+    decision_vanilla_matches_reference;
+    ns_bgp_converges_on_gadget;
     incremental_matches_batch;
   ]
 

@@ -8,6 +8,7 @@ module Ipv4 = Rpi_net.Ipv4
 module Atom = Rpi_sim.Atom
 module Policy = Rpi_sim.Policy
 module Engine = Rpi_sim.Engine
+module Decision = Rpi_sim.Decision
 module Vantage = Rpi_sim.Vantage
 module Prng = Rpi_prng.Prng
 module Int_tbl = Hashtbl.Make (Int)
@@ -79,6 +80,7 @@ type t = {
   lp_overrides : (Asn.t * Asn.t * int) list Int_tbl.t;
   transit_scopes : Asn.Set.t Asn.Map.t;
   network : Engine.network;
+  decision : Decision.t;
   retain : Asn.Set.t;
   results : Engine.result list;
   collector_peers : Asn.t list;
@@ -141,7 +143,7 @@ let proper_subset rng members =
       let size = if Prng.chance rng 0.6 then 1 else Prng.int_in rng 1 (n - 1) in
       Some (Asn.Set.of_list (Prng.sample rng size members))
 
-let build ?(config = default_config) () =
+let build ?(config = default_config) ?(decision = Decision.vanilla) () =
   let root = Prng.create ~seed:config.seed in
   let topo_rng = Prng.split root in
   let policy_rng = Prng.split root in
@@ -422,15 +424,25 @@ let build ?(config = default_config) () =
         else acc)
       Asn.Map.empty ases
   in
+  (* The per-atom override triples, flattened to the quadruples
+     [Engine.prepare] compiles into each AS's resolved policy.  Per-atom
+     list order is preserved: [Policy.compile]'s duplicate-key precedence
+     (last external entry wins) must see the entries in the order they
+     were recorded here. *)
+  let lp_override_quads =
+    Int_tbl.fold
+      (fun atom_id triples acc ->
+        List.map (fun (holder, nb, lp) -> (atom_id, holder, nb, lp)) triples @ acc)
+      lp_overrides []
+  in
   let network =
     Engine.prepare ~graph
       ~import:(fun a -> (policy_of_asn a).Policy.import)
       ~transit_scope:(fun a -> Asn.Map.find_opt a transit_scopes)
-      ()
+      ~lp_overrides:lp_override_quads ()
   in
-  let overrides_fn id = Option.value ~default:[] (Int_tbl.find_opt lp_overrides id) in
   Log.info (fun m -> m "propagating %d atoms over %d ASs" (List.length atoms) (List.length ases));
-  let results = Engine.propagate_all network ~retain ~lp_overrides:overrides_fn atoms in
+  let results = Engine.propagate_all network ~retain ~decision atoms in
   let collector = Vantage.collector_rib ~peers:collector_peers results in
   let lg_tables =
     List.map (fun a -> (a, Vantage.rib_at ~policy:(policy_of_asn a) ~vantage:a results)) lg_ases
@@ -444,6 +456,7 @@ let build ?(config = default_config) () =
     lp_overrides;
     transit_scopes;
     network;
+    decision;
     retain;
     results;
     collector_peers;
@@ -469,10 +482,8 @@ let origins_ground_truth t =
   Asn.Table.fold (fun origin prefixes acc -> (origin, prefixes) :: acc) by_origin []
   |> List.sort (fun (a, _) (b, _) -> Asn.compare a b)
 
-let overrides_fn t id = Option.value ~default:[] (Int_tbl.find_opt t.lp_overrides id)
-
 let rerun_with_atoms t atoms =
-  Engine.propagate_all t.network ~retain:t.retain ~lp_overrides:(overrides_fn t) atoms
+  Engine.propagate_all t.network ~retain:t.retain ~decision:t.decision atoms
 
 type result_cache = (Atom.t * Engine.result) Int_tbl.t
 
@@ -485,9 +496,7 @@ let rerun_with_atoms_cached t cache atoms =
       | Some (cached_atom, result) when Atom.equal cached_atom atom -> result
       | Some _ | None ->
           let result =
-            Engine.propagate t.network ~retain:t.retain
-              ~lp_overrides:(overrides_fn t atom.Atom.id)
-              atom
+            Engine.propagate t.network ~retain:t.retain ~decision:t.decision atom
           in
           Int_tbl.replace cache atom.Atom.id (atom, result);
           result)

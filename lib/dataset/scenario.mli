@@ -17,6 +17,7 @@ module Prefix = Rpi_net.Prefix
 module Atom = Rpi_sim.Atom
 module Policy = Rpi_sim.Policy
 module Engine = Rpi_sim.Engine
+module Decision = Rpi_sim.Decision
 
 type config = {
   seed : int;
@@ -76,6 +77,8 @@ type t = {
       (** Intermediate ASs restricting customer-route re-export, with the
           provider subset they announce to. *)
   network : Engine.network;
+  decision : Decision.t;
+      (** The decision process every propagation (including reruns) uses. *)
   retain : Asn.Set.t;
   results : Engine.result list;
   collector_peers : Asn.t list;
@@ -84,17 +87,17 @@ type t = {
   lg_tables : (Asn.t * Rib.t) list;
 }
 
-val build : ?config:config -> unit -> t
-(** Deterministic in [config.seed]. *)
+val build : ?config:config -> ?decision:Decision.t -> unit -> t
+(** Deterministic in [config.seed].  [decision] (default
+    {!Decision.vanilla}) selects the decision process the engine runs the
+    scenario under — e.g. {!Decision.neighbor_specific} rebuilds the same
+    topology, policies and export specs under NS-BGP. *)
 
 val policy_of : t -> Asn.t -> Policy.t
 val lg_table : t -> Asn.t -> Rib.t option
 val origins_ground_truth : t -> (Asn.t * Prefix.t list) list
 (** (origin, prefixes) per AS, from the atoms — the oracle counterpart of
     {!Rpi_core.Export_infer.origins_of_rib}. *)
-
-val overrides_fn : t -> int -> (Asn.t * Asn.t * int) list
-(** Accessor usable as [Engine.propagate_all ~lp_overrides]. *)
 
 val rerun_with_atoms : t -> Atom.t list -> Engine.result list
 (** Re-propagate a modified atom list on the same network and retain set

@@ -36,9 +36,7 @@ let registry ?(config = default_config) rng ~graph ~policies =
             (fun (nb, rel) ->
               if Prng.chance rng config.p_missing_rule then None
               else begin
-                let lp =
-                  Policy.lp_for policy.Policy.import ~neighbor:nb ~rel ~atom:(-1)
-                in
+                let lp = Policy.static_pref policy.Policy.import ~neighbor:nb ~rel in
                 let pref =
                   if Prng.chance rng config.p_noisy_pref then Prng.int_in rng 50 150
                   else pref_of_lp lp

@@ -88,6 +88,20 @@ let list_length_in_compare =
        or use List.compare_lengths.";
   }
 
+let engine_internals =
+  {
+    id = "engine-internals";
+    summary =
+      "direct construction of the simulator's decision-arena view (dc_* \
+       record) outside lib/sim";
+    rationale =
+      "Decision.ctx is a borrowed view of the engine's flat candidate arena; \
+       only the propagation core knows the slot_base layout and when the \
+       arrays are live.  Code elsewhere implements Decision.S and lets \
+       Engine.propagate supply the ctx — a hand-rolled arena drifts from \
+       the real slot layout silently.";
+  }
+
 let all =
   [
     mutable_toplevel;
@@ -98,6 +112,7 @@ let all =
     missing_mli;
     failwith_in_core;
     list_length_in_compare;
+    engine_internals;
   ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all

@@ -13,6 +13,7 @@ val stdout_in_lib : t
 val missing_mli : t
 val failwith_in_core : t
 val list_length_in_compare : t
+val engine_internals : t
 
 val all : t list
 (** Every shipped rule, in documentation order. *)

@@ -1,16 +1,4 @@
-let default_jobs () =
-  match Sys.getenv_opt "RPI_JOBS" with
-  | Some s -> begin
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None ->
-          Printf.eprintf
-            "warning: ignoring RPI_JOBS=%S (expected a positive integer); using %d domains\n%!"
-            s
-            (Domain.recommended_domain_count ());
-          Domain.recommended_domain_count ()
-    end
-  | None -> Domain.recommended_domain_count ()
+let default_jobs () = Jobs.default ()
 
 let run ?jobs worker =
   let jobs =

@@ -26,28 +26,14 @@ type result = {
   steps : int;
 }
 
-(* Export-class codes: the candidate arena stores the class as a small
-   int so change detection and export filtering are scalar compares. *)
-let class_none = 0
-let class_customer = 1
-let class_peer = 2
-let class_provider = 3
-let class_sibling = 4
-
-let class_code = function
-  | None -> class_none
-  | Some Relationship.Customer -> class_customer
-  | Some Relationship.Peer -> class_peer
-  | Some Relationship.Provider -> class_provider
-  | Some Relationship.Sibling -> class_sibling
-
-(* Decoding returns constant blocks, so it never allocates an option. *)
-let class_decode = function
-  | 1 -> Some Relationship.Customer
-  | 2 -> Some Relationship.Peer
-  | 3 -> Some Relationship.Provider
-  | 4 -> Some Relationship.Sibling
-  | _ -> None
+(* Export-class codes live with the decision-process contract: the
+   candidate arena stores the class as a small int so change detection
+   and export filtering are scalar compares. *)
+let class_none = Decision.class_none
+let class_customer = Decision.class_customer
+let class_sibling = Decision.class_sibling
+let class_code = Decision.class_code
+let class_decode = Decision.class_decode
 
 (* One directed adjacency entry, as seen from the holder: everything the
    inner loop needs about exporting to this neighbour, precomputed. *)
@@ -64,8 +50,8 @@ type edge = {
   e_slot : int;  (* same slot in the flat arena: slot_base.(e_to) + e_back_slot *)
   e_recv_lp : int;
       (* receiver-side import preference for routes over this edge, exact
-         unless the receiver has per-atom policy overrides (lp_dynamic) or
-         the propagation call carries lp_overrides *)
+         unless the receiver has per-(neighbour, atom) entries
+         (lp_dynamic) *)
 }
 
 type network = {
@@ -74,9 +60,11 @@ type network = {
   index : int Asn.Table.t;
   neighbors : (int * Asn.t * Relationship.t) array array;
   edges : edge array array;
-  import_policies : Policy.import_policy array;
+  resolved : Policy.resolved array;
+      (* import preference compiled to one lookup per AS (lp_atom entries
+         and prepare-time lp_overrides folded in) *)
   transit_scopes : Asn.Set.t option array;
-  lp_dynamic : bool array;  (* receiver's policy has lp_atom entries *)
+  lp_dynamic : bool array;  (* receiver has per-(neighbour, atom) entries *)
   (* Flat candidate-arena geometry: receiver [j]'s slots are the global
      range [slot_base.(j), slot_base.(j+1)).  Sender identity and the
      receiver's classification of it are static per slot, so the solver
@@ -87,7 +75,7 @@ type network = {
   slot_rel : Relationship.t option array;  (* receiver's view of the sender *)
 }
 
-let prepare ~graph ~import ?(transit_scope = fun _ -> None) () =
+let prepare ~graph ~import ?(transit_scope = fun _ -> None) ?(lp_overrides = []) () =
   let ases = Array.of_list (As_graph.ases graph) in
   let n = Array.length ases in
   let index = Asn.Table.create (max 16 n) in
@@ -101,14 +89,23 @@ let prepare ~graph ~import ?(transit_scope = fun _ -> None) () =
       ases
   in
   let import_policies = Array.map import ases in
-  let lp_dynamic =
-    Array.map
-      (fun (p : Policy.import_policy) ->
-        match p.Policy.lp_atom with
-        | [] -> false
-        | _ :: _ -> true)
+  (* External per-atom overrides, grouped by holder with their sequence
+     order preserved (compile's duplicate-key precedence depends on it);
+     entries naming an unknown holder are dropped, like the per-call
+     triples they replace. *)
+  let overrides_of = Array.make n [] in
+  List.iter
+    (fun (atom_id, holder, neighbor, lp) ->
+      match Asn.Table.find_opt index holder with
+      | Some h -> overrides_of.(h) <- (neighbor, atom_id, lp) :: overrides_of.(h)
+      | None -> ())
+    lp_overrides;
+  let resolved =
+    Array.mapi
+      (fun i p -> Policy.compile ~overrides:(List.rev overrides_of.(i)) p)
       import_policies
   in
+  let lp_dynamic = Array.map Policy.is_dynamic resolved in
   (* Slot of each directed edge in the reverse direction's adjacency
      array, so a holder can write its export straight into the receiver's
      per-neighbour candidate arena. *)
@@ -138,10 +135,7 @@ let prepare ~graph ~import ?(transit_scope = fun _ -> None) () =
               e_back_class_code = class_code back_rel_opt;
               e_back_slot = bs;
               e_slot = slot_base.(j) + bs;
-              (* atom id -1 never matches an lp_atom entry, so this is the
-                 override-free preference *)
-              e_recv_lp =
-                Policy.lp_for import_policies.(j) ~neighbor:ases.(i) ~rel:back_rel ~atom:(-1);
+              e_recv_lp = Policy.resolve_static resolved.(j) ~neighbor:ases.(i) ~rel:back_rel;
             })
           nbs)
       neighbors
@@ -165,7 +159,7 @@ let prepare ~graph ~import ?(transit_scope = fun _ -> None) () =
     index;
     neighbors;
     edges;
-    import_policies;
+    resolved;
     transit_scopes = Array.map transit_scope ases;
     lp_dynamic;
     slot_base;
@@ -275,18 +269,70 @@ let origin_route =
     no_up = false;
   }
 
-let propagate net ~retain ?(lp_overrides = []) atom =
+(* Thin conversion from the arena back to the public list-of-routes
+   representation, shared by the vanilla and pluggable solvers; only the
+   retained vantage ASs pay for it. *)
+let arena_tables net ~tbl ~origin_i ~s_meta ~s_path ~s_len ~s_lp ~b_slot ~b_path
+    ~b_lp ~b_meta retain =
+  let { ases; index; slot_base; slot_sender; slot_rel; _ } = net in
+  let to_route s =
+    {
+      path = Path_intern.to_list tbl s_path.(s);
+      path_len = s_len.(s);
+      learned_from = Some ases.(slot_sender.(s));
+      rel = slot_rel.(s);
+      export_class = class_decode (s_meta.(s) land 7);
+      lp = s_lp.(s);
+      no_up = s_meta.(s) land 8 <> 0;
+    }
+  in
+  Asn.Set.fold
+    (fun a acc ->
+      match Asn.Table.find_opt index a with
+      | None -> acc
+      | Some i ->
+          let cands = ref [] in
+          for s = slot_base.(i + 1) - 1 downto slot_base.(i) do
+            if s_meta.(s) >= 0 then cands := to_route s :: !cands
+          done;
+          let cands = if i = origin_i then origin_route :: !cands else !cands in
+          (* [compare_candidates] is total on distinct candidates (two
+             routes at one AS differ at least in learned_from), so the
+             sorted order is unique whatever the arena order was. *)
+          let sorted = List.sort compare_candidates cands in
+          (* The best is rebuilt from the copied-out scalars, not the
+             live slot, so a cap-stopped run reports the best as of the
+             AS's last visit — exactly what the reference solver
+             stores.  Path length is memoized in the intern table. *)
+          let best =
+            match b_slot.(i) with
+            | -2 -> None
+            | -1 -> Some origin_route
+            | s ->
+                Some
+                  {
+                    path = Path_intern.to_list tbl b_path.(i);
+                    path_len = Path_intern.length tbl b_path.(i);
+                    learned_from = Some ases.(slot_sender.(s));
+                    rel = slot_rel.(s);
+                    export_class = class_decode (b_meta.(i) land 7);
+                    lp = b_lp.(i);
+                    no_up = b_meta.(i) land 8 <> 0;
+                  }
+          in
+          Asn.Map.add a { candidates = sorted; best } acc)
+    retain Asn.Map.empty
+
+let propagate_vanilla net ~retain atom =
   let {
     ases;
     index;
     edges;
-    import_policies;
+    resolved;
     transit_scopes;
     lp_dynamic;
     slot_base;
-    slot_sender;
     slot_sender_asn;
-    slot_rel;
     _;
   } =
     net
@@ -302,19 +348,6 @@ let propagate net ~retain ?(lp_overrides = []) atom =
      call, so parallel atom fan-out shares nothing and stays
      deterministic. *)
   let tbl = Path_intern.create ~capacity:(max 512 n) () in
-  (* Per-atom lp override lookup, keyed by holder*n + neighbor. *)
-  let has_overrides =
-    match lp_overrides with
-    | [] -> false
-    | _ :: _ -> true
-  in
-  let override_tbl = Hashtbl.create (if has_overrides then 16 else 1) in
-  List.iter
-    (fun (holder, nb, lp) ->
-      match (Asn.Table.find_opt index holder, Asn.Table.find_opt index nb) with
-      | Some h, Some m -> Hashtbl.replace override_tbl ((h * n) + m) lp
-      | (Some _ | None), _ -> ())
-    lp_overrides;
   (* Candidate arena: slot [slot_base.(j) + k] is what receiver j holds
      from the sender in slot k of its adjacency, as parallel scalar
      arrays.  [s_meta] packs presence, export class and the no-up tag
@@ -524,18 +557,9 @@ let propagate net ~retain ?(lp_overrides = []) atom =
                      mutually-preferring siblings).  The origin's own
                      route gets the receiver's sibling class value. *)
                   r_lp
-                else if has_overrides then begin
-                  match Hashtbl.find_opt override_tbl ((e.e_to * n) + i) with
-                  | Some lp -> lp
-                  | None ->
-                      if lp_dynamic.(e.e_to) then
-                        Policy.lp_for import_policies.(e.e_to) ~neighbor:holder
-                          ~rel:e.e_back_rel ~atom:atom.Atom.id
-                      else e.e_recv_lp
-                end
                 else if lp_dynamic.(e.e_to) then
-                  Policy.lp_for import_policies.(e.e_to) ~neighbor:holder
-                    ~rel:e.e_back_rel ~atom:atom.Atom.id
+                  Policy.resolve resolved.(e.e_to) ~neighbor:holder ~rel:e.e_back_rel
+                    ~atom:atom.Atom.id
                 else e.e_recv_lp
               in
               let export_class_code =
@@ -566,65 +590,41 @@ let propagate net ~retain ?(lp_overrides = []) atom =
   if not converged then
     Log.warn (fun m ->
         m "propagation of atom %d did not converge within %d steps" atom.Atom.id cap);
-  (* Thin conversion back to the public list-of-routes representation;
-     only the retained vantage ASs pay for it. *)
-  let to_route s =
-    {
-      path = Path_intern.to_list tbl s_path.(s);
-      path_len = s_len.(s);
-      learned_from = Some ases.(slot_sender.(s));
-      rel = slot_rel.(s);
-      export_class = class_decode (s_meta.(s) land 7);
-      lp = s_lp.(s);
-      no_up = s_meta.(s) land 8 <> 0;
-    }
-  in
   let tables =
-    Asn.Set.fold
-      (fun a acc ->
-        match Asn.Table.find_opt index a with
-        | None -> acc
-        | Some i ->
-            let cands = ref [] in
-            for s = slot_base.(i + 1) - 1 downto slot_base.(i) do
-              if s_meta.(s) >= 0 then cands := to_route s :: !cands
-            done;
-            let cands = if i = origin_i then origin_route :: !cands else !cands in
-            (* [compare_candidates] is total on distinct candidates (two
-               routes at one AS differ at least in learned_from), so the
-               sorted order is unique whatever the arena order was. *)
-            let sorted = List.sort compare_candidates cands in
-            (* The best is rebuilt from the copied-out scalars, not the
-               live slot, so a cap-stopped run reports the best as of the
-               AS's last visit — exactly what the reference solver
-               stores.  Path length is memoized in the intern table. *)
-            let best =
-              match b_slot.(i) with
-              | -2 -> None
-              | -1 -> Some origin_route
-              | s ->
-                  Some
-                    {
-                      path = Path_intern.to_list tbl b_path.(i);
-                      path_len = Path_intern.length tbl b_path.(i);
-                      learned_from = Some ases.(slot_sender.(s));
-                      rel = slot_rel.(s);
-                      export_class = class_decode (b_meta.(i) land 7);
-                      lp = b_lp.(i);
-                      no_up = b_meta.(i) land 8 <> 0;
-                    }
-            in
-            Asn.Map.add a { candidates = sorted; best } acc)
-      retain Asn.Map.empty
+    arena_tables net ~tbl ~origin_i ~s_meta ~s_path ~s_len ~s_lp ~b_slot ~b_path
+      ~b_lp ~b_meta retain
   in
   { atom; tables; converged; steps = !steps }
 
 (* ------------------------------------------------------------------ *)
-(* Reference solver: the direct list-of-routes implementation the
-   interned fast path is checked against.  Kept deliberately naive. *)
+(* Generic pluggable solver.
 
-let propagate_reference net ~retain ?(lp_overrides = []) atom =
-  let { ases; index; neighbors; import_policies; transit_scopes; _ } = net in
+   Same mechanics as the vanilla fast path — the ring worklist, the
+   interned arena, the atom's export spec, loop rejection, compiled
+   import preferences — with the decision process abstracted behind a
+   {!Decision.S} module.  Under [Per_as] granularity it reproduces the
+   fast path's visit sequence exactly (the rpicheck property
+   [decision_vanilla_matches_reference] pins a renamed vanilla module to
+   byte-identical results including [steps]); under [Per_neighbor] each
+   directed adjacency selects its own most preferred exportable
+   candidate — NS-BGP — with one selection cell per adjacency laid out
+   over the [slot_base] prefix sums. *)
+
+let propagate_pluggable net ~retain ~decision atom =
+  let module D = (val decision : Decision.S) in
+  let {
+    ases;
+    index;
+    edges;
+    resolved;
+    transit_scopes;
+    lp_dynamic;
+    slot_base;
+    slot_sender_asn;
+    _;
+  } =
+    net
+  in
   let n = Array.length ases in
   let origin = atom.Atom.origin in
   let origin_i =
@@ -632,19 +632,254 @@ let propagate_reference net ~retain ?(lp_overrides = []) atom =
     | Some i -> i
     | None -> invalid_arg "Engine.propagate: origin not in graph"
   in
-  (* Per-atom lp override lookup, keyed by holder*n + neighbor. *)
-  let override_tbl = Hashtbl.create 16 in
-  List.iter
-    (fun (holder, nb, lp) ->
-      match (Asn.Table.find_opt index holder, Asn.Table.find_opt index nb) with
-      | Some h, Some m -> Hashtbl.replace override_tbl ((h * n) + m) lp
-      | (Some _ | None), _ -> ())
-    lp_overrides;
-  let lp_at holder_i ~neighbor ~neighbor_i ~rel =
-    match Hashtbl.find_opt override_tbl ((holder_i * n) + neighbor_i) with
-    | Some lp -> lp
-    | None ->
-        Policy.lp_for import_policies.(holder_i) ~neighbor ~rel ~atom:atom.Atom.id
+  let tbl = Path_intern.create ~capacity:(max 512 n) () in
+  let total_slots = slot_base.(n) in
+  let s_meta = Array.make total_slots (-1) in
+  let s_path = Array.make total_slots Path_intern.nil in
+  let s_len = Array.make total_slots 0 in
+  let s_lp = Array.make total_slots 0 in
+  let ctx =
+    {
+      Decision.dc_intern = tbl;
+      dc_meta = s_meta;
+      dc_path = s_path;
+      dc_len = s_len;
+      dc_lp = s_lp;
+      dc_sender_asn = slot_sender_asn;
+    }
+  in
+  let b_slot = Array.make n (-2) in
+  let b_path = Array.make n Path_intern.nil in
+  let b_lp = Array.make n 0 in
+  let b_meta = Array.make n 0 in
+  (* Per-adjacency selection state ([Per_neighbor] only): what source the
+     holder last chose for each of its edges — the arena row the NS-BGP
+     mode adds on top of the per-AS [b_slot] row.  Cell
+     [slot_base.(i) + k] belongs to edge [k] of AS [i] (the holder's
+     degree equals its receiver-slot count, so the prefix sums serve both
+     layouts). *)
+  let x_slot =
+    match D.granularity with
+    | Decision.Per_as -> [||]
+    | Decision.Per_neighbor -> Array.make total_slots (-2)
+  in
+  let ring = Array.make (n + 1) 0 in
+  let ring_head = ref 0 in
+  let ring_tail = ref 0 in
+  let queued = Array.make n false in
+  let enqueue i =
+    if not queued.(i) then begin
+      queued.(i) <- true;
+      ring.(!ring_tail) <- i;
+      ring_tail := if !ring_tail = n then 0 else !ring_tail + 1
+    end
+  in
+  enqueue origin_i;
+  let steps = ref 0 in
+  let cap = 200 * (n + 1) in
+  (* Engine-side legality of announcing source [src] (a slot, or -1 for
+     the origin's own route) over edge [e]: aggregation suppression,
+     transit scope, the atom's origin-scope spec, loop rejection.  The
+     decision module never sees these — it only answers the policy
+     question via [D.export_ok]. *)
+  let mechanics_ok i holder holder_int e src =
+    if src < 0 then
+      e.e_asn_int <> holder_int
+      &&
+      match e.e_rel with
+      | Relationship.Customer | Relationship.Sibling -> true
+      | Relationship.Peer -> not (Asn.Set.mem e.e_asn atom.Atom.withhold_peers)
+      | Relationship.Provider -> begin
+          match atom.Atom.provider_scope with
+          | Atom.All_providers -> true
+          | Atom.Only_providers set -> Asn.Set.mem e.e_asn set
+        end
+    else
+      (not (Asn.Set.mem holder atom.Atom.suppressed_at))
+      && begin
+           match e.e_rel with
+           | Relationship.Provider -> begin
+               match transit_scopes.(i) with
+               | Some scope -> Asn.Set.mem e.e_asn scope
+               | None -> true
+             end
+           | Relationship.Customer | Relationship.Peer | Relationship.Sibling -> true
+         end
+      && e.e_asn_int <> holder_int
+      && not (Path_intern.mem tbl e.e_asn s_path.(src))
+  in
+  (* Write the export of [src] over [e] into the receiver's slot,
+     enqueueing the receiver when the stored candidate changed. *)
+  let export_to holder e src =
+    let s = e.e_slot in
+    let is_origin_route = src < 0 in
+    let r_path = if is_origin_route then Path_intern.nil else s_path.(src) in
+    let r_len = if is_origin_route then 0 else s_len.(src) in
+    let r_lp = if is_origin_route then 0 else s_lp.(src) in
+    let r_meta = if is_origin_route then class_none else s_meta.(src) in
+    let r_class = r_meta land 7 in
+    let r_no_up = r_meta land 8 <> 0 in
+    let tag = r_no_up || (is_origin_route && Asn.Set.mem e.e_asn atom.Atom.no_export_up) in
+    let copies =
+      if is_origin_route then 1 + Atom.prepend_count atom ~neighbor:e.e_asn else 1
+    in
+    let path' = Path_intern.cons_n tbl holder copies r_path in
+    let is_sibling_edge =
+      match e.e_back_rel with
+      | Relationship.Sibling -> true
+      | Relationship.Customer | Relationship.Peer | Relationship.Provider -> false
+    in
+    let lp =
+      if is_sibling_edge && not is_origin_route then r_lp
+      else if lp_dynamic.(e.e_to) then
+        Policy.resolve resolved.(e.e_to) ~neighbor:holder ~rel:e.e_back_rel
+          ~atom:atom.Atom.id
+      else e.e_recv_lp
+    in
+    let export_class_code =
+      if is_sibling_edge then if r_class = class_none then class_customer else r_class
+      else e.e_back_class_code
+    in
+    let meta' = if tag then export_class_code lor 8 else export_class_code in
+    let unchanged =
+      s_meta.(s) = meta' && s_lp.(s) = lp && Path_intern.equal s_path.(s) path'
+    in
+    if not unchanged then begin
+      s_meta.(s) <- meta';
+      s_path.(s) <- path';
+      s_len.(s) <- copies + r_len;
+      s_lp.(s) <- lp;
+      enqueue e.e_to
+    end
+  in
+  let withdraw e =
+    if s_meta.(e.e_slot) >= 0 then begin
+      s_meta.(e.e_slot) <- -1;
+      enqueue e.e_to
+    end
+  in
+  (* The AS's own best candidate — what it installs for forwarding — by
+     the module's preference; -1 the origin's own route, -2 none. *)
+  let select i =
+    if i = origin_i then -1
+    else begin
+      let hi = slot_base.(i + 1) in
+      let best = ref (-2) in
+      for s = slot_base.(i) to hi - 1 do
+        if s_meta.(s) >= 0 && (!best < 0 || D.prefer ctx s !best < 0) then best := s
+      done;
+      !best
+    end
+  in
+  while !ring_head <> !ring_tail && !steps <= cap do
+    incr steps;
+    let i = ring.(!ring_head) in
+    ring_head := if !ring_head = n then 0 else !ring_head + 1;
+    queued.(i) <- false;
+    let holder = ases.(i) in
+    let holder_int = Asn.to_int holder in
+    match D.granularity with
+    | Decision.Per_as ->
+        let nb = select i in
+        let ob = b_slot.(i) in
+        let changed =
+          if nb < 0 || ob < 0 then nb <> ob
+          else
+            not
+              (nb = ob && b_lp.(i) = s_lp.(nb) && b_meta.(i) = s_meta.(nb)
+              && Path_intern.equal b_path.(i) s_path.(nb))
+        in
+        (* Same gating as the vanilla fast path: the origin's best never
+           changes after initialisation, but its first visit must run the
+           export step. *)
+        if changed || (i = origin_i && !steps = 1) then begin
+          b_slot.(i) <- nb;
+          if nb >= 0 then begin
+            b_path.(i) <- s_path.(nb);
+            b_lp.(i) <- s_lp.(nb);
+            b_meta.(i) <- s_meta.(nb)
+          end;
+          Array.iter
+            (fun e ->
+              if
+                nb <> -2
+                && mechanics_ok i holder holder_int e nb
+                && D.export_ok ctx ~rel:e.e_rel nb
+              then export_to holder e nb
+              else withdraw e)
+            edges.(i)
+        end
+    | Decision.Per_neighbor ->
+        (* No per-AS change gate: each edge carries its own selection, so
+           every visit re-derives all of them and relies on the per-slot
+           unchanged compare to keep the worklist quiet. *)
+        let nb = select i in
+        b_slot.(i) <- nb;
+        if nb >= 0 then begin
+          b_path.(i) <- s_path.(nb);
+          b_lp.(i) <- s_lp.(nb);
+          b_meta.(i) <- s_meta.(nb)
+        end;
+        let lo = slot_base.(i) in
+        let hi = slot_base.(i + 1) in
+        Array.iteri
+          (fun k e ->
+            let src =
+              if i = origin_i then
+                if
+                  mechanics_ok i holder holder_int e (-1)
+                  && D.export_ok ctx ~rel:e.e_rel (-1)
+                then -1
+                else -2
+              else begin
+                let best = ref (-2) in
+                for s = lo to hi - 1 do
+                  if
+                    s_meta.(s) >= 0
+                    && mechanics_ok i holder holder_int e s
+                    && D.export_ok ctx ~rel:e.e_rel s
+                    && (!best < 0 || D.prefer ctx s !best < 0)
+                  then best := s
+                done;
+                !best
+              end
+            in
+            x_slot.(lo + k) <- src;
+            if src = -2 then withdraw e else export_to holder e src)
+          edges.(i)
+  done;
+  let converged = !ring_head = !ring_tail in
+  if not converged then
+    Log.warn (fun m ->
+        m "propagation of atom %d (decision %s) did not converge within %d steps"
+          atom.Atom.id D.name cap);
+  let tables =
+    arena_tables net ~tbl ~origin_i ~s_meta ~s_path ~s_len ~s_lp ~b_slot ~b_path
+      ~b_lp ~b_meta retain
+  in
+  { atom; tables; converged; steps = !steps }
+
+let propagate net ~retain ?(decision = Decision.vanilla) atom =
+  (* The name "vanilla" claims byte-identity with the specialised fast
+     path, so it is safe (and profitable) to dispatch there. *)
+  if Decision.is_vanilla decision then propagate_vanilla net ~retain atom
+  else propagate_pluggable net ~retain ~decision atom
+
+(* ------------------------------------------------------------------ *)
+(* Reference solver: the direct list-of-routes implementation the
+   interned fast path is checked against.  Kept deliberately naive. *)
+
+let propagate_reference net ~retain atom =
+  let { ases; index; neighbors; resolved; transit_scopes; _ } = net in
+  let n = Array.length ases in
+  let origin = atom.Atom.origin in
+  let origin_i =
+    match Asn.Table.find_opt index origin with
+    | Some i -> i
+    | None -> invalid_arg "Engine.propagate: origin not in graph"
+  in
+  let lp_at holder_i ~neighbor ~rel =
+    Policy.resolve resolved.(holder_i) ~neighbor ~rel ~atom:atom.Atom.id
   in
   (* State: candidates.(i) maps neighbour index -> route received. *)
   let candidates : (int * route) list array = Array.make n [] in
@@ -735,12 +970,12 @@ let propagate_reference net ~retain ?(lp_overrides = []) atom =
                                receiver's sibling class value. *)
                             match r.learned_from with
                             | None ->
-                                lp_at j ~neighbor:holder ~neighbor_i:i ~rel:back_rel
+                                lp_at j ~neighbor:holder ~rel:back_rel
                             | Some _ -> r.lp
                           end
                         | Relationship.Customer | Relationship.Peer
                         | Relationship.Provider ->
-                            lp_at j ~neighbor:holder ~neighbor_i:i ~rel:back_rel
+                            lp_at j ~neighbor:holder ~rel:back_rel
                       in
                       let export_class =
                         match back_rel with
@@ -803,18 +1038,9 @@ let propagate_reference net ~retain ?(lp_overrides = []) atom =
   in
   { atom; tables; converged; steps = !steps }
 
-let propagate_all net ~retain ?lp_overrides ?(jobs = 1) atoms =
-  let overrides_for =
-    match lp_overrides with
-    | Some f -> f
-    | None -> fun _ -> []
-  in
+let propagate_all net ~retain ?decision ?(jobs = 1) atoms =
   let jobs = max 1 jobs in
-  if jobs = 1 then
-    List.map
-      (fun atom ->
-        propagate net ~retain ~lp_overrides:(overrides_for atom.Atom.id) atom)
-      atoms
+  if jobs = 1 then List.map (fun atom -> propagate net ~retain ?decision atom) atoms
   else begin
     (* Atom-level fan-out: each propagation run is self-contained (its own
        intern table and arenas), slots are written by exactly one domain,
@@ -831,7 +1057,7 @@ let propagate_all net ~retain ?lp_overrides ?(jobs = 1) atoms =
           let atom = arr.(k) in
           slots.(k) <-
             Some
-              (try Ok (propagate net ~retain ~lp_overrides:(overrides_for atom.Atom.id) atom)
+              (try Ok (propagate net ~retain ?decision atom)
                with e -> Error (e, Printexc.get_raw_backtrace ()));
           loop ()
         end

@@ -58,24 +58,28 @@ val prepare :
   graph:As_graph.t ->
   import:(Asn.t -> Policy.import_policy) ->
   ?transit_scope:(Asn.t -> Asn.Set.t option) ->
+  ?lp_overrides:(int * Asn.t * Asn.t * int) list ->
   unit ->
   network
 (** [transit_scope a]: when [Some set], AS [a] re-exports customer-learned
     routes only to the providers in [set] — selective announcement by an
     intermediate AS (the paper's second source of SA prefixes).  [None]
-    (the default) re-exports to all providers. *)
+    (the default) re-exports to all providers.
+
+    [lp_overrides]: [(atom_id, holder, neighbor, lp)] quadruples refining
+    the holder's import policy for one atom (prefix-granularity local
+    preference).  They are compiled into each AS's {!Policy.resolved}
+    lookup here, once, instead of being threaded through every propagate
+    call; entries naming an unknown holder are ignored. *)
 
 val graph_of : network -> As_graph.t
 
 val propagate :
-  network ->
-  retain:Asn.Set.t ->
-  ?lp_overrides:(Asn.t * Asn.t * int) list ->
-  Atom.t ->
-  result
-(** [lp_overrides]: [(holder, neighbor, lp)] triples overriding the
-    holder's import policy for this atom only (prefix-granularity local
-    preference).
+  network -> retain:Asn.Set.t -> ?decision:Decision.t -> Atom.t -> result
+(** [decision] (default {!Decision.vanilla}) supplies the decision
+    process; the name ["vanilla"] dispatches to a specialised fast path,
+    any other module runs the generic pluggable solver over the same
+    arena.
 
     The solver runs on interned paths and flat per-AS candidate arenas
     (integer AS indices, path ids with memoized length); the [result] is
@@ -84,29 +88,24 @@ val propagate :
     propagations share nothing.
     @raise Invalid_argument when the atom's origin is not in the graph. *)
 
-val propagate_reference :
-  network ->
-  retain:Asn.Set.t ->
-  ?lp_overrides:(Asn.t * Asn.t * int) list ->
-  Atom.t ->
-  result
+val propagate_reference : network -> retain:Asn.Set.t -> Atom.t -> result
 (** The direct list-of-routes solver {!propagate} is checked against: same
     worklist order, same decisions, byte-identical results (the rpicheck
-    property [interned_engine_matches_reference] pins this down).  Slower;
-    exists for differential testing only. *)
+    properties [interned_engine_matches_reference] and
+    [decision_vanilla_matches_reference] pin this down).  Slower; exists
+    for differential testing only. *)
 
 val propagate_all :
   network ->
   retain:Asn.Set.t ->
-  ?lp_overrides:(int -> (Asn.t * Asn.t * int) list) ->
+  ?decision:Decision.t ->
   ?jobs:int ->
   Atom.t list ->
   result list
-(** One propagation per atom; [lp_overrides] is queried by atom id.
-    [jobs > 1] fans the atoms out over that many domains (the calling
-    domain included) on the shared pool discipline; results are merged in
-    declaration order, so the output is identical for every job count.
-    Default 1 (no spawns). *)
+(** One propagation per atom.  [jobs > 1] fans the atoms out over that
+    many domains (the calling domain included) on the shared pool
+    discipline; results are merged in declaration order, so the output is
+    identical for every job count.  Default 1 (no spawns). *)
 
 val best_at : result -> Asn.t -> route option
 (** Best route of a retained AS ([None] when unreachable or not retained). *)

@@ -1,0 +1,38 @@
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+
+let bad_gadget ?origin ?rim ?(pref_rim = 120) () =
+  let origin =
+    match origin with
+    | Some a -> a
+    | None -> Asn.of_int 64500
+  in
+  let a, b, c =
+    match rim with
+    | Some r -> r
+    | None -> (Asn.of_int 64501, Asn.of_int 64502, Asn.of_int 64503)
+  in
+  let all = [ origin; a; b; c ] in
+  if List.length (List.sort_uniq Asn.compare all) <> 4 then
+    invalid_arg "Gadget.bad_gadget: ASs must be distinct";
+  let graph =
+    List.fold_left
+      (fun g rim_as -> As_graph.add_p2c g ~provider:rim_as ~customer:origin)
+      As_graph.empty [ a; b; c ]
+  in
+  let graph = As_graph.add_p2p graph a b in
+  let graph = As_graph.add_p2p graph b c in
+  let graph = As_graph.add_p2p graph c a in
+  (* The wheel: a prefers routes via b, b via c, c via a — each above its
+     own customer route to the origin. *)
+  let next = [ (a, b); (b, c); (c, a) ] in
+  let import asn =
+    match List.find_opt (fun (holder, _) -> Asn.equal holder asn) next with
+    | Some (_, preferred) ->
+        {
+          Policy.default_import with
+          Policy.lp_neighbor = Asn.Map.singleton preferred pref_rim;
+        }
+    | None -> Policy.default_import
+  in
+  (graph, import)

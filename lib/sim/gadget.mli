@@ -1,0 +1,29 @@
+(** Canonical dispute-wheel topologies for stability testing.
+
+    BAD GADGET (Griffin–Shepherd–Wilfong) is the smallest configuration
+    with no stable routing state: an origin multihomed to three mutually
+    peering ASs, each preferring the route relayed by the next peer around
+    the rim over its own direct customer route.  Vanilla BGP oscillates
+    forever on it (the engine's step cap reports [converged = false]);
+    NS-BGP's per-neighbour selection converges, because what each rim AS
+    exports to its peers — its customer route, the only one the
+    valley-free discipline allows out — no longer depends on which route
+    it currently prefers for itself. *)
+
+module Asn = Rpi_bgp.Asn
+module As_graph = Rpi_topo.As_graph
+
+val bad_gadget :
+  ?origin:Asn.t ->
+  ?rim:Asn.t * Asn.t * Asn.t ->
+  ?pref_rim:int ->
+  unit ->
+  As_graph.t * (Asn.t -> Policy.import_policy)
+(** The graph plus the import-policy assignment encoding the dispute
+    wheel: each rim AS holds an [lp_neighbor] override valuing routes
+    from the next rim peer at [pref_rim] (default 120, above the typical
+    customer preference 110 — the violation of the Gao–Rexford preference
+    condition that makes the wheel turn).  Defaults: origin AS 64500, rim
+    64501–64503.  [pref_rim] must exceed the customer class value for the
+    gadget to oscillate.
+    @raise Invalid_argument when the four ASs are not distinct. *)

@@ -27,6 +27,11 @@ let class_pref p = function
   | Relationship.Peer -> p.lp_peer
   | Relationship.Provider -> p.lp_provider
 
+let static_pref p ~neighbor ~rel =
+  match Asn.Map.find_opt neighbor p.lp_neighbor with
+  | Some lp -> lp
+  | None -> class_pref p rel
+
 let lp_for p ~neighbor ~rel ~atom =
   let atom_override =
     List.find_map
@@ -35,11 +40,47 @@ let lp_for p ~neighbor ~rel ~atom =
   in
   match atom_override with
   | Some lp -> lp
-  | None -> begin
-      match Asn.Map.find_opt neighbor p.lp_neighbor with
-      | Some lp -> lp
-      | None -> class_pref p rel
-    end
+  | None -> static_pref p ~neighbor ~rel
+
+(* Compiled resolution: the three override granularities — external
+   per-atom triples, [lp_atom], [lp_neighbor] — collapsed into one
+   hashed (neighbour, atom) lookup plus the static fallback.  Precedence
+   is baked in at compile time instead of being re-decided per import:
+   externals are inserted replace-wise in list order (duplicates: the
+   last entry wins, matching the historical [Hashtbl.replace] fold over
+   engine [lp_overrides]), then [lp_atom] entries add-if-absent (its
+   historical [List.find_map] made the first match win, and an external
+   always shadowed it). *)
+
+module Pair_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = Int.equal a1 a2 && Int.equal b1 b2
+  let hash (a, b) = (a * 1_000_003) lxor b
+end)
+
+type resolved = { r_policy : import_policy; r_pairs : int Pair_tbl.t }
+
+let compile ?(overrides = []) p =
+  let n_entries = List.length overrides + List.length p.lp_atom in
+  let pairs = Pair_tbl.create (max 1 n_entries) in
+  List.iter
+    (fun (neighbor, atom, lp) -> Pair_tbl.replace pairs (Asn.to_int neighbor, atom) lp)
+    overrides;
+  List.iter
+    (fun (neighbor, atom, lp) ->
+      let key = (Asn.to_int neighbor, atom) in
+      if not (Pair_tbl.mem pairs key) then Pair_tbl.add pairs key lp)
+    p.lp_atom;
+  { r_policy = p; r_pairs = pairs }
+
+let resolve r ~neighbor ~rel ~atom =
+  match Pair_tbl.find_opt r.r_pairs (Asn.to_int neighbor, atom) with
+  | Some lp -> lp
+  | None -> static_pref r.r_policy ~neighbor ~rel
+
+let resolve_static r ~neighbor ~rel = static_pref r.r_policy ~neighbor ~rel
+let is_dynamic r = Pair_tbl.length r.r_pairs > 0
 
 let is_typical_classes p = p.lp_customer > p.lp_peer && p.lp_peer > p.lp_provider
 

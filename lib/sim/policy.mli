@@ -29,9 +29,43 @@ val default_import : import_policy
 
 val class_pref : import_policy -> Relationship.t -> int
 
+val static_pref : import_policy -> neighbor:Asn.t -> rel:Relationship.t -> int
+(** The atom-independent preference: neighbour override, then class
+    value. *)
+
 val lp_for : import_policy -> neighbor:Asn.t -> rel:Relationship.t -> atom:int -> int
+  [@@deprecated "use Policy.compile / Policy.resolve (or static_pref)"]
 (** Resolution order: (neighbour, atom) override, then neighbour override,
-    then class value. *)
+    then class value.
+    @deprecated Superseded by the compiled form: {!compile} once, then
+    {!resolve} per import.  Per-call list scans of [lp_atom] do not
+    belong on the propagation hot path. *)
+
+type resolved
+(** An {!import_policy} with every per-(neighbour, atom) override —
+    [lp_atom] entries and externally supplied engine overrides — compiled
+    into one hashed lookup.  Built once in [Engine.prepare], queried per
+    import. *)
+
+val compile : ?overrides:(Asn.t * int * int) list -> import_policy -> resolved
+(** [overrides] are external [(neighbor, atom_id, lp)] entries (the
+    engine's historical [?lp_overrides] channel); they take precedence
+    over the policy's own [lp_atom] entries for the same (neighbour,
+    atom) key.  Among duplicate external entries the last wins; among
+    duplicate [lp_atom] entries the first wins — both matching the
+    behaviour of the mechanisms they replace. *)
+
+val resolve : resolved -> neighbor:Asn.t -> rel:Relationship.t -> atom:int -> int
+(** Resolution order: compiled (neighbour, atom) override, then neighbour
+    override, then class value. *)
+
+val resolve_static : resolved -> neighbor:Asn.t -> rel:Relationship.t -> int
+(** {!resolve} minus the per-atom layer — exact for policies where
+    {!is_dynamic} is false. *)
+
+val is_dynamic : resolved -> bool
+(** Whether any (neighbour, atom) override exists, i.e. {!resolve} can
+    disagree with {!resolve_static}. *)
 
 val is_typical_classes : import_policy -> bool
 (** Class values respect customer > peer > provider (the paper's "typical

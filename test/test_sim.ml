@@ -204,6 +204,45 @@ let test_lp_beats_length () =
     [ Asn.to_int m3; Asn.to_int o ]
     (Engine.best_at result_flat top)
 
+(* BAD GADGET: the canonical dispute wheel.  Vanilla BGP oscillates
+   against the step cap; NS-BGP converges, with every rim AS settling on
+   the route its preferred peer relays. *)
+let test_bad_gadget () =
+  let graph, import = Rpi_sim.Gadget.bad_gadget () in
+  let net = Engine.prepare ~graph ~import () in
+  let retain = Asn.Set.of_list (As_graph.ases graph) in
+  let atom = Atom.vanilla ~id:0 ~origin:(asn 64500) [ p "192.0.2.0/24" ] in
+  let vanilla = Engine.propagate net ~retain atom in
+  Alcotest.(check bool) "vanilla oscillates" false vanilla.Engine.converged;
+  let ns =
+    Engine.propagate net ~retain
+      ~decision:Rpi_sim.Decision.neighbor_specific atom
+  in
+  Alcotest.(check bool) "NS-BGP converges" true ns.Engine.converged;
+  (* Each rim AS ends up on the 2-hop route through the next peer around
+     the wheel, at the elevated preference the gadget assigns it. *)
+  List.iter
+    (fun (holder, via) ->
+      match Engine.best_at ns (asn holder) with
+      | None -> Alcotest.failf "AS%d has no route" holder
+      | Some r ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "AS%d best path" holder)
+            [ via; 64500 ]
+            (List.map Asn.to_int r.Engine.path);
+          Alcotest.(check int)
+            (Printf.sprintf "AS%d local pref" holder)
+            120 r.Engine.lp)
+    [ (64501, 64502); (64502, 64503); (64503, 64501) ];
+  (* The wheel only turns while rim routes outrank customer routes: with
+     the elevated preference below the customer class the gadget is an
+     ordinary Gao–Rexford instance and vanilla converges too. *)
+  let tame_graph, tame_import = Rpi_sim.Gadget.bad_gadget ~pref_rim:90 () in
+  let tame = Engine.prepare ~graph:tame_graph ~import:tame_import () in
+  let tame_result = Engine.propagate tame ~retain atom in
+  Alcotest.(check bool) "tame wheel converges under vanilla" true
+    tame_result.Engine.converged
+
 let test_vantage_rib () =
   let g, a, b, c, d, e = fig3_graph () in
   ignore c;
@@ -381,15 +420,29 @@ let test_policy_lp_resolution () =
     {
       Policy.default_import with
       Policy.lp_neighbor = Asn.Map.singleton nb 95;
-      lp_atom = [ (nb, 3, 77) ];
+      lp_atom = [ (nb, 3, 77); (nb, 3, 66) ];
     }
   in
-  Alcotest.(check int) "atom override wins" 77
-    (Policy.lp_for import ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
+  let r = Policy.compile import in
+  Alcotest.(check int) "atom entry wins (first of duplicates)" 77
+    (Policy.resolve r ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
   Alcotest.(check int) "neighbour override next" 95
-    (Policy.lp_for import ~neighbor:nb ~rel:Relationship.Customer ~atom:9);
+    (Policy.resolve r ~neighbor:nb ~rel:Relationship.Customer ~atom:9);
   Alcotest.(check int) "class fallback" 110
-    (Policy.lp_for import ~neighbor:(asn 8) ~rel:Relationship.Customer ~atom:9);
+    (Policy.resolve r ~neighbor:(asn 8) ~rel:Relationship.Customer ~atom:9);
+  Alcotest.(check int) "static skips atom entries" 95
+    (Policy.resolve_static r ~neighbor:nb ~rel:Relationship.Customer);
+  Alcotest.(check bool) "compiled policy is dynamic" true (Policy.is_dynamic r);
+  let ext =
+    Policy.compile ~overrides:[ (nb, 3, 88); (nb, 3, 99) ] Policy.default_import
+  in
+  Alcotest.(check int) "external entry wins (last of duplicates)" 99
+    (Policy.resolve ext ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
+  let shadowed = Policy.compile ~overrides:[ (nb, 3, 88) ] import in
+  Alcotest.(check int) "external shadows the policy's own atom entry" 88
+    (Policy.resolve shadowed ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
+  Alcotest.(check bool) "static-only policy is not dynamic" false
+    (Policy.is_dynamic (Policy.compile Policy.default_import));
   Alcotest.(check bool) "default order typical" true
     (Policy.is_typical_classes Policy.default_import);
   Alcotest.(check bool) "flat order atypical" false
@@ -592,6 +645,7 @@ let () =
           Alcotest.test_case "peer withholding" `Quick test_withhold_peer;
           Alcotest.test_case "no transit across peers" `Quick test_no_peer_transit;
           Alcotest.test_case "local-pref beats path length" `Quick test_lp_beats_length;
+          Alcotest.test_case "bad gadget: vanilla vs NS-BGP" `Quick test_bad_gadget;
         ] );
       ( "vantage",
         [
