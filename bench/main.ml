@@ -374,6 +374,84 @@ let bench_ingest_replay ~epochs =
       ("identical_output", Rpi_json.Bool identical);
     ]
 
+(* --- Part 2.6: one full lint pass, timed --- *)
+
+(* What the @lint alias costs: the Parsetree rules over every checked-out
+   source under lib/ and bin/, plus the typed rules over every loadable
+   .cmt in the build tree.  Recorded as the "lint" object so
+   check_regression can fail the build when the pass slows down by more
+   than 2x (the lint/ keys carry their own threshold — linting is cheap
+   and jittery, so the default 20% tolerance would cry wolf).  Outside a
+   built checkout the cmt walk finds nothing and the timing covers the
+   sources alone; the files/cmt_units counts make that visible. *)
+let rec lint_walk_sources acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.length name = 0 || name.[0] = '.' then acc
+           else if String.equal name "_build" then acc
+           else lint_walk_sources acc (Filename.concat path name))
+         acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let rec lint_walk_cmts acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.equal name "_build" || String.equal name ".git" then acc
+           else lint_walk_cmts acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let bench_lint () =
+  let roots = List.filter Sys.file_exists [ "lib"; "bin" ] in
+  let files = List.fold_left lint_walk_sources [] roots in
+  let cmt_paths =
+    List.concat_map
+      (fun root ->
+        match lint_walk_cmts [] root with
+        | [] ->
+            let fallback =
+              Filename.concat (Filename.concat "_build" "default") root
+            in
+            if Sys.file_exists fallback then lint_walk_cmts [] fallback else []
+        | cmts -> cmts)
+      roots
+  in
+  let t0 = Unix.gettimeofday () in
+  let untyped =
+    List.concat_map Rpi_lint.Engine.lint_path files
+    @ Rpi_lint.Engine.missing_mli files
+  in
+  let units =
+    List.filter_map
+      (fun p ->
+        match Rpi_lint.Typed_engine.load_cmt p with
+        | Ok (Some u) -> Some u
+        | Ok None | Error _ -> None)
+      (List.sort_uniq String.compare cmt_paths)
+  in
+  let typed = Rpi_lint.Typed_engine.lint_units units in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "lint: %d source files + %d cmt units in %.3f s (%d finding(s) pre-baseline)\n"
+    (List.length files) (List.length units) wall
+    (List.length untyped + List.length typed);
+  Rpi_json.Obj
+    [
+      ("wall_s", Rpi_json.Float wall);
+      ("files", Rpi_json.Int (List.length files));
+      ("cmt_units", Rpi_json.Int (List.length units));
+    ]
+
 (* --- Part 3: machine-readable baseline --- *)
 
 let write_doc ~path doc =
@@ -384,7 +462,7 @@ let write_doc ~path doc =
 let micro_json micro =
   Rpi_json.Obj (List.map (fun (name, ns) -> (name, Rpi_json.Float ns)) micro)
 
-let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay =
+let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~lint =
   let timed_json (r : Runner.timed) =
     Rpi_json.Obj
       [
@@ -416,6 +494,7 @@ let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay =
         ("ingest_replay", ingest_replay);
         ("path_intern", intern);
         ("microbench_ns_per_run", micro_json micro);
+        ("lint", lint);
       ]
   in
   write_doc ~path doc
@@ -449,6 +528,7 @@ let () =
     let tests = experiment_tests small @ substrate_tests small in
     let micro = run_benchmarks tests in
     let intern = intern_hit_rate small in
+    let lint = bench_lint () in
     write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro ~intern
-      ~ingest_replay
+      ~ingest_replay ~lint
   end

@@ -407,6 +407,8 @@ let suppressed allows (d : Diagnostic.t) =
 
 let in_dir prefix file = String.starts_with ~prefix:(prefix ^ "/") file
 
+let suppressed_in ~source d = suppressed (suppressions source) d
+
 let finish ~source found =
   let allows = suppressions source in
   List.filter (fun d -> not (suppressed allows d)) !found

@@ -38,3 +38,9 @@ val missing_mli : string list -> Diagnostic.t list
 
 val apply_baseline : Baseline.t -> Diagnostic.t list -> Diagnostic.t list
 (** Drop findings covered by the checked-in baseline. *)
+
+val suppressed_in : source:string -> Diagnostic.t -> bool
+(** Whether a [(* rpilint: allow <rule-id> *)] comment in [source]
+    covers this diagnostic — the same line-or-line-above matching the
+    Parsetree engine applies, shared here so the typed engine honours
+    identical suppression machinery. *)

@@ -1,8 +1,11 @@
-type t = { id : string; summary : string; rationale : string }
+type engine = Parsetree | Typedtree
+
+type t = { id : string; engine : engine; summary : string; rationale : string }
 
 let mutable_toplevel =
   {
     id = "mutable-toplevel";
+    engine = Parsetree;
     summary =
       "module-level mutable value (ref/Hashtbl.create/array/...) or mutable \
        record type";
@@ -16,6 +19,7 @@ let mutable_toplevel =
 let poly_compare =
   {
     id = "poly-compare";
+    engine = Parsetree;
     summary =
       "polymorphic Stdlib.compare / (=) / (<>) on a structural value";
     rationale =
@@ -28,6 +32,7 @@ let poly_compare =
 let catch_all_handler =
   {
     id = "catch-all-handler";
+    engine = Parsetree;
     summary = "try ... with _ -> swallows every exception";
     rationale =
       "A wildcard handler silently eats Out_of_memory, Stack_overflow and \
@@ -39,6 +44,7 @@ let catch_all_handler =
 let no_obj_magic =
   {
     id = "no-obj-magic";
+    engine = Parsetree;
     summary = "Obj.* / Marshal.* in library code";
     rationale =
       "Obj.magic defeats the type system and Marshal round-trips are \
@@ -49,6 +55,7 @@ let no_obj_magic =
 let stdout_in_lib =
   {
     id = "stdout-in-lib";
+    engine = Parsetree;
     summary = "printing to stdout from library code";
     rationale =
       "Library output belongs in returned values (Exp.outcome, rendered \
@@ -60,6 +67,7 @@ let stdout_in_lib =
 let missing_mli =
   {
     id = "missing-mli";
+    engine = Parsetree;
     summary = "library module without an .mli interface";
     rationale =
       "An explicit interface is what keeps module-level state private and \
@@ -69,6 +77,7 @@ let missing_mli =
 let failwith_in_core =
   {
     id = "failwith-in-core";
+    engine = Parsetree;
     summary = "failwith / assert false in lib/core inference code";
     rationale =
       "The paper pipelines run for minutes over many inputs; a stringly \
@@ -79,6 +88,7 @@ let failwith_in_core =
 let list_length_in_compare =
   {
     id = "list-length-in-compare";
+    engine = Parsetree;
     summary = "List.length / List.nth inside a comparator";
     rationale =
       "A comparator runs O(n log n) times under sort and once per candidate \
@@ -91,6 +101,7 @@ let list_length_in_compare =
 let engine_internals =
   {
     id = "engine-internals";
+    engine = Parsetree;
     summary =
       "direct construction of the simulator's decision-arena view (dc_* \
        record) outside lib/sim";
@@ -100,6 +111,54 @@ let engine_internals =
        arrays are live.  Code elsewhere implements Decision.S and lets \
        Engine.propagate supply the ctx — a hand-rolled arena drifts from \
        the real slot layout silently.";
+  }
+
+let domain_race =
+  {
+    id = "domain-race";
+    engine = Typedtree;
+    summary =
+      "module-level mutable state reachable from a closure passed to \
+       Pool.run / Domain.spawn";
+    rationale =
+      "A function that runs on the domain pool executes concurrently with \
+       its siblings; any module-level ref/Hashtbl/array it reads or writes \
+       (transitively, through the whole-library call graph) is a data race \
+       unless the value is an Atomic or every access is mutex-guarded.  \
+       This is the typed, interprocedural form of mutable-toplevel: it \
+       follows calls across modules from the actual spawn sites.";
+  }
+
+let hot_path_alloc =
+  {
+    id = "hot-path-alloc";
+    engine = Typedtree;
+    summary =
+      "allocation (closure, tuple/record/list, boxed float, Printf, \
+       partial application) in a [@rpilint.hot] function";
+    rationale =
+      "Functions marked [@rpilint.hot] are the propagation inner loop and \
+       the Decision comparators: they run per candidate visit and must \
+       stay allocation-free so the solver never triggers the GC mid-run.  \
+       Type information separates immediates (ints, constant constructors) \
+       from boxed values, so the rule flags exactly the expressions that \
+       cons on the OCaml heap.";
+  }
+
+let intern_id_escape =
+  {
+    id = "intern-id-escape";
+    engine = Typedtree;
+    summary =
+      "interned Path_intern.id value flowing into a serializer \
+       (Rpi_json / Render / Protocol / dump renderers)";
+    rationale =
+      "An interned path id is an index into the per-run table that \
+       produced it — meaningless in any output, golden or wire format \
+       (DESIGN.md §7 invariant 2).  The typed engine tracks the id type \
+       through expressions and rejects any that reaches a JSON \
+       constructor, the ingest Render module, the wire Protocol or a \
+       dump renderer; convert with Path_intern.to_list first.";
   }
 
 let all =
@@ -113,6 +172,14 @@ let all =
     failwith_in_core;
     list_length_in_compare;
     engine_internals;
+    domain_race;
+    hot_path_alloc;
+    intern_id_escape;
   ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all
+
+let typed = List.filter (fun r -> r.engine = Typedtree) all
+let untyped = List.filter (fun r -> r.engine = Parsetree) all
+
+let engine_name = function Parsetree -> "parsetree" | Typedtree -> "typedtree"

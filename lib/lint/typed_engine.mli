@@ -1,0 +1,45 @@
+(** The typed rule engine.
+
+    Runs the [Rule.Typedtree] rules over dune's [.cmt] binary
+    annotations (loaded with compiler-libs [Cmt_format]), which carry
+    the full Typedtree: resolved [Path.t]s, inferred types, and enough
+    structure to build a whole-library call-graph approximation.  The
+    Parsetree engine stays the authority for the syntactic rules; this
+    one answers the questions syntax cannot — what runs inside a domain
+    closure ([domain-race]), whether an expression allocates
+    ([hot-path-alloc]) and where an interned id flows
+    ([intern-id-escape]).
+
+    Suppression comments work exactly as for the syntactic rules: the
+    unit's source text is kept alongside its Typedtree and
+    [(* rpilint: allow <rule-id> *)] on the finding's line or the line
+    above drops it.  See DESIGN.md §7c for the approximations (call
+    graph by reference, mutex guards by presence, intra-procedural
+    allocation only). *)
+
+type unit_info = {
+  tu_file : string;  (** repo-relative source path, as the compiler saw it *)
+  tu_source : string;  (** source text, for suppression comments *)
+  tu_modname : string list;
+      (** normalized module path: dune's ["Rpi_sim__Engine"] mangling is
+          split back into [["Rpi_sim"; "Engine"]] *)
+  tu_structure : Typedtree.structure;
+}
+
+val cmt_error_rule : string
+(** The pseudo rule id carried by unreadable-cmt diagnostics (exit-code
+    class 2, like [parse-error]). *)
+
+val load_cmt : ?source_root:string -> string -> (unit_info option, string) result
+(** Read one [.cmt] file.  [Ok None] means the cmt is real but not
+    lintable — an interface-only or dune-generated alias module with no
+    source file, or a unit whose source cannot be found (tried relative
+    to the cwd, the cmt's recorded build dir, then [source_root]).
+    [Error] carries a human-readable load failure. *)
+
+val lint_units : ?rules:string list -> unit_info list -> Diagnostic.t list
+(** Run the typed rules (all of them, or the subset named in [rules])
+    over a whole library's units at once — the call graph spans every
+    unit given, so pass the full tree for cross-module reachability.
+    Results are suppression-filtered, deduplicated and sorted by
+    {!Diagnostic.compare}. *)

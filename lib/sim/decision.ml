@@ -51,7 +51,7 @@ type t = (module S)
    is the valley-free discipline: customer-class (and sibling-relayed)
    routes go everywhere, peer and provider routes only to customers and
    siblings, and the no-up tag pins a route below its receiver. *)
-let gao_prefer ctx a b =
+let[@rpilint.hot] gao_prefer ctx a b =
   match Int.compare ctx.dc_lp.(b) ctx.dc_lp.(a) with
   | 0 -> begin
       match Int.compare ctx.dc_len.(a) ctx.dc_len.(b) with
@@ -64,7 +64,7 @@ let gao_prefer ctx a b =
     end
   | c -> c
 
-let gao_export_ok ctx ~rel slot =
+let[@rpilint.hot] gao_export_ok ctx ~rel slot =
   if slot < 0 then true (* the origin's own route exports everywhere *)
   else begin
     let meta = ctx.dc_meta.(slot) in

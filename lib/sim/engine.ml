@@ -373,7 +373,7 @@ let propagate_vanilla net ~retain atom =
   let ring_head = ref 0 in
   let ring_tail = ref 0 in
   let queued = Array.make n false in
-  let enqueue i =
+  let[@rpilint.hot] enqueue i =
     if not queued.(i) then begin
       queued.(i) <- true;
       ring.(!ring_tail) <- i;
@@ -388,7 +388,7 @@ let propagate_vanilla net ~retain atom =
      path, then smaller sender ASN, then lexicographic path.  The order is
      total on distinct slots (senders differ), so the last tie-break never
      decides between occupied slots of one receiver. *)
-  let beats a b =
+  let[@rpilint.hot] beats a b =
     match Int.compare s_lp.(b) s_lp.(a) with
     | 0 -> begin
         match Int.compare s_len.(a) s_len.(b) with
@@ -401,22 +401,19 @@ let propagate_vanilla net ~retain atom =
       end
     | c -> c < 0
   in
-  let select i =
-    if i = origin_i then -1
-    else begin
-      let hi = slot_base.(i + 1) in
-      let best = ref (-2) in
-      for s = slot_base.(i) to hi - 1 do
-        if s_meta.(s) >= 0 && (!best < 0 || beats s !best) then best := s
-      done;
-      !best
-    end
+  (* The selection scan carries its running best as a loop argument (not
+     a ref cell) so a visit that changes nothing allocates nothing. *)
+  let[@rpilint.hot] rec select_from s hi best =
+    if s >= hi then best
+    else if s_meta.(s) >= 0 && (best < 0 || beats s best) then
+      select_from (s + 1) hi s
+    else select_from (s + 1) hi best
   in
-  while !ring_head <> !ring_tail && !steps <= cap do
-    incr steps;
-    let i = ring.(!ring_head) in
-    ring_head := if !ring_head = n then 0 else !ring_head + 1;
-    queued.(i) <- false;
+  let[@rpilint.hot] select i =
+    if i = origin_i then -1
+    else select_from slot_base.(i) slot_base.(i + 1) (-2)
+  in
+  let[@rpilint.hot] visit i =
     let holder = ases.(i) in
     let nb = select i in
     let ob = b_slot.(i) in
@@ -436,15 +433,17 @@ let propagate_vanilla net ~retain atom =
         b_lp.(i) <- s_lp.(nb);
         b_meta.(i) <- s_meta.(nb)
       end;
-      if nb = -2 then
+      if nb = -2 then begin
         (* No route any more: withdraw from every neighbour. *)
-        Array.iter
-          (fun e ->
-            if s_meta.(e.e_slot) >= 0 then begin
-              s_meta.(e.e_slot) <- -1;
-              enqueue e.e_to
-            end)
-          edges.(i)
+        let es = edges.(i) in
+        for k = 0 to Array.length es - 1 do
+          let e = es.(k) in
+          if s_meta.(e.e_slot) >= 0 then begin
+            s_meta.(e.e_slot) <- -1;
+            enqueue e.e_to
+          end
+        done
+      end
       else begin
         let is_origin = nb = -1 in
         let r_path = if is_origin then Path_intern.nil else s_path.(nb) in
@@ -467,8 +466,9 @@ let propagate_vanilla net ~retain atom =
            computes the export as scalars and compares them against the
            stored candidate first: re-visits that change nothing (the
            steady state once the wavefront passes) allocate nothing. *)
-        Array.iter
-          (fun e ->
+        let es = edges.(i) in
+        for k = 0 to Array.length es - 1 do
+            let e = es.(k) in
             let s = e.e_slot in
             let export_ok =
               (not suppressed)
@@ -581,10 +581,17 @@ let propagate_vanilla net ~retain atom =
                 s_lp.(s) <- lp;
                 enqueue e.e_to
               end
-            end)
-          edges.(i)
+            end
+        done
       end
     end
+  in
+  while !ring_head <> !ring_tail && !steps <= cap do
+    incr steps;
+    let i = ring.(!ring_head) in
+    ring_head := if !ring_head = n then 0 else !ring_head + 1;
+    queued.(i) <- false;
+    visit i
   done;
   let converged = !ring_head = !ring_tail in
   if not converged then
@@ -667,7 +674,7 @@ let propagate_pluggable net ~retain ~decision atom =
   let ring_head = ref 0 in
   let ring_tail = ref 0 in
   let queued = Array.make n false in
-  let enqueue i =
+  let[@rpilint.hot] enqueue i =
     if not queued.(i) then begin
       queued.(i) <- true;
       ring.(!ring_tail) <- i;
@@ -682,7 +689,7 @@ let propagate_pluggable net ~retain ~decision atom =
      transit scope, the atom's origin-scope spec, loop rejection.  The
      decision module never sees these — it only answers the policy
      question via [D.export_ok]. *)
-  let mechanics_ok i holder holder_int e src =
+  let[@rpilint.hot] mechanics_ok i holder holder_int e src =
     if src < 0 then
       e.e_asn_int <> holder_int
       &&
@@ -710,7 +717,7 @@ let propagate_pluggable net ~retain ~decision atom =
   in
   (* Write the export of [src] over [e] into the receiver's slot,
      enqueueing the receiver when the stored candidate changed. *)
-  let export_to holder e src =
+  let[@rpilint.hot] export_to holder e src =
     let s = e.e_slot in
     let is_origin_route = src < 0 in
     let r_path = if is_origin_route then Path_intern.nil else s_path.(src) in
@@ -752,24 +759,99 @@ let propagate_pluggable net ~retain ~decision atom =
       enqueue e.e_to
     end
   in
-  let withdraw e =
+  let[@rpilint.hot] withdraw e =
     if s_meta.(e.e_slot) >= 0 then begin
       s_meta.(e.e_slot) <- -1;
       enqueue e.e_to
     end
   in
   (* The AS's own best candidate — what it installs for forwarding — by
-     the module's preference; -1 the origin's own route, -2 none. *)
-  let select i =
+     the module's preference; -1 the origin's own route, -2 none.  As in
+     the fast path, the scan threads its running best through loop
+     arguments instead of a ref cell. *)
+  let[@rpilint.hot] rec select_from s hi best =
+    if s >= hi then best
+    else if s_meta.(s) >= 0 && (best < 0 || D.prefer ctx s best < 0) then
+      select_from (s + 1) hi s
+    else select_from (s + 1) hi best
+  in
+  let[@rpilint.hot] select i =
     if i = origin_i then -1
-    else begin
-      let hi = slot_base.(i + 1) in
-      let best = ref (-2) in
-      for s = slot_base.(i) to hi - 1 do
-        if s_meta.(s) >= 0 && (!best < 0 || D.prefer ctx s !best < 0) then best := s
-      done;
-      !best
+    else select_from slot_base.(i) slot_base.(i + 1) (-2)
+  in
+  let[@rpilint.hot] visit_per_as i holder holder_int =
+    let nb = select i in
+    let ob = b_slot.(i) in
+    let changed =
+      if nb < 0 || ob < 0 then nb <> ob
+      else
+        not
+          (nb = ob && b_lp.(i) = s_lp.(nb) && b_meta.(i) = s_meta.(nb)
+          && Path_intern.equal b_path.(i) s_path.(nb))
+    in
+    (* Same gating as the vanilla fast path: the origin's best never
+       changes after initialisation, but its first visit must run the
+       export step. *)
+    if changed || (i = origin_i && !steps = 1) then begin
+      b_slot.(i) <- nb;
+      if nb >= 0 then begin
+        b_path.(i) <- s_path.(nb);
+        b_lp.(i) <- s_lp.(nb);
+        b_meta.(i) <- s_meta.(nb)
+      end;
+      let es = edges.(i) in
+      for k = 0 to Array.length es - 1 do
+        let e = es.(k) in
+        if
+          nb <> -2
+          && mechanics_ok i holder holder_int e nb
+          && D.export_ok ctx ~rel:e.e_rel nb
+        then export_to holder e nb
+        else withdraw e
+      done
     end
+  in
+  (* The per-edge selection scan of the NS-BGP mode: the most preferred
+     candidate that is both mechanically announceable and policy-exportable
+     over edge [e]. *)
+  let[@rpilint.hot] rec edge_best i holder holder_int e s hi best =
+    if s >= hi then best
+    else if
+      s_meta.(s) >= 0
+      && mechanics_ok i holder holder_int e s
+      && D.export_ok ctx ~rel:e.e_rel s
+      && (best < 0 || D.prefer ctx s best < 0)
+    then edge_best i holder holder_int e (s + 1) hi s
+    else edge_best i holder holder_int e (s + 1) hi best
+  in
+  let[@rpilint.hot] visit_per_neighbor i holder holder_int =
+    (* No per-AS change gate: each edge carries its own selection, so
+       every visit re-derives all of them and relies on the per-slot
+       unchanged compare to keep the worklist quiet. *)
+    let nb = select i in
+    b_slot.(i) <- nb;
+    if nb >= 0 then begin
+      b_path.(i) <- s_path.(nb);
+      b_lp.(i) <- s_lp.(nb);
+      b_meta.(i) <- s_meta.(nb)
+    end;
+    let lo = slot_base.(i) in
+    let hi = slot_base.(i + 1) in
+    let es = edges.(i) in
+    for k = 0 to Array.length es - 1 do
+      let e = es.(k) in
+      let src =
+        if i = origin_i then
+          if
+            mechanics_ok i holder holder_int e (-1)
+            && D.export_ok ctx ~rel:e.e_rel (-1)
+          then -1
+          else -2
+        else edge_best i holder holder_int e lo hi (-2)
+      in
+      x_slot.(lo + k) <- src;
+      if src = -2 then withdraw e else export_to holder e src
+    done
   in
   while !ring_head <> !ring_tail && !steps <= cap do
     incr steps;
@@ -779,74 +861,8 @@ let propagate_pluggable net ~retain ~decision atom =
     let holder = ases.(i) in
     let holder_int = Asn.to_int holder in
     match D.granularity with
-    | Decision.Per_as ->
-        let nb = select i in
-        let ob = b_slot.(i) in
-        let changed =
-          if nb < 0 || ob < 0 then nb <> ob
-          else
-            not
-              (nb = ob && b_lp.(i) = s_lp.(nb) && b_meta.(i) = s_meta.(nb)
-              && Path_intern.equal b_path.(i) s_path.(nb))
-        in
-        (* Same gating as the vanilla fast path: the origin's best never
-           changes after initialisation, but its first visit must run the
-           export step. *)
-        if changed || (i = origin_i && !steps = 1) then begin
-          b_slot.(i) <- nb;
-          if nb >= 0 then begin
-            b_path.(i) <- s_path.(nb);
-            b_lp.(i) <- s_lp.(nb);
-            b_meta.(i) <- s_meta.(nb)
-          end;
-          Array.iter
-            (fun e ->
-              if
-                nb <> -2
-                && mechanics_ok i holder holder_int e nb
-                && D.export_ok ctx ~rel:e.e_rel nb
-              then export_to holder e nb
-              else withdraw e)
-            edges.(i)
-        end
-    | Decision.Per_neighbor ->
-        (* No per-AS change gate: each edge carries its own selection, so
-           every visit re-derives all of them and relies on the per-slot
-           unchanged compare to keep the worklist quiet. *)
-        let nb = select i in
-        b_slot.(i) <- nb;
-        if nb >= 0 then begin
-          b_path.(i) <- s_path.(nb);
-          b_lp.(i) <- s_lp.(nb);
-          b_meta.(i) <- s_meta.(nb)
-        end;
-        let lo = slot_base.(i) in
-        let hi = slot_base.(i + 1) in
-        Array.iteri
-          (fun k e ->
-            let src =
-              if i = origin_i then
-                if
-                  mechanics_ok i holder holder_int e (-1)
-                  && D.export_ok ctx ~rel:e.e_rel (-1)
-                then -1
-                else -2
-              else begin
-                let best = ref (-2) in
-                for s = lo to hi - 1 do
-                  if
-                    s_meta.(s) >= 0
-                    && mechanics_ok i holder holder_int e s
-                    && D.export_ok ctx ~rel:e.e_rel s
-                    && (!best < 0 || D.prefer ctx s !best < 0)
-                  then best := s
-                done;
-                !best
-              end
-            in
-            x_slot.(lo + k) <- src;
-            if src = -2 then withdraw e else export_to holder e src)
-          edges.(i)
+    | Decision.Per_as -> visit_per_as i holder holder_int
+    | Decision.Per_neighbor -> visit_per_neighbor i holder holder_int
   done;
   let converged = !ring_head = !ring_tail in
   if not converged then

@@ -263,7 +263,9 @@ let test_diagnostic_output () =
   | Ok _ | Error _ -> Alcotest.fail "diagnostic JSON must parse back to an object"
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "nine shipped rules" 9 (List.length Rule.all);
+  Alcotest.(check int) "twelve shipped rules" 12 (List.length Rule.all);
+  Alcotest.(check int) "three typedtree rules" 3 (List.length Rule.typed);
+  Alcotest.(check int) "nine parsetree rules" 9 (List.length Rule.untyped);
   List.iter
     (fun (r : Rule.t) ->
       Alcotest.(check bool)
@@ -271,6 +273,225 @@ let test_rule_catalogue () =
         true
         (match Rule.find r.Rule.id with Some _ -> true | None -> false))
     Rule.all
+
+(* ------------------------------------------------------------------ *)
+(* Typedtree rules.
+
+   These need a typing environment, so fixtures are typechecked
+   in-process against the stdlib ([Compmisc.initial_env]).  Fixtures
+   that exercise intern-id-escape define their own local [Path_intern]
+   and [Rpi_json] modules — the rules match on normalized path
+   components, so a locally-scoped module with the right name behaves
+   exactly like the real one without needing the repo's cmi files on
+   the load path. *)
+
+module Typed_engine = Rpi_lint.Typed_engine
+
+let typing_env =
+  lazy
+    (Compmisc.init_path ();
+     Compmisc.initial_env ())
+
+let typecheck_unit ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  let parsed = Parse.implementation lexbuf in
+  let str, _, _, _, _ =
+    Typemod.type_structure (Lazy.force typing_env) parsed
+  in
+  {
+    Typed_engine.tu_file = file;
+    tu_source = source;
+    tu_modname = [ "Fixture" ];
+    tu_structure = str;
+  }
+
+let typed_hits ?rules ~file source =
+  List.map
+    (fun (d : Diagnostic.t) -> (d.Diagnostic.rule, d.Diagnostic.line))
+    (Typed_engine.lint_units ?rules [ typecheck_unit ~file source ])
+
+let test_domain_race () =
+  Alcotest.check pair "ref mutated from a spawned closure, via a local call"
+    [ ("domain-race", 2) ]
+    (typed_hits ~file:"lib/fake/race.ml"
+       "let total = ref 0\n\
+        let bump () = incr total\n\
+        let run_workers () = ignore (Domain.spawn (fun () -> bump ()))\n");
+  Alcotest.check pair "Hashtbl shared with the pool closure directly"
+    [ ("domain-race", 3) ]
+    (typed_hits ~file:"lib/fake/race.ml"
+       "let cache : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+        let work () =\n\
+       \  ignore (Domain.spawn (fun () -> Hashtbl.replace cache 1 2))\n")
+
+let test_domain_race_quiet () =
+  Alcotest.check pair "Atomic state is exempt" []
+    (typed_hits ~file:"lib/fake/race.ml"
+       "let total = Atomic.make 0\n\
+        let bump () = Atomic.incr total\n\
+        let run_workers () = ignore (Domain.spawn (fun () -> bump ()))\n");
+  Alcotest.check pair "mutable state never reached from a spawn is quiet" []
+    (typed_hits ~file:"lib/fake/race.ml"
+       "let total = ref 0\n\
+        let bump () = incr total\n\
+        let run_workers () = ignore (Domain.spawn (fun () -> 1 + 1))\n");
+  Alcotest.check pair "mutex-guarded access is quiet" []
+    (typed_hits ~file:"lib/fake/race.ml"
+       "let lock = Mutex.create ()\n\
+        let total = ref 0\n\
+        let bump () = Mutex.lock lock; incr total; Mutex.unlock lock\n\
+        let run_workers () = ignore (Domain.spawn (fun () -> bump ()))\n");
+  Alcotest.check pair "local mutable state inside the closure is quiet" []
+    (typed_hits ~file:"lib/fake/race.ml"
+       "let run_workers () =\n\
+       \  ignore (Domain.spawn (fun () -> let c = ref 0 in incr c; !c))\n")
+
+let test_hot_path_alloc () =
+  Alcotest.check pair "closure allocated inside a hot function"
+    [ ("hot-path-alloc", 2) ]
+    (typed_hits ~file:"lib/fake/hot.ml"
+       "let[@rpilint.hot] apply_twice f x =\n\
+       \  let g y = f (f y) in\n\
+       \  g x\n");
+  (* The Printf line carries two findings: the call itself and the
+     format literal, which elaborates to a boxed CamlinternalFormat
+     constructor — both genuinely allocate. *)
+  Alcotest.check pair "tuple and Printf each flagged"
+    [ ("hot-path-alloc", 2); ("hot-path-alloc", 3); ("hot-path-alloc", 3) ]
+    (typed_hits ~file:"lib/fake/hot.ml"
+       "let[@rpilint.hot] f a b =\n\
+       \  let p = (a, b) in\n\
+       \  Printf.sprintf \"%d\" (fst p)\n")
+
+let test_hot_path_alloc_quiet () =
+  Alcotest.check pair "scalar arithmetic with a match spine is quiet" []
+    (typed_hits ~file:"lib/fake/hot.ml"
+       "let[@rpilint.hot] rank = function 0 -> 1 | n -> (n * 2) + 1\n");
+  Alcotest.check pair "unannotated allocating function is quiet" []
+    (typed_hits ~file:"lib/fake/hot.ml"
+       "let apply_twice f x =\n\
+       \  let g y = f (f y) in\n\
+       \  g x\n");
+  Alcotest.check pair "suppression comment applies to typed findings too" []
+    (typed_hits ~file:"lib/fake/hot.ml"
+       "let[@rpilint.hot] apply_twice f x =\n\
+       \  (* rpilint: allow hot-path-alloc *)\n\
+       \  let g y = f (f y) in\n\
+       \  g x\n")
+
+(* Local stand-ins for the real modules: the rule matches normalized
+   path components, so [Path_intern.id] and [Rpi_json.t] here trip it
+   exactly like the library ones. *)
+let escape_prelude =
+  "module Path_intern : sig\n\
+  \  type id\n\
+  \  val intern : int -> id\n\
+  \  val to_int : id -> int\n\
+   end = struct\n\
+  \  type id = int\n\
+  \  let intern x = x\n\
+  \  let to_int x = x\n\
+   end\n\
+   module Rpi_json = struct\n\
+  \  type t = Null | Int of int\n\
+   end\n"
+
+let prelude_lines = 12
+
+let test_intern_id_escape () =
+  Alcotest.check pair "id reaching a JSON constructor argument"
+    [ ("intern-id-escape", prelude_lines + 1) ]
+    (typed_hits ~file:"lib/fake/escape.ml"
+       (escape_prelude
+      ^ "let leak (p : Path_intern.id) = Rpi_json.Int (Path_intern.to_int p)\n"))
+
+let test_intern_id_escape_quiet () =
+  Alcotest.check pair "plain ints serialize freely" []
+    (typed_hits ~file:"lib/fake/escape.ml"
+       (escape_prelude ^ "let fine (n : int) = Rpi_json.Int n\n"));
+  Alcotest.check pair "converting before the serializer call is the fix" []
+    (typed_hits ~file:"lib/fake/escape.ml"
+       (escape_prelude
+      ^ "let ok p = let n = Path_intern.to_int p in Rpi_json.Int n\n"))
+
+let test_typed_rule_selection () =
+  let source =
+    "let total = ref 0\n\
+     let bump () = incr total\n\
+     let run_workers () = ignore (Domain.spawn (fun () -> bump ()))\n\
+     let[@rpilint.hot] pair_up a b = (a, b)\n"
+  in
+  Alcotest.check pair "both rules by default"
+    [ ("domain-race", 2); ("hot-path-alloc", 4) ]
+    (typed_hits ~file:"lib/fake/mixed.ml" source);
+  Alcotest.check pair "single-rule run sees only its own findings"
+    [ ("hot-path-alloc", 4) ]
+    (typed_hits ~rules:[ "hot-path-alloc" ] ~file:"lib/fake/mixed.ml" source)
+
+let test_typed_ordering () =
+  (* Deterministic output order: sorted by file, then line, whatever the
+     unit order given to the engine. *)
+  let unit_a =
+    typecheck_unit ~file:"lib/fake/a.ml"
+      "let[@rpilint.hot] f a b = (a, b)\n"
+  in
+  let unit_b =
+    typecheck_unit ~file:"lib/fake/b.ml"
+      "let[@rpilint.hot] g a b = (b, a)\n"
+  in
+  let files l = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.file) l in
+  Alcotest.(check (list string))
+    "sorted by file regardless of input order"
+    [ "lib/fake/a.ml"; "lib/fake/b.ml" ]
+    (files (Typed_engine.lint_units [ unit_b; unit_a ]));
+  Alcotest.(check (list string))
+    "same order when given in order"
+    [ "lib/fake/a.ml"; "lib/fake/b.ml" ]
+    (files (Typed_engine.lint_units [ unit_a; unit_b ]))
+
+(* Smoke-load every .cmt dune produced for lib/: each must either load
+   as a lintable unit, be a legitimately skipped alias/interface-only
+   module, or at worst fail with a readable error (none expected), and
+   the shipped tree must be clean under all three typed rules. *)
+let test_cmt_smoke () =
+  let rec walk_cmts acc path =
+    if Sys.file_exists path && Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left (fun acc n -> walk_cmts acc (Filename.concat path n)) acc
+    else if Filename.check_suffix path ".cmt" then path :: acc
+    else acc
+  in
+  (* Tests run from _build/default/test, so the built library tree is a
+     sibling; fall back to other spellings for odd invocations. *)
+  let root =
+    List.find_opt
+      (fun r -> walk_cmts [] r <> [])
+      [ "../lib"; "lib"; "_build/default/lib" ]
+  in
+  match root with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let cmts = walk_cmts [] root in
+      let units =
+        List.filter_map
+          (fun path ->
+            match Typed_engine.load_cmt ~source_root:".." path with
+            | Ok u -> u
+            | Error e -> Alcotest.fail (path ^ ": " ^ e))
+          cmts
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "loaded a substantial unit count (%d cmts -> %d units)"
+           (List.length cmts) (List.length units))
+        true
+        (List.length units > 20);
+      Alcotest.(check (list (pair string int)))
+        "shipped lib/ tree is clean under the typed rules" []
+        (List.map
+           (fun (d : Diagnostic.t) -> (d.Diagnostic.rule, d.Diagnostic.line))
+           (Typed_engine.lint_units units))
 
 let () =
   Alcotest.run "lint"
@@ -298,5 +519,20 @@ let () =
           Alcotest.test_case "parse error" `Quick test_parse_error;
           Alcotest.test_case "diagnostic output" `Quick test_diagnostic_output;
           Alcotest.test_case "rule catalogue" `Quick test_rule_catalogue;
+        ] );
+      ( "typed rules",
+        [
+          Alcotest.test_case "domain-race" `Quick test_domain_race;
+          Alcotest.test_case "domain-race quiet" `Quick test_domain_race_quiet;
+          Alcotest.test_case "hot-path-alloc" `Quick test_hot_path_alloc;
+          Alcotest.test_case "hot-path-alloc quiet" `Quick
+            test_hot_path_alloc_quiet;
+          Alcotest.test_case "intern-id-escape" `Quick test_intern_id_escape;
+          Alcotest.test_case "intern-id-escape quiet" `Quick
+            test_intern_id_escape_quiet;
+          Alcotest.test_case "rule selection" `Quick test_typed_rule_selection;
+          Alcotest.test_case "deterministic ordering" `Quick
+            test_typed_ordering;
+          Alcotest.test_case "cmt smoke over lib/" `Quick test_cmt_smoke;
         ] );
     ]
