@@ -1,26 +1,47 @@
 (* Compare two BENCH_results.json files and fail loudly on regressions.
 
-   Usage:  check_regression [--tolerance F] [--floor-ns F] BASELINE NEW
+   Usage:  check_regression [--tolerance F] [--tolerance-wall F]
+             [--tolerance-micro F] [--floor-ns F] BASELINE NEW
 
    Watches the wall-clock and per-run keys where bigger means slower —
-   run_all timings, per-experiment elapsed seconds, ingest replay totals
-   and every microbenchmark — and exits 1 if any of them grew by more
-   than the tolerance (default 0.20, i.e. a >20% regression).  The
-   lint/wall_s key carries its own fixed threshold instead: the @lint
-   pass is short and dominated by filesystem walks, so it only fails
-   when it slows down by more than 2x.  Keys
-   present on only one side are reported and skipped, so adding or
+   run_all timings, per-experiment elapsed seconds, ingest replay and
+   churn repropagation totals and every microbenchmark — and exits 1 if
+   any of them grew by more than its class tolerance.  The two classes
+   regress differently, so they carry separate defaults:
+
+   - wall-clock seconds (run_all, exp/*, ingest_replay, churn timings)
+     are dominated by scenario construction and scheduling noise; their
+     tolerance defaults to 0.50 (fail on >50% growth);
+   - microbenchmark ns/run numbers are tight bechamel fits; their
+     tolerance defaults to 0.20.
+
+   [--tolerance F] sets both at once (the historical single-knob
+   behaviour).  The lint/wall_s key carries its own fixed threshold
+   instead: the @lint pass is short and dominated by filesystem walks,
+   so it only fails when it slows down by more than 2x.  The churn
+   differential additionally gates on semantics, not just speed: if the
+   new run reports [churn.identical_output = false] or a
+   [churn.speedup] below 5x, that is a regression regardless of any
+   tolerance — those are the incremental engine's correctness and
+   usefulness floors.
+
+   Keys present on only one side are reported and skipped, so adding or
    retiring a benchmark never breaks the check, and a `--quick` run
    (microbenches only) can be diffed against a full baseline on the
    intersection.  Microbenchmarks under [--floor-ns] (default 100 ns) in
    the baseline are skipped: at that scale the monotonic clock's own
-   jitter exceeds the tolerance.  Exit codes: 0 ok, 1 regression,
-   2 usage or parse error. *)
+   jitter exceeds the tolerance.  When both files carry a [host]
+   fingerprint and the fingerprints differ, a warning is printed (the
+   comparison still runs: cross-host ratios are indicative, not
+   binding).  Exit codes: 0 ok, 1 regression, 2 usage or parse
+   error. *)
 
 module Json = Rpi_json
 
 let usage () =
-  prerr_endline "usage: check_regression [--tolerance F] [--floor-ns F] BASELINE NEW";
+  prerr_endline
+    "usage: check_regression [--tolerance F] [--tolerance-wall F] \
+     [--tolerance-micro F] [--floor-ns F] BASELINE NEW";
   exit 2
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("check_regression: " ^ s); exit 2) fmt
@@ -43,16 +64,20 @@ let number = function
   | Some (Json.Int i) -> Some (float_of_int i)
   | Some _ | None -> None
 
-(* The watched (key, seconds-or-ns) pairs of one results file, in a
-   stable reporting order.  [ns] marks keys measured in nanoseconds so
-   the noise floor only applies to them; [limit] overrides the global
-   tolerance with a fixed max-allowed ratio for that key. *)
+(* Tolerance class of a watched key: which knob bounds its growth. *)
+type cls =
+  | Wall  (** wall-clock seconds; [--tolerance-wall] *)
+  | Micro  (** bechamel ns/run; [--tolerance-micro], noise floor applies *)
+  | Fixed of float  (** per-key max-allowed ratio, e.g. lint/wall_s *)
+
+(* The watched (key, (value, class)) pairs of one results file, in a
+   stable reporting order. *)
 let watched doc =
-  let scalar_lim ?limit path keys =
+  let scalar_cls cls path keys =
     let v = List.fold_left (fun acc k -> Option.bind acc (member k)) (Some doc) keys in
-    match number v with Some f -> [ (path, (f, false, limit)) ] | None -> []
+    match number v with Some f -> [ (path, (f, cls)) ] | None -> []
   in
-  let scalar path keys = scalar_lim path keys in
+  let scalar path keys = scalar_cls Wall path keys in
   let experiments =
     match member "experiments_sequential" doc with
     | Some (Json.List rows) ->
@@ -60,7 +85,7 @@ let watched doc =
           (fun row ->
             match (member "id" row, number (member "elapsed_s" row)) with
             | Some (Json.String id), Some f ->
-                [ ("exp/" ^ id ^ ".elapsed_s", (f, false, None)) ]
+                [ ("exp/" ^ id ^ ".elapsed_s", (f, Wall)) ]
             | _ -> [])
           rows
     | Some _ | None -> []
@@ -71,7 +96,7 @@ let watched doc =
         List.filter_map
           (fun (name, v) ->
             match number (Some v) with
-            | Some f -> Some ("micro/" ^ name, (f, true, None))
+            | Some f -> Some ("micro/" ^ name, (f, Micro))
             | None -> None)
           fields
     | Some _ | None -> []
@@ -81,19 +106,74 @@ let watched doc =
   @ experiments
   @ scalar "ingest_replay.incremental_s" [ "ingest_replay"; "incremental_s" ]
   @ scalar "ingest_replay.batch_s" [ "ingest_replay"; "batch_s" ]
-  @ scalar_lim ~limit:2.0 "lint/wall_s" [ "lint"; "wall_s" ]
+  @ scalar "churn.incremental_s" [ "churn"; "incremental_s" ]
+  @ scalar "churn.batch_s" [ "churn"; "batch_s" ]
+  @ scalar_cls (Fixed 2.0) "lint/wall_s" [ "lint"; "wall_s" ]
   @ micro
 
+(* The churn differential's absolute floors: correctness (incremental
+   output byte-identical to batch) and the 5x usefulness bar.  Checked
+   on the NEW run only — they are properties of a run, not ratios. *)
+let churn_floors doc =
+  let failures = ref [] in
+  (match member "churn" doc with
+  | None -> ()
+  | Some churn ->
+      (match member "identical_output" churn with
+      | Some (Json.Bool false) ->
+          failures := "churn.identical_output is false (incremental diverged from batch)"
+                      :: !failures
+      | Some _ | None -> ());
+      (match number (member "speedup" churn) with
+      | Some s when s < 5.0 ->
+          failures :=
+            Printf.sprintf "churn.speedup %.2fx is below the 5x floor" s :: !failures
+      | Some _ | None -> ()));
+  List.rev !failures
+
+(* Host fingerprints: warn when the two runs come from visibly
+   different machines or toolchains — ratios across hosts are
+   indicative only. *)
+let host_warning base_doc new_doc =
+  match (member "host" base_doc, member "host" new_doc) with
+  | Some (Json.Obj b), Some (Json.Obj n) when b <> n ->
+      let render fields =
+        String.concat ", "
+          (List.filter_map
+             (fun (k, v) ->
+               match v with
+               | Json.String s -> Some (k ^ "=" ^ s)
+               | Json.Int i -> Some (Printf.sprintf "%s=%d" k i)
+               | _ -> None)
+             fields)
+      in
+      Printf.printf "WARNING: host fingerprints differ; ratios are indicative only\n";
+      Printf.printf "  baseline: %s\n" (render b);
+      Printf.printf "  new:      %s\n\n" (render n)
+  | _ -> ()
+
 let () =
-  let tolerance = ref 0.20 in
+  let tol_wall = ref 0.50 in
+  let tol_micro = ref 0.20 in
   let floor_ns = ref 100.0 in
   let positional = ref [] in
+  let parse_tol v set =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> set f
+    | Some _ | None -> die "bad tolerance %S" v
+  in
   let rec parse = function
     | [] -> ()
     | "--tolerance" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some f when f >= 0.0 -> tolerance := f
-        | Some _ | None -> die "bad --tolerance %S" v);
+        parse_tol v (fun f ->
+            tol_wall := f;
+            tol_micro := f);
+        parse rest
+    | "--tolerance-wall" :: v :: rest ->
+        parse_tol v (fun f -> tol_wall := f);
+        parse rest
+    | "--tolerance-micro" :: v :: rest ->
+        parse_tol v (fun f -> tol_micro := f);
         parse rest
     | "--floor-ns" :: v :: rest ->
         (match float_of_string_opt v with
@@ -111,20 +191,25 @@ let () =
   let base_path, new_path =
     match List.rev !positional with [ b; n ] -> (b, n) | _ -> usage ()
   in
-  let base = watched (load base_path) in
-  let fresh = watched (load new_path) in
+  let base_doc = load base_path and new_doc = load new_path in
+  let base = watched base_doc in
+  let fresh = watched new_doc in
+  host_warning base_doc new_doc;
   let regressions = ref 0 in
   Printf.printf "%-50s %12s %12s %8s\n" "key" "baseline" "new" "ratio";
   List.iter
-    (fun (key, (old_v, is_ns, limit)) ->
+    (fun (key, (old_v, cls)) ->
       match List.assoc_opt key fresh with
       | None -> Printf.printf "%-50s %12.4g %12s   (skipped: not in new run)\n" key old_v "-"
-      | Some (new_v, _, _) when is_ns && old_v < !floor_ns ->
+      | Some (new_v, _) when cls = Micro && old_v < !floor_ns ->
           Printf.printf "%-50s %12.4g %12.4g   (skipped: below %.0f ns noise floor)\n" key
             old_v new_v !floor_ns
-      | Some (new_v, _, _) ->
+      | Some (new_v, _) ->
           let max_ratio =
-            match limit with Some l -> l | None -> 1.0 +. !tolerance
+            match cls with
+            | Wall -> 1.0 +. !tol_wall
+            | Micro -> 1.0 +. !tol_micro
+            | Fixed l -> l
           in
           let ratio = if old_v > 0.0 then new_v /. old_v else Float.nan in
           let regressed = (not (Float.is_nan ratio)) && ratio > max_ratio in
@@ -139,8 +224,15 @@ let () =
       if not (List.mem_assoc key base) then
         Printf.printf "%-50s %12s %12s   (skipped: not in baseline)\n" key "-" "-")
     fresh;
+  List.iter
+    (fun msg ->
+      incr regressions;
+      Printf.printf "%-50s %36s\n" msg "FLOOR VIOLATION")
+    (churn_floors new_doc);
   if !regressions > 0 then begin
     Printf.printf "\n%d key(s) regressed beyond their threshold\n" !regressions;
     exit 1
   end
-  else Printf.printf "\nno regressions beyond %.0f%% tolerance\n" (100.0 *. !tolerance)
+  else
+    Printf.printf "\nno regressions beyond tolerances (wall %.0f%%, micro %.0f%%)\n"
+      (100.0 *. !tol_wall) (100.0 *. !tol_micro)

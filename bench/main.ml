@@ -83,6 +83,7 @@ let experiment_tests ctx =
            the stability sweep rebuilds whole worlds; both are far too
            heavy for a sampling loop. *)
         (not (String.equal e.Exp.id "fig6+7"))
+        && (not (String.equal e.Exp.id "churn-persistence"))
         && (not (String.equal e.Exp.id "stability"))
         (* ns-bgp rebuilds two whole worlds per run, like stability. *)
         && not (String.equal e.Exp.id "ns-bgp"))
@@ -374,6 +375,183 @@ let bench_ingest_replay ~epochs =
       ("identical_output", Rpi_json.Bool identical);
     ]
 
+(* --- Part 2.55: incremental repropagation vs per-epoch batch --- *)
+
+(* The engine-level counterpart of the ingest replay: a seeded churn
+   stream (link flaps, relationship migrations, announce/withdraw cycles)
+   applied epoch by epoch, solved once through [Engine.repropagate] and
+   once through the pre-incremental path — a fresh [Engine.prepare] +
+   [Engine.propagate_all] of every announced atom per epoch.  The
+   scenario's atypical-preference minorities are zeroed so the stable
+   state is unique and the two paths must agree byte-for-byte (the churn
+   generator preserves customer-provider acyclicity for the same
+   reason). *)
+let churn_world ~epochs =
+  let config =
+    {
+      Scenario.default_config with
+      Scenario.seed = 5;
+      topology =
+        {
+          Rpi_topo.Gen.default_config with
+          Rpi_topo.Gen.n_tier1 = 4;
+          n_tier2 = 8;
+          n_tier3 = 16;
+          n_stub = 60;
+        };
+      prefixes_per_tier = (3, 3, 2, 2);
+      p_atypical_neighbor = 0.0;
+      p_atypical_prefix = 0.0;
+      p_prefix_override = 0.0;
+      n_collector_peers = 8;
+      n_lg = 5;
+      atoms_per_as = 2;
+    }
+  in
+  let s = Scenario.build ~config () in
+  let atoms = s.Scenario.atoms in
+  let atom_ids = List.map (fun (a : Rpi_sim.Atom.t) -> a.Rpi_sim.Atom.id) atoms in
+  let rng = Rpi_prng.Prng.create ~seed:17 in
+  let stream =
+    Rpi_topo.Churn.generate rng ~graph:s.Scenario.graph ~atom_ids ~epochs
+  in
+  (s, atoms, stream)
+
+let churn_results_equal (xs : Rpi_sim.Engine.result list) ys =
+  (* Everything observable must match; [steps] legitimately differs (the
+     incremental solver accumulates worklist pops across epochs). *)
+  List.equal
+    (fun (x : Rpi_sim.Engine.result) (y : Rpi_sim.Engine.result) ->
+      x.Rpi_sim.Engine.converged = y.Rpi_sim.Engine.converged
+      && Rpi_sim.Atom.equal x.Rpi_sim.Engine.atom y.Rpi_sim.Engine.atom
+      && Asn.Map.equal
+           (fun (ta : Rpi_sim.Engine.table) (tb : Rpi_sim.Engine.table) ->
+             ta.Rpi_sim.Engine.best = tb.Rpi_sim.Engine.best
+             && ta.Rpi_sim.Engine.candidates = tb.Rpi_sim.Engine.candidates)
+           x.Rpi_sim.Engine.tables y.Rpi_sim.Engine.tables)
+    xs ys
+
+let batch_network s st =
+  Rpi_sim.Engine.prepare
+    ~graph:(Rpi_sim.Engine.state_graph st)
+    ~import:(Scenario.import_of s)
+    ~transit_scope:(Scenario.transit_scope_of s)
+    ~lp_overrides:(Scenario.lp_override_quads s)
+    ()
+
+let bench_churn ?(epochs = 1000) ?(verify_every = 100) () =
+  let module Engine = Rpi_sim.Engine in
+  let module Churn = Rpi_topo.Churn in
+  print_endline "==============================================================";
+  Printf.printf " Incremental repropagation vs per-epoch batch (%d epochs)\n" epochs;
+  print_endline "==============================================================";
+  let s, atoms, stream = churn_world ~epochs in
+  let atom_of id = List.find (fun (a : Rpi_sim.Atom.t) -> a.Rpi_sim.Atom.id = id) atoms in
+  let net = s.Scenario.network in
+  let retain = s.Scenario.retain in
+  let st = Engine.init_state net in
+  let (_ : Engine.state) =
+    Engine.repropagate net st (List.map (fun a -> Engine.Delta.Announce a) atoms)
+  in
+  let inc_s = ref 0.0 and batch_s = ref 0.0 in
+  let n_events = ref 0 and verified = ref 0 and mismatches = ref 0 in
+  List.iter
+    (fun (ep : Churn.epoch) ->
+      let deltas = List.map (Engine.Delta.of_event ~atom_of) ep.Churn.events in
+      n_events := !n_events + List.length deltas;
+      let t0 = Unix.gettimeofday () in
+      let (_ : Engine.state) = Engine.repropagate net st deltas in
+      inc_s := !inc_s +. (Unix.gettimeofday () -. t0);
+      (* The effective graph is shared state both sides would maintain
+         either way; only the rebuild + full re-solve is the batch cost. *)
+      let t0 = Unix.gettimeofday () in
+      let net' = batch_network s st in
+      let batch = Engine.propagate_all net' ~retain (Engine.state_atoms st) in
+      batch_s := !batch_s +. (Unix.gettimeofday () -. t0);
+      if (ep.Churn.index + 1) mod verify_every = 0 then begin
+        incr verified;
+        if not (churn_results_equal (Engine.state_results st ~retain) batch) then
+          incr mismatches
+      end)
+    stream;
+  let identical = !mismatches = 0 in
+  let eps secs = if secs > 0.0 then float_of_int epochs /. secs else Float.nan in
+  let speedup = if !inc_s > 0.0 then !batch_s /. !inc_s else Float.nan in
+  Printf.printf "churn events:        %8d over %d epochs\n" !n_events epochs;
+  Printf.printf "incremental:         %8.3f s  (%.0f epochs/s)\n" !inc_s (eps !inc_s);
+  Printf.printf "per-epoch batch:     %8.3f s  (%.0f epochs/s)\n" !batch_s (eps !batch_s);
+  Printf.printf "speedup:             %8.2fx\n" speedup;
+  Printf.printf "outputs byte-identical at %d checkpoints: %b\n" !verified identical;
+  Rpi_json.Obj
+    [
+      ("epochs", Rpi_json.Int epochs);
+      ("events", Rpi_json.Int !n_events);
+      ("incremental_s", Rpi_json.Float !inc_s);
+      ("batch_s", Rpi_json.Float !batch_s);
+      ("incremental_eps", Rpi_json.Float (eps !inc_s));
+      ("batch_eps", Rpi_json.Float (eps !batch_s));
+      ("speedup", Rpi_json.Float speedup);
+      ("verified_epochs", Rpi_json.Int !verified);
+      ("identical_output", Rpi_json.Bool identical);
+    ]
+
+(* --churn-selftest: a long differential soak.  5000 epochs of churn
+   through the incremental engine, cross-checked against a fresh batch
+   solve every [verify_every] epochs; exits nonzero on the first
+   divergence.  Wired into the @soak alias. *)
+let churn_selftest ?(epochs = 5000) ?(verify_every = 100) () =
+  let module Engine = Rpi_sim.Engine in
+  let module Churn = Rpi_topo.Churn in
+  let s, atoms, stream = churn_world ~epochs in
+  let atom_of id = List.find (fun (a : Rpi_sim.Atom.t) -> a.Rpi_sim.Atom.id = id) atoms in
+  let net = s.Scenario.network in
+  let retain = s.Scenario.retain in
+  let st = Engine.init_state net in
+  let (_ : Engine.state) =
+    Engine.repropagate net st (List.map (fun a -> Engine.Delta.Announce a) atoms)
+  in
+  let verified = ref 0 in
+  let failed = ref false in
+  List.iter
+    (fun (ep : Churn.epoch) ->
+      let deltas = List.map (Engine.Delta.of_event ~atom_of) ep.Churn.events in
+      let (_ : Engine.state) = Engine.repropagate net st deltas in
+      if (not !failed) && (ep.Churn.index + 1) mod verify_every = 0 then begin
+        incr verified;
+        let net' = batch_network s st in
+        let batch = Engine.propagate_all net' ~retain (Engine.state_atoms st) in
+        let inc = Engine.state_results st ~retain in
+        if not (churn_results_equal inc batch) then begin
+          failed := true;
+          Printf.eprintf
+            "churn-selftest: incremental state diverged from batch at epoch %d\n"
+            ep.Churn.index;
+          List.iter2
+            (fun (x : Engine.result) (y : Engine.result) ->
+              if x.Engine.converged <> y.Engine.converged then
+                Printf.eprintf "  atom %d: converged %b (inc) vs %b (batch)\n"
+                  x.Engine.atom.Rpi_sim.Atom.id x.Engine.converged y.Engine.converged;
+              Asn.Map.iter
+                (fun a (tx : Engine.table) ->
+                  match Asn.Map.find_opt a y.Engine.tables with
+                  | Some ty
+                    when tx.Engine.best = ty.Engine.best
+                         && tx.Engine.candidates = ty.Engine.candidates ->
+                      ()
+                  | _ ->
+                      Printf.eprintf "  atom %d: tables differ at AS%d\n"
+                        x.Engine.atom.Rpi_sim.Atom.id (Asn.to_int a))
+                x.Engine.tables)
+            inc batch
+        end
+      end)
+    stream;
+  if !failed then exit 1
+  else
+    Printf.printf
+      "churn-selftest: %d epochs, incremental == batch at all %d checkpoints\n"
+      epochs !verified
+
 (* --- Part 2.6: one full lint pass, timed --- *)
 
 (* What the @lint alias costs: the Parsetree rules over every checked-out
@@ -454,6 +632,20 @@ let bench_lint () =
 
 (* --- Part 3: machine-readable baseline --- *)
 
+(* Host fingerprint: enough to tell whether two baselines are comparable
+   at all.  Wall-clock keys drift across machines far more than the
+   tolerance budget; check_regression prints a warning when fingerprints
+   differ instead of crying regression. *)
+let host_fingerprint () =
+  Rpi_json.Obj
+    [
+      ("os_type", Rpi_json.String Sys.os_type);
+      ("word_size", Rpi_json.Int Sys.word_size);
+      ("ocaml_version", Rpi_json.String Sys.ocaml_version);
+      ("domains", Rpi_json.Int (Domain.recommended_domain_count ()));
+      ("backend", Rpi_json.String (if Sys.backend_type = Sys.Native then "native" else "bytecode"));
+    ]
+
 let write_doc ~path doc =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Rpi_json.to_channel oc doc);
@@ -462,7 +654,7 @@ let write_doc ~path doc =
 let micro_json micro =
   Rpi_json.Obj (List.map (fun (name, ns) -> (name, Rpi_json.Float ns)) micro)
 
-let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~lint =
+let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~churn ~lint =
   let timed_json (r : Runner.timed) =
     Rpi_json.Obj
       [
@@ -475,6 +667,7 @@ let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~lint
       [
         ("schema", Rpi_json.String "rpi-bench/1");
         ("mode", Rpi_json.String "full");
+        ("host", host_fingerprint ());
         ( "run_all",
           Rpi_json.Obj
             [
@@ -492,6 +685,7 @@ let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~lint
         ( "experiments_sequential",
           Rpi_json.List (List.map timed_json seq.Runner.results) );
         ("ingest_replay", ingest_replay);
+        ("churn", churn);
         ("path_intern", intern);
         ("microbench_ns_per_run", micro_json micro);
         ("lint", lint);
@@ -502,7 +696,24 @@ let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~lint
 let () =
   Logs.set_level (Some Logs.Warning);
   let quick = Array.exists (String.equal "--quick") Sys.argv in
-  if quick then begin
+  let churn_only = Array.exists (String.equal "--churn") Sys.argv in
+  let churn_selftest_only = Array.exists (String.equal "--churn-selftest") Sys.argv in
+  if churn_selftest_only then churn_selftest ()
+  else if churn_only then begin
+    (* --churn: the repropagation differential bench alone, written to
+       BENCH_churn.json so the committed full baseline is not clobbered;
+       check_regression diffs on the intersection of keys. *)
+    let churn = bench_churn () in
+    write_doc ~path:"BENCH_churn.json"
+      (Rpi_json.Obj
+         [
+           ("schema", Rpi_json.String "rpi-bench/1");
+           ("mode", Rpi_json.String "churn");
+           ("host", host_fingerprint ());
+           ("churn", churn);
+         ])
+  end
+  else if quick then begin
     (* --quick: the substrate microbenches only, on a reduced sampling
        quota — seconds, not minutes.  Skips the full-evaluation
        regeneration and the ingest replay, and writes BENCH_quick.json so
@@ -524,11 +735,12 @@ let () =
   else begin
     let seq, par, identical = regenerate () in
     let ingest_replay = bench_ingest_replay ~epochs:31 in
+    let churn = bench_churn () in
     let small = small_ctx () in
     let tests = experiment_tests small @ substrate_tests small in
     let micro = run_benchmarks tests in
     let intern = intern_hit_rate small in
     let lint = bench_lint () in
     write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro ~intern
-      ~ingest_replay ~lint
+      ~ingest_replay ~churn ~lint
   end

@@ -20,6 +20,7 @@ module Gadget = Rpi_sim.Gadget
 module Validate = Rpi_relinfer.Validate
 module Runner = Rpi_runner.Runner
 module Update = Rpi_bgp.Update
+module Churn = Rpi_topo.Churn
 module Feed = Rpi_ingest.Feed
 module State = Rpi_ingest.State
 module Render = Rpi_ingest.Render
@@ -826,6 +827,282 @@ let scenario_properties ~seed =
         end)
       ()
   in
+  (* --- incremental repropagation battery ------------------------------ *)
+  (* Typical-preference pocket scenario for the repropagation properties:
+     with the atypical/override minorities zeroed, every import policy is
+     Gao–Rexford typical, the provider hierarchy is acyclic (and the churn
+     generator keeps it that way), so the stable routing state is unique —
+     "incremental == batch, byte-for-byte" is a theorem here, not an
+     accident of visit order. *)
+  let typical =
+    lazy
+      (Scenario.build
+         ~config:
+           {
+             (Gen.pocket_config ~seed) with
+             Scenario.p_atypical_neighbor = 0.0;
+             p_atypical_prefix = 0.0;
+             p_prefix_override = 0.0;
+           }
+         ())
+  in
+  (* Full-result equality minus [steps]: the incremental solver re-solves
+     only the dirty cone, so its worklist-pop count legitimately differs
+     from a from-scratch batch run; everything observable — candidate
+     sets, their order, bests, convergence — must match. *)
+  let result_equal_modulo_steps (a : Engine.result) (b : Engine.result) =
+    a.Engine.converged = b.Engine.converged
+    && Atom.equal a.Engine.atom b.Engine.atom
+    && Asn.Map.equal engine_table_equal a.Engine.tables b.Engine.tables
+  in
+  let decision_of_name name =
+    if String.equal name "neighbor-specific" then Decision.neighbor_specific
+    else Decision.vanilla
+  in
+  let pick_decision_name rng =
+    if Prng.bool rng then "vanilla" else "neighbor-specific"
+  in
+  let pick_atoms rng t k =
+    let atoms = Array.of_list t.Scenario.atoms in
+    let n = Array.length atoms in
+    let start = Prng.int rng n in
+    List.init (min k n) (fun i -> atoms.((start + i) mod n))
+  in
+  (* A random applicable delta sequence: topology/announcement churn from
+     the seeded generator, plus lp-override edits restricted to links the
+     stream's relationship migrations leave alone — so each override value
+     can be drawn inside the neighbour's (final) class band and the
+     policies stay typical end to end. *)
+  let gen_deltas rng t (atoms : Atom.t list) =
+    let atom_ids = List.map (fun (a : Atom.t) -> a.Atom.id) atoms in
+    let cfg =
+      {
+        Churn.p_flap = 0.6;
+        p_rel_change = 0.5;
+        p_withdraw = 0.4;
+        max_down_epochs = 3;
+        max_out_epochs = 3;
+      }
+    in
+    let stream =
+      Churn.generate ~config:cfg rng ~graph:t.Scenario.graph ~atom_ids
+        ~epochs:(2 + Prng.int rng 5)
+    in
+    let events = List.concat_map (fun (e : Churn.epoch) -> e.Churn.events) stream in
+    let atom_of id = List.find (fun (a : Atom.t) -> a.Atom.id = id) atoms in
+    let churn_deltas = List.map (Engine.Delta.of_event ~atom_of) events in
+    let migrated a b =
+      List.exists
+        (function
+          | Churn.Rel_change (x, y, _) ->
+              (Asn.equal x a && Asn.equal y b) || (Asn.equal x b && Asn.equal y a)
+          | _ -> false)
+        events
+    in
+    let graph = t.Scenario.graph in
+    let ases = Array.of_list (Rpi_topo.As_graph.ases graph) in
+    let lp_deltas =
+      List.concat_map
+        (fun (atom : Atom.t) ->
+          if not (Prng.chance rng 0.7) then []
+          else begin
+            let holder = Prng.choice rng ases in
+            let candidates =
+              Rpi_topo.As_graph.neighbors graph holder
+              |> List.filter (fun (nb, rel) ->
+                     (not (Relationship.equal rel Relationship.Sibling))
+                     && not (migrated holder nb))
+            in
+            match candidates with
+            | [] -> []
+            | _ :: _ ->
+                let nb, rel = Prng.choice_list rng candidates in
+                (* Stay inside the class band (customer > peer > provider)
+                   so the override never makes the policy atypical. *)
+                let lp =
+                  match rel with
+                  | Relationship.Customer -> Prng.int_in rng 104 118
+                  | Relationship.Peer -> Prng.int_in rng 96 103
+                  | Relationship.Provider -> Prng.int_in rng 82 94
+                  | Relationship.Sibling -> 100 (* unreachable: filtered *)
+                in
+                [
+                  Engine.Delta.Lp_set
+                    { atom_id = atom.Atom.id; holder; neighbor = nb; lp };
+                ]
+          end)
+        atoms
+    in
+    churn_deltas @ lp_deltas
+  in
+  let show_case (dname, atoms, deltas) =
+    Printf.sprintf "%s atoms [%s] deltas [%s]" dname
+      (String.concat ";"
+         (List.map (fun (a : Atom.t) -> string_of_int a.Atom.id) atoms))
+      (String.concat "; " (List.map Engine.Delta.render deltas))
+  in
+  let announce_all atoms = List.map (fun a -> Engine.Delta.Announce a) atoms in
+  let lp_quads_of deltas =
+    List.filter_map
+      (function
+        | Engine.Delta.Lp_set { atom_id; holder; neighbor; lp } ->
+            Some (atom_id, holder, neighbor, lp)
+        | _ -> None)
+      deltas
+  in
+  (* Fresh batch network equivalent to the state's current overlay. *)
+  let batch_network t st deltas =
+    Engine.prepare
+      ~graph:(Engine.state_graph st)
+      ~import:(Scenario.import_of t)
+      ~transit_scope:(Scenario.transit_scope_of t)
+      ~lp_overrides:(Scenario.lp_override_quads t @ lp_quads_of deltas)
+      ()
+  in
+  let repropagate_matches_batch =
+    Property.make ~name:"repropagate_matches_batch"
+      ~gen:(fun rng ->
+        let t = Lazy.force typical in
+        let atoms = pick_atoms rng t (1 + Prng.int rng 3) in
+        let deltas = gen_deltas rng t atoms in
+        (pick_decision_name rng, atoms, deltas))
+      ~show:show_case
+      ~shrink:(fun (dname, atoms, deltas) ->
+        match deltas with
+        | [] | [ _ ] -> []
+        | _ ->
+            List.mapi
+              (fun i _ -> (dname, atoms, List.filteri (fun j _ -> j <> i) deltas))
+              deltas)
+      ~check:(fun (dname, atoms, deltas) ->
+        let t = Lazy.force typical in
+        let net = t.Scenario.network in
+        let retain = t.Scenario.retain in
+        let decision = decision_of_name dname in
+        let st = Engine.init_state ~decision net in
+        let (_ : Engine.state) = Engine.repropagate net st (announce_all atoms) in
+        let inc0 = Engine.state_results st ~retain in
+        let batch0 =
+          Engine.propagate_all net ~retain ~decision (Engine.state_atoms st)
+        in
+        if not (List.equal result_equal_modulo_steps inc0 batch0) then
+          Error "announce-from-scratch state diverges from batch propagate"
+        else begin
+          (* Apply the sequence in two chunks: repropagate must compose
+             across calls, not just within one. *)
+          let n_deltas = List.length deltas in
+          let split_at =
+            if n_deltas < 2 then n_deltas else n_deltas / 2
+          in
+          let chunk1 = List.filteri (fun i _ -> i < split_at) deltas in
+          let chunk2 = List.filteri (fun i _ -> i >= split_at) deltas in
+          let (_ : Engine.state) = Engine.repropagate net st chunk1 in
+          let (_ : Engine.state) = Engine.repropagate net st chunk2 in
+          let net' = batch_network t st deltas in
+          let batch =
+            Engine.propagate_all net' ~retain ~decision (Engine.state_atoms st)
+          in
+          let inc = Engine.state_results st ~retain in
+          if List.equal result_equal_modulo_steps inc batch then
+            Ok (2 + List.length deltas)
+          else
+            Error
+              "repropagated state diverges from a fresh batch solve of the \
+               modified network"
+        end)
+      ()
+  in
+  let repropagate_idempotent_on_noop =
+    Property.make ~name:"repropagate_idempotent_on_noop"
+      ~gen:(fun rng ->
+        let t = Lazy.force typical in
+        let atoms = pick_atoms rng t (1 + Prng.int rng 2) in
+        let edges =
+          Rpi_topo.As_graph.fold_edges (fun a b rel acc -> (a, b, rel) :: acc)
+            t.Scenario.graph []
+          |> Array.of_list
+        in
+        let a, b, rel = Prng.choice rng edges in
+        let atom = List.nth atoms (Prng.int rng (List.length atoms)) in
+        let noops =
+          match Prng.int rng 5 with
+          | 0 -> [ Engine.Delta.Link_down (a, b); Engine.Delta.Link_up (a, b) ]
+          | 1 -> [ Engine.Delta.Rel_set (a, b, rel) ]
+          | 2 -> [ Engine.Delta.Withdraw atom.Atom.id; Engine.Delta.Announce atom ]
+          | 3 -> [ Engine.Delta.Announce atom ]
+          | _ ->
+              [
+                Engine.Delta.Link_down (a, b);
+                Engine.Delta.Link_down (a, b);
+                Engine.Delta.Link_up (a, b);
+              ]
+        in
+        (pick_decision_name rng, atoms, noops))
+      ~show:show_case
+      ~check:(fun (dname, atoms, noops) ->
+        let t = Lazy.force typical in
+        let net = t.Scenario.network in
+        let retain = t.Scenario.retain in
+        let decision = decision_of_name dname in
+        let st = Engine.init_state ~decision net in
+        let (_ : Engine.state) = Engine.repropagate net st (announce_all atoms) in
+        let before = Engine.state_results st ~retain in
+        let graph_before = Rpi_topo.As_graph.render_edges (Engine.state_graph st) in
+        let (_ : Engine.state) = Engine.repropagate net st noops in
+        let after = Engine.state_results st ~retain in
+        let graph_after = Rpi_topo.As_graph.render_edges (Engine.state_graph st) in
+        if not (String.equal graph_before graph_after) then
+          Error "no-op delta pair changed the effective graph"
+        else if List.equal result_equal_modulo_steps before after then
+          Ok (1 + List.length noops)
+        else Error "no-op delta pair changed the routing state")
+      ()
+  in
+  let repropagate_commutes_with_coalescing =
+    Property.make ~name:"repropagate_commutes_with_coalescing"
+      ~gen:(fun rng ->
+        let t = Lazy.force typical in
+        let atoms = pick_atoms rng t (1 + Prng.int rng 2) in
+        let deltas = gen_deltas rng t atoms in
+        (* Replaying a prefix doubles up keys so [coalesce] has real work
+           to do (last write wins per key on both sides). *)
+        let replay =
+          List.filteri (fun i _ -> i < Prng.int rng (1 + List.length deltas)) deltas
+        in
+        (pick_decision_name rng, atoms, deltas @ replay))
+      ~show:show_case
+      ~shrink:(fun (dname, atoms, deltas) ->
+        match deltas with
+        | [] | [ _ ] -> []
+        | _ ->
+            List.mapi
+              (fun i _ -> (dname, atoms, List.filteri (fun j _ -> j <> i) deltas))
+              deltas)
+      ~check:(fun (dname, atoms, deltas) ->
+        let t = Lazy.force typical in
+        let net = t.Scenario.network in
+        let retain = t.Scenario.retain in
+        let decision = decision_of_name dname in
+        let raw = Engine.init_state ~decision net in
+        let (_ : Engine.state) = Engine.repropagate net raw (announce_all atoms) in
+        let (_ : Engine.state) = Engine.repropagate net raw deltas in
+        let coal = Engine.init_state ~decision net in
+        let (_ : Engine.state) = Engine.repropagate net coal (announce_all atoms) in
+        let (_ : Engine.state) =
+          Engine.repropagate net coal (Engine.Delta.coalesce deltas)
+        in
+        let raw_graph = Rpi_topo.As_graph.render_edges (Engine.state_graph raw) in
+        let coal_graph = Rpi_topo.As_graph.render_edges (Engine.state_graph coal) in
+        if not (String.equal raw_graph coal_graph) then
+          Error "coalesced deltas yield a different effective graph"
+        else if
+          List.equal result_equal_modulo_steps
+            (Engine.state_results raw ~retain)
+            (Engine.state_results coal ~retain)
+        then Ok (1 + List.length deltas)
+        else Error "coalesced deltas yield a different routing state")
+      ()
+  in
   [
     sa_subset_monotone;
     import_renumber_invariant;
@@ -835,6 +1112,9 @@ let scenario_properties ~seed =
     decision_vanilla_matches_reference;
     ns_bgp_converges_on_gadget;
     incremental_matches_batch;
+    repropagate_matches_batch;
+    repropagate_idempotent_on_noop;
+    repropagate_commutes_with_coalescing;
   ]
 
 let suite ~seed =

@@ -472,6 +472,21 @@ let policy_of t a =
 
 let lg_table t a = List.assoc_opt a t.lg_tables
 
+(* Accessors for rebuilding the scenario's network (or an incremental
+   state over it) outside [build] — e.g. the repropagation differential
+   oracles and the churn benchmarks, which must hand [Engine.prepare]
+   exactly the inputs [build] used.  [lp_override_quads] re-folds the
+   same table [build] folded, so the quadruple order (and with it
+   [Policy.compile]'s duplicate-key precedence) is identical. *)
+let lp_override_quads t =
+  Int_tbl.fold
+    (fun atom_id triples acc ->
+      List.map (fun (holder, nb, lp) -> (atom_id, holder, nb, lp)) triples @ acc)
+    t.lp_overrides []
+
+let import_of t a = (policy_of t a).Policy.import
+let transit_scope_of t a = Asn.Map.find_opt a t.transit_scopes
+
 let origins_ground_truth t =
   let by_origin = Asn.Table.create 256 in
   List.iter

@@ -95,6 +95,19 @@ val build : ?config:config -> ?decision:Decision.t -> unit -> t
 
 val policy_of : t -> Asn.t -> Policy.t
 val lg_table : t -> Asn.t -> Rib.t option
+
+val lp_override_quads : t -> (int * Asn.t * Asn.t * int) list
+(** The drawn prefix-granularity overrides as {!Engine.prepare}
+    [lp_overrides] quadruples [(atom_id, holder, neighbor, lp)] — lets a
+    caller rebuild a network equivalent to this scenario's (e.g. the
+    batch side of an incremental-repropagation differential test). *)
+
+val import_of : t -> Asn.t -> Policy.import_policy
+(** The import policy [Engine.prepare] was fed for this AS. *)
+
+val transit_scope_of : t -> Asn.t -> Asn.Set.t option
+(** The selective-transit provider scope, if this AS drew one. *)
+
 val origins_ground_truth : t -> (Asn.t * Prefix.t list) list
 (** (origin, prefixes) per AS, from the atoms — the oracle counterpart of
     {!Rpi_core.Export_infer.origins_of_rib}. *)

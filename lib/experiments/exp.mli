@@ -80,6 +80,14 @@ val fig6_fig7 : ?days:int -> ?hours:int -> Context.t -> outcome
     churned re-simulation (defaults: 31 daily and 12 hourly epochs on a
     reduced scenario for wall-clock sanity). *)
 
+val churn_persistence : ?epochs:int -> Context.t -> outcome
+(** Extension: the Figs. 6-7 persistence machinery driven by
+    topology-level churn — seeded link flaps, relationship migrations and
+    announce/withdraw cycles from {!Rpi_topo.Churn} — with each epoch
+    re-solved by the incremental engine ({!Rpi_sim.Engine.repropagate})
+    instead of a fresh batch propagation (default 240 epochs on the
+    reduced scenario). *)
+
 val fig9 : Context.t -> outcome
 (** Rank vs announced-prefix-count plots for community semantics
     inference, for three vantages of contrasting size. *)

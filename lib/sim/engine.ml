@@ -270,11 +270,14 @@ let origin_route =
   }
 
 (* Thin conversion from the arena back to the public list-of-routes
-   representation, shared by the vanilla and pluggable solvers; only the
-   retained vantage ASs pay for it. *)
-let arena_tables net ~tbl ~origin_i ~s_meta ~s_path ~s_len ~s_lp ~b_slot ~b_path
-    ~b_lp ~b_meta retain =
-  let { ases; index; slot_base; slot_sender; slot_rel; _ } = net in
+   representation, shared by the vanilla, pluggable and incremental
+   solvers; only the retained vantage ASs pay for it.  [slot_rel] is
+   passed explicitly because the incremental state owns a mutable copy
+   of the per-slot relationships (the prepared network's is stale after
+   a [Delta.Rel_set]). *)
+let arena_tables net ~tbl ~origin_i ~slot_rel ~s_meta ~s_path ~s_len ~s_lp
+    ~b_slot ~b_path ~b_lp ~b_meta retain =
+  let { ases; index; slot_base; slot_sender; _ } = net in
   let to_route s =
     {
       path = Path_intern.to_list tbl s_path.(s);
@@ -598,8 +601,8 @@ let propagate_vanilla net ~retain atom =
     Log.warn (fun m ->
         m "propagation of atom %d did not converge within %d steps" atom.Atom.id cap);
   let tables =
-    arena_tables net ~tbl ~origin_i ~s_meta ~s_path ~s_len ~s_lp ~b_slot ~b_path
-      ~b_lp ~b_meta retain
+    arena_tables net ~tbl ~origin_i ~slot_rel:net.slot_rel ~s_meta ~s_path
+      ~s_len ~s_lp ~b_slot ~b_path ~b_lp ~b_meta retain
   in
   { atom; tables; converged; steps = !steps }
 
@@ -870,8 +873,8 @@ let propagate_pluggable net ~retain ~decision atom =
         m "propagation of atom %d (decision %s) did not converge within %d steps"
           atom.Atom.id D.name cap);
   let tables =
-    arena_tables net ~tbl ~origin_i ~s_meta ~s_path ~s_len ~s_lp ~b_slot ~b_path
-      ~b_lp ~b_meta retain
+    arena_tables net ~tbl ~origin_i ~slot_rel:net.slot_rel ~s_meta ~s_path
+      ~s_len ~s_lp ~b_slot ~b_path ~b_lp ~b_meta retain
   in
   { atom; tables; converged; steps = !steps }
 
@@ -1087,6 +1090,631 @@ let propagate_all net ~retain ?decision ?(jobs = 1) atoms =
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-propagation.
+
+   A prepared network fixes the link universe and the slot geometry; the
+   incremental [state] layers a mutable configuration overlay on top of
+   it — per-slot activity bits, relationships, static import preferences,
+   state-owned compiled policies — plus one live candidate arena per
+   announced atom.  [repropagate] applies a batch of deltas to the
+   overlay, seeds each atom's worklist from the touched senders (the
+   dirty-cone frontier) and re-solves only what the wavefront actually
+   reaches: untouched atoms are skipped outright, and within a touched
+   atom the per-slot unchanged-compare stops the wave as soon as the
+   re-derived candidates match the stored ones.
+
+   The solver below is the generic pluggable visit adapted to read the
+   overlay instead of the edge's precomputed fields.  Under the vanilla
+   decision it makes exactly the decisions of [propagate] on the
+   equivalent freshly-prepared network — the rpicheck property
+   [repropagate_matches_batch] pins the full results (candidate order
+   included) byte-for-byte, for both shipped decision processes. *)
+
+module Int_tbl = Hashtbl.Make (Int)
+
+module Delta = struct
+  type t =
+    | Link_down of Asn.t * Asn.t
+    | Link_up of Asn.t * Asn.t
+    | Rel_set of Asn.t * Asn.t * Relationship.t
+    | Lp_set of { atom_id : int; holder : Asn.t; neighbor : Asn.t; lp : int }
+    | Announce of Atom.t
+    | Withdraw of int
+
+  (* Coalescing key: two deltas coalesce iff they write the same
+     configuration cell.  Link up/down share one key per undirected link
+     (both write its activity bit); [Rel_set] has its own per-link key
+     (activity and label are independent state); [Lp_set] is keyed by the
+     override triple; [Announce]/[Withdraw] both write the atom's
+     announced-state. *)
+  type key =
+    | K_active of int * int
+    | K_rel of int * int
+    | K_lp of int * int * int
+    | K_atom of int
+
+  let link_key a b =
+    let ai = Asn.to_int a and bi = Asn.to_int b in
+    if ai <= bi then (ai, bi) else (bi, ai)
+
+  let key = function
+    | Link_down (a, b) | Link_up (a, b) ->
+        let x, y = link_key a b in
+        K_active (x, y)
+    | Rel_set (a, b, _) ->
+        let x, y = link_key a b in
+        K_rel (x, y)
+    | Lp_set { atom_id; holder; neighbor; _ } ->
+        K_lp (atom_id, Asn.to_int holder, Asn.to_int neighbor)
+    | Announce atom -> K_atom atom.Atom.id
+    | Withdraw id -> K_atom id
+
+  let coalesce ds =
+    let last = Hashtbl.create 16 in
+    List.iter (fun d -> Hashtbl.replace last (key d) d) ds;
+    let emitted = Hashtbl.create 16 in
+    List.filter_map
+      (fun d ->
+        let k = key d in
+        if Hashtbl.mem emitted k then None
+        else begin
+          Hashtbl.add emitted k ();
+          Some (Hashtbl.find last k)
+        end)
+      ds
+
+  let render = function
+    | Link_down (a, b) ->
+        Printf.sprintf "link-down AS%d AS%d" (Asn.to_int a) (Asn.to_int b)
+    | Link_up (a, b) ->
+        Printf.sprintf "link-up AS%d AS%d" (Asn.to_int a) (Asn.to_int b)
+    | Rel_set (a, b, rel) ->
+        Printf.sprintf "rel-set AS%d AS%d %s" (Asn.to_int a) (Asn.to_int b)
+          (Relationship.to_string rel)
+    | Lp_set { atom_id; holder; neighbor; lp } ->
+        Printf.sprintf "lp-set atom %d AS%d from AS%d -> %d" atom_id
+          (Asn.to_int holder) (Asn.to_int neighbor) lp
+    | Announce atom -> Printf.sprintf "announce %d" atom.Atom.id
+    | Withdraw id -> Printf.sprintf "withdraw %d" id
+
+  let of_event ~atom_of = function
+    | Rpi_topo.Churn.Link_down (a, b) -> Link_down (a, b)
+    | Rpi_topo.Churn.Link_up (a, b) -> Link_up (a, b)
+    | Rpi_topo.Churn.Rel_change (a, b, rel) -> Rel_set (a, b, rel)
+    | Rpi_topo.Churn.Announce id -> Announce (atom_of id)
+    | Rpi_topo.Churn.Withdraw id -> Withdraw id
+end
+
+(* One announced atom's live solver state: its private intern table and
+   the same four arena rows + four best rows the batch solvers use, kept
+   alive between repropagations so the next delta only pays for its own
+   cone. *)
+type cell = {
+  c_atom : Atom.t;
+  c_origin_i : int;
+  c_tbl : Path_intern.t;
+  c_s_meta : int array;
+  c_s_path : Path_intern.id array;
+  c_s_len : int array;
+  c_s_lp : int array;
+  c_b_slot : int array;
+  c_b_path : Path_intern.id array;
+  c_b_lp : int array;
+  c_b_meta : int array;
+  c_x_slot : int array;  (* Per_neighbor selections; [||] under Per_as *)
+  mutable c_converged : bool;
+  mutable c_steps : int;  (* worklist pops, accumulated over repropagations *)
+}
+
+type state = {
+  st_net : network;
+  st_decision : Decision.t;
+  (* Mutable configuration overlay, indexed like the prepared network's
+     per-slot arrays.  [st_rel.(s)] is the receiver's current view of the
+     slot's sender; [st_rel_opt] mirrors it as preallocated [Some] blocks
+     (updated on the cold [Rel_set] path) so the hot loops and
+     [arena_tables] never allocate an option. *)
+  st_active : bool array;
+  st_rel : Relationship.t array;
+  st_rel_opt : Relationship.t option array;
+  st_class_code : int array;  (* class_code of [st_rel.(s)] *)
+  st_recv_lp : int array;  (* static import preference per slot *)
+  st_resolved : Policy.resolved array;  (* state-owned copies *)
+  st_lp_dynamic : bool array;
+  (* Shared solver scratch: cells are solved one at a time, so one ring,
+     one dedup row and one forced row serve them all. *)
+  st_ring : int array;
+  st_queued : bool array;
+  st_forced : bool array;
+  st_cells : cell Int_tbl.t;  (* keyed by atom id *)
+}
+
+let init_state ?(decision = Decision.vanilla) net =
+  let n = Array.length net.ases in
+  let total_slots = net.slot_base.(n) in
+  let st_rel = Array.make total_slots Relationship.Customer in
+  Array.iteri
+    (fun s r -> match r with Some r -> st_rel.(s) <- r | None -> ())
+    net.slot_rel;
+  let st_recv_lp = Array.make total_slots 0 in
+  Array.iter
+    (fun es -> Array.iter (fun e -> st_recv_lp.(e.e_slot) <- e.e_recv_lp) es)
+    net.edges;
+  {
+    st_net = net;
+    st_decision = decision;
+    st_active = Array.make total_slots true;
+    st_rel;
+    st_rel_opt = Array.copy net.slot_rel;
+    st_class_code = Array.map (fun r -> class_code r) net.slot_rel;
+    st_recv_lp;
+    st_resolved = Array.map Policy.copy_resolved net.resolved;
+    st_lp_dynamic = Array.copy net.lp_dynamic;
+    st_ring = Array.make (n + 1) 0;
+    st_queued = Array.make n false;
+    st_forced = Array.make n false;
+    st_cells = Int_tbl.create 64;
+  }
+
+let state_decision st = st.st_decision
+
+let state_atoms st =
+  Int_tbl.fold (fun _ c acc -> c.c_atom :: acc) st.st_cells []
+  |> List.sort (fun a b -> Int.compare a.Atom.id b.Atom.id)
+
+(* The effective graph under the overlay: prepared edges that are up,
+   with their current labels; every AS kept even when isolated, so a
+   fresh [prepare] on this graph has the same AS universe (the
+   differential properties depend on it). *)
+let state_graph st =
+  let net = st.st_net in
+  let g = ref (Array.fold_left As_graph.add_as As_graph.empty net.ases) in
+  Array.iteri
+    (fun i es ->
+      Array.iter
+        (fun e ->
+          if e.e_to > i && st.st_active.(e.e_slot) then
+            g :=
+              As_graph.add_edge !g net.ases.(i) net.ases.(e.e_to)
+                (Relationship.invert st.st_rel.(e.e_slot)))
+        es)
+    net.edges;
+  !g
+
+(* Re-solve one cell from the seeded frontier.  [seeds] are the AS
+   indices whose export step must run even when their own best is
+   unchanged — the senders over touched adjacencies; their forced visit
+   re-derives (or withdraws) the touched slots in place, and from there
+   the ordinary change-driven worklist takes over. *)
+let solve_cell st cell seeds =
+  let module D = (val st.st_decision : Decision.S) in
+  let net = st.st_net in
+  let { ases; edges; slot_base; slot_sender_asn; _ } = net in
+  let n = Array.length ases in
+  let atom = cell.c_atom in
+  let origin_i = cell.c_origin_i in
+  let tbl = cell.c_tbl in
+  let s_meta = cell.c_s_meta in
+  let s_path = cell.c_s_path in
+  let s_len = cell.c_s_len in
+  let s_lp = cell.c_s_lp in
+  let b_slot = cell.c_b_slot in
+  let b_path = cell.c_b_path in
+  let b_lp = cell.c_b_lp in
+  let b_meta = cell.c_b_meta in
+  let x_slot = cell.c_x_slot in
+  let active = st.st_active in
+  let rel_of = st.st_rel in
+  let class_of = st.st_class_code in
+  let recv_lp = st.st_recv_lp in
+  let resolved = st.st_resolved in
+  let lp_dynamic = st.st_lp_dynamic in
+  let transit_scopes = net.transit_scopes in
+  let ctx =
+    {
+      Decision.dc_intern = tbl;
+      dc_meta = s_meta;
+      dc_path = s_path;
+      dc_len = s_len;
+      dc_lp = s_lp;
+      dc_sender_asn = slot_sender_asn;
+    }
+  in
+  let ring = st.st_ring in
+  let queued = st.st_queued in
+  let forced = st.st_forced in
+  let ring_head = ref 0 in
+  let ring_tail = ref 0 in
+  let[@rpilint.hot] enqueue i =
+    if not queued.(i) then begin
+      queued.(i) <- true;
+      ring.(!ring_tail) <- i;
+      ring_tail := if !ring_tail = n then 0 else !ring_tail + 1
+    end
+  in
+  List.iter
+    (fun i ->
+      forced.(i) <- true;
+      enqueue i)
+    seeds;
+  (* Same mechanics as the batch pluggable solver, with every
+     edge-precomputed field replaced by its overlay read: the holder's
+     view of the receiver is the invert of the receiver's per-slot view
+     ([Relationship.invert] maps immediates to immediates), and an
+     inactive slot admits no export at all — the forced sender visit is
+     what clears a downed link's slots. *)
+  let[@rpilint.hot] mechanics_ok i holder holder_int e src =
+    active.(e.e_slot)
+    &&
+    let e_rel = Relationship.invert rel_of.(e.e_slot) in
+    if src < 0 then
+      e.e_asn_int <> holder_int
+      &&
+      match e_rel with
+      | Relationship.Customer | Relationship.Sibling -> true
+      | Relationship.Peer -> not (Asn.Set.mem e.e_asn atom.Atom.withhold_peers)
+      | Relationship.Provider -> begin
+          match atom.Atom.provider_scope with
+          | Atom.All_providers -> true
+          | Atom.Only_providers set -> Asn.Set.mem e.e_asn set
+        end
+    else
+      (not (Asn.Set.mem holder atom.Atom.suppressed_at))
+      && begin
+           match e_rel with
+           | Relationship.Provider -> begin
+               match transit_scopes.(i) with
+               | Some scope -> Asn.Set.mem e.e_asn scope
+               | None -> true
+             end
+           | Relationship.Customer | Relationship.Peer | Relationship.Sibling -> true
+         end
+      && e.e_asn_int <> holder_int
+      && not (Path_intern.mem tbl e.e_asn s_path.(src))
+  in
+  let[@rpilint.hot] export_to holder e src =
+    let s = e.e_slot in
+    let is_origin_route = src < 0 in
+    let r_path = if is_origin_route then Path_intern.nil else s_path.(src) in
+    let r_len = if is_origin_route then 0 else s_len.(src) in
+    let r_lp = if is_origin_route then 0 else s_lp.(src) in
+    let r_meta = if is_origin_route then class_none else s_meta.(src) in
+    let r_class = r_meta land 7 in
+    let r_no_up = r_meta land 8 <> 0 in
+    let tag = r_no_up || (is_origin_route && Asn.Set.mem e.e_asn atom.Atom.no_export_up) in
+    let copies =
+      if is_origin_route then 1 + Atom.prepend_count atom ~neighbor:e.e_asn else 1
+    in
+    let path' = Path_intern.cons_n tbl holder copies r_path in
+    let back_rel = rel_of.(s) in
+    let is_sibling_edge =
+      match back_rel with
+      | Relationship.Sibling -> true
+      | Relationship.Customer | Relationship.Peer | Relationship.Provider -> false
+    in
+    let lp =
+      if is_sibling_edge && not is_origin_route then r_lp
+      else if lp_dynamic.(e.e_to) then
+        Policy.resolve resolved.(e.e_to) ~neighbor:holder ~rel:back_rel
+          ~atom:atom.Atom.id
+      else recv_lp.(s)
+    in
+    let export_class_code =
+      if is_sibling_edge then if r_class = class_none then class_customer else r_class
+      else class_of.(s)
+    in
+    let meta' = if tag then export_class_code lor 8 else export_class_code in
+    let unchanged =
+      s_meta.(s) = meta' && s_lp.(s) = lp && Path_intern.equal s_path.(s) path'
+    in
+    if not unchanged then begin
+      s_meta.(s) <- meta';
+      s_path.(s) <- path';
+      s_len.(s) <- copies + r_len;
+      s_lp.(s) <- lp;
+      enqueue e.e_to
+    end
+  in
+  let[@rpilint.hot] withdraw e =
+    if s_meta.(e.e_slot) >= 0 then begin
+      s_meta.(e.e_slot) <- -1;
+      enqueue e.e_to
+    end
+  in
+  let[@rpilint.hot] rec select_from s hi best =
+    if s >= hi then best
+    else if s_meta.(s) >= 0 && (best < 0 || D.prefer ctx s best < 0) then
+      select_from (s + 1) hi s
+    else select_from (s + 1) hi best
+  in
+  let[@rpilint.hot] select i =
+    if i = origin_i then -1
+    else select_from slot_base.(i) slot_base.(i + 1) (-2)
+  in
+  let[@rpilint.hot] visit_per_as i holder holder_int force =
+    let nb = select i in
+    let ob = b_slot.(i) in
+    let changed =
+      if nb < 0 || ob < 0 then nb <> ob
+      else
+        not
+          (nb = ob && b_lp.(i) = s_lp.(nb) && b_meta.(i) = s_meta.(nb)
+          && Path_intern.equal b_path.(i) s_path.(nb))
+    in
+    (* The forced flag replaces the batch solvers' first-step origin
+       special case: a seeded sender re-runs its export step whether or
+       not its own best moved, so the touched slots get re-derived (or
+       withdrawn) even though nothing upstream changed. *)
+    if changed || force then begin
+      b_slot.(i) <- nb;
+      if nb >= 0 then begin
+        b_path.(i) <- s_path.(nb);
+        b_lp.(i) <- s_lp.(nb);
+        b_meta.(i) <- s_meta.(nb)
+      end;
+      let es = edges.(i) in
+      for k = 0 to Array.length es - 1 do
+        let e = es.(k) in
+        if
+          nb <> -2
+          && mechanics_ok i holder holder_int e nb
+          && D.export_ok ctx ~rel:(Relationship.invert rel_of.(e.e_slot)) nb
+        then export_to holder e nb
+        else withdraw e
+      done
+    end
+  in
+  let[@rpilint.hot] rec edge_best i holder holder_int e s hi best =
+    if s >= hi then best
+    else if
+      s_meta.(s) >= 0
+      && mechanics_ok i holder holder_int e s
+      && D.export_ok ctx ~rel:(Relationship.invert rel_of.(e.e_slot)) s
+      && (best < 0 || D.prefer ctx s best < 0)
+    then edge_best i holder holder_int e (s + 1) hi s
+    else edge_best i holder holder_int e (s + 1) hi best
+  in
+  let[@rpilint.hot] visit_per_neighbor i holder holder_int =
+    (* As in the batch Per_neighbor visit: no per-AS change gate, every
+       visit re-derives all edges and the per-slot unchanged compare
+       keeps the worklist quiet. *)
+    let nb = select i in
+    b_slot.(i) <- nb;
+    if nb >= 0 then begin
+      b_path.(i) <- s_path.(nb);
+      b_lp.(i) <- s_lp.(nb);
+      b_meta.(i) <- s_meta.(nb)
+    end;
+    let lo = slot_base.(i) in
+    let hi = slot_base.(i + 1) in
+    let es = edges.(i) in
+    for k = 0 to Array.length es - 1 do
+      let e = es.(k) in
+      let src =
+        if i = origin_i then
+          if
+            mechanics_ok i holder holder_int e (-1)
+            && D.export_ok ctx ~rel:(Relationship.invert rel_of.(e.e_slot)) (-1)
+          then -1
+          else -2
+        else edge_best i holder holder_int e lo hi (-2)
+      in
+      x_slot.(lo + k) <- src;
+      if src = -2 then withdraw e else export_to holder e src
+    done
+  in
+  let steps = ref 0 in
+  let cap = 200 * (n + 1) in
+  while !ring_head <> !ring_tail && !steps <= cap do
+    incr steps;
+    let i = ring.(!ring_head) in
+    ring_head := if !ring_head = n then 0 else !ring_head + 1;
+    queued.(i) <- false;
+    let force = forced.(i) in
+    forced.(i) <- false;
+    let holder = ases.(i) in
+    let holder_int = Asn.to_int holder in
+    match D.granularity with
+    | Decision.Per_as -> visit_per_as i holder holder_int force
+    | Decision.Per_neighbor -> visit_per_neighbor i holder holder_int
+  done;
+  let converged = !ring_head = !ring_tail in
+  if not converged then begin
+    Log.warn (fun m ->
+        m "repropagation of atom %d (decision %s) did not converge within %d steps"
+          atom.Atom.id D.name cap);
+    (* Scrub the shared scratch rows for the next cell. *)
+    while !ring_head <> !ring_tail do
+      let i = ring.(!ring_head) in
+      ring_head := if !ring_head = n then 0 else !ring_head + 1;
+      queued.(i) <- false;
+      forced.(i) <- false
+    done
+  end;
+  cell.c_converged <- converged;
+  cell.c_steps <- cell.c_steps + !steps
+
+let fresh_cell st atom =
+  let net = st.st_net in
+  let n = Array.length net.ases in
+  let total_slots = net.slot_base.(n) in
+  let origin_i =
+    match Asn.Table.find_opt net.index atom.Atom.origin with
+    | Some i -> i
+    | None -> invalid_arg "Engine.repropagate: origin not in graph"
+  in
+  let module D = (val st.st_decision : Decision.S) in
+  {
+    c_atom = atom;
+    c_origin_i = origin_i;
+    c_tbl = Path_intern.create ~capacity:(max 512 n) ();
+    c_s_meta = Array.make total_slots (-1);
+    c_s_path = Array.make total_slots Path_intern.nil;
+    c_s_len = Array.make total_slots 0;
+    c_s_lp = Array.make total_slots 0;
+    c_b_slot = Array.make n (-2);
+    c_b_path = Array.make n Path_intern.nil;
+    c_b_lp = Array.make n 0;
+    c_b_meta = Array.make n 0;
+    c_x_slot =
+      (match D.granularity with
+      | Decision.Per_as -> [||]
+      | Decision.Per_neighbor -> Array.make total_slots (-2));
+    c_converged = true;
+    c_steps = 0;
+  }
+
+let repropagate net st deltas =
+  if not (net == st.st_net) then
+    invalid_arg "Engine.repropagate: state was built for a different network";
+  let { ases; index; edges; _ } = net in
+  (* Resolve an undirected link to its two endpoint indices and directed
+     slots; deltas naming a link outside the prepared universe are
+     programming errors (the geometry is fixed at prepare time). *)
+  let link_slots what a b =
+    let find_edge i j =
+      let es = edges.(i) in
+      let rec go k =
+        if k >= Array.length es then None
+        else if es.(k).e_to = j then Some es.(k)
+        else go (k + 1)
+      in
+      go 0
+    in
+    match (Asn.Table.find_opt index a, Asn.Table.find_opt index b) with
+    | Some i, Some j -> begin
+        match (find_edge i j, find_edge j i) with
+        | Some eij, Some eji -> (i, j, eij.e_slot, eji.e_slot)
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Engine.repropagate: %s names link AS%d-AS%d absent from the prepared graph"
+                 what (Asn.to_int a) (Asn.to_int b))
+      end
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Engine.repropagate: %s names an AS absent from the prepared graph" what)
+  in
+  (* Phase 1: apply every delta to the configuration overlay (and the
+     cell table), collecting the forced frontier — applying config first
+     and solving once per cell is what makes a delta list and its
+     coalesced form indistinguishable. *)
+  let base_forced = ref [] in
+  let seen_forced = Hashtbl.create 16 in
+  let force_all i =
+    if not (Hashtbl.mem seen_forced i) then begin
+      Hashtbl.add seen_forced i ();
+      base_forced := i :: !base_forced
+    end
+  in
+  let atom_forced : int list Int_tbl.t = Int_tbl.create 8 in
+  let force_atom id i =
+    let prev = try Int_tbl.find atom_forced id with Not_found -> [] in
+    if not (List.mem i prev) then Int_tbl.replace atom_forced id (i :: prev)
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Delta.Link_down (a, b) ->
+          let i, j, s_ij, s_ji = link_slots "Link_down" a b in
+          st.st_active.(s_ij) <- false;
+          st.st_active.(s_ji) <- false;
+          force_all i;
+          force_all j
+      | Delta.Link_up (a, b) ->
+          let i, j, s_ij, s_ji = link_slots "Link_up" a b in
+          st.st_active.(s_ij) <- true;
+          st.st_active.(s_ji) <- true;
+          force_all i;
+          force_all j
+      | Delta.Rel_set (a, b, rel) ->
+          (* [a] now classifies [b] as [rel].  Slot [s_ij] holds what [a]
+             (sender i) exports into [b]'s arena, so its stored
+             relationship is [b]'s view of [a] — the invert — and
+             symmetrically for [s_ji]. *)
+          let i, j, s_ij, s_ji = link_slots "Rel_set" a b in
+          let back = Relationship.invert rel in
+          st.st_rel.(s_ij) <- back;
+          st.st_rel_opt.(s_ij) <- Some back;
+          st.st_class_code.(s_ij) <- class_code (Some back);
+          st.st_recv_lp.(s_ij) <-
+            Policy.resolve_static st.st_resolved.(j) ~neighbor:ases.(i) ~rel:back;
+          st.st_rel.(s_ji) <- rel;
+          st.st_rel_opt.(s_ji) <- Some rel;
+          st.st_class_code.(s_ji) <- class_code (Some rel);
+          st.st_recv_lp.(s_ji) <-
+            Policy.resolve_static st.st_resolved.(i) ~neighbor:ases.(j) ~rel;
+          force_all i;
+          force_all j
+      | Delta.Lp_set { atom_id; holder; neighbor; lp } -> begin
+          (* Same tolerance as prepare-time [lp_overrides]: an unknown
+             holder is dropped.  The overlay write is global (policy
+             config outlives announcements); only the named atom's cell
+             needs re-solving, seeded at the sender whose exports the
+             override re-prices. *)
+          match Asn.Table.find_opt index holder with
+          | None -> ()
+          | Some h ->
+              Policy.override_resolved st.st_resolved.(h) ~neighbor ~atom:atom_id ~lp;
+              st.st_lp_dynamic.(h) <- true;
+              (match Asn.Table.find_opt index neighbor with
+              | Some s -> force_atom atom_id s
+              | None -> ())
+        end
+      | Delta.Announce atom -> begin
+          match Int_tbl.find_opt st.st_cells atom.Atom.id with
+          | Some cell when Atom.equal cell.c_atom atom -> ()
+          | Some _ | None ->
+              (* New or structurally changed atom: solve from scratch,
+                 seeded at the origin (the forced visit stands in for the
+                 batch solvers' first-step origin special case). *)
+              let cell = fresh_cell st atom in
+              Int_tbl.replace st.st_cells atom.Atom.id cell;
+              force_atom atom.Atom.id cell.c_origin_i
+        end
+      | Delta.Withdraw id ->
+          Int_tbl.remove st.st_cells id;
+          Int_tbl.remove atom_forced id)
+    deltas;
+  let base = List.rev !base_forced in
+  (* Phase 2: re-solve the touched cells in atom-id order (cells are
+     independent; the order only fixes which cell pays the shared
+     scratch warm-up).  A cell with an empty frontier is untouched and
+     skipped outright — the whole point of the exercise. *)
+  let ids =
+    Int_tbl.fold (fun id _ acc -> id :: acc) st.st_cells [] |> List.sort Int.compare
+  in
+  List.iter
+    (fun id ->
+      let cell = Int_tbl.find st.st_cells id in
+      let extra = try Int_tbl.find atom_forced id with Not_found -> [] in
+      let seeds = base @ List.rev extra in
+      if seeds <> [] then solve_cell st cell seeds)
+    ids;
+  st
+
+let state_results st ~retain =
+  let net = st.st_net in
+  let ids =
+    Int_tbl.fold (fun id _ acc -> id :: acc) st.st_cells [] |> List.sort Int.compare
+  in
+  List.map
+    (fun id ->
+      let cell = Int_tbl.find st.st_cells id in
+      let tables =
+        arena_tables net ~tbl:cell.c_tbl ~origin_i:cell.c_origin_i
+          ~slot_rel:st.st_rel_opt ~s_meta:cell.c_s_meta ~s_path:cell.c_s_path
+          ~s_len:cell.c_s_len ~s_lp:cell.c_s_lp ~b_slot:cell.c_b_slot
+          ~b_path:cell.c_b_path ~b_lp:cell.c_b_lp ~b_meta:cell.c_b_meta retain
+      in
+      {
+        atom = cell.c_atom;
+        tables;
+        converged = cell.c_converged;
+        steps = cell.c_steps;
+      })
+    ids
 
 let best_at result a =
   match Asn.Map.find_opt a result.tables with

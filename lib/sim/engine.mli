@@ -107,6 +107,94 @@ val propagate_all :
     discipline; results are merged in declaration order, so the output is
     identical for every job count.  Default 1 (no spawns). *)
 
+(** {2 Incremental re-propagation}
+
+    A prepared network fixes the link universe and the candidate-arena
+    geometry; an incremental {!state} layers a mutable configuration
+    overlay (per-slot activity, relationships, import preferences,
+    state-owned compiled policies) plus one live candidate arena per
+    announced atom on top of it.  {!repropagate} applies a batch of
+    {!Delta.t}s, seeds each touched atom's worklist from the senders over
+    touched adjacencies (the dirty-cone frontier) and re-solves only what
+    the wavefront reaches — untouched atoms are skipped outright.
+
+    Under the Gao–Rexford conditions the stable state is unique, so the
+    re-solved state matches a fresh {!propagate} on the equivalently
+    modified network byte-for-byte (candidate order included); the
+    rpicheck properties [repropagate_matches_batch],
+    [repropagate_idempotent_on_noop] and
+    [repropagate_commutes_with_coalescing] pin this down for both shipped
+    decision processes. *)
+
+module Delta : sig
+  type t =
+    | Link_down of Asn.t * Asn.t
+        (** Mask a prepared link (both directions).  Downing an
+            already-down link is a no-op. *)
+    | Link_up of Asn.t * Asn.t
+        (** Revive a masked link with its current labels.  Only links
+            present in the prepared graph can come up. *)
+    | Rel_set of Asn.t * Asn.t * Relationship.t
+        (** [(a, b, rel)]: [a] now classifies [b] as [rel] (inverse label
+            implied on [b]'s side).  Applies whether the link is up or
+            down. *)
+    | Lp_set of { atom_id : int; holder : Asn.t; neighbor : Asn.t; lp : int }
+        (** Set (or replace) the holder's per-(neighbour, atom) import
+            preference — the incremental form of a prepare-time
+            [lp_overrides] quadruple; an unknown holder is dropped the
+            same way. *)
+    | Announce of Atom.t
+        (** Start (or restart) propagating the atom.  Re-announcing a
+            structurally unchanged atom ({!Atom.equal}) is a no-op; a
+            changed atom with the same id is re-solved from scratch. *)
+    | Withdraw of int  (** Stop propagating the atom with this id. *)
+
+  val coalesce : t list -> t list
+  (** Collapse deltas writing the same configuration cell to the last
+      write, keeping first-occurrence order: link up/down per link,
+      relationship per link, lp override per (atom, holder, neighbour)
+      triple, announce/withdraw per atom id.  Applying a list and
+      applying its coalesced form yield identical states. *)
+
+  val render : t -> string
+
+  val of_event : atom_of:(int -> Atom.t) -> Rpi_topo.Churn.event -> t
+  (** Lift a churn-stream event; [atom_of] supplies the atom record for
+      [Announce] ids (the churn generator only deals in ids). *)
+end
+
+type state
+(** Live incremental solver state over one prepared network. *)
+
+val init_state : ?decision:Decision.t -> network -> state
+(** Fresh state: every link up with its prepared labels, no atoms
+    announced.  [decision] (default {!Decision.vanilla}) fixes the
+    decision process for the state's lifetime. *)
+
+val repropagate : network -> state -> Delta.t list -> state
+(** Apply the deltas to the overlay and re-solve the affected cone of
+    every touched atom in place; returns the same (mutated) state for
+    chaining.  [network] must be the state's own prepared network.
+    @raise Invalid_argument on a foreign network, on a link delta naming
+    an AS or link outside the prepared graph, or on announcing an atom
+    whose origin is not in the graph. *)
+
+val state_results : state -> retain:Asn.Set.t -> result list
+(** One result per announced atom, in atom-id order, against the current
+    overlay.  [steps] accumulates worklist pops over the atom's lifetime;
+    [converged] reports the atom's most recent solve. *)
+
+val state_atoms : state -> Atom.t list
+(** The announced atoms, in atom-id order. *)
+
+val state_graph : state -> As_graph.t
+(** The effective graph under the overlay: prepared links that are up,
+    with their current relationship labels; ASs isolated by link masking
+    are kept.  A fresh {!prepare} over this graph (plus the accumulated
+    lp overrides) is the batch equivalent of the state. *)
+
+val state_decision : state -> Decision.t
+
 val best_at : result -> Asn.t -> route option
 (** Best route of a retained AS ([None] when unreachable or not retained). *)
 

@@ -1,31 +1,35 @@
 module Asn = Rpi_bgp.Asn
 module As_graph = Rpi_topo.As_graph
 
-let bad_gadget ?origin ?rim ?(pref_rim = 120) () =
+let wheel ?origin ?rim ?(pref_rim = 120) () =
   let origin =
     match origin with
     | Some a -> a
     | None -> Asn.of_int 64500
   in
-  let a, b, c =
+  let rim =
     match rim with
     | Some r -> r
-    | None -> (Asn.of_int 64501, Asn.of_int 64502, Asn.of_int 64503)
+    | None -> List.map Asn.of_int [ 64501; 64502; 64503 ]
   in
-  let all = [ origin; a; b; c ] in
-  if List.length (List.sort_uniq Asn.compare all) <> 4 then
-    invalid_arg "Gadget.bad_gadget: ASs must be distinct";
+  let n = List.length rim in
+  if n < 3 then invalid_arg "Gadget.wheel: rim needs at least 3 ASs";
+  let all = origin :: rim in
+  if List.length (List.sort_uniq Asn.compare all) <> n + 1 then
+    invalid_arg "Gadget.wheel: ASs must be distinct";
   let graph =
     List.fold_left
       (fun g rim_as -> As_graph.add_p2c g ~provider:rim_as ~customer:origin)
-      As_graph.empty [ a; b; c ]
+      As_graph.empty rim
   in
-  let graph = As_graph.add_p2p graph a b in
-  let graph = As_graph.add_p2p graph b c in
-  let graph = As_graph.add_p2p graph c a in
-  (* The wheel: a prefers routes via b, b via c, c via a — each above its
-     own customer route to the origin. *)
-  let next = [ (a, b); (b, c); (c, a) ] in
+  let rim_arr = Array.of_list rim in
+  let graph = ref graph in
+  for k = 0 to n - 1 do
+    graph := As_graph.add_p2p !graph rim_arr.(k) rim_arr.((k + 1) mod n)
+  done;
+  (* The wheel: rim AS k prefers routes via rim AS k+1 (mod n), each above
+     its own customer route to the origin. *)
+  let next = Array.to_list (Array.mapi (fun k a -> (a, rim_arr.((k + 1) mod n))) rim_arr) in
   let import asn =
     match List.find_opt (fun (holder, _) -> Asn.equal holder asn) next with
     | Some (_, preferred) ->
@@ -35,4 +39,10 @@ let bad_gadget ?origin ?rim ?(pref_rim = 120) () =
         }
     | None -> Policy.default_import
   in
-  (graph, import)
+  (!graph, import)
+
+let bad_gadget ?origin ?rim ?pref_rim () =
+  let rim =
+    match rim with Some (a, b, c) -> Some [ a; b; c ] | None -> None
+  in
+  wheel ?origin ?rim ?pref_rim ()

@@ -13,17 +13,30 @@
 module Asn = Rpi_bgp.Asn
 module As_graph = Rpi_topo.As_graph
 
+val wheel :
+  ?origin:Asn.t ->
+  ?rim:Asn.t list ->
+  ?pref_rim:int ->
+  unit ->
+  As_graph.t * (Asn.t -> Policy.import_policy)
+(** The n-rim generalization: an origin multihomed to [n >= 3] mutually
+    peering rim ASs arranged in a cycle, each holding an [lp_neighbor]
+    override valuing routes from the next rim peer at [pref_rim]
+    (default 120, above the typical customer preference 110 — the
+    violation of the Gao–Rexford preference condition that makes the
+    wheel turn).  Odd rim sizes have no stable state under per-AS
+    selection (vanilla oscillates; NS-BGP converges to the
+    preferred-peer wheel); even sizes admit stable 2-colourings.
+    Defaults: origin AS 64500, rim 64501–64503.
+    @raise Invalid_argument when the ASs are not distinct or the rim has
+    fewer than 3 ASs. *)
+
 val bad_gadget :
   ?origin:Asn.t ->
   ?rim:Asn.t * Asn.t * Asn.t ->
   ?pref_rim:int ->
   unit ->
   As_graph.t * (Asn.t -> Policy.import_policy)
-(** The graph plus the import-policy assignment encoding the dispute
-    wheel: each rim AS holds an [lp_neighbor] override valuing routes
-    from the next rim peer at [pref_rim] (default 120, above the typical
-    customer preference 110 — the violation of the Gao–Rexford preference
-    condition that makes the wheel turn).  Defaults: origin AS 64500, rim
-    64501–64503.  [pref_rim] must exceed the customer class value for the
-    gadget to oscillate.
+(** [wheel] at the canonical size 3 (tuple-typed rim for the existing
+    call sites).
     @raise Invalid_argument when the four ASs are not distinct. *)

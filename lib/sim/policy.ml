@@ -82,6 +82,16 @@ let resolve r ~neighbor ~rel ~atom =
 let resolve_static r ~neighbor ~rel = static_pref r.r_policy ~neighbor ~rel
 let is_dynamic r = Pair_tbl.length r.r_pairs > 0
 
+(* The incremental engine owns a mutable copy of each compiled policy:
+   [copy_resolved] severs the pair table from the prepared network's, and
+   [override_resolved] performs the same replace-wise write a fresh
+   [compile] with the entry appended to [overrides] would produce (the
+   last external entry wins and shadows any [lp_atom] entry). *)
+let copy_resolved r = { r with r_pairs = Pair_tbl.copy r.r_pairs }
+
+let override_resolved r ~neighbor ~atom ~lp =
+  Pair_tbl.replace r.r_pairs (Asn.to_int neighbor, atom) lp
+
 let is_typical_classes p = p.lp_customer > p.lp_peer && p.lp_peer > p.lp_provider
 
 type community_scheme = {

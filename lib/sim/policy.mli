@@ -67,6 +67,17 @@ val is_dynamic : resolved -> bool
 (** Whether any (neighbour, atom) override exists, i.e. {!resolve} can
     disagree with {!resolve_static}. *)
 
+val copy_resolved : resolved -> resolved
+(** A deep copy whose override table is independent of the original —
+    {!override_resolved} on the copy never disturbs the source.  Used by
+    the incremental engine, whose state owns its policy layer. *)
+
+val override_resolved : resolved -> neighbor:Asn.t -> atom:int -> lp:int -> unit
+(** Set (or replace) the per-(neighbour, atom) override in place.
+    Equivalent to re-running {!compile} with the entry appended to
+    [overrides]: the new value wins over both earlier external entries and
+    [lp_atom] entries for the same key. *)
+
 val is_typical_classes : import_policy -> bool
 (** Class values respect customer > peer > provider (the paper's "typical
     local preference"), ignoring overrides. *)

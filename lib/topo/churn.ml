@@ -1,0 +1,180 @@
+module Asn = Rpi_bgp.Asn
+module Prng = Rpi_prng.Prng
+
+type event =
+  | Link_down of Asn.t * Asn.t
+  | Link_up of Asn.t * Asn.t
+  | Rel_change of Asn.t * Asn.t * Relationship.t
+  | Withdraw of int
+  | Announce of int
+
+type epoch = { index : int; events : event list }
+
+type config = {
+  p_flap : float;
+  p_rel_change : float;
+  p_withdraw : float;
+  max_down_epochs : int;
+  max_out_epochs : int;
+}
+
+let default_config =
+  {
+    p_flap = 0.4;
+    p_rel_change = 0.15;
+    p_withdraw = 0.25;
+    max_down_epochs = 12;
+    max_out_epochs = 20;
+  }
+
+let render_event = function
+  | Link_down (a, b) -> Printf.sprintf "down AS%d AS%d" (Asn.to_int a) (Asn.to_int b)
+  | Link_up (a, b) -> Printf.sprintf "up AS%d AS%d" (Asn.to_int a) (Asn.to_int b)
+  | Rel_change (a, b, rel) ->
+      Printf.sprintf "rel AS%d AS%d %s" (Asn.to_int a) (Asn.to_int b)
+        (Relationship.to_string rel)
+  | Withdraw id -> Printf.sprintf "withdraw %d" id
+  | Announce id -> Printf.sprintf "announce %d" id
+
+let render epochs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun { index; events } ->
+      List.iter
+        (fun ev -> Buffer.add_string buf (Printf.sprintf "%d %s\n" index (render_event ev)))
+        events)
+    epochs;
+  Buffer.contents buf
+
+let generate ?(config = default_config) rng ~graph ~atom_ids ~epochs =
+  (* Link universe, fixed by the input graph; churn only flips per-link
+     activity and labels, tracked in parallel arrays confined to this
+     call. *)
+  let pairs =
+    As_graph.fold_edges (fun a b rel acc -> (a, b, rel) :: acc) graph []
+    |> List.rev |> Array.of_list
+  in
+  let n_links = Array.length pairs in
+  let link_a = Array.map (fun (a, _, _) -> a) pairs in
+  let link_b = Array.map (fun (_, b, _) -> b) pairs in
+  let link_rel = Array.map (fun (_, _, rel) -> rel) pairs in
+  let link_up = Array.make n_links true in
+  let link_revive = Array.make n_links (-1) in
+  let atom_arr = Array.of_list atom_ids in
+  let n_atoms = Array.length atom_arr in
+  let atom_announced = Array.make n_atoms true in
+  let atom_revive = Array.make n_atoms (-1) in
+  (* Customer–provider acyclicity guard.  Relationship migrations are the
+     one churn event that can leave the Gao–Rexford hierarchy: a flip
+     that closes a directed customer→…→customer cycle admits multiple
+     stable routing states (DISAGREE), and then "incremental == batch"
+     stops being a theorem.  The generator therefore keeps the provider
+     digraph view (edge customer → provider) and refuses any migration
+     that would create a cycle, the same way real provider hierarchies
+     stay acyclic.  Sibling links merge their endpoints for this
+     purpose — a sibling relays routes both ways with class and
+     preference carried, so a customer→…→customer cycle that closes
+     through a sibling pair is just as much a dispute (the Gao
+     conditions are stated on the sibling-merged hierarchy).  The DFS
+     therefore also crosses sibling links, in both directions, as
+     zero-cost steps.  [creates_cycle ~skip ~from_as ~to_as]: would the
+     directed edge [from_as → to_as] close a cycle, with link [skip]'s
+     current label ignored (it is being replaced)?  DFS from [to_as]
+     looking for [from_as]. *)
+  let creates_cycle ~skip ~from_as ~to_as =
+    let seen = Hashtbl.create 64 in
+    let rec reach a =
+      Asn.equal a from_as
+      || (not (Hashtbl.mem seen (Asn.to_int a)))
+         && begin
+              Hashtbl.add seen (Asn.to_int a) ();
+              let hit = ref false in
+              for k = 0 to n_links - 1 do
+                if (not !hit) && k <> skip then
+                  match link_rel.(k) with
+                  | Relationship.Customer ->
+                      if Asn.equal link_b.(k) a && reach link_a.(k) then hit := true
+                  | Relationship.Provider ->
+                      if Asn.equal link_a.(k) a && reach link_b.(k) then hit := true
+                  | Relationship.Sibling ->
+                      if Asn.equal link_a.(k) a && reach link_b.(k) then hit := true
+                      else if Asn.equal link_b.(k) a && reach link_a.(k) then
+                        hit := true
+                  | Relationship.Peer -> ()
+              done;
+              !hit
+            end
+    in
+    reach to_as
+  in
+  let pick_index marks wanted =
+    (* Deterministic pick among indices with [marks.(k) = wanted]. *)
+    let matching = ref [] in
+    Array.iteri (fun k up -> if Bool.equal up wanted then matching := k :: !matching) marks;
+    match !matching with [] -> None | ks -> Some (Prng.choice_list rng (List.rev ks))
+  in
+  let out = ref [] in
+  for index = 0 to epochs - 1 do
+    let events = ref [] in
+    let emit ev = events := ev :: !events in
+    (* Scheduled revivals fire first so a link downed in epoch [e] is
+       guaranteed back up by [e + max_down_epochs + 1] and every Link_up
+       references a link that is actually down. *)
+    for k = 0 to n_links - 1 do
+      if (not link_up.(k)) && link_revive.(k) = index then begin
+        link_up.(k) <- true;
+        link_revive.(k) <- -1;
+        emit (Link_up (link_a.(k), link_b.(k)))
+      end
+    done;
+    for k = 0 to n_atoms - 1 do
+      if (not atom_announced.(k)) && atom_revive.(k) = index then begin
+        atom_announced.(k) <- true;
+        atom_revive.(k) <- -1;
+        emit (Announce atom_arr.(k))
+      end
+    done;
+    if n_links > 0 && Prng.chance rng config.p_flap then begin
+      match pick_index link_up true with
+      | None -> ()
+      | Some k ->
+          link_up.(k) <- false;
+          link_revive.(k) <- index + 1 + Prng.int rng config.max_down_epochs;
+          emit (Link_down (link_a.(k), link_b.(k)))
+    end;
+    if n_links > 0 && Prng.chance rng config.p_rel_change then begin
+      let k = Prng.int rng n_links in
+      let rel =
+        match Prng.int rng 3 with
+        | 0 -> Relationship.Customer
+        | 1 -> Relationship.Peer
+        | _ -> Relationship.Provider
+      in
+      if not (Relationship.equal rel link_rel.(k)) then begin
+        let safe =
+          match rel with
+          | Relationship.Customer ->
+              (* link_b.(k) becomes a customer of link_a.(k): adds the
+                 directed edge b → a. *)
+              not (creates_cycle ~skip:k ~from_as:link_b.(k) ~to_as:link_a.(k))
+          | Relationship.Provider ->
+              not (creates_cycle ~skip:k ~from_as:link_a.(k) ~to_as:link_b.(k))
+          | Relationship.Peer | Relationship.Sibling -> true
+        in
+        if safe then begin
+          link_rel.(k) <- rel;
+          emit (Rel_change (link_a.(k), link_b.(k), rel))
+        end
+      end
+    end;
+    if n_atoms > 0 && Prng.chance rng config.p_withdraw then begin
+      match pick_index atom_announced true with
+      | None -> ()
+      | Some k ->
+          atom_announced.(k) <- false;
+          atom_revive.(k) <- index + 1 + Prng.int rng config.max_out_epochs;
+          emit (Withdraw atom_arr.(k))
+    end;
+    out := { index; events = List.rev !events } :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,60 @@
+(** Seeded topology/announcement churn streams for the incremental engine.
+
+    A churn stream is a list of epochs, each carrying the events that fire
+    at that epoch: link flaps (down with a bounded outage, then a scheduled
+    revival), announce/withdraw cycles over a fixed atom-id universe, and
+    relationship migrations.  Every event is applicable by construction —
+    links are drawn from the input graph, [Link_up] only revives a link
+    that is down, [Announce] only re-announces a withdrawn atom, and a
+    migration always changes the label to a different one.
+
+    Relationship migrations additionally preserve customer–provider
+    acyclicity {e with sibling groups merged}: a flip that would close a
+    directed customer→provider cycle — including one that closes through
+    a chain of sibling links, since siblings relay routes both ways with
+    class and preference carried — is skipped, because outside the
+    Gao–Rexford hierarchy the stable routing state stops being unique
+    and "incremental == batch" is no longer well-defined.
+
+    The stream is a pure function of the generator state: the same seeded
+    {!Rpi_prng.Prng.t} yields a byte-identical stream ({!render}). *)
+
+module Asn = Rpi_bgp.Asn
+
+type event =
+  | Link_down of Asn.t * Asn.t
+  | Link_up of Asn.t * Asn.t
+  | Rel_change of Asn.t * Asn.t * Relationship.t
+      (** [(a, b, rel)]: [a] now classifies [b] as [rel] (inverse label
+          implied on [b]'s side). *)
+  | Withdraw of int  (** Atom id. *)
+  | Announce of int  (** Atom id (re-announcement after a withdraw). *)
+
+type epoch = { index : int; events : event list }
+
+type config = {
+  p_flap : float;  (** Per-epoch chance of downing one currently-up link. *)
+  p_rel_change : float;  (** Per-epoch chance of one relationship migration. *)
+  p_withdraw : float;  (** Per-epoch chance of withdrawing one announced atom. *)
+  max_down_epochs : int;  (** A downed link revives within this many epochs. *)
+  max_out_epochs : int;  (** A withdrawn atom re-announces within this many. *)
+}
+
+val default_config : config
+
+val generate :
+  ?config:config ->
+  Rpi_prng.Prng.t ->
+  graph:As_graph.t ->
+  atom_ids:int list ->
+  epochs:int ->
+  epoch list
+(** One epoch record per index in [0, epochs): scheduled revivals first
+    (link ups, re-announcements), then at most one flap, one migration and
+    one withdrawal, drawn by the config probabilities.  All atoms start
+    announced and all links start up. *)
+
+val render_event : event -> string
+val render : epoch list -> string
+(** One ["<epoch> <event>"] line per event — the canonical byte-level form
+    determinism tests compare. *)

@@ -25,9 +25,11 @@ let test_all_experiments_render () =
   let c = Lazy.force ctx in
   List.iter
     (fun (e : Exp.t) ->
-      (* The persistence experiment re-simulates; shrink it. *)
+      (* The persistence experiments re-simulate; shrink them. *)
       let outcome =
-        if e.Exp.id = "fig6+7" then Exp.fig6_fig7 ~days:4 ~hours:3 c else e.Exp.run c
+        if e.Exp.id = "fig6+7" then Exp.fig6_fig7 ~days:4 ~hours:3 c
+        else if e.Exp.id = "churn-persistence" then Exp.churn_persistence ~epochs:20 c
+        else e.Exp.run c
       in
       let out = outcome.Exp.rendered in
       Alcotest.(check string) (e.Exp.id ^ " outcome id") e.Exp.id outcome.Exp.id;

@@ -243,6 +243,161 @@ let test_bad_gadget () =
   Alcotest.(check bool) "tame wheel converges under vanilla" true
     tame_result.Engine.converged
 
+(* --- Incremental repropagation deltas --- *)
+
+module Delta = Engine.Delta
+
+let tables_equal_modulo_steps (ra : Engine.result) (rb : Engine.result) =
+  ra.Engine.converged = rb.Engine.converged
+  && Asn.Map.equal
+       (fun (ta : Engine.table) (tb : Engine.table) ->
+         ta.Engine.best = tb.Engine.best && ta.Engine.candidates = tb.Engine.candidates)
+       ra.Engine.tables rb.Engine.tables
+
+(* A link flap re-converges: downing the customer link reroutes D onto the
+   peer path, reviving it restores the original batch fixpoint
+   byte-for-byte (candidate order included). *)
+let test_delta_link_flap () =
+  let g, a, b, c, d, e = fig3_graph () in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let retain = Asn.Set.of_list [ a; b; c; d; e ] in
+  let atom = Atom.vanilla ~id:1 ~origin:a [ p "10.0.0.0/24" ] in
+  let st = Engine.init_state net in
+  let (_ : Engine.state) = Engine.repropagate net st [ Delta.Announce atom ] in
+  let batch = Engine.propagate net ~retain atom in
+  begin
+    match Engine.state_results st ~retain with
+    | [ r ] ->
+        Alcotest.(check bool) "announce matches batch" true
+          (tables_equal_modulo_steps r batch)
+    | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+  end;
+  let (_ : Engine.state) = Engine.repropagate net st [ Delta.Link_down (a, b) ] in
+  begin
+    match Engine.state_results st ~retain with
+    | [ r ] ->
+        check_path "D rerouted via peer E while a-b is down"
+          [ Asn.to_int e; Asn.to_int c; Asn.to_int a ]
+          (Engine.best_at r d)
+    | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+  end;
+  let (_ : Engine.state) = Engine.repropagate net st [ Delta.Link_up (a, b) ] in
+  match Engine.state_results st ~retain with
+  | [ r ] ->
+      Alcotest.(check bool) "flap restores the batch fixpoint" true
+        (tables_equal_modulo_steps r batch)
+  | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+
+(* Downing the only adjacency invalidates the sole candidate in place:
+   everything above the cut loses the route, and withdrawing the atom
+   empties the state. *)
+let test_delta_withdraw_clears () =
+  let top = asn 1 and mid = asn 2 and leaf = asn 3 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:top ~customer:mid in
+  let g = As_graph.add_p2c g ~provider:mid ~customer:leaf in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let retain = Asn.Set.of_list [ top; mid ] in
+  let atom = Atom.vanilla ~id:1 ~origin:leaf [ p "10.0.0.0/24" ] in
+  let st = Engine.init_state net in
+  let (_ : Engine.state) = Engine.repropagate net st [ Delta.Announce atom ] in
+  begin
+    match Engine.state_results st ~retain with
+    | [ r ] ->
+        check_path "top reaches the leaf" [ 2; 3 ] (Engine.best_at r top)
+    | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+  end;
+  let (_ : Engine.state) = Engine.repropagate net st [ Delta.Link_down (mid, leaf) ] in
+  begin
+    match Engine.state_results st ~retain with
+    | [ r ] ->
+        Alcotest.(check bool) "mid's only candidate cleared" true
+          (Engine.best_at r mid = None);
+        Alcotest.(check bool) "top's derived route cleared" true
+          (Engine.best_at r top = None)
+    | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+  end;
+  let (_ : Engine.state) = Engine.repropagate net st [ Delta.Withdraw 1 ] in
+  Alcotest.(check int) "withdraw empties the state" 0
+    (List.length (Engine.state_results st ~retain));
+  Alcotest.(check int) "no atoms left" 0 (List.length (Engine.state_atoms st))
+
+(* A provider->peer relationship flip shrinks the export cone: the route
+   the middle AS used to relay upward as a customer route becomes a peer
+   route and stops at the middle.  The repropagated state matches a fresh
+   batch solve of the relabelled graph. *)
+let test_delta_rel_flip_shrinks_cone () =
+  let top = asn 1 and mid = asn 2 and o = asn 3 in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:top ~customer:mid in
+  let g = As_graph.add_p2c g ~provider:mid ~customer:o in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let retain = Asn.Set.of_list [ top; mid ] in
+  let atom = Atom.vanilla ~id:1 ~origin:o [ p "10.0.0.0/24" ] in
+  let st = Engine.init_state net in
+  let (_ : Engine.state) = Engine.repropagate net st [ Delta.Announce atom ] in
+  let (_ : Engine.state) =
+    Engine.repropagate net st [ Delta.Rel_set (mid, o, Relationship.Peer) ]
+  in
+  begin
+    match Engine.state_results st ~retain with
+    | [ r ] ->
+        check_path "mid keeps the (now peer) route" [ 3 ] (Engine.best_at r mid);
+        Alcotest.(check bool) "top is out of the export cone" true
+          (Engine.best_at r top = None);
+        (* Cross-check against a fresh batch solve of the effective graph. *)
+        let net' =
+          Engine.prepare ~graph:(Engine.state_graph st) ~import:default_import ()
+        in
+        let batch = Engine.propagate net' ~retain atom in
+        Alcotest.(check bool) "matches batch on the relabelled graph" true
+          (tables_equal_modulo_steps r batch)
+    | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+  end
+
+(* Dispute wheels at sizes 3, 5, 7: every odd rim admits no stable state
+   under per-AS selection (the alternating direct/peer assignment cannot
+   close an odd cycle), while NS-BGP settles each rim AS on the 2-hop
+   route through its preferred peer. *)
+let test_wheel_sizes () =
+  List.iter
+    (fun n ->
+      let rim = List.init n (fun k -> asn (64501 + k)) in
+      let graph, import = Rpi_sim.Gadget.wheel ~rim () in
+      let net = Engine.prepare ~graph ~import () in
+      let retain = Asn.Set.of_list (As_graph.ases graph) in
+      let atom = Atom.vanilla ~id:0 ~origin:(asn 64500) [ p "192.0.2.0/24" ] in
+      let vanilla = Engine.propagate net ~retain atom in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-wheel oscillates under vanilla" n)
+        false vanilla.Engine.converged;
+      let ns =
+        Engine.propagate net ~retain
+          ~decision:Rpi_sim.Decision.neighbor_specific atom
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-wheel converges under NS-BGP" n)
+        true ns.Engine.converged;
+      List.iteri
+        (fun k holder ->
+          let via = 64501 + ((k + 1) mod n) in
+          match Engine.best_at ns holder with
+          | None -> Alcotest.failf "AS%d has no route" (Asn.to_int holder)
+          | Some r ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "AS%d best path (%d-wheel)" (Asn.to_int holder) n)
+                [ via; 64500 ]
+                (List.map Asn.to_int r.Engine.path))
+        rim)
+    [ 3; 5; 7 ];
+  (* Construction rejects degenerate inputs. *)
+  Alcotest.check_raises "duplicate ASs rejected"
+    (Invalid_argument "Gadget.wheel: ASs must be distinct") (fun () ->
+      ignore (Rpi_sim.Gadget.wheel ~rim:[ asn 1; asn 1; asn 2 ] ()));
+  Alcotest.check_raises "undersized rim rejected"
+    (Invalid_argument "Gadget.wheel: rim needs at least 3 ASs") (fun () ->
+      ignore (Rpi_sim.Gadget.wheel ~rim:[ asn 1; asn 2 ] ()))
+
 let test_vantage_rib () =
   let g, a, b, c, d, e = fig3_graph () in
   ignore c;
@@ -448,6 +603,37 @@ let test_policy_lp_resolution () =
   Alcotest.(check bool) "flat order atypical" false
     (Policy.is_typical_classes { Policy.default_import with Policy.lp_customer = 100 })
 
+(* State-owned policy copies: [copy_resolved] isolates the pair table, so
+   an in-place [override_resolved] never leaks into the compiled original;
+   conflicting writes to the same pair replace (external-override
+   semantics), and a dynamic holder still falls back through the
+   neighbour/class chain for atoms with no entry. *)
+let test_policy_copy_override () =
+  let nb = asn 7 in
+  let import = { Policy.default_import with Policy.lp_atom = [ (nb, 3, 77) ] } in
+  let r = Policy.compile import in
+  let c = Policy.copy_resolved r in
+  Policy.override_resolved c ~neighbor:nb ~atom:3 ~lp:91;
+  Alcotest.(check int) "copy takes the override" 91
+    (Policy.resolve c ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
+  Alcotest.(check int) "original untouched" 77
+    (Policy.resolve r ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
+  (* Conflicting overrides on one pair: the last write wins. *)
+  Policy.override_resolved c ~neighbor:nb ~atom:3 ~lp:84;
+  Alcotest.(check int) "conflicting override replaces" 84
+    (Policy.resolve c ~neighbor:nb ~rel:Relationship.Customer ~atom:3);
+  Policy.override_resolved c ~neighbor:nb ~atom:9 ~lp:105;
+  Alcotest.(check int) "fresh pair added" 105
+    (Policy.resolve c ~neighbor:nb ~rel:Relationship.Customer ~atom:9);
+  Alcotest.(check int) "static resolution ignores pair overrides" 110
+    (Policy.resolve_static c ~neighbor:nb ~rel:Relationship.Customer);
+  (* Dynamic-holder fallback: other neighbours and atoms resolve through
+     the neighbour override then the class preference. *)
+  Alcotest.(check int) "dynamic holder falls back per class" 90
+    (Policy.resolve c ~neighbor:(asn 8) ~rel:Relationship.Provider ~atom:3);
+  Alcotest.(check int) "unlisted atom falls back on the same neighbour" 110
+    (Policy.resolve c ~neighbor:nb ~rel:Relationship.Customer ~atom:12)
+
 let test_policy_tagging () =
   let self = asn 1 in
   let scheme = Policy.multi_scheme in
@@ -646,6 +832,14 @@ let () =
           Alcotest.test_case "no transit across peers" `Quick test_no_peer_transit;
           Alcotest.test_case "local-pref beats path length" `Quick test_lp_beats_length;
           Alcotest.test_case "bad gadget: vanilla vs NS-BGP" `Quick test_bad_gadget;
+          Alcotest.test_case "dispute wheels at sizes 3/5/7" `Quick test_wheel_sizes;
+        ] );
+      ( "repropagate",
+        [
+          Alcotest.test_case "link flap re-converges" `Quick test_delta_link_flap;
+          Alcotest.test_case "invalidation clears slots" `Quick test_delta_withdraw_clears;
+          Alcotest.test_case "rel flip shrinks export cone" `Quick
+            test_delta_rel_flip_shrinks_cone;
         ] );
       ( "vantage",
         [
@@ -655,6 +849,8 @@ let () =
       ( "policy",
         [
           Alcotest.test_case "lp resolution" `Quick test_policy_lp_resolution;
+          Alcotest.test_case "copies and in-place overrides" `Quick
+            test_policy_copy_override;
           Alcotest.test_case "tagging" `Quick test_policy_tagging;
         ] );
       ( "router_views",

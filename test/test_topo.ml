@@ -273,6 +273,150 @@ let test_gen_valley_free_everywhere () =
 
 (* --- Properties --- *)
 
+(* --- Churn generator --- *)
+
+module Churn = Rpi_topo.Churn
+
+(* Three topology regimes the churn suite runs under: a pocket-sized
+   world, a mid-size hierarchy and the full small_config. *)
+let churn_regimes =
+  [
+    ( "pocket",
+      { Gen.default_config with Gen.n_tier1 = 2; n_tier2 = 3; n_tier3 = 4; n_stub = 6 } );
+    ( "mid",
+      { Gen.default_config with Gen.n_tier1 = 3; n_tier2 = 6; n_tier3 = 10; n_stub = 20 } );
+    ("small", small_config);
+  ]
+
+let churn_stream ~topo_seed ~churn_seed config epochs =
+  let topo = Gen.generate ~config (Prng.create ~seed:topo_seed) in
+  let atom_ids = [ 1; 2; 3; 4 ] in
+  let stream =
+    Churn.generate
+      (Prng.create ~seed:churn_seed)
+      ~graph:topo.Gen.graph ~atom_ids ~epochs
+  in
+  (topo.Gen.graph, atom_ids, stream)
+
+let test_churn_deterministic () =
+  List.iter
+    (fun (name, config) ->
+      let _, _, s1 = churn_stream ~topo_seed:5 ~churn_seed:11 config 150 in
+      let _, _, s2 = churn_stream ~topo_seed:5 ~churn_seed:11 config 150 in
+      let _, _, s3 = churn_stream ~topo_seed:5 ~churn_seed:12 config 150 in
+      Alcotest.(check string)
+        (name ^ ": same seed is byte-identical")
+        (Churn.render s1) (Churn.render s2);
+      Alcotest.(check bool)
+        (name ^ ": disjoint seeds diverge")
+        false
+        (String.equal (Churn.render s1) (Churn.render s3));
+      Alcotest.(check bool)
+        (name ^ ": stream is non-trivial")
+        true
+        (String.length (Churn.render s1) > 0))
+    churn_regimes
+
+(* Replay every stream against a state machine of the world it was drawn
+   from: each event must be applicable at its position — links only go
+   down when up and up when down, relationship migrations always change
+   the label of a real link, withdrawals and announcements alternate per
+   atom, and no event names an AS pair or atom outside the universe. *)
+let test_churn_applicable () =
+  List.iter
+    (fun (name, config) ->
+      let graph, atom_ids, stream = churn_stream ~topo_seed:9 ~churn_seed:23 config 150 in
+      let links = Hashtbl.create 256 in
+      let key a b =
+        let x = Asn.to_int a and y = Asn.to_int b in
+        (min x y, max x y)
+      in
+      As_graph.fold_edges
+        (fun a b rel () -> Hashtbl.replace links (key a b) (true, rel))
+        graph ();
+      let atoms = Hashtbl.create 8 in
+      List.iter (fun id -> Hashtbl.replace atoms id true) atom_ids;
+      let fail_ev index ev msg =
+        Alcotest.failf "%s: epoch %d, %s: %s" name index (Churn.render_event ev) msg
+      in
+      List.iter
+        (fun (ep : Churn.epoch) ->
+          List.iter
+            (fun ev ->
+              match ev with
+              | Churn.Link_down (a, b) -> begin
+                  match Hashtbl.find_opt links (key a b) with
+                  | None -> fail_ev ep.Churn.index ev "unknown link"
+                  | Some (false, _) -> fail_ev ep.Churn.index ev "already down"
+                  | Some (true, rel) -> Hashtbl.replace links (key a b) (false, rel)
+                end
+              | Churn.Link_up (a, b) -> begin
+                  match Hashtbl.find_opt links (key a b) with
+                  | None -> fail_ev ep.Churn.index ev "unknown link"
+                  | Some (true, _) -> fail_ev ep.Churn.index ev "already up"
+                  | Some (false, rel) -> Hashtbl.replace links (key a b) (true, rel)
+                end
+              | Churn.Rel_change (a, b, rel) -> begin
+                  match Hashtbl.find_opt links (key a b) with
+                  | None -> fail_ev ep.Churn.index ev "unknown link"
+                  | Some (up, old_rel) ->
+                      if Relationship.equal rel old_rel then
+                        fail_ev ep.Churn.index ev "label unchanged";
+                      Hashtbl.replace links (key a b) (up, rel)
+                end
+              | Churn.Withdraw id -> begin
+                  match Hashtbl.find_opt atoms id with
+                  | None -> fail_ev ep.Churn.index ev "unknown atom"
+                  | Some false -> fail_ev ep.Churn.index ev "already withdrawn"
+                  | Some true -> Hashtbl.replace atoms id false
+                end
+              | Churn.Announce id -> begin
+                  match Hashtbl.find_opt atoms id with
+                  | None -> fail_ev ep.Churn.index ev "unknown atom"
+                  | Some true -> fail_ev ep.Churn.index ev "already announced"
+                  | Some false -> Hashtbl.replace atoms id true
+                end)
+            ep.Churn.events)
+        stream)
+    churn_regimes
+
+(* Downed links and withdrawn atoms always come back: every outage heals
+   within its configured max_*_epochs horizon, so anything still down or
+   out at the end of the stream must have been hit inside the final
+   window. *)
+let test_churn_revives () =
+  let epochs = 200 in
+  List.iter
+    (fun (name, config) ->
+      let _, _, stream = churn_stream ~topo_seed:3 ~churn_seed:31 config epochs in
+      let down = Hashtbl.create 16 in
+      let out = Hashtbl.create 8 in
+      List.iter
+        (fun (ep : Churn.epoch) ->
+          List.iter
+            (fun ev ->
+              match ev with
+              | Churn.Link_down (a, b) ->
+                  Hashtbl.replace down (Asn.to_int a, Asn.to_int b) ep.Churn.index
+              | Churn.Link_up (a, b) -> Hashtbl.remove down (Asn.to_int a, Asn.to_int b)
+              | Churn.Withdraw id -> Hashtbl.replace out id ep.Churn.index
+              | Churn.Announce id -> Hashtbl.remove out id
+              | Churn.Rel_change _ -> ())
+            ep.Churn.events)
+        stream;
+      let { Churn.max_down_epochs; max_out_epochs; _ } = Churn.default_config in
+      Hashtbl.iter
+        (fun (a, b) at ->
+          if at < epochs - 1 - max_down_epochs then
+            Alcotest.failf "%s: link AS%d-AS%d downed at %d never revived" name a b at)
+        down;
+      Hashtbl.iter
+        (fun id at ->
+          if at < epochs - 1 - max_out_epochs then
+            Alcotest.failf "%s: atom %d withdrawn at %d never re-announced" name id at)
+        out)
+    churn_regimes
+
 let prop_gen_multihoming_rate =
   QCheck2.Test.make ~name:"multihoming rate tracks config" ~count:5
     QCheck2.Gen.(int_range 1 10000)
@@ -336,6 +480,12 @@ let () =
           Alcotest.test_case "famous cast" `Quick test_gen_famous_cast;
           Alcotest.test_case "consistency" `Quick test_gen_consistency;
           Alcotest.test_case "valley free chains" `Quick test_gen_valley_free_everywhere;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "deterministic in the seed" `Quick test_churn_deterministic;
+          Alcotest.test_case "every event applicable" `Quick test_churn_applicable;
+          Alcotest.test_case "outages always heal" `Quick test_churn_revives;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_gen_multihoming_rate; prop_tier_monotone ] );
