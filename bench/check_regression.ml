@@ -108,6 +108,11 @@ let watched doc =
   @ scalar "ingest_replay.batch_s" [ "ingest_replay"; "batch_s" ]
   @ scalar "churn.incremental_s" [ "churn"; "incremental_s" ]
   @ scalar "churn.batch_s" [ "churn"; "batch_s" ]
+  @ scalar "serve.query.p50_us" [ "serve"; "query"; "p50_us" ]
+  @ scalar "serve.query.p99_us" [ "serve"; "query"; "p99_us" ]
+  @ scalar "serve.mixed.p50_us" [ "serve"; "mixed"; "p50_us" ]
+  @ scalar "serve.mixed.p99_us" [ "serve"; "mixed"; "p99_us" ]
+  @ scalar "serve.pipelined.us_per_req" [ "serve"; "pipelined"; "us_per_req" ]
   @ scalar_cls (Fixed 2.0) "lint/wall_s" [ "lint"; "wall_s" ]
   @ micro
 
@@ -128,6 +133,47 @@ let churn_floors doc =
       | Some s when s < 5.0 ->
           failures :=
             Printf.sprintf "churn.speedup %.2fx is below the 5x floor" s :: !failures
+      | Some _ | None -> ()));
+  List.rev !failures
+
+(* The serving core's absolute floors, checked on the NEW run only:
+   pipelined responses byte-identical to connection-per-request ones,
+   the 5x pipelining bar, exact load shedding, and zero protocol
+   errors anywhere in the load run. *)
+let serve_floors doc =
+  let failures = ref [] in
+  (match member "serve" doc with
+  | None -> ()
+  | Some serve ->
+      (match
+         Option.bind (member "pipelined" serve) (member "identical_output")
+       with
+      | Some (Json.Bool false) ->
+          failures :=
+            "serve.pipelined.identical_output is false (pipelined responses \
+             diverged from serial)"
+            :: !failures
+      | Some _ | None -> ());
+      (match number (Option.bind (member "pipelined" serve) (member "speedup")) with
+      | Some s when s < 5.0 ->
+          failures :=
+            Printf.sprintf "serve.pipelined.speedup %.2fx is below the 5x floor" s
+            :: !failures
+      | Some _ | None -> ());
+      (match
+         ( number (Option.bind (member "shed" serve) (member "observed")),
+           number (Option.bind (member "shed" serve) (member "expected")) )
+       with
+      | Some got, Some want when got <> want ->
+          failures :=
+            Printf.sprintf "serve.shed.observed %.0f, expected %.0f" got want
+            :: !failures
+      | _ -> ());
+      (match number (member "protocol_errors" serve) with
+      | Some n when n <> 0.0 ->
+          failures :=
+            Printf.sprintf "serve.protocol_errors is %.0f (expected 0)" n
+            :: !failures
       | Some _ | None -> ()));
   List.rev !failures
 
@@ -228,7 +274,7 @@ let () =
     (fun msg ->
       incr regressions;
       Printf.printf "%-50s %36s\n" msg "FLOOR VIOLATION")
-    (churn_floors new_doc);
+    (churn_floors new_doc @ serve_floors new_doc);
   if !regressions > 0 then begin
     Printf.printf "\n%d key(s) regressed beyond their threshold\n" !regressions;
     exit 1

@@ -151,15 +151,27 @@ let diff_cmd old_path new_path =
         d.Rib.best_changed;
       `Ok ()
 
-let query_cmd connect args =
+(* Exit code for a server that answered, but with the overloaded shed
+   frame: distinct from parse errors (124) and transport failures so
+   scripts can implement their own backoff. *)
+let exit_overloaded = 7
+
+let query_cmd connect timeout attempts args =
   match Rpi_serve.Server.address_of_string connect with
   | Error e -> `Error (false, e)
   | Ok address -> begin
       match Rpi_serve.Protocol.request_of_args args with
       | Error e -> `Error (false, e)
       | Ok request -> begin
-          match Rpi_serve.Server.query address request with
+          match Rpi_serve.Server.query ?timeout ~attempts address request with
           | Error e -> `Error (false, Printf.sprintf "%s: %s" connect e)
+          | Ok response when Rpi_serve.Protocol.is_overloaded response ->
+              Printf.eprintf
+                "bgptool: %s: server overloaded — request shed after %d \
+                 attempt%s; back off and retry\n"
+                connect attempts
+                (if attempts = 1 then "" else "s");
+              exit exit_overloaded
           | Ok response -> begin
               (* Snapshot answers carry a table dump; print it raw so the
                  output pipes straight back into `bgptool stats`. *)
@@ -230,17 +242,36 @@ let cmds =
          & opt string "unix:/tmp/rpiserved.sock"
          & info [ "connect" ] ~docv:"ADDR" ~doc:"rpiserved address (unix:PATH or HOST:PORT).")
      in
+     let timeout_arg =
+       Arg.(
+         value
+         & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-attempt socket timeout (default: wait forever).")
+     in
+     let attempts_arg =
+       Arg.(
+         value & opt int 3
+         & info [ "attempts" ] ~docv:"N"
+             ~doc:
+               "Reconnect-with-backoff budget: transient failures \
+                (connection refused/reset, server draining, timeout, \
+                overloaded shed frame) retry on a fresh connection with \
+                exponential backoff up to $(docv) times.")
+     in
      let query_args =
        Arg.(
          non_empty & pos_all string []
          & info [] ~docv:"QUERY"
              ~doc:
                "sa-status $(i,ASN) [$(i,PREFIX)] | import-pref $(i,ASN) | stats \
-                | snapshot")
+                | snapshot | metrics")
      in
      Cmd.v
        (Cmd.info "query" ~doc:"Query a running rpiserved over its socket")
-       Term.(ret (const query_cmd $ connect_arg $ query_args)));
+       Term.(
+         ret (const query_cmd $ connect_arg $ timeout_arg $ attempts_arg
+              $ query_args)));
   ]
 
 let () =

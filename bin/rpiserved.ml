@@ -73,13 +73,15 @@ let chunks n list =
   in
   go [] [] 0 list
 
-let serve_with_feeder ~listen ~jobs ~json_log ~feeder registry =
+let serve_with_feeder ~listen ~jobs ~json_log ~config ~feeder registry =
   match Server.address_of_string listen with
   | Error e ->
       Printf.eprintf "rpiserved: %s\n" e;
       2
   | Ok address ->
-      let server = Server.create ~log:(log_line json_log) ~address registry in
+      let server =
+        Server.create ~log:(log_line json_log) ~config ~address registry
+      in
       install_drain_handler server;
       Printf.printf "rpiserved: listening on %s\n%!"
         (Server.address_to_string address);
@@ -91,12 +93,21 @@ let serve_with_feeder ~listen ~jobs ~json_log ~feeder registry =
       let m = Server.metrics server in
       Server.close server;
       Printf.printf
-        "rpiserved: drained (%d connections, %d requests, %d errors, %.1f ms busy)\n"
-        m.Server.connections m.Server.requests m.Server.errors
+        "rpiserved: drained (%d connections, %d requests, %d errors, %d sheds, \
+         %.1f ms busy)\n"
+        m.Server.connections m.Server.requests m.Server.errors m.Server.sheds
         (1000.0 *. m.Server.busy_s);
       0
 
-let run listen replay_file epochs epoch_ms jobs json_log vantages selftest =
+let run listen replay_file epochs epoch_ms jobs json_log vantages selftest
+    max_conns max_queued =
+  let config =
+    {
+      Rpi_serve.Eventloop.default_config with
+      Rpi_serve.Eventloop.max_connections = max_conns;
+      max_turn_requests = max_queued;
+    }
+  in
   let vantages =
     match vantages with
     | [] -> None
@@ -142,11 +153,12 @@ let run listen replay_file epochs epoch_ms jobs json_log vantages selftest =
                 (fun batch ->
                   if not (stop ()) then begin
                     State.apply_all registry.Registry.collector batch;
+                    Registry.publish registry;
                     Unix.sleepf (float_of_int epoch_ms /. 1000.0)
                   end)
                 batches
             in
-            serve_with_feeder ~listen ~jobs ~json_log ~feeder registry
+            serve_with_feeder ~listen ~jobs ~json_log ~config ~feeder registry
       end
     | None ->
         let plan = Replay.plan ?vantages ~epochs () in
@@ -158,7 +170,7 @@ let run listen replay_file epochs epoch_ms jobs json_log vantages selftest =
             ~on_epoch:(fun i -> Printf.printf "rpiserved: epoch %d applied\n%!" i)
             plan
         in
-        serve_with_feeder ~listen ~jobs ~json_log ~feeder
+        serve_with_feeder ~listen ~jobs ~json_log ~config ~feeder
           (Replay.registry plan)
   end
 
@@ -200,6 +212,25 @@ let vantage_t =
     & info [ "vantage" ] ~docv:"ASN"
         ~doc:"Serve this vantage (repeatable; default: first two collector peers).")
 
+let max_conns_t =
+  Arg.(
+    value
+    & opt int Rpi_serve.Eventloop.default_config.Rpi_serve.Eventloop.max_connections
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Live-connection ceiling; admissions beyond it are answered with \
+           the overloaded error frame and closed (load shedding).")
+
+let max_queued_t =
+  Arg.(
+    value
+    & opt int
+        Rpi_serve.Eventloop.default_config.Rpi_serve.Eventloop.max_turn_requests
+    & info [ "max-queued" ] ~docv:"N"
+        ~doc:
+          "Requests dispatched per event-loop turn; pipelined frames beyond \
+           it are shed with the overloaded error frame instead of queueing.")
+
 let selftest_t =
   Arg.(
     value & flag
@@ -214,6 +245,6 @@ let cmd =
     (Cmd.info "rpiserved" ~doc)
     Term.(
       const run $ listen_t $ replay_t $ epochs_t $ epoch_ms_t $ jobs_t $ json_t
-      $ vantage_t $ selftest_t)
+      $ vantage_t $ selftest_t $ max_conns_t $ max_queued_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -318,6 +318,256 @@ let fault_rpsl =
         end)
 
 (* ------------------------------------------------------------------ *)
+(* Wire protocol and serving core                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Protocol = Rpi_serve.Protocol
+module Registry = Rpi_serve.Registry
+module Server = Rpi_serve.Server
+module As_graph = Rpi_topo.As_graph
+module As_path = Rpi_bgp.As_path
+module Ipv4_octets = Rpi_net.Ipv4
+
+(* Drain [text] through the pure incremental decoder, collecting the
+   frame bodies and the terminal state. *)
+let decode_all text =
+  let buf = Bytes.of_string text in
+  let total = Bytes.length buf in
+  let rec go pos acc =
+    if pos >= total then (List.rev acc, `Clean_eof)
+    else
+      match Protocol.decode buf ~pos ~len:(total - pos) with
+      | `Frame (body, used) -> go (pos + used) (body :: acc)
+      | `Need_more -> (List.rev acc, `Truncated)
+      | `Bad msg -> (List.rev acc, `Bad msg)
+  in
+  go 0 []
+
+(* The same bytes through the blocking reader, via a pipe.  Callers
+   guard the size: the whole text is written before any read, so it
+   must stay under the pipe buffer. *)
+let read_frame_all text =
+  let rd, wr = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () -> Unix.close rd)
+    (fun () ->
+      let len = String.length text in
+      let n = Unix.write_substring wr text 0 len in
+      Unix.close wr;
+      if n <> len then failwith "short pipe write";
+      let rec go acc =
+        match Protocol.read_frame rd with
+        | Ok (Some body) -> go (body :: acc)
+        | Ok None -> (List.rev acc, `Clean_eof)
+        | Error msg -> (List.rev acc, `Err msg)
+      in
+      go [])
+
+(* Mutated wire frames must fail cleanly and identically on both decode
+   paths: the pure incremental decoder the event loop uses and the
+   blocking [read_frame] the CLI client uses mirror each other\'s
+   validation byte for byte, never raise, and never hand back a body
+   over [Protocol.max_frame] — so an adversarial length prefix cannot
+   force a large allocation. *)
+let fault_wire_frame =
+  fault_property ~name:"fault-wire-frame"
+    ~make_original:(fun rng ->
+      let n = Prng.int_in rng 2 5 in
+      let bodies =
+        List.init n (fun _ ->
+            match Prng.int rng 4 with
+            | 0 -> Rpi_json.to_string (Protocol.request_to_json Protocol.Stats)
+            | 1 -> Rpi_json.to_string (Protocol.request_to_json Protocol.Snapshot)
+            | 2 ->
+                Rpi_json.to_string
+                  (Protocol.request_to_json (Protocol.Import_pref (Gen.asn rng)))
+            | _ ->
+                Rpi_json.to_string
+                  (Protocol.request_to_json
+                     (Protocol.Sa_status
+                        { asn = Gen.asn rng; prefix = Some (Gen.prefix rng) })))
+      in
+      String.concat "" (List.map Protocol.frame_of_body bodies))
+    ~check_one:(fun ~original:_ m ->
+      match decode_all m with
+      | exception e -> Error ("decode raised: " ^ Printexc.to_string e)
+      | frames, terminal ->
+          if
+            List.exists (fun b -> String.length b > Protocol.max_frame) frames
+          then Error "decode produced a body over max_frame"
+          else if String.length m > 60_000 then
+            (* Too big for a single pipe write; the pure-decoder checks
+               above already ran. *)
+            Ok (1 + List.length frames)
+          else begin
+            match read_frame_all m with
+            | exception e -> Error ("read_frame raised: " ^ Printexc.to_string e)
+            | frames', terminal' ->
+                if not (List.equal String.equal frames frames') then
+                  Error
+                    (Printf.sprintf
+                       "decoders disagree: decode recovered %d frames, \
+                        read_frame %d"
+                       (List.length frames) (List.length frames'))
+                else begin
+                  match (terminal, terminal') with
+                  | `Clean_eof, `Clean_eof -> Ok (2 + List.length frames)
+                  (* A frame truncated by the mutation: the incremental
+                     decoder waits for more bytes, the blocking reader
+                     sees EOF mid-frame and errors. *)
+                  | `Truncated, `Err _ -> Ok (2 + List.length frames)
+                  | `Bad a, `Err b when String.equal a b ->
+                      Ok (2 + List.length frames)
+                  | `Bad a, `Err b ->
+                      Error
+                        (Printf.sprintf "error strings diverge: %S vs %S" a b)
+                  | `Clean_eof, `Err e ->
+                      Error ("read_frame errored at clean EOF: " ^ e)
+                  | (`Truncated | `Bad _), `Clean_eof ->
+                      Error "read_frame saw clean EOF where decode did not"
+                end
+          end)
+
+(* A small deterministic serving fixture shared by every case: the
+   server starts lazily on first use and is torn down at exit. *)
+let serve_vantage = Asn.of_int 100
+
+let serve_prefixes =
+  [ "10.11.0.0/16"; "10.12.0.0/16"; "40.0.0.0/8"; "203.0.113.0/24" ]
+
+let serve_registry () =
+  let a = Asn.of_int in
+  let p s = Rpi_net.Prefix.of_string_exn s in
+  let g = As_graph.empty in
+  let g = As_graph.add_p2c g ~provider:serve_vantage ~customer:(a 10) in
+  let g = As_graph.add_p2c g ~provider:(a 10) ~customer:(a 11) in
+  let g = As_graph.add_p2p g serve_vantage (a 20) in
+  let g = As_graph.add_p2c g ~provider:(a 30) ~customer:serve_vantage in
+  let g = As_graph.add_p2c g ~provider:(a 20) ~customer:(a 11) in
+  let route ~lp ~peer ~rid path prefix =
+    Route.make ~prefix ~next_hop:(Ipv4_octets.of_octets 192 0 2 rid)
+      ~as_path:(As_path.of_list (List.map a path))
+      ~local_pref:lp
+      ~router_id:(Ipv4_octets.of_octets 192 0 2 rid)
+      ~peer_as:(a peer) ()
+  in
+  let rib =
+    Rib.of_routes
+      [
+        route ~lp:120 ~peer:10 ~rid:1 [ 10; 11 ] (p "10.11.0.0/16");
+        route ~lp:90 ~peer:20 ~rid:2 [ 20; 11 ] (p "10.12.0.0/16");
+        route ~lp:80 ~peer:30 ~rid:3 [ 30; 40 ] (p "40.0.0.0/8");
+      ]
+  in
+  let state = State.create ~graph:g ~vantage:serve_vantage ~initial:rib () in
+  Registry.create ~collector:state ~vantages:[ (serve_vantage, state) ]
+
+let serve_fixture =
+  lazy
+    (let registry = serve_registry () in
+     let path =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "rpicheck-serve-%d.sock" (Unix.getpid ()))
+     in
+     let address = Server.Unix_socket path in
+     let server = Server.create ~address registry in
+     let domain = Domain.spawn (fun () -> Server.serve ~jobs:1 server) in
+     at_exit (fun () ->
+         Server.shutdown server;
+         Domain.join domain;
+         Server.close server);
+     address)
+
+(* Every verb except [Metrics], whose counters move between cases. *)
+let gen_serve_request rng =
+  match Prng.int rng 6 with
+  | 0 -> Protocol.Stats
+  | 1 -> Protocol.Snapshot
+  | 2 -> Protocol.Import_pref serve_vantage
+  | 3 -> Protocol.Sa_status { asn = serve_vantage; prefix = None }
+  | 4 ->
+      Protocol.Sa_status
+        {
+          asn = serve_vantage;
+          prefix =
+            Some
+              (Rpi_net.Prefix.of_string_exn (Prng.choice_list rng serve_prefixes));
+        }
+  | _ ->
+      (* Unknown vantage: the error response must pipeline too. *)
+      Protocol.Sa_status { asn = Asn.of_int 999; prefix = None }
+
+let show_serve_requests reqs =
+  String.concat "\n"
+    (List.map
+       (fun r -> Rpi_json.to_string (Protocol.request_to_json r))
+       reqs)
+
+let shrink_serve_requests = function
+  | [] | [ _ ] -> []
+  | reqs -> List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) reqs) reqs
+
+(* Pipelining is transparent: writing every request up front on one
+   connection yields byte-identical responses, in order, to opening a
+   fresh connection per request. *)
+let pipelined_matches_serial =
+  Property.make ~name:"pipelined-matches-serial"
+    ~gen:(fun rng ->
+      let n = Prng.int_in rng 1 12 in
+      List.init n (fun _ -> gen_serve_request rng))
+    ~show:show_serve_requests ~shrink:shrink_serve_requests
+    ~check:(fun reqs ->
+      let address = Lazy.force serve_fixture in
+      let serial =
+        List.map
+          (fun r ->
+            match Server.query address r with
+            | Ok json -> Ok (Rpi_json.to_string json)
+            | Error e -> Error ("serial query: " ^ e))
+          reqs
+      in
+      match List.find_opt Result.is_error serial with
+      | Some (Error e) -> Error e
+      | Some (Ok _) -> assert false
+      | None ->
+          let serial = List.filter_map Result.to_option serial in
+          let fd = Server.connect address in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              List.iter
+                (fun r -> Protocol.write_json fd (Protocol.request_to_json r))
+                reqs;
+              let pipelined =
+                List.map
+                  (fun _ ->
+                    match Protocol.read_json fd with
+                    | Ok (Some json) -> Ok (Rpi_json.to_string json)
+                    | Ok None -> Error "pipelined: connection closed early"
+                    | Error e -> Error ("pipelined read: " ^ e))
+                  reqs
+              in
+              match List.find_opt Result.is_error pipelined with
+              | Some (Error e) -> Error e
+              | Some (Ok _) -> assert false
+              | None ->
+                  let pipelined = List.filter_map Result.to_option pipelined in
+                  let rec diff_at i = function
+                    | [], [] -> Ok i
+                    | s :: srest, q :: qrest ->
+                        if String.equal s q then diff_at (i + 1) (srest, qrest)
+                        else
+                          Error
+                            (Printf.sprintf
+                               "response %d differs: serial %s, pipelined %s" i
+                               s q)
+                    | _ -> Error "response count mismatch"
+                  in
+                  diff_at 0 (serial, pipelined)))
+    ()
+
+(* ------------------------------------------------------------------ *)
 (* JSON / NDJSON                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1127,6 +1377,8 @@ let suite ~seed =
     fault_table_dump;
     fault_show_ip_bgp;
     fault_rpsl;
+    fault_wire_frame;
+    pipelined_matches_serial;
     json_roundtrip;
     runner_ndjson_roundtrip;
   ]

@@ -442,3 +442,4 @@ let counters t =
       })
 
 let vantage t = t.vantage
+let graph t = t.graph

@@ -59,6 +59,12 @@ val apply_all : t -> Rpi_bgp.Update.t list -> unit
 val rib : t -> Rib.t
 val vantage : t -> Asn.t
 
+val graph : t -> Rpi_topo.As_graph.t
+(** The immutable AS graph this state infers against (no lock needed —
+    the graph never changes after {!create}).  Snapshot publishers pair
+    it with {!rib} to re-derive per-prefix verdicts outside the state's
+    mutex. *)
+
 val generation : t -> int
 (** Applied-update count; bumps on every {!apply}. *)
 

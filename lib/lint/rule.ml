@@ -161,6 +161,24 @@ let intern_id_escape =
        dump renderer; convert with Path_intern.to_list first.";
   }
 
+let blocking_in_eventloop =
+  {
+    id = "blocking-in-eventloop";
+    engine = Typedtree;
+    summary =
+      "blocking Unix primitive (read/write/sleep/connect/accept/...) \
+       reachable from Eventloop or Conn code";
+    rationale =
+      "The serving core is a readiness-driven multiplexer: every pool \
+       domain runs one select loop over all of its live connections, so a \
+       single blocking syscall parks the domain and stalls every \
+       connection it owns.  All I/O inside Eventloop/Conn reachable code \
+       must go through the non-blocking Conn wrappers (fds registered \
+       with set_nonblock, EAGAIN handled); Unix.select is exempt — it is \
+       the loop's one sanctioned parking point — and Mutex is covered by \
+       the try_lock accept discipline, not this rule.";
+  }
+
 let all =
   [
     mutable_toplevel;
@@ -175,6 +193,7 @@ let all =
     domain_race;
     hot_path_alloc;
     intern_id_escape;
+    blocking_in_eventloop;
   ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all

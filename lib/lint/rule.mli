@@ -21,6 +21,7 @@ val engine_internals : t
 val domain_race : t
 val hot_path_alloc : t
 val intern_id_escape : t
+val blocking_in_eventloop : t
 
 val all : t list
 (** Every shipped rule, in documentation order. *)

@@ -685,6 +685,112 @@ let run_intern_id_escape units report =
     units
 
 (* ------------------------------------------------------------------ *)
+(* blocking-in-eventloop                                                *)
+
+(* Unix primitives that park the calling thread until the kernel is
+   ready.  [Unix.select] is deliberately absent — it is the loop's one
+   sanctioned parking point — as are [close]/[set_nonblock]/socket
+   setup, which do not wait on a peer. *)
+let blocking_callee comps =
+  match List.rev comps with
+  | f :: "Unix" :: _ -> begin
+      match f with
+      | "read" | "write" | "write_substring" | "single_write" | "connect"
+      | "accept" | "sleep" | "sleepf" | "recv" | "recvfrom" | "send"
+      | "send_substring" | "sendto" | "gethostbyname" | "gethostbyaddr"
+      | "getaddrinfo" | "getnameinfo" | "system" | "wait" | "waitpid" ->
+          Some ("Unix." ^ f)
+      | _ -> None
+    end
+  | _ -> None
+
+let eventloop_unit modname =
+  List.exists
+    (fun c -> String.equal c "Eventloop" || String.equal c "Conn")
+    modname
+
+(* Roots are every top-level binding in an Eventloop/Conn unit; the
+   reference-based call graph (same approximation as domain-race)
+   carries reachability across modules, so a helper elsewhere that
+   sleeps or does blocking I/O is charged when loop code can reach it. *)
+let run_blocking_in_eventloop units report =
+  let defs : (string, SSet.t * (string * Location.t * string) list) Hashtbl.t =
+    Hashtbl.create 512
+  in
+  let roots = ref [] in
+  List.iter
+    (fun u ->
+      let top_stamps = Hashtbl.create 64 in
+      structure_bindings u.tu_modname u.tu_structure (fun (prefix, id, name, _) ->
+          Hashtbl.replace top_stamps
+            (Ident.hash id, Ident.name id)
+            (key_of (prefix @ [ name ])));
+      let is_root = eventloop_unit u.tu_modname in
+      structure_bindings u.tu_modname u.tu_structure (fun (prefix, _, name, vb) ->
+          let key = key_of (prefix @ [ name ]) in
+          let refs = ref SSet.empty in
+          let hits = ref [] in
+          let expr it e =
+            (match e.exp_desc with
+            | Texp_ident (p, _, _) ->
+                let comps = path_components p in
+                let ref_key =
+                  match p with
+                  | Path.Pident id -> (
+                      match
+                        Hashtbl.find_opt top_stamps (Ident.hash id, Ident.name id)
+                      with
+                      | Some k -> k
+                      | None -> key_of comps)
+                  | _ -> key_of comps
+                in
+                refs := SSet.add ref_key !refs;
+                (match blocking_callee comps with
+                | Some callee -> hits := (u.tu_file, e.exp_loc, callee) :: !hits
+                | None -> ())
+            | _ -> ());
+            Tast_iterator.default_iterator.expr it e
+          in
+          let iter = { Tast_iterator.default_iterator with expr } in
+          iter.expr iter vb.vb_expr;
+          Hashtbl.replace defs key (!refs, List.rev !hits);
+          if is_root then roots := key :: !roots))
+    units;
+  let reported = Hashtbl.create 16 in
+  List.iter
+    (fun root ->
+      let visited = ref SSet.empty in
+      let rec bfs key =
+        if not (SSet.mem key !visited) then begin
+          visited := SSet.add key !visited;
+          match Hashtbl.find_opt defs key with
+          | None -> ()
+          | Some (refs, hits) ->
+              List.iter
+                (fun (file, (loc : Location.t), callee) ->
+                  let p = loc.Location.loc_start in
+                  let dkey = (file, p.Lexing.pos_lnum, p.Lexing.pos_cnum) in
+                  if not (Hashtbl.mem reported dkey) then begin
+                    Hashtbl.replace reported dkey ();
+                    report
+                      (diag_at ~file loc Rule.blocking_in_eventloop.Rule.id
+                         (Printf.sprintf
+                            "blocking primitive '%s' is reachable from \
+                             event-loop code (via '%s'); a blocked syscall \
+                             parks the whole domain and stalls every \
+                             connection it owns — use the non-blocking Conn \
+                             wrappers, or justify a non-blocking fd with \
+                             (* rpilint: allow blocking-in-eventloop *)"
+                            callee root))
+                  end)
+                hits;
+              SSet.iter bfs refs
+        end
+      in
+      bfs root)
+    (List.sort String.compare !roots)
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
 let dedup_diags diags =
@@ -714,6 +820,8 @@ let lint_units ?rules units =
   if want Rule.domain_race.Rule.id then run_domain_race units report;
   if want Rule.hot_path_alloc.Rule.id then run_hot_path_alloc units report;
   if want Rule.intern_id_escape.Rule.id then run_intern_id_escape units report;
+  if want Rule.blocking_in_eventloop.Rule.id then
+    run_blocking_in_eventloop units report;
   let sources =
     List.map (fun u -> (u.tu_file, u.tu_source)) units
   in

@@ -9,8 +9,22 @@ let run ?jobs worker =
     (* The calling domain is worker 0, so [jobs] includes it. *)
     let domains = List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
     let caller = try Ok (worker 0) with e -> Error (e, Printexc.get_raw_backtrace ()) in
-    List.iter Domain.join domains;
-    match caller with
-    | Ok () -> ()
-    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+    (* Join every domain even if one raised: [Domain.join] re-raises the
+       worker's exception, and bailing out mid-list would leak the
+       remaining domains (a server pool's loops never get reaped).
+       Collect the first failure and re-raise it after the roll call. *)
+    let spawned =
+      List.fold_left
+        (fun acc d ->
+          match Domain.join d with
+          | () -> acc
+          | exception e ->
+              if Option.is_some acc then acc
+              else Some (e, Printexc.get_raw_backtrace ()))
+        None domains
+    in
+    match (caller, spawned) with
+    | Ok (), None -> ()
+    | Error (e, bt), _ | Ok (), Some (e, bt) ->
+        Printexc.raise_with_backtrace e bt
   end

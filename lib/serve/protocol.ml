@@ -6,6 +6,7 @@ type request =
   | Import_pref of Asn.t
   | Stats
   | Snapshot
+  | Metrics
 
 let request_to_json = function
   | Sa_status { asn; prefix } ->
@@ -26,6 +27,7 @@ let request_to_json = function
         ]
   | Stats -> Rpi_json.Obj [ ("cmd", Rpi_json.String "stats") ]
   | Snapshot -> Rpi_json.Obj [ ("cmd", Rpi_json.String "snapshot") ]
+  | Metrics -> Rpi_json.Obj [ ("cmd", Rpi_json.String "metrics") ]
 
 let field name = function
   | Rpi_json.Obj fields -> List.assoc_opt name fields
@@ -57,6 +59,7 @@ let request_of_json json =
       Ok (Import_pref asn)
   | "stats" -> Ok Stats
   | "snapshot" -> Ok Snapshot
+  | "metrics" -> Ok Metrics
   | other -> Error (Printf.sprintf "unknown command %S" other)
 
 let request_of_args = function
@@ -70,23 +73,47 @@ let request_of_args = function
   | [ "import-pref"; asn ] -> Result.map (fun a -> Import_pref a) (Asn.of_string asn)
   | [ "stats" ] -> Ok Stats
   | [ "snapshot" ] -> Ok Snapshot
+  | [ "metrics" ] -> Ok Metrics
   | args ->
       Error
         (Printf.sprintf
            "cannot parse query %S (expected: sa-status <asn> [prefix] | import-pref \
-            <asn> | stats | snapshot)"
+            <asn> | stats | snapshot | metrics)"
            (String.concat " " args))
 
 let error_response message = Rpi_json.Obj [ ("error", Rpi_json.String message) ]
+
+let overloaded_response =
+  Rpi_json.Obj
+    [
+      ("error", Rpi_json.String "server overloaded, retry later");
+      ("overloaded", Rpi_json.Bool true);
+    ]
+
+let is_overloaded = function
+  | Rpi_json.Obj fields -> (
+      match List.assoc_opt "overloaded" fields with
+      | Some (Rpi_json.Bool b) -> b
+      | _ -> false)
+  | _ -> false
 
 (* --- length-prefixed NDJSON framing ------------------------------- *)
 
 (* A frame is "<len>\n<body>" where <body> is one JSON document followed
    by a newline and <len> is the byte length of <body> (newline
    included).  The length line caps a malformed peer's damage; the body
-   stays valid NDJSON for anyone watching the wire. *)
+   stays valid NDJSON for anyone watching the wire.
 
-let max_frame = 64 * 1024 * 1024
+   [max_frame] is the documented wire limit: 1 MiB.  No legitimate
+   request or response comes close (the largest is a snapshot dump of a
+   bench-scale table, well under 256 KiB), and capping it here means an
+   adversarial length prefix can never force a large [Bytes.create] —
+   the length is validated before any body allocation, and the header
+   itself is capped at [max_header_digits] digits so a stream of digit
+   bytes cannot grow the accumulator without bound. *)
+
+let max_frame = 1024 * 1024
+let max_header_digits = 8
 
 let rec write_all fd bytes off len =
   if len > 0 then begin
@@ -94,9 +121,12 @@ let rec write_all fd bytes off len =
     write_all fd bytes (off + n) (len - n)
   end
 
-let write_frame fd body =
+let frame_of_body body =
   let body = body ^ "\n" in
-  let frame = Printf.sprintf "%d\n%s" (String.length body) body in
+  Printf.sprintf "%d\n%s" (String.length body) body
+
+let write_frame fd body =
+  let frame = frame_of_body body in
   write_all fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
 
 let read_byte fd =
@@ -126,7 +156,10 @@ let read_frame fd =
         | Some n when n >= 1 && n <= max_frame -> Ok (Some n)
         | Some _ | None -> Error (Printf.sprintf "bad frame length %S" acc)
       end
-    | Some c when c >= '0' && c <= '9' -> length (acc ^ String.make 1 c) false
+    | Some c when c >= '0' && c <= '9' ->
+        if String.length acc >= max_header_digits then
+          Error "frame header too long"
+        else length (acc ^ String.make 1 c) false
     | Some c -> Error (Printf.sprintf "unexpected byte %C in frame header" c)
   in
   match length "" true with
@@ -143,6 +176,42 @@ let read_frame fd =
           in
           Ok (Some body)
     end
+
+(* Pure incremental decoder over a caller-owned buffer: the event loop's
+   [Conn] feeds it the bytes it has so far and consumes frames as they
+   complete.  Mirrors [read_frame]'s validation exactly — same limits,
+   same error strings — so a mutated frame fails identically on either
+   path. *)
+let decode buf ~pos ~len =
+  let limit = pos + len in
+  let rec header i =
+    if i >= limit then
+      if i - pos > max_header_digits then `Bad "frame header too long"
+      else `Need_more
+    else
+      match Bytes.get buf i with
+      | '\n' -> begin
+          let digits = Bytes.sub_string buf pos (i - pos) in
+          match int_of_string_opt digits with
+          | Some n when n >= 1 && n <= max_frame -> body (i + 1) n
+          | Some _ | None -> `Bad (Printf.sprintf "bad frame length %S" digits)
+        end
+      | c when c >= '0' && c <= '9' ->
+          if i - pos >= max_header_digits then `Bad "frame header too long"
+          else header (i + 1)
+      | c -> `Bad (Printf.sprintf "unexpected byte %C in frame header" c)
+  and body start n =
+    if limit - start < n then `Need_more
+    else
+      let raw = Bytes.sub_string buf start n in
+      let stripped =
+        if String.length raw > 0 && raw.[String.length raw - 1] = '\n' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      `Frame (stripped, start + n - pos)
+  in
+  header pos
 
 let write_json fd json = write_frame fd (Rpi_json.to_string json)
 

@@ -17,6 +17,10 @@ type request =
   | Import_pref of Asn.t  (** Import local-pref typicality (Table 2). *)
   | Stats  (** Collector table summary (the [bgptool stats] object). *)
   | Snapshot  (** The collector table as a TABLE_DUMP text. *)
+  | Metrics
+      (** Prometheus-style serving counters and latency histogram,
+          answered by the event loop itself without touching the
+          registry. *)
 
 val request_to_json : request -> Rpi_json.t
 val request_of_json : Rpi_json.t -> (request, string) result
@@ -27,6 +31,21 @@ val request_of_args : string list -> (request, string) result
 
 val error_response : string -> Rpi_json.t
 
+val overloaded_response : Rpi_json.t
+(** The load-shedding error frame: [{"error":...,"overloaded":true}].
+    Sent when the server refuses a connection or request instead of
+    queueing it; clients should back off and retry. *)
+
+val is_overloaded : Rpi_json.t -> bool
+(** True iff a response is the {!overloaded_response} shed frame. *)
+
+val max_frame : int
+(** Documented wire limit on one frame body: 1 MiB.  Lengths above it
+    are rejected before any allocation. *)
+
+val frame_of_body : string -> string
+(** The full wire bytes for one frame (header + body + newline). *)
+
 val write_frame : Unix.file_descr -> string -> unit
 (** Frame one already-serialized JSON document (no trailing newline). *)
 
@@ -34,6 +53,18 @@ val read_frame : Unix.file_descr -> (string option, string) result
 (** [Ok None] on clean EOF before a frame starts; [Error _] on a
     malformed header, an oversized length, or EOF mid-frame.  The
     returned body has its trailing newline stripped. *)
+
+val decode :
+  Bytes.t ->
+  pos:int ->
+  len:int ->
+  [ `Frame of string * int | `Need_more | `Bad of string ]
+(** Pure incremental frame parser over buffered bytes.  [`Frame (body,
+    consumed)] yields one complete body (trailing newline stripped) and
+    how many bytes it consumed starting at [pos]; [`Need_more] means the
+    buffer holds only a frame prefix; [`Bad _] is a protocol violation
+    (malformed or oversized header) and the connection should die after
+    an error frame.  Validation matches {!read_frame} byte-for-byte. *)
 
 val write_json : Unix.file_descr -> Rpi_json.t -> unit
 val read_json : Unix.file_descr -> (Rpi_json.t option, string) result

@@ -121,6 +121,9 @@ let step t =
       List.iter
         (fun (_, state) -> State.set_origins state (State.Fixed origins))
         t.registry.Registry.vantages;
+      (* Make the epoch visible to the query path: one snapshot swap,
+         after which every server answer comes from this generation. *)
+      Registry.publish t.registry;
       true
 
 (* Sleep in short slices so a drain request interrupts an epoch gap

@@ -23,22 +23,31 @@ type metrics = {
   connections : int;
   requests : int;
   errors : int;
+  sheds : int;
   busy_s : float;  (** summed request handling time *)
 }
 
 type t = {
   registry : Registry.t;
   address : address;
+  config : Eventloop.config;
   listen_fd : Unix.file_descr;
   pipe_rd : Unix.file_descr;
   pipe_wr : Unix.file_descr;
   stopping : bool Atomic.t;
+  accept_lock : Mutex.t;
   log : (Rpi_json.t -> unit) option;
-  m_connections : int Atomic.t;
-  m_requests : int Atomic.t;
-  m_errors : int Atomic.t;
-  m_busy_us : int Atomic.t;  (* float seconds don't fetch_and_add *)
+  stats : Eventloop.stats;
 }
+
+(* A write to a peer-closed socket must surface as EPIPE so the
+   connection state machine (and the client helpers' retry logic) can
+   handle it — the default SIGPIPE disposition kills the whole process
+   instead, taking every loop domain with it.  Idempotent; set on both
+   the serving and the connecting path so CLI clients are covered too. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
 
 let bind_listen address =
   let fd =
@@ -62,34 +71,36 @@ let bind_listen address =
   Unix.set_nonblock fd;
   fd
 
-let create ?log ~address registry =
+let create ?log ?(config = Eventloop.default_config) ~address registry =
+  ignore_sigpipe ();
   let listen_fd = bind_listen address in
   let pipe_rd, pipe_wr = Unix.pipe () in
   {
     registry;
     address;
+    config;
     listen_fd;
     pipe_rd;
     pipe_wr;
     stopping = Atomic.make false;
+    accept_lock = Mutex.create ();
     log;
-    m_connections = Atomic.make 0;
-    m_requests = Atomic.make 0;
-    m_errors = Atomic.make 0;
-    m_busy_us = Atomic.make 0;
+    stats = Eventloop.make_stats ();
   }
 
 let metrics t =
+  let s = t.stats in
   {
-    connections = Atomic.get t.m_connections;
-    requests = Atomic.get t.m_requests;
-    errors = Atomic.get t.m_errors;
-    busy_s = float_of_int (Atomic.get t.m_busy_us) /. 1e6;
+    connections = Eventloop.connections_seen s;
+    requests = Eventloop.requests_total s;
+    errors = Eventloop.errors_total s;
+    sheds = Eventloop.sheds_total s;
+    busy_s = Eventloop.busy_seconds s;
   }
 
 let shutdown t =
   if not (Atomic.exchange t.stopping true) then begin
-    (* Wake every worker parked in select; a single byte fans out because
+    (* Wake every loop parked in select; a single byte fans out because
        nobody drains the pipe. *)
     try ignore (Unix.write t.pipe_wr (Bytes.of_string "x") 0 1)
     with Unix.Unix_error (_, _, _) -> ()
@@ -98,102 +109,12 @@ let shutdown t =
 let stopping t = Atomic.get t.stopping
 let draining = stopping
 
-let record t ~ok ~elapsed =
-  Atomic.incr t.m_requests;
-  if not ok then Atomic.incr t.m_errors;
-  ignore (Atomic.fetch_and_add t.m_busy_us (int_of_float (elapsed *. 1e6)))
-
-let access_log t ~worker ~cmd ~ok ~elapsed =
-  match t.log with
-  | None -> ()
-  | Some log ->
-      log
-        (Rpi_json.Obj
-           [
-             ("worker", Rpi_json.Int worker);
-             ("cmd", Rpi_json.String cmd);
-             ("ok", Rpi_json.Bool ok);
-             ("elapsed_us", Rpi_json.Int (int_of_float (elapsed *. 1e6)));
-           ])
-
-let cmd_label = function
-  | Protocol.Sa_status { prefix = None; _ } -> "sa-status"
-  | Protocol.Sa_status { prefix = Some _; _ } -> "sa-status/prefix"
-  | Protocol.Import_pref _ -> "import-pref"
-  | Protocol.Stats -> "stats"
-  | Protocol.Snapshot -> "snapshot"
-
-(* Wait until [fd] is readable or the shutdown pipe fires.  [`Ready] means
-   data (or a peer) is waiting on [fd]. *)
-let rec wait_readable t fd =
-  match Unix.select [ fd; t.pipe_rd ] [] [] (-1.0) with
-  | readable, _, _ ->
-      if List.memq t.pipe_rd readable then `Stop
-      else if List.memq fd readable then `Ready
-      else wait_readable t fd
-  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-      if stopping t then `Stop else wait_readable t fd
-
-(* One connection: serve frames until the peer closes or drain starts.
-   An in-flight request always completes — drain only refuses to start
-   reading the next frame. *)
-let serve_connection t ~worker fd =
-  let rec loop () =
-    match wait_readable t fd with
-    | `Stop -> ()
-    | `Ready -> begin
-        match Protocol.read_frame fd with
-        | Ok None -> ()
-        | Error msg ->
-            Protocol.write_json fd (Protocol.error_response msg);
-            record t ~ok:false ~elapsed:0.0
-        | Ok (Some body) ->
-            let t0 = Unix.gettimeofday () in
-            let response, label, ok =
-              match Result.bind (Rpi_json.of_string body) Protocol.request_of_json with
-              | Ok request ->
-                  (Registry.respond t.registry request, cmd_label request, true)
-              | Error msg -> (Protocol.error_response msg, "parse-error", false)
-            in
-            let ok =
-              ok
-              &&
-              match response with
-              | Rpi_json.Obj (("error", _) :: _) -> false
-              | _ -> true
-            in
-            Protocol.write_json fd response;
-            let elapsed = Unix.gettimeofday () -. t0 in
-            record t ~ok ~elapsed;
-            access_log t ~worker ~cmd:label ~ok ~elapsed;
-            if not (stopping t) then loop ()
-      end
-  in
-  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
-    (fun () -> try loop () with Unix.Unix_error (Unix.EPIPE, _, _) -> ())
-
-let accept_loop t ~worker =
-  let rec loop () =
-    if not (stopping t) then begin
-      match wait_readable t t.listen_fd with
-      | `Stop -> ()
-      | `Ready -> begin
-          (* Workers race on the same non-blocking listener; losers get
-             EAGAIN and go back to select. *)
-          match Unix.accept ~cloexec:true t.listen_fd with
-          | fd, _ ->
-              Atomic.incr t.m_connections;
-              serve_connection t ~worker fd;
-              loop ()
-          | exception
-              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-              loop ()
-        end
-    end
-  in
-  loop ()
-
-let serve ?jobs t = Rpi_runner.Pool.run ?jobs (fun worker -> accept_loop t ~worker)
+let serve ?jobs t =
+  Rpi_runner.Pool.run ?jobs (fun worker ->
+      Eventloop.run ~config:t.config ~registry:t.registry
+        ~listen_fd:t.listen_fd ~wake_fd:t.pipe_rd ~accept_lock:t.accept_lock
+        ~draining:(fun () -> stopping t)
+        ~stats:t.stats ?log:t.log ~worker ())
 
 let close t =
   List.iter
@@ -206,6 +127,7 @@ let close t =
 (* --- client side --------------------------------------------------- *)
 
 let connect address =
+  ignore_sigpipe ();
   match address with
   | Unix_socket path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -220,12 +142,75 @@ let connect address =
       Unix.connect fd (Unix.ADDR_INET (addr, port));
       fd
 
-let query address request =
-  let fd = connect address in
-  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
-    (fun () ->
-      Protocol.write_json fd (Protocol.request_to_json request);
-      match Protocol.read_json fd with
-      | Ok (Some json) -> Ok json
-      | Ok None -> Error "server closed the connection without answering"
-      | Error _ as e -> e)
+(* A connect/read/write failure a fresh connection might not repeat:
+   the server restarting (refused / unreachable socket path), a shed or
+   drained connection (reset / EOF mid-frame), or a timeout. *)
+let transient_unix_error = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE
+  | Unix.ENOENT | Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EWOULDBLOCK ->
+      true
+  | _ -> false
+
+let query_once ?timeout address request =
+  match connect address with
+  | exception Unix.Unix_error (e, _, _) when transient_unix_error e ->
+      `Retry (Printf.sprintf "connect: %s" (Unix.error_message e))
+  | exception Unix.Unix_error (e, _, _) ->
+      `Fail (Printf.sprintf "connect: %s" (Unix.error_message e))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        (fun () ->
+          Option.iter
+            (fun s ->
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+              Unix.setsockopt_float fd Unix.SO_SNDTIMEO s)
+            timeout;
+          match
+            (* A shed connection may be closed server-side before our
+               write lands; its overloaded frame is still queued for
+               reading, so a broken-pipe write is not fatal here. *)
+            (try Protocol.write_json fd (Protocol.request_to_json request)
+             with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+               ());
+            Protocol.read_json fd
+          with
+          | Ok (Some json) ->
+              if Protocol.is_overloaded json then `Overloaded json
+              else `Ok json
+          | Ok None -> `Retry "server closed the connection without answering"
+          | Error msg -> `Fail msg
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              (* SO_RCVTIMEO/SO_SNDTIMEO expire as EAGAIN. *)
+              `Retry "timed out waiting for the server"
+          | exception Unix.Unix_error (e, _, _) when transient_unix_error e ->
+              `Retry (Unix.error_message e)
+          | exception Unix.Unix_error (e, _, _) -> `Fail (Unix.error_message e))
+
+(* Bounded reconnect-with-backoff: transient failures sleep
+   0.05 * 2^attempt then retry on a fresh connection; an [overloaded]
+   shed frame also retries (the server asked us to back off) but is
+   reported distinctly once attempts run out. *)
+let query ?timeout ?(attempts = 1) address request =
+  let attempts = max 1 attempts in
+  let rec go k last =
+    if k >= attempts then
+      match last with
+      | `Overloaded json -> Ok json
+      | `Msg msg ->
+          Error
+            (if attempts > 1 then
+               Printf.sprintf "%s (after %d attempts)" msg attempts
+             else msg)
+    else begin
+      if k > 0 then Unix.sleepf (0.05 *. (2.0 ** float_of_int (k - 1)));
+      match query_once ?timeout address request with
+      | `Ok json -> Ok json
+      | `Fail msg -> Error msg
+      | `Retry msg -> go (k + 1) (`Msg msg)
+      | `Overloaded json -> go (k + 1) (`Overloaded json)
+    end
+  in
+  go 0 (`Msg "no attempts made")

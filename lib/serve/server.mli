@@ -1,11 +1,14 @@
-(** The rpiserved socket server: a {!Rpi_runner.Pool}-backed accept loop
-    answering {!Protocol} requests from a {!Registry}.
+(** The rpiserved socket server: {!Eventloop} multiplexers on an
+    {!Rpi_runner.Pool}, answering {!Protocol} requests from a
+    {!Registry} snapshot.
 
-    Workers share one non-blocking listening socket and park in
-    [Unix.select] on it plus an internal shutdown pipe; {!shutdown}
-    (callable from a signal handler) writes the pipe once and every
-    worker drains: in-flight requests complete, no new frames are read,
-    and {!serve} returns. *)
+    Every pool domain runs one readiness loop over a shared non-blocking
+    listener (accept balanced by a shared lock) and its own connections
+    — pipelined requests, write backpressure, explicit load shedding
+    (see {!Eventloop.config}).  {!shutdown} (callable from a signal
+    handler) writes an internal pipe once and every loop drains:
+    already-queued responses flush under a bounded grace, no new frames
+    are read, and {!serve} returns. *)
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -17,20 +20,27 @@ val address_to_string : address -> string
 type metrics = {
   connections : int;
   requests : int;
-  errors : int;  (** Parse failures and error responses. *)
+  errors : int;  (** Parse failures, protocol violations and error responses. *)
+  sheds : int;  (** Connections/requests refused with the [overloaded] frame. *)
   busy_s : float;  (** Summed request handling time. *)
 }
 
 type t
 
-val create : ?log:(Rpi_json.t -> unit) -> address:address -> Registry.t -> t
+val create :
+  ?log:(Rpi_json.t -> unit) ->
+  ?config:Eventloop.config ->
+  address:address ->
+  Registry.t ->
+  t
 (** Bind and listen.  [log] receives one access-log object per request
-    ([worker], [cmd], [ok], [elapsed_us]).  A pre-existing unix socket
-    path is removed first.
+    ([worker], [cmd], [ok], [elapsed_us]); [config] defaults to
+    {!Eventloop.default_config}.  A pre-existing unix socket path is
+    removed first.
     @raise Unix.Unix_error if the address cannot be bound. *)
 
 val serve : ?jobs:int -> t -> unit
-(** Run the accept loop on the calling domain plus [jobs - 1] spawned
+(** Run one event loop on the calling domain plus [jobs - 1] spawned
     ones ({!Rpi_runner.Pool.run} discipline).  Returns after
     {!shutdown}. *)
 
@@ -52,6 +62,19 @@ val metrics : t -> metrics
 
 val connect : address -> Unix.file_descr
 
-val query : address -> Protocol.request -> (Rpi_json.t, string) result
+val query :
+  ?timeout:float ->
+  ?attempts:int ->
+  address ->
+  Protocol.request ->
+  (Rpi_json.t, string) result
 (** One-shot client: connect, send the request, read one response frame,
-    close.  What [bgptool query] uses. *)
+    close.  What [bgptool query] uses.
+
+    [timeout] bounds each attempt's socket reads and writes (seconds);
+    [attempts] (default 1) bounds reconnect-with-backoff: transient
+    failures — connection refused/reset, server draining mid-frame, a
+    timeout, or an [overloaded] shed frame — sleep [0.05 * 2^k] and
+    retry on a fresh connection.  When attempts run out on a shed frame
+    the frame itself is returned as [Ok] so callers can distinguish
+    overload ({!Protocol.is_overloaded}) from failure. *)

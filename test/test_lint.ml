@@ -263,8 +263,8 @@ let test_diagnostic_output () =
   | Ok _ | Error _ -> Alcotest.fail "diagnostic JSON must parse back to an object"
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "twelve shipped rules" 12 (List.length Rule.all);
-  Alcotest.(check int) "three typedtree rules" 3 (List.length Rule.typed);
+  Alcotest.(check int) "thirteen shipped rules" 13 (List.length Rule.all);
+  Alcotest.(check int) "four typedtree rules" 4 (List.length Rule.typed);
   Alcotest.(check int) "nine parsetree rules" 9 (List.length Rule.untyped);
   List.iter
     (fun (r : Rule.t) ->
@@ -292,7 +292,7 @@ let typing_env =
     (Compmisc.init_path ();
      Compmisc.initial_env ())
 
-let typecheck_unit ~file source =
+let typecheck_unit ?(modname = [ "Fixture" ]) ~file source =
   let lexbuf = Lexing.from_string source in
   Location.init lexbuf file;
   let parsed = Parse.implementation lexbuf in
@@ -302,14 +302,14 @@ let typecheck_unit ~file source =
   {
     Typed_engine.tu_file = file;
     tu_source = source;
-    tu_modname = [ "Fixture" ];
+    tu_modname = modname;
     tu_structure = str;
   }
 
-let typed_hits ?rules ~file source =
+let typed_hits ?rules ?modname ~file source =
   List.map
     (fun (d : Diagnostic.t) -> (d.Diagnostic.rule, d.Diagnostic.line))
-    (Typed_engine.lint_units ?rules [ typecheck_unit ~file source ])
+    (Typed_engine.lint_units ?rules [ typecheck_unit ?modname ~file source ])
 
 let test_domain_race () =
   Alcotest.check pair "ref mutated from a spawned closure, via a local call"
@@ -415,6 +415,53 @@ let test_intern_id_escape_quiet () =
        (escape_prelude
       ^ "let ok p = let n = Path_intern.to_int p in Rpi_json.Int n\n"))
 
+
+(* Unix is not on the fixture load path, so stand in a local module —
+   the rule matches normalized path components, exactly as the
+   intern-id fixtures do for Path_intern. *)
+let blocking_prelude =
+  "module Unix = struct\n\
+  \  let read () = 0\n\
+  \  let sleepf (_ : float) = ()\n\
+  \  let select x = x\n\
+   end\n"
+
+let blocking_lines = 5
+
+let test_blocking_in_eventloop () =
+  Alcotest.check pair "blocking read in event-loop code"
+    [ ("blocking-in-eventloop", blocking_lines + 1) ]
+    (typed_hits
+       ~modname:[ "Rpi_serve"; "Eventloop" ]
+       ~file:"lib/serve/eventloop.ml"
+       (blocking_prelude ^ "let pump () = Unix.read ()\n"));
+  Alcotest.check pair "sleep in a helper of a Conn unit"
+    [ ("blocking-in-eventloop", blocking_lines + 1) ]
+    (typed_hits
+       ~modname:[ "Rpi_serve"; "Conn" ]
+       ~file:"lib/serve/conn.ml"
+       (blocking_prelude
+      ^ "let nap () = Unix.sleepf 0.5\n\
+         let turn () = nap ()\n"))
+
+let test_blocking_in_eventloop_quiet () =
+  Alcotest.check pair "select is the sanctioned parking point" []
+    (typed_hits
+       ~modname:[ "Rpi_serve"; "Eventloop" ]
+       ~file:"lib/serve/eventloop.ml"
+       (blocking_prelude ^ "let park x = Unix.select x\n"));
+  Alcotest.check pair "identical source outside the serving core is quiet" []
+    (typed_hits ~file:"lib/fake/other.ml"
+       (blocking_prelude ^ "let pump () = Unix.read ()\n"));
+  Alcotest.check pair "suppression comment on the line above" []
+    (typed_hits
+       ~modname:[ "Rpi_serve"; "Conn" ]
+       ~file:"lib/serve/conn.ml"
+       (blocking_prelude
+      ^ "let pump () =\n\
+        \  (* rpilint: allow blocking-in-eventloop *)\n\
+        \  Unix.read ()\n"))
+
 let test_typed_rule_selection () =
   let source =
     "let total = ref 0\n\
@@ -453,7 +500,7 @@ let test_typed_ordering () =
 (* Smoke-load every .cmt dune produced for lib/: each must either load
    as a lintable unit, be a legitimately skipped alias/interface-only
    module, or at worst fail with a readable error (none expected), and
-   the shipped tree must be clean under all three typed rules. *)
+   the shipped tree must be clean under every typed rule. *)
 let test_cmt_smoke () =
   let rec walk_cmts acc path =
     if Sys.file_exists path && Sys.is_directory path then
@@ -530,6 +577,10 @@ let () =
           Alcotest.test_case "intern-id-escape" `Quick test_intern_id_escape;
           Alcotest.test_case "intern-id-escape quiet" `Quick
             test_intern_id_escape_quiet;
+          Alcotest.test_case "blocking-in-eventloop" `Quick
+            test_blocking_in_eventloop;
+          Alcotest.test_case "blocking-in-eventloop quiet" `Quick
+            test_blocking_in_eventloop_quiet;
           Alcotest.test_case "rule selection" `Quick test_typed_rule_selection;
           Alcotest.test_case "deterministic ordering" `Quick
             test_typed_ordering;

@@ -176,6 +176,168 @@ let test_socket_round_trip () =
       Alcotest.(check int) "one error (unknown vantage)" 1 m.Server.errors);
   Alcotest.(check bool) "socket removed on close" false (Sys.file_exists path)
 
+(* Pipelining: write a burst of requests up front on one connection and
+   the responses come back in order, byte-identical to what the registry
+   renders directly. *)
+let test_pipelined_order () =
+  let reg = registry () in
+  let path = socket_path () in
+  let address = Server.Unix_socket path in
+  let server = Server.create ~address reg in
+  let server_domain = Domain.spawn (fun () -> Server.serve ~jobs:2 server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join server_domain;
+      Server.close server)
+    (fun () ->
+      let requests =
+        [
+          Protocol.Stats;
+          Protocol.Sa_status { asn = asn 100; prefix = None };
+          Protocol.Sa_status { asn = asn 100; prefix = Some (p "10.12.0.0/16") };
+          Protocol.Import_pref (asn 100);
+          Protocol.Sa_status { asn = asn 999; prefix = None };
+          Protocol.Snapshot;
+          Protocol.Stats;
+        ]
+      in
+      let expected =
+        List.map (fun r -> js (Registry.respond reg r)) requests
+      in
+      let fd = Server.connect address in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          List.iter
+            (fun r -> Protocol.write_json fd (Protocol.request_to_json r))
+            requests;
+          List.iteri
+            (fun i want ->
+              match Protocol.read_json fd with
+              | Ok (Some json) ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "pipelined response %d" i)
+                    want (js json)
+              | Ok None -> Alcotest.fail "connection closed mid-pipeline"
+              | Error e -> Alcotest.failf "pipelined read: %s" e)
+            expected))
+
+(* Admission shedding: with max_connections = 4 and eight clients that
+   all stay open, exactly four are answered and exactly four get the
+   overloaded frame. *)
+let test_admission_shed () =
+  let reg = registry () in
+  let path = socket_path () in
+  let address = Server.Unix_socket path in
+  let config =
+    { Rpi_serve.Eventloop.default_config with max_connections = 4 }
+  in
+  let server = Server.create ~address ~config reg in
+  let server_domain = Domain.spawn (fun () -> Server.serve ~jobs:1 server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join server_domain;
+      Server.close server)
+    (fun () ->
+      let fds = List.init 8 (fun _ -> Server.connect address) in
+      Fun.protect
+        ~finally:(fun () -> List.iter Unix.close fds)
+        (fun () ->
+          List.iter
+            (fun fd ->
+              (* a shed connection may already be closed server-side;
+                 its overloaded frame is still queued for reading *)
+              try Protocol.write_json fd (Protocol.request_to_json Protocol.Stats)
+              with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ())
+            fds;
+          let served, shed =
+            List.fold_left
+              (fun (served, shed) fd ->
+                match Protocol.read_json fd with
+                | Ok (Some json) when Protocol.is_overloaded json ->
+                    (served, shed + 1)
+                | Ok (Some json) ->
+                    Alcotest.(check string)
+                      "admitted connection gets real stats"
+                      (js (Render.stats_of_state reg.Registry.collector))
+                      (js json);
+                    (served + 1, shed)
+                | Ok None -> Alcotest.fail "EOF before any response"
+                | Error e -> Alcotest.failf "shed read: %s" e)
+              (0, 0) fds
+          in
+          Alcotest.(check int) "exactly four served" 4 served;
+          Alcotest.(check int) "exactly four shed" 4 shed;
+          let m = Server.metrics server in
+          Alcotest.(check int) "metrics count the sheds" 4 m.Server.sheds))
+
+(* Snapshot-swap invariant: a feeder domain mutating collector state and
+   publishing concurrently with queries never produces a torn response —
+   every stats answer is byte-identical to some published generation,
+   and the generations a client observes never go backwards. *)
+let test_snapshot_never_torn () =
+  let epochs = 15 in
+  let extra_route i =
+    route ~peer:10 ~rid:1 ~lp:100 [ 10; 11 ]
+      (p (Printf.sprintf "10.%d.0.0/16" (100 + i)))
+  in
+  let build () =
+    let rib =
+      Rib.of_routes [ route ~peer:10 ~rid:1 ~lp:120 [ 10; 11 ] (p "10.11.0.0/16") ]
+    in
+    State.create ~graph:(graph ()) ~vantage:(asn 100) ~initial:rib ()
+  in
+  (* Precompute the expected render of every generation on a replica. *)
+  let replica = build () in
+  let expected = Array.make (epochs + 1) "" in
+  expected.(0) <- js (Render.stats_of_state replica);
+  for i = 1 to epochs do
+    State.apply replica
+      (Rpi_bgp.Update.announce ~from_as:(asn 10) ~to_as:(asn 100) (extra_route i));
+    expected.(i) <- js (Render.stats_of_state replica)
+  done;
+  let state = build () in
+  let reg = Registry.create ~collector:state ~vantages:[ (asn 100, state) ] in
+  let path = socket_path () in
+  let address = Server.Unix_socket path in
+  let server = Server.create ~address reg in
+  let server_domain = Domain.spawn (fun () -> Server.serve ~jobs:2 server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join server_domain;
+      Server.close server)
+    (fun () ->
+      let feeder =
+        Domain.spawn (fun () ->
+            for i = 1 to epochs do
+              State.apply state
+                (Rpi_bgp.Update.announce ~from_as:(asn 10) ~to_as:(asn 100)
+                   (extra_route i));
+              Registry.publish reg
+            done)
+      in
+      let last = ref 0 in
+      let queries = ref 0 in
+      while !last < epochs do
+        incr queries;
+        if !queries > 10_000 then Alcotest.fail "feeder never finished";
+        match Server.query address Protocol.Stats with
+        | Error e -> Alcotest.failf "query: %s" e
+        | Ok json ->
+            let got = js json in
+            let gen = ref (-1) in
+            Array.iteri (fun i s -> if String.equal s got then gen := i) expected;
+            if !gen < 0 then
+              Alcotest.failf "torn response matches no generation: %s" got;
+            if !gen < !last then
+              Alcotest.failf "generation went backwards: %d after %d" !gen !last;
+            last := !gen
+      done;
+      Domain.join feeder)
+
 let () =
   Alcotest.run "rpi_serve"
     [
@@ -185,5 +347,11 @@ let () =
           Alcotest.test_case "request parsing" `Quick test_request_parsing;
         ] );
       ( "server",
-        [ Alcotest.test_case "socket round trip" `Quick test_socket_round_trip ] );
+        [
+          Alcotest.test_case "socket round trip" `Quick test_socket_round_trip;
+          Alcotest.test_case "pipelined order" `Quick test_pipelined_order;
+          Alcotest.test_case "admission shed" `Quick test_admission_shed;
+          Alcotest.test_case "snapshot never torn" `Quick
+            test_snapshot_never_torn;
+        ] );
     ]
