@@ -101,9 +101,42 @@ let watched doc =
           fields
     | Some _ | None -> []
   in
+  let scale =
+    (* scale.<tier>.* — paper-scale propagation: wall-clock class (the
+       tiers run once, no sampling loop, so the generous wall tolerance
+       is the right one).  Tier sets may differ between baselines; the
+       usual intersection rule applies. *)
+    match member "scale" doc with
+    | Some (Json.Obj tiers) ->
+        List.concat_map
+          (fun (tier, obj) ->
+            List.filter_map
+              (fun key ->
+                match number (member key obj) with
+                | Some f -> Some ("scale." ^ tier ^ "." ^ key, (f, Wall))
+                | None -> None)
+              [ "generate_s"; "prepare_s"; "propagate_s"; "ns_per_as_atom" ])
+          tiers
+    | Some _ | None -> []
+  in
+  let fanout =
+    (* fanout.<batch>.* — only the sequential side is watched: the pool
+       side measures dispatch overhead on small hosts and is gated by
+       the speedup floor below instead. *)
+    match member "fanout" doc with
+    | Some (Json.Obj batches) ->
+        List.filter_map
+          (fun (batch, obj) ->
+            match number (member "seq_s" obj) with
+            | Some f -> Some ("fanout." ^ batch ^ ".seq_s", (f, Wall))
+            | None -> None)
+          batches
+    | Some _ | None -> []
+  in
   scalar "run_all.sequential_s" [ "run_all"; "sequential_s" ]
   @ scalar "run_all.parallel_s" [ "run_all"; "parallel_s" ]
   @ experiments
+  @ scale @ fanout
   @ scalar "ingest_replay.incremental_s" [ "ingest_replay"; "incremental_s" ]
   @ scalar "ingest_replay.batch_s" [ "ingest_replay"; "batch_s" ]
   @ scalar "churn.incremental_s" [ "churn"; "incremental_s" ]
@@ -176,6 +209,39 @@ let serve_floors doc =
             :: !failures
       | Some _ | None -> ()));
   List.rev !failures
+
+(* The sharded propagation's usefulness floor, checked on the NEW run
+   only and only where it can hold: on a multi-domain host every scale
+   tier must show at least 1.5x speedup from fanning the atom batch over
+   the pool.  On a single-domain host parallel "speedup" is pure
+   dispatch overhead — the floor is skipped with a warning instead of a
+   false alarm. *)
+let scale_floors doc =
+  let host_domains =
+    match number (Option.bind (member "host" doc) (member "domains")) with
+    | Some d -> int_of_float d
+    | None -> (
+        match number (Option.bind (member "run_all" doc) (member "host_domains")) with
+        | Some d -> int_of_float d
+        | None -> 1)
+  in
+  match member "scale" doc with
+  | Some (Json.Obj tiers) when tiers <> [] ->
+      if host_domains > 1 then
+        List.filter_map
+          (fun (tier, obj) ->
+            match number (member "speedup" obj) with
+            | Some s when s < 1.5 ->
+                Some
+                  (Printf.sprintf "scale.%s.speedup %.2fx is below the 1.5x floor" tier s)
+            | Some _ | None -> None)
+          tiers
+      else begin
+        Printf.printf
+          "WARNING: single-domain host: multicore speedup floor skipped\n\n";
+        []
+      end
+  | Some _ | None -> []
 
 (* Host fingerprints: warn when the two runs come from visibly
    different machines or toolchains — ratios across hosts are
@@ -274,7 +340,7 @@ let () =
     (fun msg ->
       incr regressions;
       Printf.printf "%-50s %36s\n" msg "FLOOR VIOLATION")
-    (churn_floors new_doc @ serve_floors new_doc);
+    (churn_floors new_doc @ serve_floors new_doc @ scale_floors new_doc);
   if !regressions > 0 then begin
     Printf.printf "\n%d key(s) regressed beyond their threshold\n" !regressions;
     exit 1

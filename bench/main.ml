@@ -1055,6 +1055,172 @@ let bench_lint () =
       ("cmt_units", Rpi_json.Int (List.length units));
     ]
 
+(* --- Part 2.7: paper-scale propagation --- *)
+
+(* High-water-mark resident set, in KiB, from /proc/self/status (0 where
+   the file or the VmHWM line is unavailable — portability over
+   precision; the regression gate never watches this key). *)
+let peak_rss_kb () =
+  try
+    In_channel.with_open_text "/proc/self/status" (fun ic ->
+        let rec go () =
+          match In_channel.input_line ic with
+          | None -> 0
+          | Some line ->
+              if String.length line > 6 && String.equal (String.sub line 0 6) "VmHWM:" then
+                Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+              else go ()
+        in
+        go ())
+  with Sys_error _ | Scanf.Scan_failure _ | Failure _ -> 0
+
+(* One scale tier: generate a heavy-tailed n-AS topology with the
+   O(n + E) generator, freeze it into the engine's CSR, propagate a
+   16-atom batch sequentially (the ns/AS-atom figure and the
+   prepare-vs-propagate split), stream the collector extraction through
+   [iter_propagated] (one live result at a time), then fan the same
+   batch out over the domain pool for the sharded speedup. *)
+let bench_scale_tier ~n =
+  let module Gen = Rpi_topo.Gen in
+  let module Engine = Rpi_sim.Engine in
+  let module As_graph = Rpi_topo.As_graph in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (Unix.gettimeofday () -. t0, v)
+  in
+  let config = Gen.scale_config ~n in
+  let generate_s, topo = timed (fun () -> Gen.generate_scaled ~config (Prng.create ~seed:11)) in
+  let graph = topo.Gen.graph in
+  let n_ases = As_graph.as_count graph and edges = As_graph.edge_count graph in
+  let prepare_s, network =
+    timed (fun () ->
+        Engine.prepare ~graph ~import:(fun _ -> Rpi_sim.Policy.default_import) ())
+  in
+  let stubs = Array.of_list topo.Gen.stubs in
+  let n_atoms = 16 in
+  let atoms =
+    List.init n_atoms (fun i ->
+        let origin = stubs.(i * Array.length stubs / n_atoms) in
+        let prefix = Prefix.make (Rpi_net.Ipv4.of_octets 10 (i lsr 8) (i land 0xFF) 0) 24 in
+        Rpi_sim.Atom.vanilla ~id:i ~origin [ prefix ])
+  in
+  let retain = Asn.Set.of_list topo.Gen.tier1 in
+  let propagate_s, (_ : Engine.result list) =
+    timed (fun () -> Engine.propagate_all network ~retain ~jobs:1 atoms)
+  in
+  let stream_s, collector =
+    timed (fun () ->
+        let rib = ref Rib.empty in
+        Engine.iter_propagated network ~retain atoms ~f:(fun r ->
+            rib := Rpi_sim.Vantage.extend_collector_rib ~peers:topo.Gen.tier1 !rib [ r ]);
+        !rib)
+  in
+  let jobs = max 2 (Rpi_pool.Jobs.default ()) in
+  let sharded_s, (_ : Engine.result list) =
+    timed (fun () -> Engine.propagate_all network ~retain ~jobs atoms)
+  in
+  let ns_per_as_atom = propagate_s *. 1e9 /. float_of_int (n_ases * n_atoms) in
+  let speedup = if sharded_s > 0.0 then propagate_s /. sharded_s else Float.nan in
+  Printf.printf
+    "n=%-6d  %7d edges  gen %6.3f s  prepare %6.3f s  propagate %6.3f s \
+     (%5.1f ns/AS-atom)  sharded %6.3f s (%.2fx, %d jobs)  rss %d KiB\n%!"
+    n_ases edges generate_s prepare_s propagate_s ns_per_as_atom sharded_s speedup
+    jobs (peak_rss_kb ());
+  Rpi_json.Obj
+    [
+      ("n_ases", Rpi_json.Int n_ases);
+      ("edges", Rpi_json.Int edges);
+      ("atoms", Rpi_json.Int n_atoms);
+      ("generate_s", Rpi_json.Float generate_s);
+      ("prepare_s", Rpi_json.Float prepare_s);
+      ("propagate_s", Rpi_json.Float propagate_s);
+      ("ns_per_as_atom", Rpi_json.Float ns_per_as_atom);
+      ("stream_extract_s", Rpi_json.Float stream_s);
+      ("collector_prefixes", Rpi_json.Int (List.length (Rib.prefixes collector)));
+      ("sharded_s", Rpi_json.Float sharded_s);
+      ("speedup", Rpi_json.Float speedup);
+      ("parallel_jobs", Rpi_json.Int jobs);
+      ("peak_rss_kb", Rpi_json.Int (peak_rss_kb ()));
+    ]
+
+let bench_scale ?(tiers = [ 1000; 5000; 15000 ]) () =
+  print_endline "==============================================================";
+  print_endline " Paper-scale propagation (CSR engine, heavy-tailed topologies)";
+  print_endline "==============================================================";
+  Rpi_json.Obj
+    (List.map (fun n -> ("n" ^ string_of_int n, bench_scale_tier ~n)) tiers)
+
+(* Fan-out granularity: the same mid-size batch pushed through
+   [propagate_all] at several batch sizes, sequential vs domain pool.
+   Small batches used to be over-split (more chunks than atoms — all
+   dispatch, no work); chunking is now capped at the batch size, and
+   this records the observed speedup per batch size so the baseline
+   shows where fan-out starts paying. *)
+let bench_fanout () =
+  let module Engine = Rpi_sim.Engine in
+  print_endline "==============================================================";
+  print_endline " propagate_all fan-out vs batch size";
+  print_endline "==============================================================";
+  let rng = Prng.create ~seed:23 in
+  let topo =
+    Rpi_topo.Gen.generate
+      ~config:
+        {
+          Rpi_topo.Gen.default_config with
+          Rpi_topo.Gen.n_tier1 = 6;
+          n_tier2 = 24;
+          n_tier3 = 80;
+          n_stub = 200;
+        }
+      rng
+  in
+  let network =
+    Engine.prepare ~graph:topo.Rpi_topo.Gen.graph
+      ~import:(fun _ -> Rpi_sim.Policy.default_import)
+      ()
+  in
+  let retain = Asn.Set.of_list topo.Rpi_topo.Gen.tier1 in
+  let stubs = Array.of_list topo.Rpi_topo.Gen.stubs in
+  let jobs = max 2 (Rpi_pool.Jobs.default ()) in
+  let atom i =
+    Rpi_sim.Atom.vanilla ~id:i
+      ~origin:stubs.(i mod Array.length stubs)
+      [ Prefix.of_string_exn "10.0.0.0/24" ]
+  in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      b := Float.min !b (Unix.gettimeofday () -. t0)
+    done;
+    !b
+  in
+  Rpi_json.Obj
+    (List.map
+       (fun m ->
+         let atoms = List.init m atom in
+         let seq_s =
+           best (fun () -> ignore (Engine.propagate_all network ~retain ~jobs:1 atoms))
+         in
+         let par_s =
+           best (fun () -> ignore (Engine.propagate_all network ~retain ~jobs atoms))
+         in
+         let speedup = if par_s > 0.0 then seq_s /. par_s else Float.nan in
+         Printf.printf "batch %3d: seq %8.2f ms  pool %8.2f ms  (%.2fx, %d jobs)\n%!" m
+           (1e3 *. seq_s) (1e3 *. par_s) speedup jobs;
+         ( "batch" ^ string_of_int m,
+           Rpi_json.Obj
+             [
+               ("atoms", Rpi_json.Int m);
+               ("seq_s", Rpi_json.Float seq_s);
+               ("par_s", Rpi_json.Float par_s);
+               ("speedup", Rpi_json.Float speedup);
+               ("parallel_jobs", Rpi_json.Int jobs);
+             ] ))
+       [ 1; 2; 4; 8; 32 ])
+
 (* --- Part 3: machine-readable baseline --- *)
 
 (* Host fingerprint: enough to tell whether two baselines are comparable
@@ -1079,7 +1245,8 @@ let write_doc ~path doc =
 let micro_json micro =
   Rpi_json.Obj (List.map (fun (name, ns) -> (name, Rpi_json.Float ns)) micro)
 
-let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~churn ~serve ~lint =
+let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~churn ~serve
+    ~scale ~fanout ~lint =
   let timed_json (r : Runner.timed) =
     Rpi_json.Obj
       [
@@ -1112,12 +1279,58 @@ let write_results ~path ~seq ~par ~identical ~micro ~intern ~ingest_replay ~chur
         ("ingest_replay", ingest_replay);
         ("churn", churn);
         ("serve", serve);
+        ("scale", scale);
+        ("fanout", fanout);
         ("path_intern", intern);
         ("microbench_ns_per_run", micro_json micro);
         ("lint", lint);
       ]
   in
   write_doc ~path doc
+
+(* --scale N: one scale tier, merged into BENCH_results.json in place
+   (read-modify-write on the "scale" member, tier keys replaced
+   individually) so repeated runs at different N accumulate instead of
+   clobbering the committed full baseline.  A missing or unparsable
+   baseline degrades to a fresh scale-only document. *)
+let run_scale_only ~n =
+  let path = "BENCH_results.json" in
+  let scale = bench_scale ~tiers:[ n ] () in
+  let base_fields =
+    if Sys.file_exists path then begin
+      match
+        Rpi_json.of_string (String.trim (In_channel.with_open_bin path In_channel.input_all))
+      with
+      | Ok (Rpi_json.Obj fields) -> fields
+      | Ok _ | Error _ ->
+          Printf.eprintf "bench: %s is not a JSON object; rewriting scale-only\n" path;
+          []
+    end
+    else
+      [
+        ("schema", Rpi_json.String "rpi-bench/1");
+        ("mode", Rpi_json.String "scale");
+        ("host", host_fingerprint ());
+      ]
+  in
+  let fresh_tiers = match scale with Rpi_json.Obj t -> t | _ -> [] in
+  let merged_scale =
+    let old_tiers =
+      match List.assoc_opt "scale" base_fields with
+      | Some (Rpi_json.Obj t) -> t
+      | Some _ | None -> []
+    in
+    let kept = List.filter (fun (k, _) -> not (List.mem_assoc k fresh_tiers)) old_tiers in
+    Rpi_json.Obj (kept @ fresh_tiers)
+  in
+  let fields =
+    if List.mem_assoc "scale" base_fields then
+      List.map
+        (fun (k, v) -> if String.equal k "scale" then (k, merged_scale) else (k, v))
+        base_fields
+    else base_fields @ [ ("scale", merged_scale) ]
+  in
+  write_doc ~path (Rpi_json.Obj fields)
 
 let () =
   Logs.set_level (Some Logs.Warning);
@@ -1126,6 +1339,29 @@ let () =
   let churn_selftest_only = Array.exists (String.equal "--churn-selftest") Sys.argv in
   let serve_only = Array.exists (String.equal "--serve") Sys.argv in
   let serve_selftest_only = Array.exists (String.equal "--serve-selftest") Sys.argv in
+  let scale_n =
+    let n = Array.length Sys.argv in
+    let rec find i =
+      if i >= n then None
+      else if String.equal Sys.argv.(i) "--scale" then
+        if i + 1 < n then begin
+          match int_of_string_opt Sys.argv.(i + 1) with
+          | Some v when v >= 64 -> Some v
+          | Some _ | None ->
+              prerr_endline "bench: --scale expects an AS count of at least 64";
+              exit 2
+        end
+        else begin
+          prerr_endline "bench: --scale expects an AS count";
+          exit 2
+        end
+      else find (i + 1)
+    in
+    find 1
+  in
+  match scale_n with
+  | Some n -> run_scale_only ~n
+  | None ->
   if serve_selftest_only then serve_selftest ()
   else if serve_only then begin
     (* --serve: the serving-core load generator alone, written to
@@ -1180,6 +1416,8 @@ let () =
     let ingest_replay = bench_ingest_replay ~epochs:31 in
     let churn = bench_churn () in
     let serve = bench_serve () in
+    let scale = bench_scale () in
+    let fanout = bench_fanout () in
     (* The serve phase's feeder publishes pre-rendered snapshots in a
        tight loop; compact so the micro benches below are not billed
        for its garbage. *)
@@ -1190,5 +1428,5 @@ let () =
     let intern = intern_hit_rate small in
     let lint = bench_lint () in
     write_results ~path:"BENCH_results.json" ~seq ~par ~identical ~micro ~intern
-      ~ingest_replay ~churn ~serve ~lint
+      ~ingest_replay ~churn ~serve ~scale ~fanout ~lint
   end

@@ -111,6 +111,21 @@ let cons t head tail =
     id
   end
 
+(* Forget every interned path but keep the grown arrays: a reset table
+   behaves exactly like a fresh [create] with the accumulated capacity,
+   which is what lets a solver scratch be reused across atoms without
+   re-paying growth.  Cell row 0 is the nil sentinel and its memoized
+   fields (lens 0, origins -1, masks 0) are established by [create] and
+   never overwritten — [cons] only writes ids >= 1 — so only the slot
+   table and counters need clearing. *)
+let reset t =
+  Array.fill t.slots 0 (Array.length t.slots) (-1);
+  t.next <- 1;
+  t.hits <- 0;
+  t.misses <- 0
+
+let capacity t = Array.length t.heads
+
 let rec cons_n t head n tail = if n <= 0 then tail else cons_n t head (n - 1) (cons t head tail)
 let of_list t path = List.fold_right (fun a id -> cons t a id) path nil
 

@@ -19,7 +19,18 @@ val nil : id
 
 val create : ?capacity:int -> unit -> t
 (** A fresh table; [capacity] is a hint for the expected number of
-    distinct cells. *)
+    distinct cells.  Pre-size generously for large runs: growth doubles
+    every cell array and rehashes the slot table, so a table created at
+    its working-set size never pays either cost. *)
+
+val reset : t -> unit
+(** Forget every interned path (all previously returned ids become
+    invalid) but keep the grown capacity.  A reset table behaves like a
+    fresh {!create} of the accumulated size — this is what lets one
+    table be reused across many propagation runs. *)
+
+val capacity : t -> int
+(** Current cell capacity (grows monotonically; survives {!reset}). *)
 
 val cons : t -> Asn.t -> id -> id
 (** [cons t a p] interns the path [a :: p].  O(1) amortized. *)

@@ -24,6 +24,7 @@ module Churn = Rpi_topo.Churn
 module Feed = Rpi_ingest.Feed
 module State = Rpi_ingest.State
 module Render = Rpi_ingest.Render
+module Topo_gen = Rpi_topo.Gen
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -1353,6 +1354,81 @@ let scenario_properties ~seed =
         else Error "coalesced deltas yield a different routing state")
       ()
   in
+  let scaled_csr_matches_reference =
+    (* The CSR fast path at the scale the engine is built for: a 1k-AS
+       heavy-tailed topology out of the O(n+E) generator (not the pocket
+       scenario's ~100 ASs), solved by the scratch-reusing CSR engine,
+       the sharded batch, and the list-of-routes reference — all three
+       byte-identical, for both shipped decision processes. *)
+    let scaled =
+      lazy
+        (let topo =
+           Topo_gen.generate_scaled
+             ~config:(Topo_gen.scale_config ~n:1000)
+             (Prng.create ~seed:(seed + 101))
+         in
+         let network =
+           Engine.prepare ~graph:topo.Topo_gen.graph
+             ~import:(fun _ -> Rpi_sim.Policy.default_import)
+             ()
+         in
+         let retain = Asn.Set.of_list topo.Topo_gen.tier1 in
+         (Array.of_list topo.Topo_gen.stubs, network, retain))
+    in
+    Property.make ~name:"scaled_csr_matches_reference"
+      ~gen:(fun rng ->
+        let stubs, _, _ = Lazy.force scaled in
+        let n = Array.length stubs in
+        let len = 2 + Prng.int rng 3 in
+        List.init len (fun k -> (Prng.int rng n, k)))
+      ~show:(fun picks ->
+        Printf.sprintf "stub-origins [%s]"
+          (String.concat ";" (List.map (fun (i, _) -> string_of_int i) picks)))
+      ~shrink:(fun picks ->
+        match picks with
+        | [] | [ _ ] -> []
+        | _ -> List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) picks) picks)
+      ~check:(fun picks ->
+        let stubs, net, retain = Lazy.force scaled in
+        let atoms =
+          List.map
+            (fun (i, k) ->
+              let prefix =
+                Prefix.make (Ipv4.of_octets 10 (i land 0xFF) ((i lsr 8) land 0xFF) 0) 24
+              in
+              Atom.vanilla ~id:k ~origin:stubs.(i) [ prefix ])
+            picks
+        in
+        let bad =
+          List.filter
+            (fun (a : Atom.t) ->
+              let fast = Engine.propagate net ~retain a in
+              let ref_ = Engine.propagate_reference net ~retain a in
+              not (result_equal fast ref_))
+            atoms
+        in
+        match bad with
+        | a :: _ ->
+            Error
+              (Printf.sprintf
+                 "CSR solver diverges from the reference on scaled atom %d" a.Atom.id)
+        | [] ->
+            let sharded =
+              Engine.propagate_all net ~retain
+                ~decision:Decision.neighbor_specific ~jobs:2 atoms
+            in
+            let fresh =
+              List.map
+                (Engine.propagate net ~retain ~decision:Decision.neighbor_specific)
+                atoms
+            in
+            if List.equal result_equal sharded fresh then Ok (3 * List.length atoms)
+            else
+              Error
+                "sharded Per_neighbor batch diverges from fresh per-atom solves \
+                 on the scaled topology")
+      ()
+  in
   [
     sa_subset_monotone;
     import_renumber_invariant;
@@ -1360,6 +1436,7 @@ let scenario_properties ~seed =
     gao_ground_truth;
     interned_engine_matches_reference;
     decision_vanilla_matches_reference;
+    scaled_csr_matches_reference;
     ns_bgp_converges_on_gadget;
     incremental_matches_batch;
     repropagate_matches_batch;

@@ -1,6 +1,7 @@
 module Asn = Rpi_bgp.Asn
 module Path_intern = Rpi_bgp.Path_intern
 module As_graph = Rpi_topo.As_graph
+module Csr = Rpi_topo.Csr
 module Relationship = Rpi_topo.Relationship
 
 let log_src = Logs.Src.create "rpi.sim.engine" ~doc:"BGP propagation engine"
@@ -35,58 +36,66 @@ let class_sibling = Decision.class_sibling
 let class_code = Decision.class_code
 let class_decode = Decision.class_decode
 
-(* One directed adjacency entry, as seen from the holder: everything the
-   inner loop needs about exporting to this neighbour, precomputed. *)
-type edge = {
-  e_to : int;  (* neighbour's AS index *)
-  e_asn : Asn.t;
-  e_asn_int : int;
-  e_rel : Relationship.t;  (* how the holder classifies the neighbour *)
-  e_back_rel : Relationship.t;  (* how the neighbour classifies the holder *)
-  e_back_rel_opt : Relationship.t option;  (* preallocated [Some e_back_rel] *)
-  e_back_class_code : int;
-      (* export class for non-sibling edges ([class_code (Some e_back_rel)]) *)
-  e_back_slot : int;  (* the holder's slot in the neighbour's edge array *)
-  e_slot : int;  (* same slot in the flat arena: slot_base.(e_to) + e_back_slot *)
-  e_recv_lp : int;
-      (* receiver-side import preference for routes over this edge, exact
-         unless the receiver has per-(neighbour, atom) entries
-         (lp_dynamic) *)
-}
+(* The network's adjacency is a CSR (see [Rpi_topo.Csr]): node [i]'s
+   out-edges are the contiguous index range [slot_base.(i),
+   slot_base.(i+1)), each edge a row of flat parallel arrays.  Because
+   the reverse edge of [t] — [edge_slot.(t)] — is also the receiver-side
+   slot where [t]'s export lands, one index space serves two readings:
 
+     read at an out-edge index [t]: [edge_to]/[edge_asn]/[edge_rel] are
+     the receiver and the holder's classification of it;
+
+     read at a slot index [s = edge_slot.(t)]: [edge_to.(s)] is the
+     slot's *sender*, [edge_asn_int.(s)] its ASN (the decision modules'
+     tie-break column), and [edge_rel.(s)] the receiver's classification
+     of that sender.
+
+   Everything the inner loops need is therefore one array load away —
+   no per-visit functional-map lookups, no per-edge records. *)
 type network = {
   graph : As_graph.t;
   ases : Asn.t array;
   index : int Asn.Table.t;
   neighbors : (int * Asn.t * Relationship.t) array array;
-  edges : edge array array;
+      (* per-AS adjacency triples, kept for the reference solver only *)
   resolved : Policy.resolved array;
       (* import preference compiled to one lookup per AS (lp_atom entries
          and prepare-time lp_overrides folded in) *)
   transit_scopes : Asn.Set.t option array;
   lp_dynamic : bool array;  (* receiver has per-(neighbour, atom) entries *)
-  (* Flat candidate-arena geometry: receiver [j]'s slots are the global
-     range [slot_base.(j), slot_base.(j+1)).  Sender identity and the
-     receiver's classification of it are static per slot, so the solver
-     never stores them per candidate. *)
-  slot_base : int array;
-  slot_sender : int array;  (* AS index of the slot's sender *)
-  slot_sender_asn : int array;  (* its AS number, for tie-breaks *)
-  slot_rel : Relationship.t option array;  (* receiver's view of the sender *)
+  slot_base : int array;  (* CSR offsets, length n+1 *)
+  edge_to : int array;
+  edge_asn : Asn.t array;
+  edge_asn_int : int array;
+  edge_rel : Relationship.t array;
+  edge_slot : int array;  (* reverse edge index = receiver-side slot *)
+  (* Slot-indexed statics derived from the CSR at prepare time. *)
+  slot_rel : Relationship.t option array;
+      (* preallocated [Some edge_rel.(s)], for the table conversion *)
+  slot_class : int array;  (* [class_code (Some edge_rel.(s))] *)
+  slot_recv_lp : int array;
+      (* receiver-side import preference for the slot's edge, exact
+         unless the receiver has per-(neighbour, atom) entries
+         (lp_dynamic) *)
 }
 
 let prepare ~graph ~import ?(transit_scope = fun _ -> None) ?(lp_overrides = []) () =
-  let ases = Array.of_list (As_graph.ases graph) in
+  let csr = Csr.of_graph graph in
+  let { Csr.ases; index; off = slot_base; dst = edge_to; dst_asn = edge_asn;
+        rel = edge_rel; back = edge_slot } =
+    csr
+  in
   let n = Array.length ases in
-  let index = Asn.Table.create (max 16 n) in
-  Array.iteri (fun i a -> Asn.Table.add index a i) ases;
+  let total_slots = slot_base.(n) in
+  (* The reference solver walks per-AS triples; everything hot reads the
+     CSR arrays directly. *)
   let neighbors =
-    Array.map
-      (fun a ->
-        As_graph.neighbors graph a
-        |> List.map (fun (b, rel) -> (Asn.Table.find index b, b, rel))
-        |> Array.of_list)
-      ases
+    Array.init n (fun i ->
+        Array.init
+          (slot_base.(i + 1) - slot_base.(i))
+          (fun k ->
+            let t = slot_base.(i) + k in
+            (edge_to.(t), edge_asn.(t), edge_rel.(t))))
   in
   let import_policies = Array.map import ases in
   (* External per-atom overrides, grouped by holder with their sequence
@@ -106,66 +115,35 @@ let prepare ~graph ~import ?(transit_scope = fun _ -> None) ?(lp_overrides = [])
       import_policies
   in
   let lp_dynamic = Array.map Policy.is_dynamic resolved in
-  (* Slot of each directed edge in the reverse direction's adjacency
-     array, so a holder can write its export straight into the receiver's
-     per-neighbour candidate arena. *)
-  let back_slot = Hashtbl.create (max 16 (4 * n)) in
-  Array.iteri
-    (fun j nbs -> Array.iteri (fun k (i, _, _) -> Hashtbl.replace back_slot ((j * n) + i) k) nbs)
-    neighbors;
-  let slot_base = Array.make (n + 1) 0 in
+  let edge_asn_int = Array.map Asn.to_int edge_asn in
+  let slot_rel = Array.map (fun r -> Some r) edge_rel in
+  let slot_class = Array.map (fun r -> class_code (Some r)) edge_rel in
+  let slot_recv_lp = Array.make total_slots 0 in
   for j = 0 to n - 1 do
-    slot_base.(j + 1) <- slot_base.(j) + Array.length neighbors.(j)
+    for s = slot_base.(j) to slot_base.(j + 1) - 1 do
+      (* Slot [s] of receiver [j]: [edge_asn.(s)]/[edge_rel.(s)] read at a
+         slot index are the sender's ASN and [j]'s classification of it. *)
+      slot_recv_lp.(s) <-
+        Policy.resolve_static resolved.(j) ~neighbor:edge_asn.(s) ~rel:edge_rel.(s)
+    done
   done;
-  let edges =
-    Array.mapi
-      (fun i nbs ->
-        Array.map
-          (fun (j, b, rel) ->
-            let back_rel = Relationship.invert rel in
-            let back_rel_opt = Some back_rel in
-            let bs = Hashtbl.find back_slot ((j * n) + i) in
-            {
-              e_to = j;
-              e_asn = b;
-              e_asn_int = Asn.to_int b;
-              e_rel = rel;
-              e_back_rel = back_rel;
-              e_back_rel_opt = back_rel_opt;
-              e_back_class_code = class_code back_rel_opt;
-              e_back_slot = bs;
-              e_slot = slot_base.(j) + bs;
-              e_recv_lp = Policy.resolve_static resolved.(j) ~neighbor:ases.(i) ~rel:back_rel;
-            })
-          nbs)
-      neighbors
-  in
-  let total_slots = slot_base.(n) in
-  let slot_sender = Array.make total_slots 0 in
-  let slot_sender_asn = Array.make total_slots 0 in
-  let slot_rel = Array.make total_slots None in
-  Array.iteri
-    (fun i es ->
-      Array.iter
-        (fun e ->
-          slot_sender.(e.e_slot) <- i;
-          slot_sender_asn.(e.e_slot) <- Asn.to_int ases.(i);
-          slot_rel.(e.e_slot) <- e.e_back_rel_opt)
-        es)
-    edges;
   {
     graph;
     ases;
     index;
     neighbors;
-    edges;
     resolved;
     transit_scopes = Array.map transit_scope ases;
     lp_dynamic;
     slot_base;
-    slot_sender;
-    slot_sender_asn;
+    edge_to;
+    edge_asn;
+    edge_asn_int;
+    edge_rel;
+    edge_slot;
     slot_rel;
+    slot_class;
+    slot_recv_lp;
   }
 
 let graph_of net = net.graph
@@ -277,12 +255,13 @@ let origin_route =
    a [Delta.Rel_set]). *)
 let arena_tables net ~tbl ~origin_i ~slot_rel ~s_meta ~s_path ~s_len ~s_lp
     ~b_slot ~b_path ~b_lp ~b_meta retain =
-  let { ases; index; slot_base; slot_sender; _ } = net in
+  let { ases; index; slot_base; edge_to; _ } = net in
+  (* [edge_to] read at a slot index is the slot's sender. *)
   let to_route s =
     {
       path = Path_intern.to_list tbl s_path.(s);
       path_len = s_len.(s);
-      learned_from = Some ases.(slot_sender.(s));
+      learned_from = Some ases.(edge_to.(s));
       rel = slot_rel.(s);
       export_class = class_decode (s_meta.(s) land 7);
       lp = s_lp.(s);
@@ -316,7 +295,7 @@ let arena_tables net ~tbl ~origin_i ~slot_rel ~s_meta ~s_path ~s_len ~s_lp
                   {
                     path = Path_intern.to_list tbl b_path.(i);
                     path_len = Path_intern.length tbl b_path.(i);
-                    learned_from = Some ases.(slot_sender.(s));
+                    learned_from = Some ases.(edge_to.(s));
                     rel = slot_rel.(s);
                     export_class = class_decode (b_meta.(i) land 7);
                     lp = b_lp.(i);
@@ -326,16 +305,101 @@ let arena_tables net ~tbl ~origin_i ~slot_rel ~s_meta ~s_path ~s_len ~s_lp
           Asn.Map.add a { candidates = sorted; best } acc)
     retain Asn.Map.empty
 
-let propagate_vanilla net ~retain atom =
+(* Reusable solver scratch: the intern table, the candidate arena, the
+   best rows and the ring worklist for one propagation run, allocated
+   once per network and reset in O(occupied state) between runs.  Batch
+   fan-out over many atoms re-solves into the same scratch instead of
+   re-allocating ~6 arrays of [total_slots] per atom — at 15k+ ASes the
+   allocations (and the intern-table growth) otherwise dominate.
+
+   Reset leaves [s_path]/[s_len]/[s_lp] and the best-row scalars stale
+   on purpose: every read of those arrays is gated behind a sentinel
+   ([s_meta.(s) >= 0], [b_slot.(i) >= 0]) or an [s_meta] compare that
+   fails for an empty slot, so a reset scratch is observationally a
+   fresh one — the rpicheck differentials pin this by re-solving varied
+   atoms through one scratch and comparing against fresh runs. *)
+type scratch = {
+  w_tbl : Path_intern.t;
+  (* Candidate arena: slot [slot_base.(j) + k] is what receiver j holds
+     from the sender in slot k of its adjacency, as parallel scalar
+     arrays.  [s_meta] packs presence, export class and the no-up tag
+     into one int: -1 when the slot is empty, else
+     [class lor (no_up lsl 3)]. *)
+  w_s_meta : int array;
+  w_s_path : Path_intern.id array;
+  w_s_len : int array;
+  w_s_lp : int array;
+  (* Best at last visit, copied out of the arena (slot contents mutate in
+     place): [b_slot.(i)] is the winning global slot, -1 the origin's own
+     route, -2 none.  Distinct slots of one receiver always have distinct
+     senders, so slot identity plus the copied scalars is exactly the
+     old-best content [route_equal] would compare. *)
+  w_b_slot : int array;
+  w_b_path : Path_intern.id array;
+  w_b_lp : int array;
+  w_b_meta : int array;
+  w_x_slot : int array;  (* Per_neighbor selections; [||] under Per_as *)
+  (* Worklist as a fixed int ring: [queued] dedups, so occupancy never
+     exceeds [n] and pushes allocate nothing. *)
+  w_ring : int array;
+  w_queued : bool array;
+  mutable w_used : bool;
+}
+
+let make_scratch ?(decision = Decision.vanilla) net =
+  let module D = (val decision : Decision.S) in
+  let n = Array.length net.ases in
+  let total_slots = net.slot_base.(n) in
+  {
+    (* Pre-sized for the working set: growth doubles the cell arrays and
+       rehashes the probe table, so a table born at ~2n cells (relayed
+       paths intern one cell per exporting AS, plus origin variants)
+       rarely grows at all. *)
+    w_tbl = Path_intern.create ~capacity:(max 512 (2 * n)) ();
+    w_s_meta = Array.make total_slots (-1);
+    w_s_path = Array.make total_slots Path_intern.nil;
+    w_s_len = Array.make total_slots 0;
+    w_s_lp = Array.make total_slots 0;
+    w_b_slot = Array.make n (-2);
+    w_b_path = Array.make n Path_intern.nil;
+    w_b_lp = Array.make n 0;
+    w_b_meta = Array.make n 0;
+    w_x_slot =
+      (match D.granularity with
+      | Decision.Per_as -> [||]
+      | Decision.Per_neighbor -> Array.make total_slots (-2));
+    w_ring = Array.make (n + 1) 0;
+    w_queued = Array.make n false;
+    w_used = false;
+  }
+
+let reset_scratch w =
+  if w.w_used then begin
+    Array.fill w.w_s_meta 0 (Array.length w.w_s_meta) (-1);
+    Array.fill w.w_b_slot 0 (Array.length w.w_b_slot) (-2);
+    if Array.length w.w_x_slot > 0 then
+      Array.fill w.w_x_slot 0 (Array.length w.w_x_slot) (-2);
+    (* A cap-stopped run exits with entries still queued. *)
+    Array.fill w.w_queued 0 (Array.length w.w_queued) false;
+    Path_intern.reset w.w_tbl
+  end;
+  w.w_used <- true
+
+let propagate_vanilla scratch net ~retain atom =
   let {
     ases;
     index;
-    edges;
     resolved;
     transit_scopes;
     lp_dynamic;
     slot_base;
-    slot_sender_asn;
+    edge_to;
+    edge_asn;
+    edge_asn_int;
+    edge_rel;
+    edge_slot;
+    slot_class;
+    slot_recv_lp;
     _;
   } =
     net
@@ -347,35 +411,23 @@ let propagate_vanilla net ~retain atom =
     | Some i -> i
     | None -> invalid_arg "Engine.propagate: origin not in graph"
   in
-  (* Paths are interned per propagation run: the table is confined to this
-     call, so parallel atom fan-out shares nothing and stays
+  (* Paths are interned per scratch and the scratch is confined to one
+     domain, so parallel atom fan-out shares nothing and stays
      deterministic. *)
-  let tbl = Path_intern.create ~capacity:(max 512 n) () in
-  (* Candidate arena: slot [slot_base.(j) + k] is what receiver j holds
-     from the sender in slot k of its adjacency, as parallel scalar
-     arrays.  [s_meta] packs presence, export class and the no-up tag
-     into one int: -1 when the slot is empty, else
-     [class lor (no_up lsl 3)]. *)
-  let total_slots = slot_base.(n) in
-  let s_meta = Array.make total_slots (-1) in
-  let s_path = Array.make total_slots Path_intern.nil in
-  let s_len = Array.make total_slots 0 in
-  let s_lp = Array.make total_slots 0 in
-  (* Best at last visit, copied out of the arena (slot contents mutate in
-     place): [b_slot.(i)] is the winning global slot, -1 the origin's own
-     route, -2 none.  Distinct slots of one receiver always have distinct
-     senders, so slot identity plus the copied scalars is exactly the
-     old-best content [route_equal] would compare. *)
-  let b_slot = Array.make n (-2) in
-  let b_path = Array.make n Path_intern.nil in
-  let b_lp = Array.make n 0 in
-  let b_meta = Array.make n 0 in
-  (* Worklist as a fixed int ring: [queued] dedups, so occupancy never
-     exceeds [n] and pushes allocate nothing. *)
-  let ring = Array.make (n + 1) 0 in
+  reset_scratch scratch;
+  let tbl = scratch.w_tbl in
+  let s_meta = scratch.w_s_meta in
+  let s_path = scratch.w_s_path in
+  let s_len = scratch.w_s_len in
+  let s_lp = scratch.w_s_lp in
+  let b_slot = scratch.w_b_slot in
+  let b_path = scratch.w_b_path in
+  let b_lp = scratch.w_b_lp in
+  let b_meta = scratch.w_b_meta in
+  let ring = scratch.w_ring in
   let ring_head = ref 0 in
   let ring_tail = ref 0 in
-  let queued = Array.make n false in
+  let queued = scratch.w_queued in
   let[@rpilint.hot] enqueue i =
     if not queued.(i) then begin
       queued.(i) <- true;
@@ -396,7 +448,7 @@ let propagate_vanilla net ~retain atom =
     | 0 -> begin
         match Int.compare s_len.(a) s_len.(b) with
         | 0 -> begin
-            match Int.compare slot_sender_asn.(a) slot_sender_asn.(b) with
+            match Int.compare edge_asn_int.(a) edge_asn_int.(b) with
             | 0 -> Path_intern.compare_lex tbl s_path.(a) s_path.(b) < 0
             | c -> c < 0
           end
@@ -438,12 +490,11 @@ let propagate_vanilla net ~retain atom =
       end;
       if nb = -2 then begin
         (* No route any more: withdraw from every neighbour. *)
-        let es = edges.(i) in
-        for k = 0 to Array.length es - 1 do
-          let e = es.(k) in
-          if s_meta.(e.e_slot) >= 0 then begin
-            s_meta.(e.e_slot) <- -1;
-            enqueue e.e_to
+        for t = slot_base.(i) to slot_base.(i + 1) - 1 do
+          let s = edge_slot.(t) in
+          if s_meta.(s) >= 0 then begin
+            s_meta.(s) <- -1;
+            enqueue edge_to.(t)
           end
         done
       end
@@ -469,10 +520,8 @@ let propagate_vanilla net ~retain atom =
            computes the export as scalars and compares them against the
            stored candidate first: re-visits that change nothing (the
            steady state once the wavefront passes) allocate nothing. *)
-        let es = edges.(i) in
-        for k = 0 to Array.length es - 1 do
-            let e = es.(k) in
-            let s = e.e_slot in
+        for t = slot_base.(i) to slot_base.(i + 1) - 1 do
+            let s = edge_slot.(t) in
             let export_ok =
               (not suppressed)
               && begin
@@ -481,10 +530,10 @@ let propagate_vanilla net ~retain atom =
                       the holder's transit scope. *)
                    is_origin
                    ||
-                   match e.e_rel with
+                   match edge_rel.(t) with
                    | Relationship.Provider -> begin
                        match transit_scopes.(i) with
-                       | Some scope -> Asn.Set.mem e.e_asn scope
+                       | Some scope -> Asn.Set.mem edge_asn.(t) scope
                        | None -> true
                      end
                    | Relationship.Customer | Relationship.Peer | Relationship.Sibling ->
@@ -497,57 +546,61 @@ let propagate_vanilla net ~retain atom =
                    || r_class = class_none || r_class = class_customer
                    || r_class = class_sibling
                    ||
-                   match e.e_rel with
+                   match edge_rel.(t) with
                    | Relationship.Customer | Relationship.Sibling -> true
                    | Relationship.Peer | Relationship.Provider -> false
                  end
               && begin
                    (not r_no_up)
                    ||
-                   match e.e_rel with
+                   match edge_rel.(t) with
                    | Relationship.Customer | Relationship.Sibling -> true
                    | Relationship.Peer | Relationship.Provider -> false
                  end
               && begin
                    (not is_origin)
                    ||
-                   match e.e_rel with
+                   match edge_rel.(t) with
                    | Relationship.Customer | Relationship.Sibling -> true
-                   | Relationship.Peer -> not (Asn.Set.mem e.e_asn atom.Atom.withhold_peers)
+                   | Relationship.Peer ->
+                       not (Asn.Set.mem edge_asn.(t) atom.Atom.withhold_peers)
                    | Relationship.Provider -> begin
                        match atom.Atom.provider_scope with
                        | Atom.All_providers -> true
-                       | Atom.Only_providers set -> Asn.Set.mem e.e_asn set
+                       | Atom.Only_providers set -> Asn.Set.mem edge_asn.(t) set
                      end
                  end
               (* Loop rejection: the exported path is the holder
                  prepended to its own path, so the neighbour appears on
                  it iff it is the holder itself or already on the held
                  path. *)
-              && e.e_asn_int <> holder_int
-              && not (Path_intern.mem tbl e.e_asn r_path)
+              && edge_asn_int.(t) <> holder_int
+              && not (Path_intern.mem tbl edge_asn.(t) r_path)
             in
             if not export_ok then begin
               if s_meta.(s) >= 0 then begin
                 s_meta.(s) <- -1;
-                enqueue e.e_to
+                enqueue edge_to.(t)
               end
             end
             else begin
               let tag =
-                r_no_up || (is_origin && Asn.Set.mem e.e_asn atom.Atom.no_export_up)
+                r_no_up || (is_origin && Asn.Set.mem edge_asn.(t) atom.Atom.no_export_up)
               in
               (* The origin may pad its own announcement towards
                  selected neighbours (AS-path prepending). *)
               let copies =
-                if is_origin then 1 + Atom.prepend_count atom ~neighbor:e.e_asn else 1
+                if is_origin then 1 + Atom.prepend_count atom ~neighbor:edge_asn.(t)
+                else 1
               in
               let path' =
                 if is_origin then Path_intern.cons_n tbl holder copies r_path
                 else relay_path
               in
+              (* [edge_rel] read at the slot index is the receiver's
+                 classification of the holder (the old back-relationship). *)
               let is_sibling_edge =
-                match e.e_back_rel with
+                match edge_rel.(s) with
                 | Relationship.Sibling -> true
                 | Relationship.Customer | Relationship.Peer | Relationship.Provider -> false
               in
@@ -560,15 +613,15 @@ let propagate_vanilla net ~retain atom =
                      mutually-preferring siblings).  The origin's own
                      route gets the receiver's sibling class value. *)
                   r_lp
-                else if lp_dynamic.(e.e_to) then
-                  Policy.resolve resolved.(e.e_to) ~neighbor:holder ~rel:e.e_back_rel
-                    ~atom:atom.Atom.id
-                else e.e_recv_lp
+                else if lp_dynamic.(edge_to.(t)) then
+                  Policy.resolve resolved.(edge_to.(t)) ~neighbor:holder
+                    ~rel:edge_rel.(s) ~atom:atom.Atom.id
+                else slot_recv_lp.(s)
               in
               let export_class_code =
                 if is_sibling_edge then
                   if r_class = class_none then class_customer else r_class
-                else e.e_back_class_code
+                else slot_class.(s)
               in
               let meta' = if tag then export_class_code lor 8 else export_class_code in
               (* An empty slot's meta is -1, so presence is part of the
@@ -582,7 +635,7 @@ let propagate_vanilla net ~retain atom =
                 s_path.(s) <- path';
                 s_len.(s) <- copies + r_len;
                 s_lp.(s) <- lp;
-                enqueue e.e_to
+                enqueue edge_to.(t)
               end
             end
         done
@@ -620,17 +673,22 @@ let propagate_vanilla net ~retain atom =
    candidate — NS-BGP — with one selection cell per adjacency laid out
    over the [slot_base] prefix sums. *)
 
-let propagate_pluggable net ~retain ~decision atom =
+let propagate_pluggable scratch net ~retain ~decision atom =
   let module D = (val decision : Decision.S) in
   let {
     ases;
     index;
-    edges;
     resolved;
     transit_scopes;
     lp_dynamic;
     slot_base;
-    slot_sender_asn;
+    edge_to;
+    edge_asn;
+    edge_asn_int;
+    edge_rel;
+    edge_slot;
+    slot_class;
+    slot_recv_lp;
     _;
   } =
     net
@@ -642,12 +700,12 @@ let propagate_pluggable net ~retain ~decision atom =
     | Some i -> i
     | None -> invalid_arg "Engine.propagate: origin not in graph"
   in
-  let tbl = Path_intern.create ~capacity:(max 512 n) () in
-  let total_slots = slot_base.(n) in
-  let s_meta = Array.make total_slots (-1) in
-  let s_path = Array.make total_slots Path_intern.nil in
-  let s_len = Array.make total_slots 0 in
-  let s_lp = Array.make total_slots 0 in
+  reset_scratch scratch;
+  let tbl = scratch.w_tbl in
+  let s_meta = scratch.w_s_meta in
+  let s_path = scratch.w_s_path in
+  let s_len = scratch.w_s_len in
+  let s_lp = scratch.w_s_lp in
   let ctx =
     {
       Decision.dc_intern = tbl;
@@ -655,28 +713,23 @@ let propagate_pluggable net ~retain ~decision atom =
       dc_path = s_path;
       dc_len = s_len;
       dc_lp = s_lp;
-      dc_sender_asn = slot_sender_asn;
+      dc_sender_asn = edge_asn_int;
     }
   in
-  let b_slot = Array.make n (-2) in
-  let b_path = Array.make n Path_intern.nil in
-  let b_lp = Array.make n 0 in
-  let b_meta = Array.make n 0 in
+  let b_slot = scratch.w_b_slot in
+  let b_path = scratch.w_b_path in
+  let b_lp = scratch.w_b_lp in
+  let b_meta = scratch.w_b_meta in
   (* Per-adjacency selection state ([Per_neighbor] only): what source the
      holder last chose for each of its edges — the arena row the NS-BGP
-     mode adds on top of the per-AS [b_slot] row.  Cell
-     [slot_base.(i) + k] belongs to edge [k] of AS [i] (the holder's
-     degree equals its receiver-slot count, so the prefix sums serve both
-     layouts). *)
-  let x_slot =
-    match D.granularity with
-    | Decision.Per_as -> [||]
-    | Decision.Per_neighbor -> Array.make total_slots (-2)
-  in
-  let ring = Array.make (n + 1) 0 in
+     mode adds on top of the per-AS [b_slot] row.  Cell [t] belongs to
+     out-edge [t] of its holder (the holder's degree equals its
+     receiver-slot count, so the CSR edge space serves both layouts). *)
+  let x_slot = scratch.w_x_slot in
+  let ring = scratch.w_ring in
   let ring_head = ref 0 in
   let ring_tail = ref 0 in
-  let queued = Array.make n false in
+  let queued = scratch.w_queued in
   let[@rpilint.hot] enqueue i =
     if not queued.(i) then begin
       queued.(i) <- true;
@@ -688,40 +741,40 @@ let propagate_pluggable net ~retain ~decision atom =
   let steps = ref 0 in
   let cap = 200 * (n + 1) in
   (* Engine-side legality of announcing source [src] (a slot, or -1 for
-     the origin's own route) over edge [e]: aggregation suppression,
+     the origin's own route) over out-edge [t]: aggregation suppression,
      transit scope, the atom's origin-scope spec, loop rejection.  The
      decision module never sees these — it only answers the policy
      question via [D.export_ok]. *)
-  let[@rpilint.hot] mechanics_ok i holder holder_int e src =
+  let[@rpilint.hot] mechanics_ok i holder_int t src =
     if src < 0 then
-      e.e_asn_int <> holder_int
+      edge_asn_int.(t) <> holder_int
       &&
-      match e.e_rel with
+      match edge_rel.(t) with
       | Relationship.Customer | Relationship.Sibling -> true
-      | Relationship.Peer -> not (Asn.Set.mem e.e_asn atom.Atom.withhold_peers)
+      | Relationship.Peer -> not (Asn.Set.mem edge_asn.(t) atom.Atom.withhold_peers)
       | Relationship.Provider -> begin
           match atom.Atom.provider_scope with
           | Atom.All_providers -> true
-          | Atom.Only_providers set -> Asn.Set.mem e.e_asn set
+          | Atom.Only_providers set -> Asn.Set.mem edge_asn.(t) set
         end
     else
-      (not (Asn.Set.mem holder atom.Atom.suppressed_at))
+      (not (Asn.Set.mem ases.(i) atom.Atom.suppressed_at))
       && begin
-           match e.e_rel with
+           match edge_rel.(t) with
            | Relationship.Provider -> begin
                match transit_scopes.(i) with
-               | Some scope -> Asn.Set.mem e.e_asn scope
+               | Some scope -> Asn.Set.mem edge_asn.(t) scope
                | None -> true
              end
            | Relationship.Customer | Relationship.Peer | Relationship.Sibling -> true
          end
-      && e.e_asn_int <> holder_int
-      && not (Path_intern.mem tbl e.e_asn s_path.(src))
+      && edge_asn_int.(t) <> holder_int
+      && not (Path_intern.mem tbl edge_asn.(t) s_path.(src))
   in
-  (* Write the export of [src] over [e] into the receiver's slot,
-     enqueueing the receiver when the stored candidate changed. *)
-  let[@rpilint.hot] export_to holder e src =
-    let s = e.e_slot in
+  (* Write the export of [src] over out-edge [t] into the receiver's
+     slot, enqueueing the receiver when the stored candidate changed. *)
+  let[@rpilint.hot] export_to holder t src =
+    let s = edge_slot.(t) in
     let is_origin_route = src < 0 in
     let r_path = if is_origin_route then Path_intern.nil else s_path.(src) in
     let r_len = if is_origin_route then 0 else s_len.(src) in
@@ -729,26 +782,28 @@ let propagate_pluggable net ~retain ~decision atom =
     let r_meta = if is_origin_route then class_none else s_meta.(src) in
     let r_class = r_meta land 7 in
     let r_no_up = r_meta land 8 <> 0 in
-    let tag = r_no_up || (is_origin_route && Asn.Set.mem e.e_asn atom.Atom.no_export_up) in
+    let tag =
+      r_no_up || (is_origin_route && Asn.Set.mem edge_asn.(t) atom.Atom.no_export_up)
+    in
     let copies =
-      if is_origin_route then 1 + Atom.prepend_count atom ~neighbor:e.e_asn else 1
+      if is_origin_route then 1 + Atom.prepend_count atom ~neighbor:edge_asn.(t) else 1
     in
     let path' = Path_intern.cons_n tbl holder copies r_path in
     let is_sibling_edge =
-      match e.e_back_rel with
+      match edge_rel.(s) with
       | Relationship.Sibling -> true
       | Relationship.Customer | Relationship.Peer | Relationship.Provider -> false
     in
     let lp =
       if is_sibling_edge && not is_origin_route then r_lp
-      else if lp_dynamic.(e.e_to) then
-        Policy.resolve resolved.(e.e_to) ~neighbor:holder ~rel:e.e_back_rel
+      else if lp_dynamic.(edge_to.(t)) then
+        Policy.resolve resolved.(edge_to.(t)) ~neighbor:holder ~rel:edge_rel.(s)
           ~atom:atom.Atom.id
-      else e.e_recv_lp
+      else slot_recv_lp.(s)
     in
     let export_class_code =
       if is_sibling_edge then if r_class = class_none then class_customer else r_class
-      else e.e_back_class_code
+      else slot_class.(s)
     in
     let meta' = if tag then export_class_code lor 8 else export_class_code in
     let unchanged =
@@ -759,13 +814,14 @@ let propagate_pluggable net ~retain ~decision atom =
       s_path.(s) <- path';
       s_len.(s) <- copies + r_len;
       s_lp.(s) <- lp;
-      enqueue e.e_to
+      enqueue edge_to.(t)
     end
   in
-  let[@rpilint.hot] withdraw e =
-    if s_meta.(e.e_slot) >= 0 then begin
-      s_meta.(e.e_slot) <- -1;
-      enqueue e.e_to
+  let[@rpilint.hot] withdraw t =
+    let s = edge_slot.(t) in
+    if s_meta.(s) >= 0 then begin
+      s_meta.(s) <- -1;
+      enqueue edge_to.(t)
     end
   in
   (* The AS's own best candidate — what it installs for forwarding — by
@@ -802,30 +858,28 @@ let propagate_pluggable net ~retain ~decision atom =
         b_lp.(i) <- s_lp.(nb);
         b_meta.(i) <- s_meta.(nb)
       end;
-      let es = edges.(i) in
-      for k = 0 to Array.length es - 1 do
-        let e = es.(k) in
+      for t = slot_base.(i) to slot_base.(i + 1) - 1 do
         if
           nb <> -2
-          && mechanics_ok i holder holder_int e nb
-          && D.export_ok ctx ~rel:e.e_rel nb
-        then export_to holder e nb
-        else withdraw e
+          && mechanics_ok i holder_int t nb
+          && D.export_ok ctx ~rel:edge_rel.(t) nb
+        then export_to holder t nb
+        else withdraw t
       done
     end
   in
   (* The per-edge selection scan of the NS-BGP mode: the most preferred
      candidate that is both mechanically announceable and policy-exportable
-     over edge [e]. *)
-  let[@rpilint.hot] rec edge_best i holder holder_int e s hi best =
+     over out-edge [t]. *)
+  let[@rpilint.hot] rec edge_best i holder_int t s hi best =
     if s >= hi then best
     else if
       s_meta.(s) >= 0
-      && mechanics_ok i holder holder_int e s
-      && D.export_ok ctx ~rel:e.e_rel s
+      && mechanics_ok i holder_int t s
+      && D.export_ok ctx ~rel:edge_rel.(t) s
       && (best < 0 || D.prefer ctx s best < 0)
-    then edge_best i holder holder_int e (s + 1) hi s
-    else edge_best i holder holder_int e (s + 1) hi best
+    then edge_best i holder_int t (s + 1) hi s
+    else edge_best i holder_int t (s + 1) hi best
   in
   let[@rpilint.hot] visit_per_neighbor i holder holder_int =
     (* No per-AS change gate: each edge carries its own selection, so
@@ -840,20 +894,16 @@ let propagate_pluggable net ~retain ~decision atom =
     end;
     let lo = slot_base.(i) in
     let hi = slot_base.(i + 1) in
-    let es = edges.(i) in
-    for k = 0 to Array.length es - 1 do
-      let e = es.(k) in
+    for t = lo to hi - 1 do
       let src =
         if i = origin_i then
-          if
-            mechanics_ok i holder holder_int e (-1)
-            && D.export_ok ctx ~rel:e.e_rel (-1)
+          if mechanics_ok i holder_int t (-1) && D.export_ok ctx ~rel:edge_rel.(t) (-1)
           then -1
           else -2
-        else edge_best i holder holder_int e lo hi (-2)
+        else edge_best i holder_int t lo hi (-2)
       in
-      x_slot.(lo + k) <- src;
-      if src = -2 then withdraw e else export_to holder e src
+      x_slot.(t) <- src;
+      if src = -2 then withdraw t else export_to holder t src
     done
   in
   while !ring_head <> !ring_tail && !steps <= cap do
@@ -878,11 +928,15 @@ let propagate_pluggable net ~retain ~decision atom =
   in
   { atom; tables; converged; steps = !steps }
 
+(* Solve one atom into an existing scratch.  The name "vanilla" claims
+   byte-identity with the specialised fast path, so it is safe (and
+   profitable) to dispatch there. *)
+let propagate_on scratch net ~retain ~decision atom =
+  if Decision.is_vanilla decision then propagate_vanilla scratch net ~retain atom
+  else propagate_pluggable scratch net ~retain ~decision atom
+
 let propagate net ~retain ?(decision = Decision.vanilla) atom =
-  (* The name "vanilla" claims byte-identity with the specialised fast
-     path, so it is safe (and profitable) to dispatch there. *)
-  if Decision.is_vanilla decision then propagate_vanilla net ~retain atom
-  else propagate_pluggable net ~retain ~decision atom
+  propagate_on (make_scratch ~decision net) net ~retain ~decision atom
 
 (* ------------------------------------------------------------------ *)
 (* Reference solver: the direct list-of-routes implementation the
@@ -1057,39 +1111,64 @@ let propagate_reference net ~retain atom =
   in
   { atom; tables; converged; steps = !steps }
 
-let propagate_all net ~retain ?decision ?(jobs = 1) atoms =
-  let jobs = max 1 jobs in
-  if jobs = 1 then List.map (fun atom -> propagate net ~retain ?decision atom) atoms
+let propagate_all net ~retain ?(decision = Decision.vanilla) ?(jobs = 1) atoms =
+  let arr = Array.of_list atoms in
+  let m = Array.length arr in
+  let jobs = max 1 (min jobs m) in
+  if jobs = 1 then begin
+    (* One scratch reused across the whole batch: arena and intern-table
+       setup is paid once, not per atom — the same fix, at batch
+       granularity, that the sharded path below applies per worker. *)
+    let scratch = make_scratch ~decision net in
+    List.map (fun atom -> propagate_on scratch net ~retain ~decision atom) atoms
+  end
   else begin
-    (* Atom-level fan-out: each propagation run is self-contained (its own
-       intern table and arenas), slots are written by exactly one domain,
-       and the merge reads them back in declaration order — so the result
-       is byte-identical whatever the domain count. *)
-    let arr = Array.of_list atoms in
-    let m = Array.length arr in
+    (* Sharded fan-out: atoms are split into ~4x[jobs] contiguous chunks
+       claimed off one atomic counter — coarse enough that per-task
+       dispatch (and per-worker scratch setup) amortizes over many
+       atoms, fine enough that an unlucky chunk of slow atoms doesn't
+       serialize the tail.  Each worker owns one scratch (reset between
+       atoms is observationally a fresh one), every result cell is
+       written by exactly one domain, and the merge reads them back in
+       declaration order — so the result is byte-identical whatever the
+       domain count or chunking. *)
+    let n_chunks = min m (4 * jobs) in
     let slots = Array.make m None in
     let next = Atomic.make 0 in
     let worker _id =
+      let scratch = make_scratch ~decision net in
       let rec loop () =
-        let k = Atomic.fetch_and_add next 1 in
-        if k < m then begin
-          let atom = arr.(k) in
-          slots.(k) <-
-            Some
-              (try Ok (propagate net ~retain ?decision atom)
-               with e -> Error (e, Printexc.get_raw_backtrace ()));
+        let c = Atomic.fetch_and_add next 1 in
+        if c < n_chunks then begin
+          let lo = c * m / n_chunks and hi = (c + 1) * m / n_chunks in
+          for k = lo to hi - 1 do
+            slots.(k) <-
+              Some
+                (try Ok (propagate_on scratch net ~retain ~decision arr.(k))
+                 with e -> Error (e, Printexc.get_raw_backtrace ()))
+          done;
           loop ()
         end
       in
       loop ()
     in
-    Rpi_pool.Pool.run ~jobs:(min jobs (max 1 m)) worker;
+    Rpi_pool.Pool.run ~jobs worker;
     Array.to_list slots
     |> List.map (function
          | Some (Ok r) -> r
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end
+
+let iter_propagated net ~retain ?(decision = Decision.vanilla) atoms ~f =
+  match atoms with
+  | [] -> ()
+  | _ :: _ ->
+      (* Streaming fan-out: one scratch, one live result at a time, in
+         declaration order — callers fold vantage tables incrementally
+         instead of materializing every per-AS result list at once. *)
+      let scratch = make_scratch ~decision net in
+      List.iter (fun atom -> f (propagate_on scratch net ~retain ~decision atom)) atoms
 
 (* ------------------------------------------------------------------ *)
 (* Incremental re-propagation.
@@ -1234,22 +1313,16 @@ type state = {
 let init_state ?(decision = Decision.vanilla) net =
   let n = Array.length net.ases in
   let total_slots = net.slot_base.(n) in
-  let st_rel = Array.make total_slots Relationship.Customer in
-  Array.iteri
-    (fun s r -> match r with Some r -> st_rel.(s) <- r | None -> ())
-    net.slot_rel;
-  let st_recv_lp = Array.make total_slots 0 in
-  Array.iter
-    (fun es -> Array.iter (fun e -> st_recv_lp.(e.e_slot) <- e.e_recv_lp) es)
-    net.edges;
   {
     st_net = net;
     st_decision = decision;
     st_active = Array.make total_slots true;
-    st_rel;
+    (* [edge_rel] read at a slot index is the receiver's view of the
+       slot's sender — exactly the overlay's initial contents. *)
+    st_rel = Array.copy net.edge_rel;
     st_rel_opt = Array.copy net.slot_rel;
-    st_class_code = Array.map (fun r -> class_code r) net.slot_rel;
-    st_recv_lp;
+    st_class_code = Array.copy net.slot_class;
+    st_recv_lp = Array.copy net.slot_recv_lp;
     st_resolved = Array.map Policy.copy_resolved net.resolved;
     st_lp_dynamic = Array.copy net.lp_dynamic;
     st_ring = Array.make (n + 1) 0;
@@ -1270,17 +1343,18 @@ let state_atoms st =
    differential properties depend on it). *)
 let state_graph st =
   let net = st.st_net in
+  let n = Array.length net.ases in
   let g = ref (Array.fold_left As_graph.add_as As_graph.empty net.ases) in
-  Array.iteri
-    (fun i es ->
-      Array.iter
-        (fun e ->
-          if e.e_to > i && st.st_active.(e.e_slot) then
-            g :=
-              As_graph.add_edge !g net.ases.(i) net.ases.(e.e_to)
-                (Relationship.invert st.st_rel.(e.e_slot)))
-        es)
-    net.edges;
+  for i = 0 to n - 1 do
+    for t = net.slot_base.(i) to net.slot_base.(i + 1) - 1 do
+      let j = net.edge_to.(t) in
+      let s = net.edge_slot.(t) in
+      if j > i && st.st_active.(s) then
+        g :=
+          As_graph.add_edge !g net.ases.(i) net.ases.(j)
+            (Relationship.invert st.st_rel.(s))
+    done
+  done;
   !g
 
 (* Re-solve one cell from the seeded frontier.  [seeds] are the AS
@@ -1291,7 +1365,7 @@ let state_graph st =
 let solve_cell st cell seeds =
   let module D = (val st.st_decision : Decision.S) in
   let net = st.st_net in
-  let { ases; edges; slot_base; slot_sender_asn; _ } = net in
+  let { ases; slot_base; edge_to; edge_asn; edge_asn_int; edge_slot; _ } = net in
   let n = Array.length ases in
   let atom = cell.c_atom in
   let origin_i = cell.c_origin_i in
@@ -1319,7 +1393,7 @@ let solve_cell st cell seeds =
       dc_path = s_path;
       dc_len = s_len;
       dc_lp = s_lp;
-      dc_sender_asn = slot_sender_asn;
+      dc_sender_asn = edge_asn_int;
     }
   in
   let ring = st.st_ring in
@@ -1345,37 +1419,38 @@ let solve_cell st cell seeds =
      ([Relationship.invert] maps immediates to immediates), and an
      inactive slot admits no export at all — the forced sender visit is
      what clears a downed link's slots. *)
-  let[@rpilint.hot] mechanics_ok i holder holder_int e src =
-    active.(e.e_slot)
+  let[@rpilint.hot] mechanics_ok i holder_int t src =
+    let s = edge_slot.(t) in
+    active.(s)
     &&
-    let e_rel = Relationship.invert rel_of.(e.e_slot) in
+    let e_rel = Relationship.invert rel_of.(s) in
     if src < 0 then
-      e.e_asn_int <> holder_int
+      edge_asn_int.(t) <> holder_int
       &&
       match e_rel with
       | Relationship.Customer | Relationship.Sibling -> true
-      | Relationship.Peer -> not (Asn.Set.mem e.e_asn atom.Atom.withhold_peers)
+      | Relationship.Peer -> not (Asn.Set.mem edge_asn.(t) atom.Atom.withhold_peers)
       | Relationship.Provider -> begin
           match atom.Atom.provider_scope with
           | Atom.All_providers -> true
-          | Atom.Only_providers set -> Asn.Set.mem e.e_asn set
+          | Atom.Only_providers set -> Asn.Set.mem edge_asn.(t) set
         end
     else
-      (not (Asn.Set.mem holder atom.Atom.suppressed_at))
+      (not (Asn.Set.mem ases.(i) atom.Atom.suppressed_at))
       && begin
            match e_rel with
            | Relationship.Provider -> begin
                match transit_scopes.(i) with
-               | Some scope -> Asn.Set.mem e.e_asn scope
+               | Some scope -> Asn.Set.mem edge_asn.(t) scope
                | None -> true
              end
            | Relationship.Customer | Relationship.Peer | Relationship.Sibling -> true
          end
-      && e.e_asn_int <> holder_int
-      && not (Path_intern.mem tbl e.e_asn s_path.(src))
+      && edge_asn_int.(t) <> holder_int
+      && not (Path_intern.mem tbl edge_asn.(t) s_path.(src))
   in
-  let[@rpilint.hot] export_to holder e src =
-    let s = e.e_slot in
+  let[@rpilint.hot] export_to holder t src =
+    let s = edge_slot.(t) in
     let is_origin_route = src < 0 in
     let r_path = if is_origin_route then Path_intern.nil else s_path.(src) in
     let r_len = if is_origin_route then 0 else s_len.(src) in
@@ -1383,9 +1458,11 @@ let solve_cell st cell seeds =
     let r_meta = if is_origin_route then class_none else s_meta.(src) in
     let r_class = r_meta land 7 in
     let r_no_up = r_meta land 8 <> 0 in
-    let tag = r_no_up || (is_origin_route && Asn.Set.mem e.e_asn atom.Atom.no_export_up) in
+    let tag =
+      r_no_up || (is_origin_route && Asn.Set.mem edge_asn.(t) atom.Atom.no_export_up)
+    in
     let copies =
-      if is_origin_route then 1 + Atom.prepend_count atom ~neighbor:e.e_asn else 1
+      if is_origin_route then 1 + Atom.prepend_count atom ~neighbor:edge_asn.(t) else 1
     in
     let path' = Path_intern.cons_n tbl holder copies r_path in
     let back_rel = rel_of.(s) in
@@ -1396,8 +1473,8 @@ let solve_cell st cell seeds =
     in
     let lp =
       if is_sibling_edge && not is_origin_route then r_lp
-      else if lp_dynamic.(e.e_to) then
-        Policy.resolve resolved.(e.e_to) ~neighbor:holder ~rel:back_rel
+      else if lp_dynamic.(edge_to.(t)) then
+        Policy.resolve resolved.(edge_to.(t)) ~neighbor:holder ~rel:back_rel
           ~atom:atom.Atom.id
       else recv_lp.(s)
     in
@@ -1414,13 +1491,14 @@ let solve_cell st cell seeds =
       s_path.(s) <- path';
       s_len.(s) <- copies + r_len;
       s_lp.(s) <- lp;
-      enqueue e.e_to
+      enqueue edge_to.(t)
     end
   in
-  let[@rpilint.hot] withdraw e =
-    if s_meta.(e.e_slot) >= 0 then begin
-      s_meta.(e.e_slot) <- -1;
-      enqueue e.e_to
+  let[@rpilint.hot] withdraw t =
+    let s = edge_slot.(t) in
+    if s_meta.(s) >= 0 then begin
+      s_meta.(s) <- -1;
+      enqueue edge_to.(t)
     end
   in
   let[@rpilint.hot] rec select_from s hi best =
@@ -1454,27 +1532,25 @@ let solve_cell st cell seeds =
         b_lp.(i) <- s_lp.(nb);
         b_meta.(i) <- s_meta.(nb)
       end;
-      let es = edges.(i) in
-      for k = 0 to Array.length es - 1 do
-        let e = es.(k) in
+      for t = slot_base.(i) to slot_base.(i + 1) - 1 do
         if
           nb <> -2
-          && mechanics_ok i holder holder_int e nb
-          && D.export_ok ctx ~rel:(Relationship.invert rel_of.(e.e_slot)) nb
-        then export_to holder e nb
-        else withdraw e
+          && mechanics_ok i holder_int t nb
+          && D.export_ok ctx ~rel:(Relationship.invert rel_of.(edge_slot.(t))) nb
+        then export_to holder t nb
+        else withdraw t
       done
     end
   in
-  let[@rpilint.hot] rec edge_best i holder holder_int e s hi best =
+  let[@rpilint.hot] rec edge_best i holder_int t s hi best =
     if s >= hi then best
     else if
       s_meta.(s) >= 0
-      && mechanics_ok i holder holder_int e s
-      && D.export_ok ctx ~rel:(Relationship.invert rel_of.(e.e_slot)) s
+      && mechanics_ok i holder_int t s
+      && D.export_ok ctx ~rel:(Relationship.invert rel_of.(edge_slot.(t))) s
       && (best < 0 || D.prefer ctx s best < 0)
-    then edge_best i holder holder_int e (s + 1) hi s
-    else edge_best i holder holder_int e (s + 1) hi best
+    then edge_best i holder_int t (s + 1) hi s
+    else edge_best i holder_int t (s + 1) hi best
   in
   let[@rpilint.hot] visit_per_neighbor i holder holder_int =
     (* As in the batch Per_neighbor visit: no per-AS change gate, every
@@ -1489,20 +1565,18 @@ let solve_cell st cell seeds =
     end;
     let lo = slot_base.(i) in
     let hi = slot_base.(i + 1) in
-    let es = edges.(i) in
-    for k = 0 to Array.length es - 1 do
-      let e = es.(k) in
+    for t = lo to hi - 1 do
       let src =
         if i = origin_i then
           if
-            mechanics_ok i holder holder_int e (-1)
-            && D.export_ok ctx ~rel:(Relationship.invert rel_of.(e.e_slot)) (-1)
+            mechanics_ok i holder_int t (-1)
+            && D.export_ok ctx ~rel:(Relationship.invert rel_of.(edge_slot.(t))) (-1)
           then -1
           else -2
-        else edge_best i holder holder_int e lo hi (-2)
+        else edge_best i holder_int t lo hi (-2)
       in
-      x_slot.(lo + k) <- src;
-      if src = -2 then withdraw e else export_to holder e src
+      x_slot.(t) <- src;
+      if src = -2 then withdraw t else export_to holder t src
     done
   in
   let steps = ref 0 in
@@ -1569,28 +1643,27 @@ let fresh_cell st atom =
 let repropagate net st deltas =
   if not (net == st.st_net) then
     invalid_arg "Engine.repropagate: state was built for a different network";
-  let { ases; index; edges; _ } = net in
+  let { ases; index; _ } = net in
   (* Resolve an undirected link to its two endpoint indices and directed
      slots; deltas naming a link outside the prepared universe are
-     programming errors (the geometry is fixed at prepare time). *)
+     programming errors (the geometry is fixed at prepare time).  The
+     forward out-edge t (i->j) IS the slot of j's export into i, and its
+     reverse [edge_slot.(t)] the slot of i's export into j. *)
   let link_slots what a b =
     let find_edge i j =
-      let es = edges.(i) in
-      let rec go k =
-        if k >= Array.length es then None
-        else if es.(k).e_to = j then Some es.(k)
-        else go (k + 1)
+      let rec go t hi =
+        if t >= hi then -1 else if net.edge_to.(t) = j then t else go (t + 1) hi
       in
-      go 0
+      go net.slot_base.(i) net.slot_base.(i + 1)
     in
     match (Asn.Table.find_opt index a, Asn.Table.find_opt index b) with
     | Some i, Some j -> begin
-        match (find_edge i j, find_edge j i) with
-        | Some eij, Some eji -> (i, j, eij.e_slot, eji.e_slot)
-        | _ ->
+        match find_edge i j with
+        | -1 ->
             invalid_arg
               (Printf.sprintf "Engine.repropagate: %s names link AS%d-AS%d absent from the prepared graph"
                  what (Asn.to_int a) (Asn.to_int b))
+        | t -> (i, j, net.edge_slot.(t), t)
       end
     | _ ->
         invalid_arg

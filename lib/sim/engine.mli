@@ -51,8 +51,10 @@ type result = {
 }
 
 type network
-(** The AS graph with import policies resolved into index-based arrays —
-    built once, shared by every per-atom propagation. *)
+(** The AS graph frozen into an int-indexed CSR ({!Rpi_topo.Csr}) with
+    import policies resolved into index-based arrays — built once,
+    shared read-only by every per-atom propagation (including parallel
+    fan-out across domains). *)
 
 val prepare :
   graph:As_graph.t ->
@@ -102,10 +104,28 @@ val propagate_all :
   ?jobs:int ->
   Atom.t list ->
   result list
-(** One propagation per atom.  [jobs > 1] fans the atoms out over that
-    many domains (the calling domain included) on the shared pool
-    discipline; results are merged in declaration order, so the output is
-    identical for every job count.  Default 1 (no spawns). *)
+(** One propagation per atom, with solver scratch (arenas, intern
+    table, worklist) allocated once and reused across the batch instead
+    of once per atom.  [jobs > 1] fans the atoms out over that many
+    domains (the calling domain included) on the shared pool discipline:
+    atoms are claimed in ~[4*jobs] contiguous chunks so per-task
+    dispatch amortizes, each worker reuses its own scratch, and results
+    are merged in declaration order — the output is byte-identical for
+    every job count and chunking.  Default 1 (no spawns). *)
+
+val iter_propagated :
+  network ->
+  retain:Asn.Set.t ->
+  ?decision:Decision.t ->
+  Atom.t list ->
+  f:(result -> unit) ->
+  unit
+(** Streaming variant of {!propagate_all} (sequential): calls [f] on
+    each atom's result in declaration order, holding only one result
+    live at a time.  At 15k+ ASes this is what keeps collector / Looking
+    Glass table extraction from materializing every per-atom result
+    list at once — fold the vantage tables inside [f] (see
+    {!Vantage.extend_collector_rib}) and drop the rest. *)
 
 (** {2 Incremental re-propagation}
 

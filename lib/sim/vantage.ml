@@ -59,7 +59,7 @@ let extend_rib_at ~policy ~vantage rib results =
 
 let rib_at ~policy ~vantage results = extend_rib_at ~policy ~vantage Rib.empty results
 
-let collector_rib ~peers results =
+let extend_collector_rib ~peers rib results =
   List.fold_left
     (fun rib (result : Engine.result) ->
       let origin = result.Engine.atom.Atom.origin in
@@ -83,7 +83,9 @@ let collector_rib ~peers results =
                   Rib.add_route route rib)
                 rib result.Engine.atom.Atom.prefixes)
         rib peers)
-    Rib.empty results
+    rib results
+
+let collector_rib ~peers results = extend_collector_rib ~peers Rib.empty results
 
 let router_views ~policy ~vantage ~routers results =
   if routers < 1 then invalid_arg "Vantage.router_views: need at least one router";

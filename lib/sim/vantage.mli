@@ -35,6 +35,12 @@ val collector_rib : peers:Asn.t list -> Engine.result list -> Rib.t
     Origin-tagged "no-export-up" communities stay visible, as transitive
     communities do in practice. *)
 
+val extend_collector_rib : peers:Asn.t list -> Rib.t -> Engine.result list -> Rib.t
+(** {!collector_rib} folded onto an existing table — the streaming form:
+    feed it one result at a time from {!Engine.iter_propagated} and the
+    collector table builds up without every per-atom result being live
+    at once (the way paper-scale runs must do it). *)
+
 val no_reexport_community : origin:Asn.t -> Rpi_bgp.Community.t
 (** The community marking "origin asked its provider not to re-export". *)
 

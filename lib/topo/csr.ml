@@ -1,0 +1,84 @@
+(* Int-indexed compressed-sparse-row view of the AS graph.
+
+   [As_graph] is a persistent map-of-maps: ideal for incremental edits
+   and text round-trips, hopeless as a hot-path representation at 15k+
+   ASes where every adjacency walk pays O(log n) pointer chasing per
+   step.  This module freezes a graph into flat parallel arrays, built
+   once and shared read-only across domains.
+
+   Layout: nodes are numbered 0..n-1 in ascending ASN order (the order
+   [As_graph.ases] returns).  Directed edge records live in parallel
+   arrays of length m = 2 * edge_count; node [i]'s out-edges occupy the
+   contiguous range [off.(i), off.(i+1)) and are sorted by neighbour
+   ASN — exactly the order [As_graph.neighbors] yields, so consumers
+   that previously walked the map see the same visit order byte for
+   byte.
+
+   The one non-obvious field is [back]: because the graph is symmetric,
+   every directed edge i->j has a reverse j->i, and [back.(t)] is its
+   index.  Since out-degree equals in-degree per node, the same index
+   space doubles as a receiver-side "slot" space: the slot where j
+   stores what i sent it IS the reverse edge j->i.  Solvers exploit
+   this to key their candidate arenas directly by edge index. *)
+
+module Asn = Rpi_bgp.Asn
+
+type t = {
+  ases : Asn.t array;  (** node id -> ASN, ascending *)
+  index : int Asn.Table.t;  (** ASN -> node id *)
+  off : int array;  (** length n+1; prefix sums of out-degrees *)
+  dst : int array;  (** edge -> destination node id *)
+  dst_asn : Asn.t array;  (** edge -> destination ASN *)
+  rel : Relationship.t array;
+      (** edge i->j -> how [i] classifies [j] (per [As_graph.relationship]) *)
+  back : int array;  (** edge i->j -> index of the reverse edge j->i *)
+}
+
+let node_count t = Array.length t.ases
+let edge_count t = t.off.(Array.length t.ases)
+let degree t i = t.off.(i + 1) - t.off.(i)
+
+let of_graph g =
+  let ases = Array.of_list (As_graph.ases g) in
+  let n = Array.length ases in
+  let index = Asn.Table.create (max 16 (2 * n)) in
+  Array.iteri (fun i a -> Asn.Table.replace index a i) ases;
+  (* One [neighbors] call per node: the bindings come back sorted by
+     ASN, which is also the node numbering, so [dst] rows are sorted by
+     node id and reverse edges can be found by binary search. *)
+  let adj = Array.map (fun a -> As_graph.neighbors g a) ases in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + List.length adj.(i)
+  done;
+  let m = off.(n) in
+  let dst = Array.make m 0 in
+  let dst_asn = Array.make m (Asn.of_int 0) in
+  let rel = Array.make m Relationship.Customer in
+  Array.iteri
+    (fun i nbrs ->
+      let k = ref off.(i) in
+      List.iter
+        (fun (b, r) ->
+          dst.(!k) <- Asn.Table.find index b;
+          dst_asn.(!k) <- b;
+          rel.(!k) <- r;
+          incr k)
+        nbrs)
+    adj;
+  let back = Array.make m 0 in
+  for i = 0 to n - 1 do
+    for t = off.(i) to off.(i + 1) - 1 do
+      let j = dst.(t) in
+      (* Locate [i] in [j]'s sorted row; symmetry guarantees presence. *)
+      let lo = ref off.(j) and hi = ref (off.(j + 1) - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if dst.(mid) < i then lo := mid + 1 else hi := mid
+      done;
+      if dst.(!lo) <> i then
+        invalid_arg "Csr.of_graph: asymmetric adjacency (missing reverse edge)";
+      back.(t) <- !lo
+    done
+  done;
+  { ases; index; off; dst; dst_asn; rel; back }

@@ -1,0 +1,40 @@
+(** Int-indexed compressed-sparse-row (CSR) view of {!As_graph}.
+
+    Built once (typically by [Engine.prepare]) and then shared
+    read-only across domains, this replaces per-visit functional-map
+    lookups with flat array indexing on the propagation hot path.
+
+    Nodes are numbered [0..n-1] in ascending ASN order; node [i]'s
+    out-edges occupy [off.(i), off.(i+1)) sorted by neighbour ASN —
+    the same order {!As_graph.neighbors} returns, so traversals over
+    the CSR visit neighbours in the identical order and downstream
+    results stay byte-identical.
+
+    Because adjacency is symmetric, out-degree = in-degree per node and
+    the directed-edge index space doubles as a receiver-side slot
+    space: [back.(t)] — the index of the reverse edge — is also the
+    slot where the edge's destination stores state about its sender. *)
+
+module Asn = Rpi_bgp.Asn
+
+type t = {
+  ases : Asn.t array;  (** node id -> ASN, ascending *)
+  index : int Asn.Table.t;  (** ASN -> node id *)
+  off : int array;  (** length n+1; prefix sums of out-degrees *)
+  dst : int array;  (** edge -> destination node id *)
+  dst_asn : Asn.t array;  (** edge -> destination ASN *)
+  rel : Relationship.t array;
+      (** edge i->j -> how [i] classifies [j] (per {!As_graph.relationship}) *)
+  back : int array;  (** edge i->j -> index of the reverse edge j->i *)
+}
+
+val of_graph : As_graph.t -> t
+(** O(E log d) freeze of a graph.  @raise Invalid_argument if the
+    adjacency is not symmetric (cannot happen for graphs built through
+    {!As_graph}'s constructors). *)
+
+val node_count : t -> int
+val edge_count : t -> int
+(** Directed edge count, i.e. [2 * As_graph.edge_count]. *)
+
+val degree : t -> int -> int

@@ -54,17 +54,69 @@ let famous_tier2 =
 
 let first_dynamic_asn = 20000
 
-(* Allocate [n] AS numbers, preferring the famous pool then counting up. *)
+let max_asn = 0xFFFF_FFFF
+
+(* The famous casts all sit below [first_dynamic_asn] today, but [allocate]
+   must not silently mint a duplicate if that ever changes (or if a caller
+   supplies a custom pool): dynamic numbering skips anything famous. *)
+let famous_set =
+  List.fold_left
+    (fun s a -> Asn.Set.add a s)
+    Asn.Set.empty
+    (famous_tier1 @ famous_tier2)
+
+(* Allocate [n] AS numbers, preferring the famous pool then counting up
+   (skipping numbers already taken by a famous AS). *)
 let allocate pool next n =
+  let rec bump next = if Asn.Set.mem (Asn.of_int next) famous_set then bump (next + 1) else next in
   let rec go pool next k acc =
     if k = 0 then (List.rev acc, pool, next)
     else begin
       match pool with
       | a :: rest -> go rest next (k - 1) (a :: acc)
-      | [] -> go [] (next + 1) (k - 1) (Asn.of_int next :: acc)
+      | [] ->
+          let next = bump next in
+          go [] (next + 1) (k - 1) (Asn.of_int next :: acc)
     end
   in
   go pool next n []
+
+let validate config =
+  let mix_ok parts = List.for_all (fun p -> p >= 0.0) parts && abs_float (List.fold_left ( +. ) 0.0 parts -. 1.0) < 1e-6 in
+  let t3_t2, t3_t1 = config.tier3_upstream_mix in
+  let st_t3, st_t2, st_t1 = config.stub_upstream_mix in
+  let dynamic_needed =
+    max 0 (config.n_tier1 - List.length famous_tier1)
+    + max 0 (config.n_tier2 - List.length famous_tier2)
+    + config.n_tier3 + config.n_stub
+  in
+  let asn_budget = max_asn - first_dynamic_asn + 1 in
+  if config.n_tier1 < 2 then Error "need at least 2 Tier-1 ASs"
+  else if config.n_tier2 < 0 || config.n_tier3 < 0 || config.n_stub < 0 then
+    Error "tier sizes must be non-negative"
+  else if config.max_providers < 1 then Error "max_providers must be at least 1"
+  else if config.sibling_pairs < 0 then Error "sibling_pairs must be non-negative"
+    (* sibling_pairs above the achievable pair count is a target, not an
+       error: planting stops at the attempts cap, as it always has. *)
+  else if dynamic_needed > asn_budget then
+    Error
+      (Printf.sprintf
+         "tier sizes need %d dynamic AS numbers but only %d exist above %d"
+         dynamic_needed asn_budget first_dynamic_asn)
+  else if not (mix_ok [ t3_t2; t3_t1 ]) then
+    Error "tier3_upstream_mix must be non-negative and sum to 1"
+  else if not (mix_ok [ st_t3; st_t2; st_t1 ]) then
+    Error "stub_upstream_mix must be non-negative and sum to 1"
+  else if config.multihoming_prob < 0.0 || config.multihoming_prob > 1.0 then
+    Error "multihoming_prob must be in [0, 1]"
+  else if config.tier12_peering_fraction < 0.0 || config.tier12_peering_fraction > 1.0 then
+    Error "tier12_peering_fraction must be in [0, 1]"
+  else Ok ()
+
+let validate_exn ~who config =
+  match validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (who ^ ": " ^ msg)
 
 (* Pick up to [k] distinct providers from [candidates], weighting each by
    its current degree + 1 (preferential attachment). *)
@@ -140,7 +192,7 @@ let add_peering ?(max_ratio = 3.0) rng graph members target_mean =
   end
 
 let generate ?(config = default_config) rng =
-  if config.n_tier1 < 2 then invalid_arg "Gen.generate: need at least 2 Tier-1 ASs";
+  validate_exn ~who:"Gen.generate" config;
   let tier1, _, next = allocate famous_tier1 first_dynamic_asn config.n_tier1 in
   let tier2, _, next = allocate famous_tier2 next config.n_tier2 in
   let tier3, _, next = allocate [] next config.n_tier3 in
@@ -231,3 +283,193 @@ let tiers_ground_truth t =
   let m = tag 2 m t.tier2 in
   let m = tag 3 m t.tier3 in
   tag 4 m t.stubs
+
+let scale_config ~n =
+  if n < 64 then invalid_arg "Gen.scale_config: need at least 64 ASs";
+  let n_tier1 = min 16 (max 4 (4 + (n / 1500))) in
+  let n_tier2 = max 8 (n / 60) in
+  let n_tier3 = max 20 (n / 7) in
+  let n_stub = max 0 (n - n_tier1 - n_tier2 - n_tier3) in
+  {
+    default_config with
+    n_tier1;
+    n_tier2;
+    n_tier3;
+    n_stub;
+    sibling_pairs = max 10 (n / 200);
+  }
+
+(* {2 Scaled generation}
+
+   [generate] rebuilds a weighted candidate list for every provider pick
+   (O(n) per pick over functional-map degrees), which is quadratic in the
+   AS count — fine at 2k ASs, hopeless at 100k.  [generate_scaled] works
+   in an int-indexed node space with ticket-array preferential attachment:
+   each ticketed node appears [degree + 1] times in its class's ticket
+   array (one base ticket plus one per incident edge), so a uniform draw
+   from the array IS a degree+1-weighted draw, in O(1).  Edges accumulate
+   in a plain list and the annotated graph is built once at the end —
+   O(n + E) generation plus the O(E log n) graph freeze. *)
+
+(* Ticket arrays are strictly per-call scratch: every instance is created
+   inside [generate_scaled], grows while that single invocation attaches
+   edges, and dies with it — never stored, returned, or shared across
+   domains. *)
+(* rpilint: allow mutable-toplevel *)
+type tickets = { mutable tk_buf : int array; mutable tk_len : int }
+
+let tickets_make cap = { tk_buf = Array.make (max cap 16) 0; tk_len = 0 }
+
+let tickets_push t x =
+  if t.tk_len = Array.length t.tk_buf then begin
+    let b = Array.make (2 * t.tk_len) 0 in
+    Array.blit t.tk_buf 0 b 0 t.tk_len;
+    t.tk_buf <- b
+  end;
+  t.tk_buf.(t.tk_len) <- x;
+  t.tk_len <- t.tk_len + 1
+
+let tickets_pick rng t = t.tk_buf.(Prng.int rng t.tk_len)
+
+let generate_scaled ?(config = default_config) rng =
+  validate_exn ~who:"Gen.generate_scaled" config;
+  let t1 = config.n_tier1 and t2 = config.n_tier2 in
+  let t3 = config.n_tier3 and st = config.n_stub in
+  let n = t1 + t2 + t3 + st in
+  (* Node ids: tier1 [0,t1), tier2 [t1,t1+t2), tier3, then stubs. *)
+  let tier1_lo = 0 and tier2_lo = t1 in
+  let tier3_lo = t1 + t2 and stub_lo = t1 + t2 + t3 in
+  let asn_of = Array.make n (Asn.of_int 0) in
+  let fill lo ases = List.iteri (fun i a -> asn_of.(lo + i) <- a) ases in
+  let tier1, _, next = allocate famous_tier1 first_dynamic_asn t1 in
+  let tier2, _, next = allocate famous_tier2 next t2 in
+  let tier3, _, next = allocate [] next t3 in
+  let stubs, _, _ = allocate [] next st in
+  fill tier1_lo tier1;
+  fill tier2_lo tier2;
+  fill tier3_lo tier3;
+  fill stub_lo stubs;
+  let deg = Array.make n 0 in
+  (* Ticket arrays for the three provider classes; stubs are never picked.
+     Sized at 3x membership so typical degree growth stays in place. *)
+  let t1_tickets = tickets_make (3 * t1) in
+  let t2_tickets = tickets_make (3 * max 1 t2) in
+  let t3_tickets = tickets_make (3 * max 1 t3) in
+  let tickets_of i =
+    if i < tier2_lo then Some t1_tickets
+    else if i < tier3_lo then Some t2_tickets
+    else if i < stub_lo then Some t3_tickets
+    else None
+  in
+  for i = 0 to stub_lo - 1 do
+    match tickets_of i with Some t -> tickets_push t i | None -> ()
+  done;
+  let edges = ref [] in
+  let edge_set = Hashtbl.create (4 * n) in
+  let edge_key a b = if a < b then (a * n) + b else (b * n) + a in
+  let mem_edge a b = Hashtbl.mem edge_set (edge_key a b) in
+  (* [rel] is how [a] classifies [b]. *)
+  let add_edge a b rel =
+    Hashtbl.replace edge_set (edge_key a b) ();
+    edges := (a, b, rel) :: !edges;
+    deg.(a) <- deg.(a) + 1;
+    deg.(b) <- deg.(b) + 1;
+    (match tickets_of a with Some t -> tickets_push t a | None -> ());
+    match tickets_of b with Some t -> tickets_push t b | None -> ()
+  in
+  (* Tier-1: full peering mesh. *)
+  for a = 0 to t1 - 1 do
+    for b = a + 1 to t1 - 1 do
+      add_edge a b Relationship.Peer
+    done
+  done;
+  (* Distinct degree-weighted provider picks for [c], class drawn from the
+     mix first.  [k <= max_providers] so the linear distinctness scan is
+     O(1) in practice. *)
+  let pick_providers_mixed c classes k =
+    let chosen = ref [] and picked = ref 0 and attempts = ref 0 in
+    while !picked < k && !attempts <= 20 * k do
+      incr attempts;
+      let pool = Prng.weighted_choice rng classes in
+      if pool.tk_len > 0 then begin
+        let p = tickets_pick rng pool in
+        if not (List.mem p !chosen) then begin
+          chosen := p :: !chosen;
+          incr picked;
+          add_edge p c Relationship.Customer
+        end
+      end
+    done
+  in
+  (* Tier-2: providers drawn from Tier-1. *)
+  for c = tier2_lo to tier3_lo - 1 do
+    pick_providers_mixed c [ (t1_tickets, 1.0) ] (provider_count rng config)
+  done;
+  (* Tier-3: mostly Tier-2 with a Tier-1 bypass share. *)
+  let t3_t2, t3_t1 = config.tier3_upstream_mix in
+  for c = tier3_lo to stub_lo - 1 do
+    pick_providers_mixed c
+      [ (t2_tickets, t3_t2); (t1_tickets, t3_t1) ]
+      (provider_count rng config)
+  done;
+  (* Stubs: mostly Tier-3 attached, with direct Tier-2/Tier-1 shares. *)
+  let st_t3, st_t2, st_t1 = config.stub_upstream_mix in
+  for c = stub_lo to n - 1 do
+    pick_providers_mixed c
+      [ (t3_tickets, st_t3); (t2_tickets, st_t2); (t1_tickets, st_t1) ]
+      (provider_count rng config)
+  done;
+  let comparable a b ~max_ratio =
+    let da = float_of_int (max 1 deg.(a)) and db = float_of_int (max 1 deg.(b)) in
+    (if da > db then da /. db else db /. da) <= max_ratio
+  in
+  let add_peering ?(max_ratio = 3.0) lo count target_mean =
+    if count >= 2 then begin
+      let target = int_of_float (target_mean *. float_of_int count /. 2.0) in
+      let added = ref 0 and attempts = ref 0 in
+      while !added < target && !attempts <= target * 30 do
+        incr attempts;
+        let a = lo + Prng.int rng count and b = lo + Prng.int rng count in
+        if a <> b && (not (mem_edge a b)) && comparable a b ~max_ratio then begin
+          add_edge a b Relationship.Peer;
+          incr added
+        end
+      done
+    end
+  in
+  add_peering tier2_lo t2 config.tier2_peering_degree;
+  add_peering tier3_lo t3 config.tier3_peering_degree;
+  (* Sibling pairs among Tier-3 ASs. *)
+  if t3 >= 2 then begin
+    let added = ref 0 and attempts = ref 0 in
+    while !added < config.sibling_pairs && !attempts <= config.sibling_pairs * 20 do
+      incr attempts;
+      let a = tier3_lo + Prng.int rng t3 and b = tier3_lo + Prng.int rng t3 in
+      if a <> b && not (mem_edge a b) then begin
+        add_edge a b Relationship.Sibling;
+        incr added
+      end
+    done
+  end;
+  (* The largest Tier-2s obtain peering with a few Tier-1s. *)
+  let tier2_by_degree = Array.init t2 (fun i -> tier2_lo + i) in
+  Array.sort (fun a b -> Int.compare deg.(b) deg.(a)) tier2_by_degree;
+  let n_peerers = int_of_float (config.tier12_peering_fraction *. float_of_int t2) in
+  for i = 0 to min n_peerers t2 - 1 do
+    let t2_node = tier2_by_degree.(i) in
+    let count = Prng.int_in rng 1 (min 3 (max 1 t1)) in
+    let chosen = Prng.sample rng count (List.init t1 (fun j -> j)) in
+    List.iter
+      (fun t1_node ->
+        if not (mem_edge t1_node t2_node) then add_edge t1_node t2_node Relationship.Peer)
+      chosen
+  done;
+  (* Freeze: register every AS (so isolated nodes survive) then replay the
+     edge list in generation order. *)
+  let graph = Array.fold_left As_graph.add_as As_graph.empty asn_of in
+  let graph =
+    List.fold_left
+      (fun g (a, b, rel) -> As_graph.add_edge g asn_of.(a) asn_of.(b) rel)
+      graph (List.rev !edges)
+  in
+  { graph; tier1; tier2; tier3; stubs }

@@ -380,6 +380,27 @@ let test_hot_path_alloc_quiet () =
        \  let g y = f (f y) in\n\
        \  g x\n")
 
+let test_hot_path_alloc_csr () =
+  (* The engine's CSR row walk, the way the scaled solver writes it:
+     flat int-array reads driven by edge indices — nothing boxes, so
+     the hot annotation stays quiet... *)
+  Alcotest.check pair "allocation-free CSR row traversal is quiet" []
+    (typed_hits ~file:"lib/fake/csr.ml"
+       "let[@rpilint.hot] rec row_sum (dst : int array) (rel : int array) t stop \
+        acc =\n\
+       \  if t >= stop then acc\n\
+       \  else row_sum dst rel (t + 1) stop (acc + dst.(t) + rel.(t))\n");
+  (* ...while the pre-CSR shape — materializing a (neighbor, rel) pair
+     per visited edge — allocates a tuple and a cons cell on every
+     iteration and is exactly what the rule exists to catch. *)
+  Alcotest.check pair "per-edge pair materialization is flagged"
+    [ ("hot-path-alloc", 3); ("hot-path-alloc", 3) ]
+    (typed_hits ~file:"lib/fake/csr.ml"
+       "let[@rpilint.hot] rec row_pairs (dst : int array) (rel : int array) t \
+        stop acc =\n\
+       \  if t >= stop then acc\n\
+       \  else row_pairs dst rel (t + 1) stop ((dst.(t), rel.(t)) :: acc)\n")
+
 (* Local stand-ins for the real modules: the rule matches normalized
    path components, so [Path_intern.id] and [Rpi_json.t] here trip it
    exactly like the library ones. *)
@@ -574,6 +595,8 @@ let () =
           Alcotest.test_case "hot-path-alloc" `Quick test_hot_path_alloc;
           Alcotest.test_case "hot-path-alloc quiet" `Quick
             test_hot_path_alloc_quiet;
+          Alcotest.test_case "hot-path-alloc CSR traversal" `Quick
+            test_hot_path_alloc_csr;
           Alcotest.test_case "intern-id-escape" `Quick test_intern_id_escape;
           Alcotest.test_case "intern-id-escape quiet" `Quick
             test_intern_id_escape_quiet;

@@ -398,6 +398,39 @@ let test_wheel_sizes () =
     (Invalid_argument "Gadget.wheel: rim needs at least 3 ASs") (fun () ->
       ignore (Rpi_sim.Gadget.wheel ~rim:[ asn 1; asn 2 ] ()))
 
+(* propagate_all's scratch reuse and iter_propagated's streaming must be
+   observationally invisible: same results as one fresh propagate per
+   atom, in declaration order, for batches of every size (including the
+   single-atom batch the chunking used to over-split). *)
+let test_propagate_all_matches_per_atom () =
+  let g, a, _b, c, d, e = fig3_graph () in
+  let net = Engine.prepare ~graph:g ~import:default_import () in
+  let retain = Asn.Set.of_list [ a; c; d; e ] in
+  let atoms =
+    List.mapi
+      (fun i origin -> Atom.vanilla ~id:i ~origin [ p "10.0.0.0/24" ])
+      [ a; c; a; d; e; a ]
+  in
+  let fresh = List.map (Engine.propagate net ~retain) atoms in
+  List.iter
+    (fun k ->
+      let batch = List.filteri (fun i _ -> i < k) atoms in
+      let expected = List.filteri (fun i _ -> i < k) fresh in
+      List.iter
+        (fun jobs ->
+          let got = Engine.propagate_all net ~retain ~jobs batch in
+          Alcotest.(check bool)
+            (Printf.sprintf "batch %d, jobs %d matches per-atom solves" k jobs)
+            true (got = expected))
+        [ 1; 2; 4 ];
+      let streamed = ref [] in
+      Engine.iter_propagated net ~retain batch ~f:(fun r -> streamed := r :: !streamed);
+      Alcotest.(check bool)
+        (Printf.sprintf "iter_propagated streams batch %d in order" k)
+        true
+        (List.rev !streamed = expected))
+    [ 0; 1; 2; 6 ]
+
 let test_vantage_rib () =
   let g, a, b, c, d, e = fig3_graph () in
   ignore c;
@@ -833,6 +866,8 @@ let () =
           Alcotest.test_case "local-pref beats path length" `Quick test_lp_beats_length;
           Alcotest.test_case "bad gadget: vanilla vs NS-BGP" `Quick test_bad_gadget;
           Alcotest.test_case "dispute wheels at sizes 3/5/7" `Quick test_wheel_sizes;
+          Alcotest.test_case "propagate_all matches per-atom" `Quick
+            test_propagate_all_matches_per_atom;
         ] );
       ( "repropagate",
         [

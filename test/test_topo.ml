@@ -271,6 +271,132 @@ let test_gen_valley_free_everywhere () =
       | [] -> ())
     t.Gen.stubs
 
+(* --- Config validation and scaled generation --- *)
+
+let test_gen_validate () =
+  let ok c = match Gen.validate c with Ok () -> true | Error _ -> false in
+  Alcotest.(check bool) "default config valid" true (ok Gen.default_config);
+  Alcotest.(check bool) "small config valid" true (ok small_config);
+  let reject name c =
+    match Gen.validate c with
+    | Error msg ->
+        Alcotest.(check bool) (name ^ ": message non-empty") true (String.length msg > 0)
+    | Ok () -> Alcotest.failf "%s: expected Error" name
+  in
+  reject "one tier1" { Gen.default_config with Gen.n_tier1 = 1 };
+  reject "negative stubs" { Gen.default_config with Gen.n_stub = -1 };
+  reject "zero providers" { Gen.default_config with Gen.max_providers = 0 };
+  reject "negative siblings" { Gen.default_config with Gen.sibling_pairs = -1 };
+  (* A sibling target above the achievable pair count is allowed: the
+     generator plants what it can and stops at the attempts cap. *)
+  Alcotest.(check bool) "sibling target above pair count is a target, not an error" true
+    (ok { Gen.default_config with Gen.n_tier3 = 2; sibling_pairs = 5 });
+  reject "bad tier3 mix" { Gen.default_config with Gen.tier3_upstream_mix = (0.9, 0.3) };
+  reject "negative stub mix"
+    { Gen.default_config with Gen.stub_upstream_mix = (1.2, 0.3, -0.5) };
+  reject "asn budget" { Gen.default_config with Gen.n_stub = max_int / 2 };
+  reject "bad multihoming" { Gen.default_config with Gen.multihoming_prob = 1.5 };
+  (* generate surfaces the same message as Invalid_argument. *)
+  let bad = { Gen.default_config with Gen.n_tier1 = 1 } in
+  match Gen.validate bad with
+  | Ok () -> Alcotest.fail "expected Error for n_tier1 = 1"
+  | Error msg ->
+      Alcotest.check_raises "generate raises validate's message"
+        (Invalid_argument ("Gen.generate: " ^ msg))
+        (fun () -> ignore (Gen.generate ~config:bad (Prng.create ~seed:1)))
+
+let test_scale_config () =
+  List.iter
+    (fun n ->
+      let c = Gen.scale_config ~n in
+      (match Gen.validate c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "scale_config ~n:%d invalid: %s" n e);
+      let total = c.Gen.n_tier1 + c.Gen.n_tier2 + c.Gen.n_tier3 + c.Gen.n_stub in
+      Alcotest.(check int) (Printf.sprintf "total at %d" n) n total;
+      Alcotest.(check bool)
+        (Printf.sprintf "heavy-tailed shape at %d" n)
+        true
+        (c.Gen.n_stub > c.Gen.n_tier3
+        && c.Gen.n_tier3 > c.Gen.n_tier2
+        && c.Gen.n_tier2 > c.Gen.n_tier1))
+    [ 1000; 5000; 15000; 100000 ];
+  Alcotest.check_raises "rejects tiny n"
+    (Invalid_argument "Gen.scale_config: need at least 64 ASs") (fun () ->
+      ignore (Gen.scale_config ~n:10))
+
+let test_generate_scaled () =
+  let config = Gen.scale_config ~n:2000 in
+  let t = Gen.generate_scaled ~config (Prng.create ~seed:7) in
+  let t' = Gen.generate_scaled ~config (Prng.create ~seed:7) in
+  Alcotest.(check bool) "deterministic in the seed" true
+    (As_graph.to_edges t.Gen.graph = As_graph.to_edges t'.Gen.graph);
+  Alcotest.(check int) "as count" 2000 (As_graph.as_count t.Gen.graph);
+  Alcotest.(check bool) "consistent" true
+    (match As_graph.check_consistency t.Gen.graph with Ok () -> true | Error _ -> false);
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Asn.equal a b) then
+            Alcotest.(check bool) "tier1 mesh" true
+              (As_graph.relationship t.Gen.graph a b = Some Relationship.Peer))
+        t.Gen.tier1)
+    t.Gen.tier1;
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "everyone below tier1 has a provider" true
+        (As_graph.providers t.Gen.graph a <> []))
+    (t.Gen.tier2 @ t.Gen.tier3 @ t.Gen.stubs);
+  let all = t.Gen.tier1 @ t.Gen.tier2 @ t.Gen.tier3 @ t.Gen.stubs in
+  Alcotest.(check int) "no duplicate AS numbers" (List.length all)
+    (List.length (List.sort_uniq Asn.compare all))
+
+let test_scaled_roundtrip_15k () =
+  (* The paper-scale guarantee: a 15k-AS edge list survives both the
+     textual and the structural round-trip unchanged. *)
+  let t = Gen.generate_scaled ~config:(Gen.scale_config ~n:15000) (Prng.create ~seed:11) in
+  let g = t.Gen.graph in
+  Alcotest.(check int) "as count" 15000 (As_graph.as_count g);
+  Alcotest.(check bool) "consistent" true
+    (match As_graph.check_consistency g with Ok () -> true | Error _ -> false);
+  (match As_graph.parse_edges (As_graph.render_edges g) with
+  | Error e -> Alcotest.failf "render/parse failed: %s" e
+  | Ok g' ->
+      Alcotest.(check bool) "render/parse round-trip" true
+        (As_graph.to_edges g = As_graph.to_edges g'));
+  let g'' = As_graph.of_edges (As_graph.to_edges g) in
+  Alcotest.(check bool) "of_edges round-trip" true
+    (As_graph.to_edges g = As_graph.to_edges g'')
+
+(* --- CSR freeze --- *)
+
+module Csr = Rpi_topo.Csr
+
+let test_csr_of_graph () =
+  let t = Gen.generate ~config:small_config (Prng.create ~seed:3) in
+  let g = t.Gen.graph in
+  let c = Csr.of_graph g in
+  Alcotest.(check int) "node count" (As_graph.as_count g) (Csr.node_count c);
+  Alcotest.(check int) "two directed slots per edge" (2 * As_graph.edge_count g)
+    (Csr.edge_count c);
+  Array.iteri
+    (fun i asn ->
+      let nbs = As_graph.neighbors g asn in
+      Alcotest.(check int) "degree" (List.length nbs) (Csr.degree c i);
+      List.iteri
+        (fun k (nb, rel) ->
+          let e = c.Csr.off.(i) + k in
+          Alcotest.(check bool) "row order mirrors As_graph.neighbors" true
+            (Asn.equal c.Csr.dst_asn.(e) nb);
+          Alcotest.(check bool) "relationship label" true
+            (Relationship.equal c.Csr.rel.(e) rel);
+          let back = c.Csr.back.(e) in
+          Alcotest.(check int) "back edge returns home" i c.Csr.dst.(back);
+          Alcotest.(check int) "back is an involution" e c.Csr.back.(back))
+        nbs)
+    c.Csr.ases
+
 (* --- Properties --- *)
 
 (* --- Churn generator --- *)
@@ -470,6 +596,7 @@ let () =
           Alcotest.test_case "provider chain" `Quick test_provider_chain;
         ] );
       ("tier", [ Alcotest.test_case "classify" `Quick test_tier_classify ]);
+      ("csr", [ Alcotest.test_case "of_graph mirrors As_graph" `Quick test_csr_of_graph ]);
       ( "generator",
         [
           Alcotest.test_case "counts" `Quick test_gen_counts;
@@ -480,6 +607,10 @@ let () =
           Alcotest.test_case "famous cast" `Quick test_gen_famous_cast;
           Alcotest.test_case "consistency" `Quick test_gen_consistency;
           Alcotest.test_case "valley free chains" `Quick test_gen_valley_free_everywhere;
+          Alcotest.test_case "validate" `Quick test_gen_validate;
+          Alcotest.test_case "scale config" `Quick test_scale_config;
+          Alcotest.test_case "generate scaled" `Quick test_generate_scaled;
+          Alcotest.test_case "15k round-trip" `Quick test_scaled_roundtrip_15k;
         ] );
       ( "churn",
         [
